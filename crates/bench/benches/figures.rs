@@ -1,0 +1,49 @@
+//! Criterion benches regenerating the paper's *figures*:
+//! E7 (prefetch gap), E8 (turbo), E9 (cold/warm), E10–E14 (kernel
+//! trajectories), E15 (multithreaded scaling), E16 (summary plot).
+//!
+//! Each iteration runs the corresponding experiment end-to-end at quick
+//! fidelity, producing the same CSV/SVG series the `repro` binary writes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use experiments::{run_experiment, Experiment, Fidelity};
+use std::hint::black_box;
+
+fn bench_experiment(c: &mut Criterion, id: &str, e: Experiment) {
+    c.bench_function(id, |b| {
+        b.iter(|| {
+            let out = run_experiment(black_box(e), black_box("snb"), Fidelity::Quick);
+            black_box(out.figures.len())
+        })
+    });
+}
+
+fn bench_pitfalls(c: &mut Criterion) {
+    bench_experiment(c, "fig_e7_prefetch_gap", Experiment::E7);
+    bench_experiment(c, "fig_e8_turbo", Experiment::E8);
+    bench_experiment(c, "fig_e9_cold_warm", Experiment::E9);
+}
+
+fn bench_trajectories(c: &mut Criterion) {
+    bench_experiment(c, "fig_e10_daxpy", Experiment::E10);
+    bench_experiment(c, "fig_e11_dgemv", Experiment::E11);
+    bench_experiment(c, "fig_e12_dgemm", Experiment::E12);
+    bench_experiment(c, "fig_e13_fft", Experiment::E13);
+    bench_experiment(c, "fig_e14_wht", Experiment::E14);
+}
+
+fn bench_scaling_and_summary(c: &mut Criterion) {
+    bench_experiment(c, "fig_e15_mt", Experiment::E15);
+    bench_experiment(c, "fig_e16_summary", Experiment::E16);
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_pitfalls, bench_trajectories, bench_scaling_and_summary
+}
+criterion_main!(figures);

@@ -1,0 +1,106 @@
+//! Microbenchmarks of the simulator substrate itself: how fast the timing
+//! model retires modelled instructions, and what the measurement harness
+//! costs. These guard against regressions that would make the full-fidelity
+//! experiments impractically slow.
+
+use bench::sizes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+use kernels::blas1::{Daxpy, Triad};
+use kernels::blas3::DgemmBlocked;
+use kernels::fft::Fft;
+use kernels::Kernel;
+use perfmon::peaks::{emit_peak_stream, measure_bandwidth, BwPattern, Mix};
+use simx86::config::sandy_bridge;
+use simx86::isa::{Precision, VecWidth};
+use simx86::Machine;
+use std::hint::black_box;
+
+fn bench_fp_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_fp_stream");
+    let instrs = 120_000u64;
+    g.throughput(Throughput::Elements(instrs));
+    g.bench_function("balanced_avx", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(sandy_bridge());
+            m.run(0, |cpu| {
+                emit_peak_stream(
+                    cpu,
+                    VecWidth::Y256,
+                    Precision::F64,
+                    Mix::Balanced,
+                    instrs / 12,
+                )
+            });
+            black_box(m.tsc())
+        })
+    });
+    g.finish();
+}
+
+fn bench_streaming_loads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_memory");
+    g.bench_function("daxpy_cold_256k", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(sandy_bridge());
+            let k = Daxpy::new(&mut m, sizes::STREAM_N);
+            m.flush_caches();
+            m.run(0, |cpu| k.emit(cpu));
+            black_box(m.uncore().traffic_bytes(64))
+        })
+    });
+    g.bench_function("triad_bandwidth_probe", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(sandy_bridge());
+            black_box(measure_bandwidth(&mut m, BwPattern::Triad, 1, 512 * 1024).get())
+        })
+    });
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_kernels");
+    g.bench_function("dgemm_blocked_128", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(sandy_bridge());
+            let k = DgemmBlocked::new(&mut m, sizes::GEMM_N);
+            m.run(0, |cpu| k.emit(cpu));
+            black_box(m.core_counters(0).flops(Precision::F64))
+        })
+    });
+    g.bench_function("fft_vec_16k", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(sandy_bridge());
+            let k = Fft::new(&mut m, sizes::FFT_N, true);
+            m.run(0, |cpu| k.emit(cpu));
+            black_box(m.tsc())
+        })
+    });
+    g.bench_function("triad_mt_4core", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(sandy_bridge());
+            let ks: Vec<Triad> = (0..4).map(|_| Triad::new(&mut m, 1 << 14, false)).collect();
+            let ks = &ks;
+            let programs: Vec<Box<dyn simx86::ThreadProgram + '_>> = (0..4usize)
+                .map(|t| {
+                    Box::new(simx86::SlicedFn::new(8, move |cpu: &mut simx86::Cpu<'_>, s| {
+                        ks[t].emit_chunk(cpu, s as u64, 8);
+                    })) as Box<dyn simx86::ThreadProgram>
+                })
+                .collect();
+            m.run_parallel(programs);
+            black_box(m.tsc())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = simulator;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_fp_stream, bench_streaming_loads, bench_kernels
+}
+criterion_main!(simulator);

@@ -1,0 +1,46 @@
+//! Criterion benches regenerating the paper's *tables*:
+//! E1 (platforms), E2 (events), E3 (peak compute), E4 (bandwidth),
+//! E5 (W validation), E6 (Q validation).
+//!
+//! Each iteration runs the corresponding experiment end-to-end at quick
+//! fidelity, so `cargo bench` both times the harness and re-produces every
+//! table artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use experiments::{run_experiment, Experiment, Fidelity};
+use std::hint::black_box;
+
+fn bench_experiment(c: &mut Criterion, id: &str, e: Experiment, platform: &str) {
+    c.bench_function(id, |b| {
+        b.iter(|| {
+            let out = run_experiment(black_box(e), black_box(platform), Fidelity::Quick);
+            black_box(out.render_text().len())
+        })
+    });
+}
+
+fn bench_platforms(c: &mut Criterion) {
+    bench_experiment(c, "table_e1_platforms", Experiment::E1, "snb");
+    bench_experiment(c, "table_e2_events", Experiment::E2, "snb");
+}
+
+fn bench_peaks(c: &mut Criterion) {
+    bench_experiment(c, "table_e3_peak_compute", Experiment::E3, "snb");
+    bench_experiment(c, "table_e4_peak_bandwidth", Experiment::E4, "snb");
+}
+
+fn bench_validation(c: &mut Criterion) {
+    bench_experiment(c, "table_e5_validate_work", Experiment::E5, "snb");
+    bench_experiment(c, "table_e6_validate_traffic", Experiment::E6, "test");
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_platforms, bench_peaks, bench_validation
+}
+criterion_main!(tables);

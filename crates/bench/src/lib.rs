@@ -1,0 +1,13 @@
+//! Shared helpers for the Criterion benchmark targets. The real content of
+//! this crate lives in `benches/`, one group per reproduced table/figure.
+
+/// Problem sizes used by the benchmark harness: small enough to iterate,
+/// large enough to leave the caches of the simulated platforms.
+pub mod sizes {
+    /// Vector length for streaming benches.
+    pub const STREAM_N: u64 = 1 << 18;
+    /// Matrix dimension for dgemm benches.
+    pub const GEMM_N: u64 = 128;
+    /// Transform size for FFT/WHT benches.
+    pub const FFT_N: u64 = 1 << 14;
+}

@@ -1,0 +1,69 @@
+use std::fmt;
+
+/// Errors produced when assembling or rendering roofline models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A roofline was built without any compute ceiling.
+    NoCeilings,
+    /// A roofline was built without any bandwidth roof.
+    NoRoofs,
+    /// A roofline was built without a (positive) clock frequency.
+    MissingFrequency,
+    /// Two ceilings or roofs share the same name, which would make plot
+    /// legends ambiguous.
+    DuplicateName(String),
+    /// A plot was requested over an empty or inverted axis range.
+    BadAxisRange {
+        /// The requested lower bound.
+        lo: f64,
+        /// The requested upper bound.
+        hi: f64,
+    },
+    /// Serialized roofline text could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoCeilings => write!(f, "roofline has no compute ceilings"),
+            Error::NoRoofs => write!(f, "roofline has no bandwidth roofs"),
+            Error::MissingFrequency => write!(f, "roofline frequency missing or zero"),
+            Error::DuplicateName(name) => write!(f, "duplicate ceiling/roof name `{name}`"),
+            Error::BadAxisRange { lo, hi } => {
+                write!(f, "axis range [{lo}, {hi}] is empty or not positive")
+            }
+            Error::Parse(msg) => write!(f, "could not parse roofline text: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let msgs = [
+            Error::NoCeilings.to_string(),
+            Error::NoRoofs.to_string(),
+            Error::MissingFrequency.to_string(),
+            Error::DuplicateName("x".into()).to_string(),
+            Error::BadAxisRange { lo: 1.0, hi: 0.5 }.to_string(),
+            Error::Parse("x".into()).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

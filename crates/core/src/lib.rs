@@ -1,0 +1,88 @@
+//! # roofline-core
+//!
+//! The roofline performance model of Williams, Waterman and Patterson, as
+//! operationalized by Ofenbeck et al., *"Applying the roofline model"*
+//! (ISPASS 2014).
+//!
+//! A roofline plot relates a kernel's **operational intensity**
+//! `I = W / Q` (flops per byte of memory traffic) to its **performance**
+//! `P = W / T` (flops per unit time), and bounds the attainable performance
+//! by the platform:
+//!
+//! ```text
+//! P  <=  min( pi, I * beta )
+//! ```
+//!
+//! where `pi` is the peak compute throughput (a *ceiling*) and `beta` the
+//! peak memory bandwidth (a *roof*). Real platforms have a whole stack of
+//! ceilings (scalar / SSE / AVX / FMA, 1..N cores, add-only vs. balanced
+//! add+mul) and possibly several bandwidth roofs (read-only, triad,
+//! non-temporal); this crate models all of them.
+//!
+//! ## What lives here
+//!
+//! * [`units`] — strongly typed quantities ([`units::Flops`], [`units::Bytes`],
+//!   [`units::Cycles`], [`units::Seconds`], [`units::Intensity`],
+//!   [`units::GFlopsPerSec`], …) so that a work count can never be confused
+//!   with a traffic count.
+//! * [`model`] — [`Roofline`], [`Ceiling`] and [`BandwidthRoof`]: the
+//!   attainable-performance envelope and its ridge points.
+//! * [`point`] — [`Measurement`] (the raw `W`, `Q`, `T` triple the ISPASS'14
+//!   methodology produces) and [`KernelPoint`] (its position on the plot).
+//! * [`series`] — [`Trajectory`]: a kernel swept over problem size, the
+//!   paper's preferred way of plotting.
+//! * [`plot`] — log-log renderers to ASCII (for terminals) and SVG (for
+//!   papers).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use roofline_core::prelude::*;
+//!
+//! // Platform: 3.3 GHz core, 8 flops/cycle AVX ceiling, 20 GB/s DRAM roof.
+//! let roofline = Roofline::builder("snb-1t")
+//!     .frequency(Hertz::from_ghz(3.3))
+//!     .ceiling(Ceiling::new("AVX balanced", FlopsPerCycle::new(8.0)))
+//!     .ceiling(Ceiling::new("scalar", FlopsPerCycle::new(2.0)))
+//!     .roof(BandwidthRoof::new("triad", GBytesPerSec::new(20.0)))
+//!     .build()?;
+//!
+//! // A measured kernel: 1e9 flops, 4e8 bytes of DRAM traffic, 0.1 s.
+//! let m = Measurement::new(Flops::new(1_000_000_000), Bytes::new(400_000_000),
+//!                          Seconds::new(0.1));
+//! let point = KernelPoint::from_measurement("daxpy-ish", &m);
+//!
+//! assert!(point.intensity().get() > 2.4 && point.intensity().get() < 2.6);
+//! // Attainable at I=2.5 is min(26.4, 2.5*20) = 26.4 GF/s.
+//! let bound = roofline.attainable(point.intensity());
+//! assert!((bound.get() - 26.4).abs() < 1e-9);
+//! # Ok::<(), roofline_core::Error>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod plot;
+pub mod point;
+pub mod serialize;
+pub mod series;
+pub mod units;
+
+mod error;
+
+pub use error::Error;
+pub use model::{BandwidthRoof, Bound, Ceiling, RidgePoint, Roofline, RooflineBuilder};
+pub use point::{Efficiency, KernelPoint, Measurement};
+pub use series::{Trajectory, TrajectoryPoint};
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::model::{BandwidthRoof, Bound, Ceiling, RidgePoint, Roofline};
+    pub use crate::point::{Efficiency, KernelPoint, Measurement};
+    pub use crate::series::{Trajectory, TrajectoryPoint};
+    pub use crate::units::{
+        Bytes, BytesPerCycle, Cycles, Flops, FlopsPerCycle, GBytesPerSec, GFlopsPerSec, Hertz,
+        Intensity, Seconds,
+    };
+    pub use crate::Error;
+}

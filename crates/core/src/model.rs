@@ -1,0 +1,485 @@
+//! The roofline envelope: compute ceilings, bandwidth roofs, attainable
+//! performance and ridge points.
+
+use crate::units::{FlopsPerCycle, GBytesPerSec, GFlopsPerSec, Hertz, Intensity};
+use crate::Error;
+
+/// A horizontal compute ceiling, e.g. "AVX balanced mul+add, 1 core".
+///
+/// Ceilings are stored frequency-independently (flops/cycle) because the
+/// ISPASS'14 methodology measures them that way — the same ceiling stack is
+/// then rendered at the nominal frequency, which is also how the paper
+/// detects Turbo-Boost contamination (measured points *above* the top
+/// ceiling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ceiling {
+    name: String,
+    throughput: FlopsPerCycle,
+}
+
+impl Ceiling {
+    /// Creates a named ceiling.
+    ///
+    /// ```
+    /// use roofline_core::prelude::*;
+    /// let c = Ceiling::new("scalar add", FlopsPerCycle::new(1.0));
+    /// assert_eq!(c.name(), "scalar add");
+    /// ```
+    pub fn new(name: impl Into<String>, throughput: FlopsPerCycle) -> Self {
+        Self {
+            name: name.into(),
+            throughput,
+        }
+    }
+
+    /// The ceiling's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ceiling height in flops per cycle.
+    pub fn throughput(&self) -> FlopsPerCycle {
+        self.throughput
+    }
+
+    /// The ceiling height in GF/s at the given clock frequency.
+    pub fn absolute(&self, freq: Hertz) -> GFlopsPerSec {
+        self.throughput.at_frequency(freq)
+    }
+}
+
+/// A diagonal bandwidth roof, e.g. "triad, 1 core" or "non-temporal store".
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthRoof {
+    name: String,
+    bandwidth: GBytesPerSec,
+}
+
+impl BandwidthRoof {
+    /// Creates a named bandwidth roof.
+    pub fn new(name: impl Into<String>, bandwidth: GBytesPerSec) -> Self {
+        Self {
+            name: name.into(),
+            bandwidth,
+        }
+    }
+
+    /// The roof's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The roof slope in GB/s.
+    pub fn bandwidth(&self) -> GBytesPerSec {
+        self.bandwidth
+    }
+
+    /// Performance bound imposed by this roof at intensity `i`.
+    pub fn bound_at(&self, i: Intensity) -> GFlopsPerSec {
+        i * self.bandwidth
+    }
+}
+
+/// Which side of the roofline formula binds a kernel at some intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// `I * beta < pi`: the kernel is limited by memory bandwidth.
+    Memory,
+    /// `pi <= I * beta`: the kernel is limited by compute throughput.
+    Compute,
+}
+
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bound::Memory => write!(f, "memory-bound"),
+            Bound::Compute => write!(f, "compute-bound"),
+        }
+    }
+}
+
+/// The intensity at which a ceiling meets a roof (`I_ridge = pi / beta`).
+///
+/// Left of the ridge a kernel is memory-bound, right of it compute-bound.
+/// The paper uses ridge movement (e.g. when going from one to all cores) to
+/// explain why efficient kernels *become* memory-bound at scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RidgePoint {
+    ceiling: String,
+    roof: String,
+    intensity: Intensity,
+}
+
+impl RidgePoint {
+    /// The ceiling participating in this ridge.
+    pub fn ceiling(&self) -> &str {
+        &self.ceiling
+    }
+
+    /// The roof participating in this ridge.
+    pub fn roof(&self) -> &str {
+        &self.roof
+    }
+
+    /// The ridge intensity `pi / beta`.
+    pub fn intensity(&self) -> Intensity {
+        self.intensity
+    }
+}
+
+/// A complete roofline: a named platform configuration with a stack of
+/// ceilings, a set of bandwidth roofs, and the clock frequency that converts
+/// between cycle-relative and absolute throughput.
+///
+/// The *attainable* performance at intensity `I` is
+/// `min(max_ceiling, I * max_roof)`; the lower ceilings and roofs are kept
+/// for plotting (the paper draws the whole stack to show which feature —
+/// vectorization, FMA, multithreading — buys which gap).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Roofline {
+    name: String,
+    frequency: Hertz,
+    ceilings: Vec<Ceiling>,
+    roofs: Vec<BandwidthRoof>,
+}
+
+impl Roofline {
+    /// Starts building a roofline for the named platform configuration.
+    pub fn builder(name: impl Into<String>) -> RooflineBuilder {
+        RooflineBuilder::new(name)
+    }
+
+    /// The platform configuration name (e.g. `"snb-4t-avx"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The clock frequency used to render absolute throughput.
+    pub fn frequency(&self) -> Hertz {
+        self.frequency
+    }
+
+    /// All ceilings, sorted descending by height.
+    pub fn ceilings(&self) -> &[Ceiling] {
+        &self.ceilings
+    }
+
+    /// All bandwidth roofs, sorted descending by slope.
+    pub fn roofs(&self) -> &[BandwidthRoof] {
+        &self.roofs
+    }
+
+    /// The highest ceiling (the `pi` of the roofline formula).
+    pub fn peak_compute(&self) -> GFlopsPerSec {
+        self.ceilings[0].absolute(self.frequency)
+    }
+
+    /// The steepest roof (the `beta` of the roofline formula).
+    pub fn peak_bandwidth(&self) -> GBytesPerSec {
+        self.roofs[0].bandwidth()
+    }
+
+    /// Attainable performance `min(pi, I * beta)` at intensity `i`.
+    ///
+    /// ```
+    /// use roofline_core::prelude::*;
+    /// let r = Roofline::builder("p")
+    ///     .frequency(Hertz::from_ghz(1.0))
+    ///     .ceiling(Ceiling::new("peak", FlopsPerCycle::new(10.0)))
+    ///     .roof(BandwidthRoof::new("dram", GBytesPerSec::new(5.0)))
+    ///     .build()?;
+    /// assert_eq!(r.attainable(Intensity::new(1.0)).get(), 5.0);   // memory side
+    /// assert_eq!(r.attainable(Intensity::new(100.0)).get(), 10.0); // compute side
+    /// # Ok::<(), roofline_core::Error>(())
+    /// ```
+    pub fn attainable(&self, i: Intensity) -> GFlopsPerSec {
+        let pi = self.peak_compute();
+        let mem = i * self.peak_bandwidth();
+        if mem.get() < pi.get() {
+            mem
+        } else {
+            pi
+        }
+    }
+
+    /// Which constraint binds at intensity `i`.
+    pub fn bound_at(&self, i: Intensity) -> Bound {
+        let pi = self.peak_compute();
+        let mem = i * self.peak_bandwidth();
+        if mem.get() < pi.get() {
+            Bound::Memory
+        } else {
+            Bound::Compute
+        }
+    }
+
+    /// The main ridge point: where the top ceiling meets the steepest roof.
+    pub fn ridge(&self) -> RidgePoint {
+        let c = &self.ceilings[0];
+        let r = &self.roofs[0];
+        RidgePoint {
+            ceiling: c.name.clone(),
+            roof: r.name.clone(),
+            intensity: Intensity::new(
+                c.absolute(self.frequency).get() / r.bandwidth().get(),
+            ),
+        }
+    }
+
+    /// Every (ceiling, roof) ridge point, useful for annotating full plots.
+    pub fn all_ridges(&self) -> Vec<RidgePoint> {
+        let mut out = Vec::with_capacity(self.ceilings.len() * self.roofs.len());
+        for c in &self.ceilings {
+            for r in &self.roofs {
+                out.push(RidgePoint {
+                    ceiling: c.name.clone(),
+                    roof: r.name.clone(),
+                    intensity: Intensity::new(
+                        c.absolute(self.frequency).get() / r.bandwidth().get(),
+                    ),
+                });
+            }
+        }
+        out
+    }
+
+    /// Looks up a ceiling by name.
+    pub fn ceiling(&self, name: &str) -> Option<&Ceiling> {
+        self.ceilings.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up a roof by name.
+    pub fn roof(&self, name: &str) -> Option<&BandwidthRoof> {
+        self.roofs.iter().find(|r| r.name == name)
+    }
+
+    /// Returns a copy of this roofline rendered at a different frequency —
+    /// used to visualize Turbo Boost distortion (same cycle-relative
+    /// ceilings, different clock).
+    pub fn at_frequency(&self, frequency: Hertz) -> Roofline {
+        Roofline {
+            frequency,
+            ..self.clone()
+        }
+    }
+}
+
+/// Builder for [`Roofline`]; see [`Roofline::builder`].
+#[derive(Debug, Clone)]
+pub struct RooflineBuilder {
+    name: String,
+    frequency: Option<Hertz>,
+    ceilings: Vec<Ceiling>,
+    roofs: Vec<BandwidthRoof>,
+}
+
+impl RooflineBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            frequency: None,
+            ceilings: Vec::new(),
+            roofs: Vec::new(),
+        }
+    }
+
+    /// Sets the nominal clock frequency.
+    pub fn frequency(mut self, f: Hertz) -> Self {
+        self.frequency = Some(f);
+        self
+    }
+
+    /// Adds a compute ceiling.
+    pub fn ceiling(mut self, c: Ceiling) -> Self {
+        self.ceilings.push(c);
+        self
+    }
+
+    /// Adds a bandwidth roof.
+    pub fn roof(mut self, r: BandwidthRoof) -> Self {
+        self.roofs.push(r);
+        self
+    }
+
+    /// Finishes the roofline.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NoCeilings`] / [`Error::NoRoofs`] if a side is empty.
+    /// * [`Error::MissingFrequency`] if no positive frequency was given.
+    /// * [`Error::DuplicateName`] if two ceilings or two roofs share a name.
+    pub fn build(self) -> Result<Roofline, Error> {
+        let frequency = self.frequency.ok_or(Error::MissingFrequency)?;
+        if frequency.get() <= 0.0 {
+            return Err(Error::MissingFrequency);
+        }
+        if self.ceilings.is_empty() {
+            return Err(Error::NoCeilings);
+        }
+        if self.roofs.is_empty() {
+            return Err(Error::NoRoofs);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for name in self.ceilings.iter().map(Ceiling::name) {
+            if !seen.insert(format!("ceiling:{name}")) {
+                return Err(Error::DuplicateName(name.to_string()));
+            }
+        }
+        for name in self.roofs.iter().map(BandwidthRoof::name) {
+            if !seen.insert(format!("roof:{name}")) {
+                return Err(Error::DuplicateName(name.to_string()));
+            }
+        }
+        let mut ceilings = self.ceilings;
+        ceilings.sort_by(|a, b| {
+            b.throughput
+                .partial_cmp(&a.throughput)
+                .expect("throughputs are finite")
+        });
+        let mut roofs = self.roofs;
+        roofs.sort_by(|a, b| {
+            b.bandwidth
+                .partial_cmp(&a.bandwidth)
+                .expect("bandwidths are finite")
+        });
+        Ok(Roofline {
+            name: self.name,
+            frequency,
+            ceilings,
+            roofs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::FlopsPerCycle;
+
+    fn simple() -> Roofline {
+        Roofline::builder("test")
+            .frequency(Hertz::from_ghz(1.0))
+            .ceiling(Ceiling::new("scalar", FlopsPerCycle::new(2.0)))
+            .ceiling(Ceiling::new("avx", FlopsPerCycle::new(8.0)))
+            .roof(BandwidthRoof::new("dram", GBytesPerSec::new(4.0)))
+            .roof(BandwidthRoof::new("nt", GBytesPerSec::new(6.0)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ceilings_sorted_descending() {
+        let r = simple();
+        assert_eq!(r.ceilings()[0].name(), "avx");
+        assert_eq!(r.ceilings()[1].name(), "scalar");
+    }
+
+    #[test]
+    fn roofs_sorted_descending() {
+        let r = simple();
+        assert_eq!(r.roofs()[0].name(), "nt");
+    }
+
+    #[test]
+    fn attainable_is_min_of_sides() {
+        let r = simple();
+        // peak compute 8 GF/s, peak bw 6 GB/s → ridge at 8/6.
+        assert_eq!(r.attainable(Intensity::new(0.5)).get(), 3.0);
+        assert_eq!(r.attainable(Intensity::new(10.0)).get(), 8.0);
+    }
+
+    #[test]
+    fn bound_classification_flips_at_ridge() {
+        let r = simple();
+        let ridge = r.ridge().intensity().get();
+        assert_eq!(r.bound_at(Intensity::new(ridge * 0.9)), Bound::Memory);
+        assert_eq!(r.bound_at(Intensity::new(ridge * 1.1)), Bound::Compute);
+    }
+
+    #[test]
+    fn ridge_intensity_is_pi_over_beta() {
+        let r = simple();
+        assert!((r.ridge().intensity().get() - 8.0 / 6.0).abs() < 1e-12);
+        assert_eq!(r.ridge().ceiling(), "avx");
+        assert_eq!(r.ridge().roof(), "nt");
+    }
+
+    #[test]
+    fn all_ridges_cartesian_product() {
+        let r = simple();
+        assert_eq!(r.all_ridges().len(), 4);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let r = simple();
+        assert!(r.ceiling("scalar").is_some());
+        assert!(r.ceiling("nope").is_none());
+        assert!(r.roof("dram").is_some());
+    }
+
+    #[test]
+    fn at_frequency_rescales_compute_only() {
+        let r = simple();
+        let r2 = r.at_frequency(Hertz::from_ghz(2.0));
+        assert_eq!(r2.peak_compute().get(), 16.0);
+        assert_eq!(r2.peak_bandwidth().get(), 6.0);
+    }
+
+    #[test]
+    fn builder_rejects_empty_sides() {
+        let e = Roofline::builder("x")
+            .frequency(Hertz::from_ghz(1.0))
+            .roof(BandwidthRoof::new("d", GBytesPerSec::new(1.0)))
+            .build()
+            .unwrap_err();
+        assert_eq!(e, Error::NoCeilings);
+
+        let e = Roofline::builder("x")
+            .frequency(Hertz::from_ghz(1.0))
+            .ceiling(Ceiling::new("c", FlopsPerCycle::new(1.0)))
+            .build()
+            .unwrap_err();
+        assert_eq!(e, Error::NoRoofs);
+    }
+
+    #[test]
+    fn builder_rejects_missing_frequency() {
+        let e = Roofline::builder("x")
+            .ceiling(Ceiling::new("c", FlopsPerCycle::new(1.0)))
+            .roof(BandwidthRoof::new("d", GBytesPerSec::new(1.0)))
+            .build()
+            .unwrap_err();
+        assert_eq!(e, Error::MissingFrequency);
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_names_per_kind() {
+        let e = Roofline::builder("x")
+            .frequency(Hertz::from_ghz(1.0))
+            .ceiling(Ceiling::new("c", FlopsPerCycle::new(1.0)))
+            .ceiling(Ceiling::new("c", FlopsPerCycle::new(2.0)))
+            .roof(BandwidthRoof::new("d", GBytesPerSec::new(1.0)))
+            .build()
+            .unwrap_err();
+        assert_eq!(e, Error::DuplicateName("c".to_string()));
+    }
+
+    #[test]
+    fn same_name_allowed_across_kinds() {
+        // A ceiling and a roof may share a label; only same-kind clashes
+        // are ambiguous in legends.
+        let r = Roofline::builder("x")
+            .frequency(Hertz::from_ghz(1.0))
+            .ceiling(Ceiling::new("peak", FlopsPerCycle::new(1.0)))
+            .roof(BandwidthRoof::new("peak", GBytesPerSec::new(1.0)))
+            .build();
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn bound_display() {
+        assert_eq!(Bound::Memory.to_string(), "memory-bound");
+        assert_eq!(Bound::Compute.to_string(), "compute-bound");
+    }
+}

@@ -1,0 +1,279 @@
+//! Terminal roofline rendering.
+//!
+//! Draws the ceiling stack, the bandwidth roofs, and every point/trajectory
+//! of a [`PlotSpec`] onto a character grid with log-log axes. Meant for the
+//! `repro` binary's console output; the SVG backend produces the archival
+//! figures.
+
+use super::scale::{format_tick, LogScale};
+use super::PlotSpec;
+use crate::Error;
+
+/// A fixed-size character canvas with log-log data coordinates.
+#[derive(Debug, Clone)]
+pub struct AsciiCanvas {
+    width: usize,
+    height: usize,
+    cells: Vec<char>,
+}
+
+impl AsciiCanvas {
+    /// Creates an empty canvas; typical sizes are 72×24.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is smaller than 16×8, which cannot fit
+    /// axes and data.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 16 && height >= 8, "canvas too small to render");
+        Self {
+            width,
+            height,
+            cells: vec![' '; width * height],
+        }
+    }
+
+    fn put(&mut self, x: usize, y: usize, c: char) {
+        if x < self.width && y < self.height {
+            // Points win over lines; never overwrite a marker with a roof.
+            let idx = y * self.width + x;
+            let existing = self.cells[idx];
+            let priority = |ch: char| match ch {
+                ' ' => 0,
+                '-' | '/' | '_' => 1,
+                '.' => 2,
+                _ => 3,
+            };
+            if priority(c) >= priority(existing) {
+                self.cells[idx] = c;
+            }
+        }
+    }
+
+    fn plot_norm(&mut self, tx: f64, ty: f64, c: char) {
+        if !(0.0..=1.0).contains(&tx) || !(0.0..=1.0).contains(&ty) {
+            return;
+        }
+        let x = (tx * (self.width - 1) as f64).round() as usize;
+        let y = ((1.0 - ty) * (self.height - 1) as f64).round() as usize;
+        self.put(x, y, c);
+    }
+
+    fn rows(&self) -> impl Iterator<Item = String> + '_ {
+        (0..self.height).map(move |y| {
+            self.cells[y * self.width..(y + 1) * self.width]
+                .iter()
+                .collect::<String>()
+                .trim_end()
+                .to_string()
+        })
+    }
+}
+
+/// Renders a [`PlotSpec`] to a multi-line string.
+///
+/// Markers: trajectories use `a`, `b`, `c`, … in add-order; standalone
+/// points use `*`. The envelope (roof) is drawn with `/` on the
+/// bandwidth-limited side and `-` on the compute-limited side; lower
+/// ceilings are drawn with `_`.
+///
+/// # Errors
+///
+/// Propagates [`Error::BadAxisRange`] from axis resolution.
+pub fn render_ascii(spec: &PlotSpec, width: usize, height: usize) -> Result<String, Error> {
+    let (xs, ys) = spec.resolve_axes()?;
+    let mut canvas = AsciiCanvas::new(width, height);
+
+    draw_envelope(&mut canvas, spec, &xs, &ys);
+    draw_lower_ceilings(&mut canvas, spec, &xs, &ys);
+    draw_lower_roofs(&mut canvas, spec, &xs, &ys);
+
+    for p in spec.points() {
+        canvas.plot_norm(
+            xs.normalize(p.intensity().get()),
+            ys.normalize(p.performance().get()),
+            '*',
+        );
+    }
+    for (k, t) in spec.trajectories().iter().enumerate() {
+        let marker = (b'a' + (k % 26) as u8) as char;
+        for p in t.kernel_points() {
+            canvas.plot_norm(
+                xs.normalize(p.intensity().get()),
+                ys.normalize(p.performance().get()),
+                marker,
+            );
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — {}  (peak {:.1} GF/s, bw {:.1} GB/s, ridge {:.2} flops/B)\n",
+        spec.title(),
+        spec.roofline().name(),
+        spec.roofline().peak_compute().get(),
+        spec.roofline().peak_bandwidth().get(),
+        spec.roofline().ridge().intensity().get(),
+    ));
+    for row in canvas.rows() {
+        out.push('|');
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+
+    // X-axis tick labels.
+    let mut tick_line = vec![' '; width + 1];
+    for tick in xs.decade_ticks() {
+        let label = format_tick(tick);
+        let pos = (xs.normalize(tick) * (width - 1) as f64).round() as usize;
+        for (i, ch) in label.chars().enumerate() {
+            if pos + i < tick_line.len() {
+                tick_line[pos + i] = ch;
+            }
+        }
+    }
+    out.push_str(&tick_line.iter().collect::<String>().trim_end().to_string());
+    out.push('\n');
+    out.push_str(&format!(
+        "x: intensity [{}..{}] flops/B (log)   y: perf [{}..{}] GF/s (log)\n",
+        format_tick(xs.lo()),
+        format_tick(xs.hi()),
+        format_tick(ys.lo()),
+        format_tick(ys.hi()),
+    ));
+
+    // Legend.
+    for (k, t) in spec.trajectories().iter().enumerate() {
+        let marker = (b'a' + (k % 26) as u8) as char;
+        out.push_str(&format!("  {marker}: {}\n", t.name()));
+    }
+    if !spec.points().is_empty() {
+        let names: Vec<_> = spec.points().iter().map(|p| p.name()).collect();
+        out.push_str(&format!("  *: {}\n", names.join(", ")));
+    }
+    Ok(out)
+}
+
+fn draw_envelope(canvas: &mut AsciiCanvas, spec: &PlotSpec, xs: &LogScale, ys: &LogScale) {
+    let ridge = spec.roofline().ridge().intensity().get();
+    let n = canvas.width * 2;
+    for i in 0..=n {
+        let t = i as f64 / n as f64;
+        let x = xs.denormalize(t);
+        let y = spec.envelope(x);
+        let c = if x < ridge { '/' } else { '-' };
+        canvas.plot_norm(t, ys.normalize(y), c);
+    }
+}
+
+fn draw_lower_ceilings(canvas: &mut AsciiCanvas, spec: &PlotSpec, xs: &LogScale, ys: &LogScale) {
+    let freq = spec.roofline().frequency();
+    for c in spec.roofline().ceilings().iter().skip(1) {
+        let y = c.absolute(freq).get();
+        let n = canvas.width * 2;
+        for i in 0..=n {
+            let t = i as f64 / n as f64;
+            let x = xs.denormalize(t);
+            // Only draw where the ceiling is below the memory roof.
+            if y <= spec.envelope(x) {
+                canvas.plot_norm(t, ys.normalize(y), '_');
+            }
+        }
+    }
+}
+
+fn draw_lower_roofs(canvas: &mut AsciiCanvas, spec: &PlotSpec, xs: &LogScale, ys: &LogScale) {
+    let peak = spec.roofline().peak_compute().get();
+    for r in spec.roofline().roofs().iter().skip(1) {
+        let n = canvas.width * 2;
+        for i in 0..=n {
+            let t = i as f64 / n as f64;
+            let x = xs.denormalize(t);
+            let y = x * r.bandwidth().get();
+            if y <= peak {
+                canvas.plot_norm(t, ys.normalize(y), '.');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BandwidthRoof, Ceiling, Roofline};
+    use crate::point::KernelPoint;
+    use crate::series::Trajectory;
+    use crate::units::{FlopsPerCycle, GBytesPerSec, GFlopsPerSec, Hertz, Intensity};
+
+    fn spec() -> PlotSpec {
+        let r = Roofline::builder("snb")
+            .frequency(Hertz::from_ghz(1.0))
+            .ceiling(Ceiling::new("avx", FlopsPerCycle::new(8.0)))
+            .ceiling(Ceiling::new("scalar", FlopsPerCycle::new(2.0)))
+            .roof(BandwidthRoof::new("dram", GBytesPerSec::new(4.0)))
+            .build()
+            .unwrap();
+        PlotSpec::new("test figure", r)
+    }
+
+    #[test]
+    fn render_contains_title_and_axes() {
+        let s = render_ascii(&spec(), 64, 20).unwrap();
+        assert!(s.contains("test figure"));
+        assert!(s.contains("x: intensity"));
+        assert!(s.contains("ridge"));
+    }
+
+    #[test]
+    fn render_draws_envelope_chars() {
+        let s = render_ascii(&spec(), 64, 20).unwrap();
+        assert!(s.contains('/'), "memory roof missing: {s}");
+        assert!(s.contains('-'), "compute ceiling missing: {s}");
+        assert!(s.contains('_'), "lower ceiling missing: {s}");
+    }
+
+    #[test]
+    fn render_plots_points_and_legend() {
+        let sp = spec().point(KernelPoint::new(
+            "dgemm",
+            Intensity::new(16.0),
+            GFlopsPerSec::new(6.0),
+        ));
+        let s = render_ascii(&sp, 64, 20).unwrap();
+        assert!(s.contains('*'));
+        assert!(s.contains("dgemm"));
+    }
+
+    #[test]
+    fn render_plots_trajectories_with_letters() {
+        use crate::point::Measurement;
+        use crate::units::{Bytes, Flops, Seconds};
+        let mut t = Trajectory::new("daxpy cold");
+        t.push(
+            1024,
+            Measurement::new(Flops::new(2048), Bytes::new(8192), Seconds::new(1e-6)),
+        );
+        let sp = spec().trajectory(t);
+        let s = render_ascii(&sp, 64, 20).unwrap();
+        assert!(s.contains("a: daxpy cold"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_canvas_rejected() {
+        let _ = AsciiCanvas::new(4, 4);
+    }
+
+    #[test]
+    fn markers_not_overwritten_by_lines() {
+        let mut c = AsciiCanvas::new(16, 8);
+        c.plot_norm(0.5, 0.5, '*');
+        c.plot_norm(0.5, 0.5, '-');
+        let txt: String = c.rows().collect::<Vec<_>>().join("\n");
+        assert!(txt.contains('*'));
+        assert!(!txt.contains('-'));
+    }
+}

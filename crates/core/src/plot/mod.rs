@@ -1,0 +1,207 @@
+//! Log-log roofline plot rendering.
+//!
+//! Two backends share one geometry pipeline:
+//!
+//! * [`AsciiCanvas`](ascii::AsciiCanvas) — quick terminal output, used by
+//!   the `repro` binary and examples.
+//! * [`render_svg`](svg::render_svg) — publication-style SVG, written next
+//!   to each experiment's CSV output.
+//!
+//! Both operate on a [`PlotSpec`], which pairs a
+//! [`Roofline`] with any number of points and trajectories
+//! and computes sensible log-scale axis ranges.
+
+pub mod ascii;
+pub mod scale;
+pub mod svg;
+
+use crate::model::Roofline;
+use crate::point::KernelPoint;
+use crate::series::Trajectory;
+use crate::units::Intensity;
+use crate::Error;
+
+pub use scale::LogScale;
+
+/// Everything needed to draw one roofline figure.
+#[derive(Debug, Clone)]
+pub struct PlotSpec {
+    roofline: Roofline,
+    points: Vec<KernelPoint>,
+    trajectories: Vec<Trajectory>,
+    title: String,
+    x_range: Option<(f64, f64)>,
+    y_range: Option<(f64, f64)>,
+}
+
+impl PlotSpec {
+    /// Starts a figure for the given platform roofline.
+    pub fn new(title: impl Into<String>, roofline: Roofline) -> Self {
+        Self {
+            roofline,
+            points: Vec::new(),
+            trajectories: Vec::new(),
+            title: title.into(),
+            x_range: None,
+            y_range: None,
+        }
+    }
+
+    /// Adds a single labelled point.
+    pub fn point(mut self, p: KernelPoint) -> Self {
+        self.points.push(p);
+        self
+    }
+
+    /// Adds a size-sweep trajectory.
+    pub fn trajectory(mut self, t: Trajectory) -> Self {
+        self.trajectories.push(t);
+        self
+    }
+
+    /// Overrides the automatic intensity (x) range.
+    pub fn x_range(mut self, lo: f64, hi: f64) -> Self {
+        self.x_range = Some((lo, hi));
+        self
+    }
+
+    /// Overrides the automatic performance (y) range.
+    pub fn y_range(mut self, lo: f64, hi: f64) -> Self {
+        self.y_range = Some((lo, hi));
+        self
+    }
+
+    /// The figure title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The platform roofline.
+    pub fn roofline(&self) -> &Roofline {
+        &self.roofline
+    }
+
+    /// Individually added points.
+    pub fn points(&self) -> &[KernelPoint] {
+        &self.points
+    }
+
+    /// Added trajectories.
+    pub fn trajectories(&self) -> &[Trajectory] {
+        &self.trajectories
+    }
+
+    /// Every plottable point, own points first, then trajectory points.
+    pub fn all_points(&self) -> Vec<KernelPoint> {
+        let mut out = self.points.clone();
+        for t in &self.trajectories {
+            out.extend(t.kernel_points());
+        }
+        out
+    }
+
+    /// Resolves the axis ranges, widening the data bounding box by half a
+    /// decade on each side and always including the main ridge point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadAxisRange`] if an explicit override is empty,
+    /// inverted, or non-positive (log axes need positive bounds).
+    pub fn resolve_axes(&self) -> Result<(LogScale, LogScale), Error> {
+        let ridge = self.roofline.ridge().intensity().get();
+        let peak = self.roofline.peak_compute().get();
+
+        let mut min_i = ridge / 8.0;
+        let mut max_i = ridge * 8.0;
+        let mut min_p = peak / 1024.0;
+        let max_p = peak * 2.0;
+        for p in self.all_points() {
+            min_i = min_i.min(p.intensity().get() / 2.0);
+            max_i = max_i.max(p.intensity().get() * 2.0);
+            min_p = min_p.min(p.performance().get() / 2.0);
+        }
+
+        let (x_lo, x_hi) = self.x_range.unwrap_or((min_i, max_i));
+        let (y_lo, y_hi) = self.y_range.unwrap_or((min_p, max_p));
+        Ok((LogScale::new(x_lo, x_hi)?, LogScale::new(y_lo, y_hi)?))
+    }
+
+    /// Attainable performance at the given intensity (helper for renderers).
+    pub fn envelope(&self, i: f64) -> f64 {
+        self.roofline.attainable(Intensity::new(i)).get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BandwidthRoof, Ceiling};
+    use crate::units::{FlopsPerCycle, GBytesPerSec, GFlopsPerSec, Hertz};
+
+    fn roofline() -> Roofline {
+        Roofline::builder("p")
+            .frequency(Hertz::from_ghz(1.0))
+            .ceiling(Ceiling::new("peak", FlopsPerCycle::new(8.0)))
+            .roof(BandwidthRoof::new("dram", GBytesPerSec::new(4.0)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn axes_include_ridge_and_points() {
+        let spec = PlotSpec::new("t", roofline())
+            .point(KernelPoint::new(
+                "k",
+                Intensity::new(0.01),
+                GFlopsPerSec::new(0.02),
+            ));
+        let (x, y) = spec.resolve_axes().unwrap();
+        assert!(x.contains(0.01));
+        assert!(x.contains(2.0)); // ridge
+        assert!(y.contains(0.02));
+        assert!(y.contains(8.0)); // peak
+    }
+
+    #[test]
+    fn explicit_range_overrides() {
+        let spec = PlotSpec::new("t", roofline()).x_range(1.0, 10.0);
+        let (x, _) = spec.resolve_axes().unwrap();
+        assert!(!x.contains(0.5));
+        assert!(x.contains(5.0));
+    }
+
+    #[test]
+    fn bad_explicit_range_is_error() {
+        let spec = PlotSpec::new("t", roofline()).x_range(10.0, 1.0);
+        assert!(matches!(
+            spec.resolve_axes(),
+            Err(Error::BadAxisRange { .. })
+        ));
+    }
+
+    #[test]
+    fn envelope_matches_roofline() {
+        let spec = PlotSpec::new("t", roofline());
+        assert_eq!(spec.envelope(1.0), 4.0);
+        assert_eq!(spec.envelope(100.0), 8.0);
+    }
+
+    #[test]
+    fn all_points_merges_trajectories() {
+        use crate::point::Measurement;
+        use crate::units::{Bytes, Flops, Seconds};
+        let mut t = Trajectory::new("sweep");
+        t.push(
+            1,
+            Measurement::new(Flops::new(10), Bytes::new(10), Seconds::new(1.0)),
+        );
+        let spec = PlotSpec::new("t", roofline())
+            .point(KernelPoint::new(
+                "solo",
+                Intensity::new(1.0),
+                GFlopsPerSec::new(1.0),
+            ))
+            .trajectory(t);
+        assert_eq!(spec.all_points().len(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Logarithmic axis mapping shared by the ASCII and SVG renderers.
+
+use crate::Error;
+
+/// A base-10 logarithmic scale mapping a positive data range onto `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogScale {
+    lo: f64,
+    hi: f64,
+    log_lo: f64,
+    log_hi: f64,
+}
+
+impl LogScale {
+    /// Creates a scale over `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadAxisRange`] unless `0 < lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, Error> {
+        if !(lo.is_finite() && hi.is_finite()) || lo <= 0.0 || hi <= lo {
+            return Err(Error::BadAxisRange { lo, hi });
+        }
+        Ok(Self {
+            lo,
+            hi,
+            log_lo: lo.log10(),
+            log_hi: hi.log10(),
+        })
+    }
+
+    /// The lower data bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// The upper data bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Maps a data value to a normalized `[0, 1]` coordinate; values outside
+    /// the range extrapolate beyond that interval.
+    pub fn normalize(&self, v: f64) -> f64 {
+        (v.log10() - self.log_lo) / (self.log_hi - self.log_lo)
+    }
+
+    /// Inverse of [`normalize`](Self::normalize).
+    pub fn denormalize(&self, t: f64) -> f64 {
+        10f64.powf(self.log_lo + t * (self.log_hi - self.log_lo))
+    }
+
+    /// True when `v` lies inside the data range (inclusive).
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+
+    /// The powers of ten inside the range — natural tick positions.
+    pub fn decade_ticks(&self) -> Vec<f64> {
+        let first = self.log_lo.ceil() as i32;
+        let last = self.log_hi.floor() as i32;
+        (first..=last).map(|e| 10f64.powi(e)).collect()
+    }
+}
+
+/// Formats a tick value compactly: powers of ten as `10^k`, others trimmed.
+pub fn format_tick(v: f64) -> String {
+    let e = v.log10();
+    if (e - e.round()).abs() < 1e-9 {
+        let k = e.round() as i32;
+        match k {
+            -2 => "0.01".into(),
+            -1 => "0.1".into(),
+            0 => "1".into(),
+            1 => "10".into(),
+            2 => "100".into(),
+            3 => "1000".into(),
+            _ => format!("1e{k}"),
+        }
+    } else if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_endpoints() {
+        let s = LogScale::new(1.0, 100.0).unwrap();
+        assert_eq!(s.normalize(1.0), 0.0);
+        assert_eq!(s.normalize(100.0), 1.0);
+        assert!((s.normalize(10.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn denormalize_round_trip() {
+        let s = LogScale::new(0.25, 64.0).unwrap();
+        for v in [0.25, 1.0, 3.7, 64.0] {
+            let rt = s.denormalize(s.normalize(v));
+            assert!((rt - v).abs() / v < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_ranges() {
+        assert!(LogScale::new(0.0, 1.0).is_err());
+        assert!(LogScale::new(-1.0, 1.0).is_err());
+        assert!(LogScale::new(2.0, 2.0).is_err());
+        assert!(LogScale::new(3.0, 1.0).is_err());
+        assert!(LogScale::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn decade_ticks_cover_range() {
+        let s = LogScale::new(0.5, 250.0).unwrap();
+        assert_eq!(s.decade_ticks(), vec![1.0, 10.0, 100.0]);
+    }
+
+    #[test]
+    fn decade_ticks_empty_for_subdecade_range() {
+        let s = LogScale::new(2.0, 9.0).unwrap();
+        assert!(s.decade_ticks().is_empty());
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(10.0), "10");
+        assert_eq!(format_tick(0.1), "0.1");
+        assert_eq!(format_tick(1e5), "1e5");
+        assert_eq!(format_tick(3.5), "3.5");
+        assert_eq!(format_tick(0.35), "0.350");
+        assert_eq!(format_tick(350.0), "350");
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let s = LogScale::new(1.0, 10.0).unwrap();
+        assert!(s.contains(1.0));
+        assert!(s.contains(10.0));
+        assert!(!s.contains(0.999));
+        assert!(!s.contains(10.001));
+    }
+}

@@ -1,0 +1,265 @@
+//! SVG roofline rendering — the archival figure format written by the
+//! experiment harness next to each CSV.
+
+use super::scale::format_tick;
+use super::PlotSpec;
+use crate::Error;
+
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 50.0;
+
+const SERIES_COLORS: &[&str] = &[
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#e377c2", "#17becf",
+];
+
+/// Renders a [`PlotSpec`] as a standalone SVG document string.
+///
+/// # Errors
+///
+/// Propagates [`Error::BadAxisRange`] from axis resolution.
+pub fn render_svg(spec: &PlotSpec, width: u32, height: u32) -> Result<String, Error> {
+    let (xs, ys) = spec.resolve_axes()?;
+    let w = width as f64;
+    let h = height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+
+    let to_px = |i: f64, p: f64| -> (f64, f64) {
+        (
+            MARGIN_L + xs.normalize(i) * plot_w,
+            MARGIN_T + (1.0 - ys.normalize(p)) * plot_h,
+        )
+    };
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    ));
+    svg.push_str(&format!(
+        r#"<rect width="{width}" height="{height}" fill="white"/>"#
+    ));
+    svg.push_str(&format!(
+        r#"<text x="{}" y="24" font-family="sans-serif" font-size="16" font-weight="bold">{}</text>"#,
+        MARGIN_L,
+        xml_escape(spec.title()),
+    ));
+
+    // Grid and ticks.
+    for tick in xs.decade_ticks() {
+        let (x, _) = to_px(tick, ys.lo());
+        svg.push_str(&format!(
+            r##"<line x1="{x:.1}" y1="{MARGIN_T}" x2="{x:.1}" y2="{:.1}" stroke="#dddddd"/>"##,
+            MARGIN_T + plot_h
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{x:.1}" y="{:.1}" font-family="sans-serif" font-size="11" text-anchor="middle">{}</text>"#,
+            MARGIN_T + plot_h + 16.0,
+            format_tick(tick)
+        ));
+    }
+    for tick in ys.decade_ticks() {
+        let (_, y) = to_px(xs.lo(), tick);
+        svg.push_str(&format!(
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#dddddd"/>"##,
+            MARGIN_L + plot_w
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11" text-anchor="end">{}</text>"#,
+            MARGIN_L - 6.0,
+            y + 4.0,
+            format_tick(tick)
+        ));
+    }
+
+    // Frame.
+    svg.push_str(&format!(
+        r#"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="black"/>"#
+    ));
+
+    // Axis labels.
+    svg.push_str(&format!(
+        r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="13" text-anchor="middle">operational intensity [flops/byte]</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        h - 10.0
+    ));
+    svg.push_str(&format!(
+        r#"<text x="16" y="{:.1}" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 {:.1})">performance [GF/s]</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0
+    ));
+
+    // Envelope polyline.
+    let mut env = String::new();
+    let samples = 256;
+    for i in 0..=samples {
+        let t = i as f64 / samples as f64;
+        let x = xs.denormalize(t);
+        let y = spec.envelope(x).clamp(ys.lo(), ys.hi());
+        let (px, py) = to_px(x, y);
+        env.push_str(&format!("{px:.1},{py:.1} "));
+    }
+    svg.push_str(&format!(
+        r#"<polyline points="{env}" fill="none" stroke="black" stroke-width="2.5"/>"#
+    ));
+
+    // Lower ceilings (dashed) and roofs (dotted).
+    let freq = spec.roofline().frequency();
+    for c in spec.roofline().ceilings().iter().skip(1) {
+        let yv = c.absolute(freq).get();
+        if yv < ys.lo() || yv > ys.hi() {
+            continue;
+        }
+        // Find where this ceiling intersects the top roof: only draw right of it.
+        let x_start = (yv / spec.roofline().peak_bandwidth().get()).max(xs.lo());
+        let (x1, y1) = to_px(x_start, yv);
+        let (x2, _) = to_px(xs.hi(), yv);
+        svg.push_str(&format!(
+            r##"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y1:.1}" stroke="#555555" stroke-dasharray="6 3"/>"##
+        ));
+        svg.push_str(&format!(
+            r##"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="10" fill="#555555">{}</text>"##,
+            x1 + 4.0,
+            y1 - 4.0,
+            xml_escape(c.name())
+        ));
+    }
+    for r in spec.roofline().roofs().iter().skip(1) {
+        let mut pts = String::new();
+        for i in 0..=64 {
+            let t = i as f64 / 64.0;
+            let x = xs.denormalize(t);
+            let y = (x * r.bandwidth().get()).min(spec.roofline().peak_compute().get());
+            if y < ys.lo() || y > ys.hi() {
+                continue;
+            }
+            let (px, py) = to_px(x, y);
+            pts.push_str(&format!("{px:.1},{py:.1} "));
+        }
+        svg.push_str(&format!(
+            r##"<polyline points="{pts}" fill="none" stroke="#555555" stroke-dasharray="2 3"/>"##
+        ));
+    }
+
+    // Standalone points.
+    for (k, p) in spec.points().iter().enumerate() {
+        let color = SERIES_COLORS[k % SERIES_COLORS.len()];
+        let (px, py) = to_px(p.intensity().get(), p.performance().get());
+        svg.push_str(&format!(
+            r#"<circle cx="{px:.1}" cy="{py:.1}" r="5" fill="{color}"/>"#
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="10">{}</text>"#,
+            px + 7.0,
+            py - 5.0,
+            xml_escape(p.name())
+        ));
+    }
+
+    // Trajectories: connected polylines with circle markers.
+    for (k, t) in spec.trajectories().iter().enumerate() {
+        let color = SERIES_COLORS[(spec.points().len() + k) % SERIES_COLORS.len()];
+        let mut pts = String::new();
+        for p in t.kernel_points() {
+            let (px, py) = to_px(p.intensity().get(), p.performance().get());
+            pts.push_str(&format!("{px:.1},{py:.1} "));
+            svg.push_str(&format!(
+                r#"<circle cx="{px:.1}" cy="{py:.1}" r="3.5" fill="{color}"/>"#
+            ));
+        }
+        svg.push_str(&format!(
+            r#"<polyline points="{pts}" fill="none" stroke="{color}" stroke-width="1.2"/>"#
+        ));
+        // Legend entry.
+        let ly = MARGIN_T + 18.0 * (k as f64 + 1.0);
+        let lx = MARGIN_L + plot_w + 12.0;
+        svg.push_str(&format!(
+            r#"<circle cx="{lx:.1}" cy="{:.1}" r="4" fill="{color}"/>"#,
+            ly - 4.0
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{ly:.1}" font-family="sans-serif" font-size="11">{}</text>"#,
+            lx + 9.0,
+            xml_escape(t.name())
+        ));
+    }
+
+    svg.push_str("</svg>");
+    Ok(svg)
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BandwidthRoof, Ceiling, Roofline};
+    use crate::point::{KernelPoint, Measurement};
+    use crate::series::Trajectory;
+    use crate::units::{
+        Bytes, Flops, FlopsPerCycle, GBytesPerSec, GFlopsPerSec, Hertz, Intensity, Seconds,
+    };
+
+    fn spec() -> PlotSpec {
+        let r = Roofline::builder("snb")
+            .frequency(Hertz::from_ghz(3.3))
+            .ceiling(Ceiling::new("avx", FlopsPerCycle::new(8.0)))
+            .ceiling(Ceiling::new("sse", FlopsPerCycle::new(4.0)))
+            .roof(BandwidthRoof::new("triad", GBytesPerSec::new(18.0)))
+            .roof(BandwidthRoof::new("read", GBytesPerSec::new(14.0)))
+            .build()
+            .unwrap();
+        PlotSpec::new("fig", r)
+    }
+
+    #[test]
+    fn svg_is_well_formed_shell() {
+        let s = render_svg(&spec(), 800, 500).unwrap();
+        assert!(s.starts_with("<svg"));
+        assert!(s.ends_with("</svg>"));
+        assert!(s.contains("polyline"));
+        assert!(s.contains("operational intensity"));
+    }
+
+    #[test]
+    fn svg_contains_point_labels_escaped() {
+        let sp = spec().point(KernelPoint::new(
+            "a<b&c",
+            Intensity::new(1.0),
+            GFlopsPerSec::new(5.0),
+        ));
+        let s = render_svg(&sp, 800, 500).unwrap();
+        assert!(s.contains("a&lt;b&amp;c"));
+        assert!(!s.contains("a<b&c"));
+    }
+
+    #[test]
+    fn svg_contains_trajectory_legend() {
+        let mut t = Trajectory::new("dgemm blocked");
+        t.push(
+            64,
+            Measurement::new(Flops::new(1 << 20), Bytes::new(1 << 16), Seconds::new(1e-4)),
+        );
+        let s = render_svg(&spec().trajectory(t), 800, 500).unwrap();
+        assert!(s.contains("dgemm blocked"));
+        assert!(s.contains("circle"));
+    }
+
+    #[test]
+    fn svg_draws_lower_ceiling_dashed() {
+        let s = render_svg(&spec(), 800, 500).unwrap();
+        assert!(s.contains("stroke-dasharray"));
+        assert!(s.contains("sse"));
+    }
+
+    #[test]
+    fn xml_escape_covers_quotes() {
+        assert_eq!(xml_escape(r#"x"y"#), "x&quot;y");
+    }
+}

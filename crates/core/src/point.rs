@@ -1,0 +1,266 @@
+//! Measured kernels as points on the roofline plot.
+
+use crate::model::{Bound, Roofline};
+use crate::units::{Bytes, Flops, GFlopsPerSec, Intensity, Seconds};
+
+/// The raw outcome of one measured kernel execution: the `(W, Q, T)` triple
+/// that the ISPASS'14 counter methodology produces.
+///
+/// * `W` — work: retired floating-point operations, width-weighted.
+/// * `Q` — traffic: bytes that crossed the memory controller.
+/// * `T` — runtime in seconds (TSC cycles divided by TSC frequency).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    work: Flops,
+    traffic: Bytes,
+    runtime: Seconds,
+}
+
+impl Measurement {
+    /// Bundles a raw `(W, Q, T)` triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runtime` is zero: a kernel that took no time was not
+    /// measured, and every derived quantity would be infinite.
+    pub fn new(work: Flops, traffic: Bytes, runtime: Seconds) -> Self {
+        assert!(runtime.get() > 0.0, "measurement runtime must be positive");
+        Self {
+            work,
+            traffic,
+            runtime,
+        }
+    }
+
+    /// The measured work `W`.
+    pub fn work(&self) -> Flops {
+        self.work
+    }
+
+    /// The measured traffic `Q`.
+    pub fn traffic(&self) -> Bytes {
+        self.traffic
+    }
+
+    /// The measured runtime `T`.
+    pub fn runtime(&self) -> Seconds {
+        self.runtime
+    }
+
+    /// Operational intensity `I = W / Q`.
+    ///
+    /// Returns `None` when no traffic was measured (fully cache-resident
+    /// warm-cache runs can legitimately report `Q = 0`; the paper plots
+    /// those points at "infinite" intensity, which callers must decide how
+    /// to render).
+    pub fn intensity(&self) -> Option<Intensity> {
+        if self.traffic.get() == 0 {
+            None
+        } else {
+            Some(self.work / self.traffic)
+        }
+    }
+
+    /// Performance `P = W / T`.
+    pub fn performance(&self) -> GFlopsPerSec {
+        self.work / self.runtime
+    }
+}
+
+/// A fraction of attainable performance actually achieved, in `[0, ...]`.
+///
+/// Values slightly above 1.0 indicate a methodology violation (e.g. Turbo
+/// Boost enabled, or a bandwidth roof measured with a weaker microbenchmark
+/// than the kernel's access pattern) — exactly the diagnosis workflow the
+/// paper describes.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Efficiency(f64);
+
+impl Efficiency {
+    /// Creates an efficiency from a raw fraction.
+    pub fn new(fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && fraction >= 0.0,
+            "efficiency must be a non-negative finite fraction"
+        );
+        Self(fraction)
+    }
+
+    /// The raw fraction.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The fraction as a percentage.
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// True when the point lies more than 2 % above its bound, signalling
+    /// a measurement-methodology violation (Turbo Boost left on, threads
+    /// migrating off their socket, or a roof measured with a weaker
+    /// microbenchmark than the kernel's access pattern). The 2 % margin
+    /// absorbs the start-up transient of the peak microbenchmarks; genuine
+    /// violations (e.g. turbo) are an order of magnitude larger.
+    pub fn violates_roof(self) -> bool {
+        self.0 > 1.02
+    }
+}
+
+impl std::fmt::Display for Efficiency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}%", self.percent())
+    }
+}
+
+/// A named point on the roofline plot: intensity plus performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPoint {
+    name: String,
+    intensity: Intensity,
+    performance: GFlopsPerSec,
+}
+
+impl KernelPoint {
+    /// Creates a point directly from coordinates.
+    pub fn new(name: impl Into<String>, intensity: Intensity, performance: GFlopsPerSec) -> Self {
+        Self {
+            name: name.into(),
+            intensity,
+            performance,
+        }
+    }
+
+    /// Derives a point from a raw measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the measurement recorded zero traffic; use
+    /// [`Measurement::intensity`] to handle the cache-resident case
+    /// explicitly.
+    pub fn from_measurement(name: impl Into<String>, m: &Measurement) -> Self {
+        let intensity = m
+            .intensity()
+            .expect("measurement has zero traffic; intensity undefined");
+        Self {
+            name: name.into(),
+            intensity,
+            performance: m.performance(),
+        }
+    }
+
+    /// The point's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The x-coordinate (operational intensity).
+    pub fn intensity(&self) -> Intensity {
+        self.intensity
+    }
+
+    /// The y-coordinate (performance).
+    pub fn performance(&self) -> GFlopsPerSec {
+        self.performance
+    }
+
+    /// Fraction of the roofline-attainable performance this point achieves.
+    pub fn efficiency(&self, roofline: &Roofline) -> Efficiency {
+        let bound = roofline.attainable(self.intensity);
+        Efficiency::new(self.performance.ratio(bound))
+    }
+
+    /// Fraction of the *top ceiling* (ignoring bandwidth) this point
+    /// achieves — the "runtime compute utilization" number quoted in
+    /// kernel-efficiency tables.
+    pub fn compute_utilization(&self, roofline: &Roofline) -> Efficiency {
+        Efficiency::new(self.performance.ratio(roofline.peak_compute()))
+    }
+
+    /// Which side of the roofline binds this point.
+    pub fn bound(&self, roofline: &Roofline) -> Bound {
+        roofline.bound_at(self.intensity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BandwidthRoof, Ceiling};
+    use crate::units::{FlopsPerCycle, GBytesPerSec, Hertz};
+
+    fn roofline() -> Roofline {
+        Roofline::builder("p")
+            .frequency(Hertz::from_ghz(1.0))
+            .ceiling(Ceiling::new("peak", FlopsPerCycle::new(8.0)))
+            .roof(BandwidthRoof::new("dram", GBytesPerSec::new(4.0)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn measurement_derives_intensity_and_performance() {
+        let m = Measurement::new(Flops::new(1_000_000_000), Bytes::new(500_000_000), Seconds::new(1.0));
+        assert_eq!(m.intensity().unwrap().get(), 2.0);
+        assert_eq!(m.performance().get(), 1.0);
+    }
+
+    #[test]
+    fn zero_traffic_yields_no_intensity() {
+        let m = Measurement::new(Flops::new(10), Bytes::ZERO, Seconds::new(1.0));
+        assert!(m.intensity().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_runtime_rejected() {
+        let _ = Measurement::new(Flops::new(1), Bytes::new(1), Seconds::ZERO);
+    }
+
+    #[test]
+    fn efficiency_against_memory_bound_region() {
+        // I=1 → bound = min(8, 4) = 4 GF/s; performance 2 GF/s → 50 %.
+        let p = KernelPoint::new("k", Intensity::new(1.0), GFlopsPerSec::new(2.0));
+        let e = p.efficiency(&roofline());
+        assert!((e.get() - 0.5).abs() < 1e-12);
+        assert_eq!(p.bound(&roofline()), Bound::Memory);
+    }
+
+    #[test]
+    fn efficiency_against_compute_bound_region() {
+        let p = KernelPoint::new("k", Intensity::new(10.0), GFlopsPerSec::new(6.0));
+        let e = p.efficiency(&roofline());
+        assert!((e.get() - 0.75).abs() < 1e-12);
+        assert_eq!(p.bound(&roofline()), Bound::Compute);
+    }
+
+    #[test]
+    fn compute_utilization_ignores_bandwidth() {
+        let p = KernelPoint::new("k", Intensity::new(0.1), GFlopsPerSec::new(0.4));
+        // bound at I=0.1 is 0.4 GF/s → 100 % efficiency, but only 5 % of peak.
+        assert!((p.efficiency(&roofline()).get() - 1.0).abs() < 1e-12);
+        assert!((p.compute_utilization(&roofline()).get() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violation_detection() {
+        assert!(Efficiency::new(1.05).violates_roof());
+        assert!(!Efficiency::new(0.99).violates_roof());
+        assert!(!Efficiency::new(1.0).violates_roof());
+        // Within the 2% measurement margin: not a violation.
+        assert!(!Efficiency::new(1.015).violates_roof());
+    }
+
+    #[test]
+    fn efficiency_display_is_percent() {
+        assert_eq!(Efficiency::new(0.865).to_string(), "86.5%");
+    }
+
+    #[test]
+    fn from_measurement_carries_name() {
+        let m = Measurement::new(Flops::new(100), Bytes::new(50), Seconds::new(1.0));
+        let p = KernelPoint::from_measurement("daxpy", &m);
+        assert_eq!(p.name(), "daxpy");
+        assert_eq!(p.intensity().get(), 2.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Plain-text serialization of measured rooflines.
+//!
+//! Measuring a roofline costs simulation (or, on real hardware, machine)
+//! time; persisting it lets experiment runs and CI compare against a
+//! previously measured model. The format is a deliberately trivial
+//! line-oriented text file — stable, diffable, and independent of any
+//! serialization crate:
+//!
+//! ```text
+//! roofline v1
+//! name snb-1t
+//! frequency_ghz 3.3
+//! ceiling 8 AVX balanced
+//! ceiling 2 scalar balanced
+//! roof 18.5 triad
+//! ```
+//!
+//! Ceilings carry flops/cycle, roofs GB/s; the label is everything after
+//! the value (labels may contain spaces).
+
+use crate::model::{BandwidthRoof, Ceiling, Roofline};
+use crate::units::{FlopsPerCycle, GBytesPerSec, Hertz};
+use crate::Error;
+use std::fmt::Write as _;
+
+/// Current format version tag.
+const HEADER: &str = "roofline v1";
+
+/// Serializes a roofline to the v1 text format.
+pub fn to_text(model: &Roofline) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(out, "name {}", model.name());
+    let _ = writeln!(out, "frequency_ghz {}", model.frequency().as_ghz());
+    for c in model.ceilings() {
+        let _ = writeln!(out, "ceiling {} {}", c.throughput().get(), c.name());
+    }
+    for r in model.roofs() {
+        let _ = writeln!(out, "roof {} {}", r.bandwidth().get(), r.name());
+    }
+    out
+}
+
+/// Parses a roofline from the v1 text format.
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] on malformed input, and the usual builder
+/// errors ([`Error::NoCeilings`] etc.) when the file is structurally valid
+/// but incomplete.
+pub fn from_text(text: &str) -> Result<Roofline, Error> {
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+    let header = lines.next().ok_or_else(|| parse_err("empty input"))?;
+    if header != HEADER {
+        return Err(parse_err(format!("unsupported header `{header}`")));
+    }
+    let mut name: Option<String> = None;
+    let mut builder_freq: Option<f64> = None;
+    let mut ceilings: Vec<Ceiling> = Vec::new();
+    let mut roofs: Vec<BandwidthRoof> = Vec::new();
+
+    for line in lines {
+        let (key, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| parse_err(format!("malformed line `{line}`")))?;
+        match key {
+            "name" => name = Some(rest.to_string()),
+            "frequency_ghz" => {
+                let ghz: f64 = rest
+                    .parse()
+                    .map_err(|_| parse_err(format!("bad frequency `{rest}`")))?;
+                builder_freq = Some(ghz);
+            }
+            "ceiling" | "roof" => {
+                let (value, label) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| parse_err(format!("missing label in `{line}`")))?;
+                let v: f64 = value
+                    .parse()
+                    .map_err(|_| parse_err(format!("bad value `{value}`")))?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(parse_err(format!("non-positive value in `{line}`")));
+                }
+                if key == "ceiling" {
+                    ceilings.push(Ceiling::new(label, FlopsPerCycle::new(v)));
+                } else {
+                    roofs.push(BandwidthRoof::new(label, GBytesPerSec::new(v)));
+                }
+            }
+            other => return Err(parse_err(format!("unknown key `{other}`"))),
+        }
+    }
+
+    let mut b = Roofline::builder(name.ok_or_else(|| parse_err("missing `name`"))?).frequency(
+        Hertz::from_ghz(builder_freq.ok_or_else(|| parse_err("missing `frequency_ghz`"))?),
+    );
+    for c in ceilings {
+        b = b.ceiling(c);
+    }
+    for r in roofs {
+        b = b.roof(r);
+    }
+    b.build()
+}
+
+fn parse_err(msg: impl Into<String>) -> Error {
+    Error::Parse(msg.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Roofline {
+        Roofline::builder("snb-1t")
+            .frequency(Hertz::from_ghz(3.3))
+            .ceiling(Ceiling::new("AVX balanced", FlopsPerCycle::new(8.0)))
+            .ceiling(Ceiling::new("scalar balanced", FlopsPerCycle::new(2.0)))
+            .roof(BandwidthRoof::new("triad", GBytesPerSec::new(16.1)))
+            .roof(BandwidthRoof::new("read", GBytesPerSec::new(21.0)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let model = sample();
+        let text = to_text(&model);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn labels_with_spaces_survive() {
+        let text = to_text(&sample());
+        assert!(text.contains("ceiling 8 AVX balanced"));
+        let back = from_text(&text).unwrap();
+        assert!(back.ceiling("AVX balanced").is_some());
+    }
+
+    #[test]
+    fn blank_lines_and_whitespace_tolerated() {
+        let text = "\n  roofline v1\n\nname x\n frequency_ghz 1.0 \nceiling 4 c\nroof 2 r\n\n";
+        let model = from_text(text).unwrap();
+        assert_eq!(model.name(), "x");
+        assert_eq!(model.peak_compute().get(), 4.0);
+    }
+
+    #[test]
+    fn wrong_header_rejected() {
+        let err = from_text("roofline v9\nname x\n").unwrap_err();
+        assert!(err.to_string().contains("unsupported header"));
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        assert!(from_text("roofline v1\nceiling 4 c\nroof 2 r\nfrequency_ghz 1").is_err());
+        assert!(from_text("roofline v1\nname x\nceiling 4 c\nroof 2 r").is_err());
+        // Missing roofs surfaces the builder error.
+        let err = from_text("roofline v1\nname x\nfrequency_ghz 1\nceiling 4 c").unwrap_err();
+        assert_eq!(err, Error::NoRoofs);
+    }
+
+    #[test]
+    fn malformed_values_rejected() {
+        assert!(from_text("roofline v1\nname x\nfrequency_ghz fast\nceiling 4 c\nroof 2 r").is_err());
+        assert!(from_text("roofline v1\nname x\nfrequency_ghz 1\nceiling four c\nroof 2 r").is_err());
+        assert!(from_text("roofline v1\nname x\nfrequency_ghz 1\nceiling -4 c\nroof 2 r").is_err());
+        assert!(from_text("roofline v1\nname x\nfrequency_ghz 1\nceiling 4\nroof 2 r").is_err());
+        assert!(from_text("roofline v1\nbogus line here\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(from_text("").is_err());
+        assert!(from_text("   \n  \n").is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Size-sweep trajectories: the paper's preferred presentation.
+//!
+//! Rather than a single dot per kernel, Ofenbeck et al. sweep the problem
+//! size and connect the resulting points, which makes cache-capacity
+//! transitions (L1 → L2 → L3 → DRAM) visible as the trajectory drifts left
+//! (intensity drops as more traffic reaches DRAM) and down (performance
+//! falls off each cache plateau).
+
+use crate::point::{KernelPoint, Measurement};
+use crate::units::{GFlopsPerSec, Intensity};
+
+/// One point of a trajectory: a measurement annotated with the parameter
+/// (problem size) that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryPoint {
+    /// The swept parameter value (usually the problem size `n`).
+    pub param: u64,
+    /// The measured `(W, Q, T)` triple at that parameter.
+    pub measurement: Measurement,
+}
+
+impl TrajectoryPoint {
+    /// Pairs a parameter value with its measurement.
+    pub fn new(param: u64, measurement: Measurement) -> Self {
+        Self { param, measurement }
+    }
+}
+
+/// A named series of measurements swept over a parameter.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trajectory {
+    name: String,
+    points: Vec<TrajectoryPoint>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory with a legend label.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The legend label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a `(param, measurement)` pair.
+    pub fn push(&mut self, param: u64, measurement: Measurement) {
+        self.points.push(TrajectoryPoint::new(param, measurement));
+    }
+
+    /// The raw points, in insertion order.
+    pub fn points(&self) -> &[TrajectoryPoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no point has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates plot-ready [`KernelPoint`]s, labelled `name@param`.
+    ///
+    /// Points with zero measured traffic (fully cache-resident warm runs)
+    /// are skipped, since their intensity is unbounded.
+    pub fn kernel_points(&self) -> impl Iterator<Item = KernelPoint> + '_ {
+        self.points.iter().filter_map(|tp| {
+            tp.measurement.intensity().map(|i| {
+                KernelPoint::new(
+                    format!("{}@{}", self.name, tp.param),
+                    i,
+                    tp.measurement.performance(),
+                )
+            })
+        })
+    }
+
+    /// The bounding box `(min_i, max_i, min_p, max_p)` over plottable
+    /// points, or `None` if nothing is plottable.
+    pub fn bounds(&self) -> Option<(Intensity, Intensity, GFlopsPerSec, GFlopsPerSec)> {
+        let mut it = self.kernel_points();
+        let first = it.next()?;
+        let mut min_i = first.intensity().get();
+        let mut max_i = min_i;
+        let mut min_p = first.performance().get();
+        let mut max_p = min_p;
+        for p in it {
+            min_i = min_i.min(p.intensity().get());
+            max_i = max_i.max(p.intensity().get());
+            min_p = min_p.min(p.performance().get());
+            max_p = max_p.max(p.performance().get());
+        }
+        Some((
+            Intensity::new(min_i),
+            Intensity::new(max_i),
+            GFlopsPerSec::new(min_p),
+            GFlopsPerSec::new(max_p),
+        ))
+    }
+
+    /// Serializes the trajectory as CSV with a header row:
+    /// `param,work_flops,traffic_bytes,runtime_s,intensity,gflops`.
+    /// Zero-traffic points render an empty intensity field.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("param,work_flops,traffic_bytes,runtime_s,intensity,gflops\n");
+        for tp in &self.points {
+            let m = &tp.measurement;
+            let intensity = m
+                .intensity()
+                .map(|i| format!("{:.6}", i.get()))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "{},{},{},{:.9},{},{:.6}\n",
+                tp.param,
+                m.work().get(),
+                m.traffic().get(),
+                m.runtime().get(),
+                intensity,
+                m.performance().get(),
+            ));
+        }
+        out
+    }
+}
+
+impl Extend<TrajectoryPoint> for Trajectory {
+    fn extend<T: IntoIterator<Item = TrajectoryPoint>>(&mut self, iter: T) {
+        self.points.extend(iter);
+    }
+}
+
+impl FromIterator<TrajectoryPoint> for Trajectory {
+    fn from_iter<T: IntoIterator<Item = TrajectoryPoint>>(iter: T) -> Self {
+        Self {
+            name: String::from("trajectory"),
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Bytes, Flops, Seconds};
+
+    fn m(w: u64, q: u64, t: f64) -> Measurement {
+        Measurement::new(Flops::new(w), Bytes::new(q), Seconds::new(t))
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let mut t = Trajectory::new("daxpy");
+        t.push(1024, m(2048, 100, 1.0));
+        t.push(2048, m(4096, 200, 1.0));
+        assert_eq!(t.len(), 2);
+        let pts: Vec<_> = t.kernel_points().collect();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].name(), "daxpy@1024");
+    }
+
+    #[test]
+    fn zero_traffic_points_are_skipped_in_plot_view() {
+        let mut t = Trajectory::new("warm");
+        t.push(8, m(100, 0, 1.0));
+        t.push(16, m(100, 10, 1.0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.kernel_points().count(), 1);
+    }
+
+    #[test]
+    fn bounds_cover_all_points() {
+        let mut t = Trajectory::new("k");
+        t.push(1, m(100, 100, 1.0)); // I=1, P=1e-7 GF/s
+        t.push(2, m(1000, 100, 1.0)); // I=10
+        let (min_i, max_i, _, max_p) = t.bounds().unwrap();
+        assert_eq!(min_i.get(), 1.0);
+        assert_eq!(max_i.get(), 10.0);
+        assert!(max_p.get() > 0.0);
+    }
+
+    #[test]
+    fn bounds_none_when_unplottable() {
+        let mut t = Trajectory::new("k");
+        t.push(1, m(100, 0, 1.0));
+        assert!(t.bounds().is_none());
+        assert!(Trajectory::new("e").bounds().is_none());
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let mut t = Trajectory::new("k");
+        t.push(4, m(8, 2, 0.5));
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "param,work_flops,traffic_bytes,runtime_s,intensity,gflops"
+        );
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("4,8,2,0.5"));
+    }
+
+    #[test]
+    fn csv_zero_traffic_blank_intensity() {
+        let mut t = Trajectory::new("k");
+        t.push(4, m(8, 0, 0.5));
+        let csv = t.to_csv();
+        let row = csv.lines().nth(1).unwrap();
+        let fields: Vec<_> = row.split(',').collect();
+        assert_eq!(fields[4], "");
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: Trajectory = (1..4u64)
+            .map(|n| TrajectoryPoint::new(n, m(n * 10, n, 1.0)))
+            .collect();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,479 @@
+//! Strongly typed quantities used throughout the roofline methodology.
+//!
+//! The ISPASS'14 measurement pipeline juggles five raw quantities — work
+//! `W` (flops), traffic `Q` (bytes), runtime `T` (cycles or seconds), clock
+//! frequency, and the derived throughputs — and a silent unit mix-up
+//! invalidates a whole plot. Each quantity therefore gets its own newtype
+//! with only the physically meaningful operations defined between them
+//! (e.g. [`Flops`] ÷ [`Seconds`] = [`GFlopsPerSec`], [`Flops`] ÷ [`Bytes`] =
+//! [`Intensity`]).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A count of floating-point operations (the paper's *work*, `W`).
+///
+/// ```
+/// use roofline_core::units::{Flops, Bytes};
+/// let w = Flops::new(1000);
+/// let q = Bytes::new(250);
+/// assert_eq!((w / q).get(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Flops(u64);
+
+/// A count of bytes transferred (the paper's *memory traffic*, `Q`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(u64);
+
+/// A count of clock cycles (TSC reference cycles unless noted otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+/// A duration in seconds (the paper's *runtime*, `T`).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Seconds(f64);
+
+/// A clock frequency in hertz.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Hertz(f64);
+
+/// Operational intensity `I = W / Q` in flops per byte.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Intensity(f64);
+
+/// Compute throughput in flops per cycle (frequency-independent ceilings).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct FlopsPerCycle(f64);
+
+/// Memory throughput in bytes per cycle (frequency-independent roofs).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct BytesPerCycle(f64);
+
+/// Compute throughput in gigaflops per second (plot y-axis).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct GFlopsPerSec(f64);
+
+/// Memory throughput in gigabytes per second (bandwidth roof slope).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct GBytesPerSec(f64);
+
+macro_rules! integer_unit {
+    ($ty:ident, $unit:expr) => {
+        impl $ty {
+            /// Creates the quantity from a raw count.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw count.
+            #[inline]
+            pub const fn get(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the count as a float, for derived-rate arithmetic.
+            #[inline]
+            pub fn as_f64(self) -> f64 {
+                self.0 as f64
+            }
+
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0);
+
+            /// Saturating subtraction; used for overhead removal where the
+            /// calibration run can occasionally exceed the measured run.
+            #[inline]
+            pub fn saturating_sub(self, rhs: Self) -> Self {
+                Self(self.0.saturating_sub(rhs.0))
+            }
+
+            /// Checked subtraction mirroring [`u64::checked_sub`].
+            #[inline]
+            pub fn checked_sub(self, rhs: Self) -> Option<Self> {
+                self.0.checked_sub(rhs.0).map(Self)
+            }
+        }
+
+        impl Add for $ty {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $ty {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Sum for $ty {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl Mul<u64> for $ty {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: u64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+integer_unit!(Flops, "flops");
+integer_unit!(Bytes, "B");
+integer_unit!(Cycles, "cycles");
+
+macro_rules! float_unit {
+    ($ty:ident, $unit:expr) => {
+        impl $ty {
+            /// Creates the quantity from a raw value.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `raw` is NaN or negative; all roofline quantities
+            /// are non-negative reals.
+            #[inline]
+            pub fn new(raw: f64) -> Self {
+                assert!(
+                    raw.is_finite() && raw >= 0.0,
+                    "{} must be a non-negative finite number, got {raw}",
+                    stringify!($ty)
+                );
+                Self(raw)
+            }
+
+            /// Returns the raw value.
+            #[inline]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+        }
+
+        impl Add for $ty {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sum for $ty {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl Mul<f64> for $ty {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.4} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+float_unit!(Seconds, "s");
+float_unit!(Hertz, "Hz");
+float_unit!(Intensity, "flops/B");
+float_unit!(FlopsPerCycle, "flops/cycle");
+float_unit!(BytesPerCycle, "B/cycle");
+float_unit!(GFlopsPerSec, "GF/s");
+float_unit!(GBytesPerSec, "GB/s");
+
+impl Hertz {
+    /// Creates a frequency from gigahertz, the natural unit for CPU clocks.
+    ///
+    /// ```
+    /// use roofline_core::units::Hertz;
+    /// assert_eq!(Hertz::from_ghz(3.3).get(), 3.3e9);
+    /// ```
+    pub fn from_ghz(ghz: f64) -> Self {
+        Self::new(ghz * 1e9)
+    }
+
+    /// Returns the frequency in gigahertz.
+    pub fn as_ghz(self) -> f64 {
+        self.0 / 1e9
+    }
+}
+
+impl Bytes {
+    /// Creates a byte count from a number of 64-byte cache lines, the unit
+    /// in which the (simulated) memory-controller PMU reports traffic.
+    pub const fn from_cache_lines(lines: u64) -> Self {
+        Self(lines * 64)
+    }
+
+    /// Creates a byte count from kibibytes.
+    pub const fn from_kib(kib: u64) -> Self {
+        Self(kib * 1024)
+    }
+
+    /// Creates a byte count from mebibytes.
+    pub const fn from_mib(mib: u64) -> Self {
+        Self(mib * 1024 * 1024)
+    }
+}
+
+impl Cycles {
+    /// Converts a cycle count to wall-clock seconds at a given frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq` is zero.
+    pub fn to_seconds(self, freq: Hertz) -> Seconds {
+        assert!(freq.get() > 0.0, "frequency must be positive");
+        Seconds::new(self.as_f64() / freq.get())
+    }
+}
+
+// --- Derived-quantity arithmetic ------------------------------------------
+
+impl Div<Bytes> for Flops {
+    type Output = Intensity;
+
+    /// Operational intensity `I = W / Q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero bytes; a kernel with no measured traffic has
+    /// unbounded intensity and must be handled by the caller explicitly.
+    fn div(self, rhs: Bytes) -> Intensity {
+        assert!(rhs.get() > 0, "cannot compute intensity with zero traffic");
+        Intensity::new(self.as_f64() / rhs.as_f64())
+    }
+}
+
+impl Div<Seconds> for Flops {
+    type Output = GFlopsPerSec;
+
+    /// Performance `P = W / T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero seconds.
+    fn div(self, rhs: Seconds) -> GFlopsPerSec {
+        assert!(rhs.get() > 0.0, "cannot compute performance with zero time");
+        GFlopsPerSec::new(self.as_f64() / rhs.get() / 1e9)
+    }
+}
+
+impl Div<Seconds> for Bytes {
+    type Output = GBytesPerSec;
+
+    /// Bandwidth `B = Q / T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero seconds.
+    fn div(self, rhs: Seconds) -> GBytesPerSec {
+        assert!(rhs.get() > 0.0, "cannot compute bandwidth with zero time");
+        GBytesPerSec::new(self.as_f64() / rhs.get() / 1e9)
+    }
+}
+
+impl Div<Cycles> for Flops {
+    type Output = FlopsPerCycle;
+
+    /// Frequency-independent performance in flops per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero cycles.
+    fn div(self, rhs: Cycles) -> FlopsPerCycle {
+        assert!(rhs.get() > 0, "cannot divide by zero cycles");
+        FlopsPerCycle::new(self.as_f64() / rhs.as_f64())
+    }
+}
+
+impl Div<Cycles> for Bytes {
+    type Output = BytesPerCycle;
+
+    /// Frequency-independent bandwidth in bytes per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero cycles.
+    fn div(self, rhs: Cycles) -> BytesPerCycle {
+        assert!(rhs.get() > 0, "cannot divide by zero cycles");
+        BytesPerCycle::new(self.as_f64() / rhs.as_f64())
+    }
+}
+
+impl Mul<GBytesPerSec> for Intensity {
+    type Output = GFlopsPerSec;
+
+    /// The bandwidth-limited bound `I * beta` of the roofline formula.
+    fn mul(self, rhs: GBytesPerSec) -> GFlopsPerSec {
+        GFlopsPerSec::new(self.get() * rhs.get())
+    }
+}
+
+impl FlopsPerCycle {
+    /// Converts a frequency-independent ceiling to absolute throughput.
+    pub fn at_frequency(self, freq: Hertz) -> GFlopsPerSec {
+        GFlopsPerSec::new(self.get() * freq.get() / 1e9)
+    }
+}
+
+impl BytesPerCycle {
+    /// Converts a frequency-independent roof to absolute bandwidth.
+    pub fn at_frequency(self, freq: Hertz) -> GBytesPerSec {
+        GBytesPerSec::new(self.get() * freq.get() / 1e9)
+    }
+}
+
+impl GFlopsPerSec {
+    /// Fraction `self / other`, used for efficiency-vs-roof reporting.
+    ///
+    /// Returns 0 when `other` is zero.
+    pub fn ratio(self, other: GFlopsPerSec) -> f64 {
+        if other.get() == 0.0 {
+            0.0
+        } else {
+            self.get() / other.get()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_from_work_and_traffic() {
+        let i = Flops::new(800) / Bytes::new(100);
+        assert_eq!(i.get(), 8.0);
+    }
+
+    #[test]
+    fn performance_from_work_and_time() {
+        let p = Flops::new(2_000_000_000) / Seconds::new(1.0);
+        assert_eq!(p.get(), 2.0);
+    }
+
+    #[test]
+    fn bandwidth_from_traffic_and_time() {
+        let b = Bytes::new(10_000_000_000) / Seconds::new(2.0);
+        assert_eq!(b.get(), 5.0);
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_frequency() {
+        let t = Cycles::new(3_300_000_000).to_seconds(Hertz::from_ghz(3.3));
+        assert!((t.get() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ceiling_scales_with_frequency() {
+        let c = FlopsPerCycle::new(8.0).at_frequency(Hertz::from_ghz(3.0));
+        assert!((c.get() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roof_scales_with_frequency() {
+        let b = BytesPerCycle::new(6.0).at_frequency(Hertz::from_ghz(2.0));
+        assert!((b.get() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_bound_is_product() {
+        let bound = Intensity::new(0.5) * GBytesPerSec::new(20.0);
+        assert_eq!(bound.get(), 10.0);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        assert_eq!(Flops::new(5).saturating_sub(Flops::new(9)), Flops::ZERO);
+        assert_eq!(Bytes::new(9).saturating_sub(Bytes::new(5)), Bytes::new(4));
+    }
+
+    #[test]
+    fn cache_line_conversion() {
+        assert_eq!(Bytes::from_cache_lines(3).get(), 192);
+    }
+
+    #[test]
+    fn kib_mib_conversions() {
+        assert_eq!(Bytes::from_kib(32).get(), 32 * 1024);
+        assert_eq!(Bytes::from_mib(8).get(), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn display_formats_include_units() {
+        assert_eq!(Flops::new(7).to_string(), "7 flops");
+        assert_eq!(Intensity::new(1.5).to_string(), "1.5000 flops/B");
+    }
+
+    #[test]
+    fn ratio_is_zero_against_zero_denominator() {
+        assert_eq!(GFlopsPerSec::new(5.0).ratio(GFlopsPerSec::ZERO), 0.0);
+        assert_eq!(GFlopsPerSec::new(5.0).ratio(GFlopsPerSec::new(10.0)), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero traffic")]
+    fn zero_traffic_intensity_panics() {
+        let _ = Flops::new(1) / Bytes::ZERO;
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_float_unit_rejected() {
+        let _ = Seconds::new(-1.0);
+    }
+
+    #[test]
+    fn sums_accumulate() {
+        let total: Flops = [Flops::new(1), Flops::new(2), Flops::new(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Flops::new(6));
+    }
+
+    #[test]
+    fn hertz_round_trip_ghz() {
+        let f = Hertz::from_ghz(2.1);
+        assert!((f.as_ghz() - 2.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,110 @@
+//! `repro` — runs the reproduction experiments from the command line.
+//!
+//! ```text
+//! repro [--experiment <E1..E16|all>] [--platform <snb|ivb|hsw>]
+//!       [--fidelity <quick|full>] [--out <dir>] [--list]
+//! ```
+//!
+//! Prints each experiment's tables/ASCII figures to stdout and writes
+//! CSV/SVG artifacts under `--out` (default `out/`).
+
+use experiments::platforms::Fidelity;
+use experiments::registry::{run_experiment, Experiment};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    experiments: Vec<Experiment>,
+    platform: String,
+    fidelity: Fidelity,
+    out_dir: Option<PathBuf>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiments = vec![];
+    let mut platform = "snb".to_string();
+    let mut fidelity = Fidelity::Full;
+    let mut out_dir = Some(PathBuf::from("out"));
+    let mut list = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--experiment" | "-e" => {
+                let v = it.next().ok_or("--experiment needs a value")?;
+                if v.eq_ignore_ascii_case("all") {
+                    experiments = Experiment::ALL.to_vec();
+                } else {
+                    for part in v.split(',') {
+                        experiments.push(part.parse().map_err(|e| format!("{e}"))?);
+                    }
+                }
+            }
+            "--platform" | "-p" => {
+                platform = it.next().ok_or("--platform needs a value")?;
+            }
+            "--fidelity" | "-f" => {
+                let v = it.next().ok_or("--fidelity needs a value")?;
+                fidelity = match v.as_str() {
+                    "quick" => Fidelity::Quick,
+                    "full" => Fidelity::Full,
+                    other => return Err(format!("unknown fidelity `{other}`")),
+                };
+            }
+            "--out" | "-o" => {
+                out_dir = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
+            }
+            "--no-artifacts" => out_dir = None,
+            "--list" | "-l" => list = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--experiment E1..E16|all] [--platform snb|ivb|hsw] \
+                     [--fidelity quick|full] [--out DIR] [--no-artifacts] [--list]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if experiments.is_empty() && !list {
+        experiments = Experiment::ALL.to_vec();
+    }
+    Ok(Args {
+        experiments,
+        platform,
+        fidelity,
+        out_dir,
+        list,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        for e in Experiment::ALL {
+            println!("{:<4} {:<45} [{}]", e.id(), e.title(), e.paper_artifact());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    for e in &args.experiments {
+        eprintln!("running {e} on {} ({:?})...", args.platform, args.fidelity);
+        let out = run_experiment(*e, &args.platform, args.fidelity);
+        println!("{}", out.render_text());
+        if let Some(dir) = &args.out_dir {
+            if let Err(err) = out.write_artifacts(dir) {
+                eprintln!("error writing artifacts for {}: {err}", e.id());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,31 @@
+//! # experiments
+//!
+//! The experiment registry reproducing every table and figure of the
+//! ISPASS'14 roofline paper; the experiment index lives in `DESIGN.md` and
+//! the measured-vs-paper record in `EXPERIMENTS.md`.
+//!
+//! Run everything with the bundled binary:
+//!
+//! ```text
+//! cargo run --release -p experiments --bin repro -- --experiment all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extensions;
+pub mod multithread;
+pub mod output;
+pub mod peaks_exp;
+pub mod pitfalls;
+pub mod platforms;
+pub mod points;
+pub mod registry;
+pub mod summary;
+pub mod tables;
+pub mod trajectories;
+pub mod validation;
+
+pub use output::{ExperimentOutput, Figure};
+pub use platforms::Fidelity;
+pub use registry::{run_experiment, Experiment};

@@ -1,0 +1,193 @@
+//! Output containers for experiments: text tables and figures with CSV,
+//! SVG and ASCII renderings, plus filesystem writers.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One figure of an experiment.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Figure {
+    /// File-stem-safe name (e.g. `"e10_daxpy_cold"`).
+    pub name: String,
+    /// The raw data series as CSV.
+    pub csv: Option<String>,
+    /// Publication-style SVG rendering.
+    pub svg: Option<String>,
+    /// Terminal rendering.
+    pub ascii: Option<String>,
+}
+
+impl Figure {
+    /// Creates an empty figure with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything an experiment produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOutput {
+    /// Experiment id (e.g. `"E10"`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Rendered text tables.
+    pub tables: Vec<String>,
+    /// Figures.
+    pub figures: Vec<Figure>,
+    /// Key quantitative findings as `(label, value)` pairs — these are the
+    /// numbers EXPERIMENTS.md quotes against the paper's claims.
+    pub findings: Vec<(String, String)>,
+}
+
+impl ExperimentOutput {
+    /// Creates an empty output shell.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            tables: Vec::new(),
+            figures: Vec::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Records a key finding.
+    pub fn finding(&mut self, label: impl Into<String>, value: impl std::fmt::Display) {
+        self.findings.push((label.into(), value.to_string()));
+    }
+
+    /// Renders everything as one console-friendly report.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("===== {}: {} =====\n\n", self.id, self.title);
+        for t in &self.tables {
+            out.push_str(t);
+            out.push('\n');
+        }
+        for f in &self.figures {
+            if let Some(a) = &f.ascii {
+                out.push_str(&format!("--- figure {} ---\n", f.name));
+                out.push_str(a);
+                out.push('\n');
+            }
+        }
+        if !self.findings.is_empty() {
+            out.push_str("findings:\n");
+            for (k, v) in &self.findings {
+                out.push_str(&format!("  {k}: {v}\n"));
+            }
+        }
+        out
+    }
+
+    /// Writes CSV/SVG artifacts under `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_artifacts(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        for f in &self.figures {
+            if let Some(csv) = &f.csv {
+                fs::write(dir.join(format!("{}.csv", f.name)), csv)?;
+            }
+            if let Some(svg) = &f.svg {
+                fs::write(dir.join(format!("{}.svg", f.name)), svg)?;
+            }
+        }
+        fs::write(
+            dir.join(format!("{}_report.txt", self.id.to_lowercase())),
+            self.render_text(),
+        )?;
+        Ok(())
+    }
+}
+
+/// Renders a simple aligned text table from a header and rows.
+pub fn text_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row width mismatch in table `{title}`");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = format!("== {title} ==\n");
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!("{cell:>w$}  ", w = w));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * ncols));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_title() {
+        let t = text_table(
+            "demo",
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("== demo =="));
+        assert!(t.contains("long-name"));
+        let lines: Vec<_> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let _ = text_table("bad", &["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn output_render_contains_sections() {
+        let mut o = ExperimentOutput::new("E1", "platforms");
+        o.tables.push("== t ==\n".into());
+        let mut fig = Figure::new("f1");
+        fig.ascii = Some("ASCII ART".into());
+        o.figures.push(fig);
+        o.finding("peak", "26.4 GF/s");
+        let text = o.render_text();
+        assert!(text.contains("E1"));
+        assert!(text.contains("ASCII ART"));
+        assert!(text.contains("peak: 26.4 GF/s"));
+    }
+
+    #[test]
+    fn artifacts_written_to_disk() {
+        let dir = std::env::temp_dir().join(format!("roofline_test_{}", std::process::id()));
+        let mut o = ExperimentOutput::new("E9", "test");
+        let mut fig = Figure::new("fig_a");
+        fig.csv = Some("a,b\n1,2\n".into());
+        fig.svg = Some("<svg/>".into());
+        o.figures.push(fig);
+        o.write_artifacts(&dir).unwrap();
+        assert!(dir.join("fig_a.csv").exists());
+        assert!(dir.join("fig_a.svg").exists());
+        assert!(dir.join("e9_report.txt").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

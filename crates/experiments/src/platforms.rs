@@ -1,0 +1,81 @@
+//! Platform selection and experiment fidelity.
+
+use simx86::config::{haswell, ivy_bridge, sandy_bridge, sandy_bridge_2s, test_machine};
+use simx86::{Machine, MachineConfig};
+
+/// How large the experiment's problem sizes are.
+///
+/// `Quick` keeps everything small enough for CI and Criterion; `Full`
+/// matches the scale discussed in `DESIGN.md` (minutes of simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// CI-scale problem sizes.
+    Quick,
+    /// Paper-scale problem sizes.
+    Full,
+}
+
+impl Fidelity {
+    /// Scales a full-size parameter down in quick mode by `factor`.
+    pub fn scale(self, full: u64, quick: u64) -> u64 {
+        match self {
+            Fidelity::Quick => quick,
+            Fidelity::Full => full,
+        }
+    }
+}
+
+/// A named platform preset.
+///
+/// # Panics
+///
+/// Panics on an unknown name; see [`platform_names`].
+pub fn machine_by_name(name: &str) -> Machine {
+    Machine::new(config_by_name(name))
+}
+
+/// The configuration behind a preset name.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn config_by_name(name: &str) -> MachineConfig {
+    match name {
+        "snb" => sandy_bridge(),
+        "snb-2s" => sandy_bridge_2s(),
+        "ivb" => ivy_bridge(),
+        "hsw" => haswell(),
+        "test" => test_machine(),
+        other => panic!("unknown platform `{other}` (try snb, ivb, hsw, test)"),
+    }
+}
+
+/// All preset names, in presentation order.
+pub fn platform_names() -> &'static [&'static str] {
+    &["snb", "ivb", "hsw", "snb-2s"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve() {
+        for name in platform_names() {
+            let m = machine_by_name(name);
+            assert_eq!(m.config().name, *name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown platform")]
+    fn unknown_platform_panics() {
+        let _ = machine_by_name("alpha21264");
+    }
+
+    #[test]
+    fn fidelity_scaling() {
+        assert_eq!(Fidelity::Quick.scale(1 << 20, 1 << 12), 1 << 12);
+        assert_eq!(Fidelity::Full.scale(1 << 20, 1 << 12), 1 << 20);
+    }
+}

@@ -1,0 +1,47 @@
+//! Plot-point helpers shared by the experiment modules.
+
+use roofline_core::model::Roofline;
+use roofline_core::point::{KernelPoint, Measurement};
+use roofline_core::units::Intensity;
+
+/// Converts a measurement to a plot point, handling the warm-cache corner
+/// where the measured traffic is zero (fully cache-resident run): such
+/// points have unbounded intensity and are pinned at a large finite
+/// intensity right of the ridge, which is how the paper draws them.
+pub fn point_from(name: impl Into<String>, m: &Measurement, roofline: &Roofline) -> KernelPoint {
+    let intensity = m
+        .intensity()
+        .unwrap_or_else(|| Intensity::new(roofline.ridge().intensity().get() * 16.0));
+    KernelPoint::new(name, intensity, m.performance())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roofline_core::model::{BandwidthRoof, Ceiling};
+    use roofline_core::units::{Bytes, Flops, FlopsPerCycle, GBytesPerSec, Hertz, Seconds};
+
+    fn roofline() -> Roofline {
+        Roofline::builder("p")
+            .frequency(Hertz::from_ghz(1.0))
+            .ceiling(Ceiling::new("peak", FlopsPerCycle::new(8.0)))
+            .roof(BandwidthRoof::new("dram", GBytesPerSec::new(4.0)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn normal_measurement_keeps_intensity() {
+        let m = Measurement::new(Flops::new(100), Bytes::new(50), Seconds::new(1.0));
+        let p = point_from("k", &m, &roofline());
+        assert_eq!(p.intensity().get(), 2.0);
+    }
+
+    #[test]
+    fn zero_traffic_pins_right_of_ridge() {
+        let m = Measurement::new(Flops::new(100), Bytes::ZERO, Seconds::new(1.0));
+        let r = roofline();
+        let p = point_from("k", &m, &r);
+        assert!(p.intensity().get() > r.ridge().intensity().get());
+    }
+}

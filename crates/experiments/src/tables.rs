@@ -1,0 +1,127 @@
+//! E1 (platform parameters) and E2 (PMU event inventory).
+
+use crate::output::{text_table, ExperimentOutput};
+use crate::platforms::{config_by_name, platform_names};
+use simx86::isa::Precision;
+use simx86::pmu::{CoreEvent, UncoreEvent};
+
+/// E1 — the platform table (paper: "experimental setup" table).
+pub fn run_e1() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("E1", "Simulated platform parameters");
+    let mut rows = Vec::new();
+    for name in platform_names() {
+        let cfg = config_by_name(name);
+        let turbo = if cfg.turbo_ghz.is_empty() {
+            "-".to_string()
+        } else {
+            format!(
+                "{:.1}-{:.1}",
+                cfg.turbo_ghz.last().unwrap(),
+                cfg.turbo_ghz.first().unwrap()
+            )
+        };
+        rows.push(vec![
+            cfg.name.clone(),
+            cfg.cores.to_string(),
+            format!("{:.1}", cfg.nominal_ghz),
+            turbo,
+            if cfg.fp.has_fma { "yes" } else { "no" }.to_string(),
+            format!("{}", cfg.fp.max_width),
+            format!("{}K", cfg.l1.size_bytes / 1024),
+            format!("{}K", cfg.l2.size_bytes / 1024),
+            format!("{}M", cfg.l3.size_bytes / 1024 / 1024),
+            format!("{:.1}", cfg.dram_gbps),
+            format!(
+                "{:.1}",
+                cfg.fp.peak_flops_per_cycle(cfg.fp.max_width, Precision::F64) * cfg.nominal_ghz
+            ),
+            format!("{:.1}", cfg.theoretical_peak_gflops(Precision::F64)),
+        ]);
+    }
+    out.tables.push(text_table(
+        "platforms",
+        &[
+            "name", "cores", "GHz", "turbo", "fma", "simd", "L1", "L2", "L3", "GB/s",
+            "pk1 GF/s", "pkN GF/s",
+        ],
+        &rows,
+    ));
+    out.finding("platforms", platform_names().join(", "));
+    out
+}
+
+/// E2 — the PMU event inventory (paper: events/methodology table).
+pub fn run_e2() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("E2", "PMU events used by the methodology");
+    let core_rows: Vec<Vec<String>> = CoreEvent::ALL
+        .iter()
+        .map(|e| {
+            let (role, weight) = match e {
+                CoreEvent::FpScalarDouble => ("work W (double)", "x1"),
+                CoreEvent::FpPacked128Double => ("work W (double)", "x2"),
+                CoreEvent::FpPacked256Double => ("work W (double)", "x4"),
+                CoreEvent::FpScalarSingle => ("work W (single)", "x1"),
+                CoreEvent::FpPacked128Single => ("work W (single)", "x4"),
+                CoreEvent::FpPacked256Single => ("work W (single)", "x8"),
+                CoreEvent::InstRetired => ("overhead control", "-"),
+                CoreEvent::ClkUnhalted => ("runtime T", "-"),
+                CoreEvent::LlcMiss => ("traffic Q (naive; undercounts)", "x64B"),
+                CoreEvent::LoadsRetired => ("access shape", "-"),
+                CoreEvent::StoresRetired => ("access shape", "-"),
+            };
+            vec![e.hw_name().to_string(), role.to_string(), weight.to_string()]
+        })
+        .collect();
+    out.tables.push(text_table(
+        "core events",
+        &["event", "role", "weight"],
+        &core_rows,
+    ));
+    let uncore_rows: Vec<Vec<String>> = UncoreEvent::ALL
+        .iter()
+        .map(|e| {
+            vec![
+                e.hw_name().to_string(),
+                "traffic Q (authoritative)".to_string(),
+                "x64B".to_string(),
+            ]
+        })
+        .collect();
+    out.tables.push(text_table(
+        "uncore (IMC) events",
+        &["event", "role", "weight"],
+        &uncore_rows,
+    ));
+    out.finding(
+        "FMA quirk",
+        "FMA retirement increments its width counter twice; min/max increment nothing",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_lists_every_platform() {
+        let out = run_e1();
+        let table = &out.tables[0];
+        for name in platform_names() {
+            assert!(table.contains(name), "missing {name}:\n{table}");
+        }
+        // SNB single-core peak 8 flops/cycle * 3.3 GHz.
+        assert!(table.contains("26.4"));
+        // Machine-wide: 105.6.
+        assert!(table.contains("105.6"));
+    }
+
+    #[test]
+    fn e2_lists_fp_and_imc_events() {
+        let out = run_e2();
+        let text = out.render_text();
+        assert!(text.contains("SIMD_FP_256.PACKED_DOUBLE"));
+        assert!(text.contains("UNC_IMC_DRAM_DATA_READS"));
+        assert!(text.contains("x4"));
+    }
+}

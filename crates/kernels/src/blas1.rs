@@ -1,0 +1,890 @@
+//! BLAS level-1 and STREAM kernels: the paper's low-intensity,
+//! bandwidth-riding case studies and counter-validation workloads.
+
+use crate::util::{chunk_range, r};
+use crate::Kernel;
+use simx86::isa::{Precision, VecWidth};
+use simx86::{Buffer, Cpu, Machine};
+
+const P: Precision = Precision::F64;
+const W4: VecWidth = VecWidth::Y256;
+const WS: VecWidth = VecWidth::Scalar;
+
+// --- Native implementations -------------------------------------------------
+
+/// `y[i] += alpha * x[i]`.
+///
+/// # Panics
+///
+/// Panics if slices differ in length.
+pub fn daxpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "daxpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product `sum(x[i] * y[i])`.
+///
+/// # Panics
+///
+/// Panics if slices differ in length.
+pub fn ddot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "ddot length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// In-place scaling `x[i] *= alpha`.
+pub fn dscal(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Copy `y[i] = x[i]` (zero flops — bandwidth validation only).
+///
+/// # Panics
+///
+/// Panics if slices differ in length.
+pub fn dcopy(x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "dcopy length mismatch");
+    y.copy_from_slice(x);
+}
+
+/// STREAM triad `a[i] = b[i] + s * c[i]`.
+///
+/// # Panics
+///
+/// Panics if slices differ in length.
+pub fn triad(a: &mut [f64], b: &[f64], c: &[f64], s: f64) {
+    assert_eq!(a.len(), b.len(), "triad length mismatch");
+    assert_eq!(a.len(), c.len(), "triad length mismatch");
+    for i in 0..a.len() {
+        a[i] = b[i] + s * c[i];
+    }
+}
+
+/// Sum reduction `sum(x[i])` — the paper's simple validation kernel.
+pub fn dsum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// Single-precision `y[i] += alpha * x[i]`.
+///
+/// # Panics
+///
+/// Panics if slices differ in length.
+pub fn saxpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "saxpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+// --- Emitter helpers --------------------------------------------------------
+
+/// Flops emitted by the vector+scalar accumulator reduction epilogue used
+/// by `ddot` and `dsum`: three 4-wide adds collapse four accumulators, one
+/// 128-bit add and one scalar add finish the horizontal sum.
+fn reduction_flops(vector_groups: u64) -> u64 {
+    if vector_groups == 0 {
+        0
+    } else {
+        3 * 4 + 2 + 1
+    }
+}
+
+fn emit_reduction(cpu: &mut Cpu<'_>) {
+    // Collapse accumulators r0..r3, then horizontally.
+    cpu.fadd(r(0), r(0), r(1), W4, P);
+    cpu.fadd(r(2), r(2), r(3), W4, P);
+    cpu.fadd(r(0), r(0), r(2), W4, P);
+    cpu.fadd(r(0), r(0), r(0), VecWidth::X128, P);
+    cpu.fadd(r(0), r(0), r(0), WS, P);
+}
+
+// --- Kernel structs ---------------------------------------------------------
+
+/// `daxpy`: `y += alpha * x`, vectorized with AVX and a scalar tail.
+#[derive(Debug, Clone, Copy)]
+pub struct Daxpy {
+    n: u64,
+    x: Buffer,
+    y: Buffer,
+}
+
+impl Daxpy {
+    /// Allocates the two operand vectors on `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(machine: &mut Machine, n: u64) -> Self {
+        assert!(n > 0, "daxpy needs n > 0");
+        Self {
+            n,
+            x: machine.alloc(n * 8),
+            y: machine.alloc(n * 8),
+        }
+    }
+}
+
+impl Kernel for Daxpy {
+    fn name(&self) -> String {
+        "daxpy".to_string()
+    }
+
+    fn param(&self) -> u64 {
+        self.n
+    }
+
+    fn flops(&self) -> u64 {
+        2 * self.n
+    }
+
+    fn min_traffic(&self) -> u64 {
+        // Read x, read y, write y.
+        24 * self.n
+    }
+
+    fn working_set(&self) -> u64 {
+        16 * self.n
+    }
+
+    fn chunks(&self) -> u64 {
+        (self.n / 64).clamp(1, 64)
+    }
+
+    fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
+        let range = chunk_range(self.n, chunk, nchunks);
+        let mut i = range.start;
+        // r15 holds alpha (kept resident, no reload).
+        while i + 4 <= range.end {
+            cpu.load(r(0), self.x.f64_at(i), W4, P);
+            cpu.load(r(1), self.y.f64_at(i), W4, P);
+            cpu.fmul(r(2), r(0), r(15), W4, P);
+            cpu.fadd(r(3), r(1), r(2), W4, P);
+            cpu.store(self.y.f64_at(i), r(3), W4, P);
+            i += 4;
+        }
+        while i < range.end {
+            cpu.load(r(0), self.x.f64_at(i), WS, P);
+            cpu.load(r(1), self.y.f64_at(i), WS, P);
+            cpu.fmul(r(2), r(0), r(15), WS, P);
+            cpu.fadd(r(3), r(1), r(2), WS, P);
+            cpu.store(self.y.f64_at(i), r(3), WS, P);
+            i += 1;
+        }
+    }
+}
+
+/// `ddot`: dot product with four independent AVX accumulators.
+#[derive(Debug, Clone, Copy)]
+pub struct Ddot {
+    n: u64,
+    x: Buffer,
+    y: Buffer,
+}
+
+impl Ddot {
+    /// Allocates the two operand vectors on `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(machine: &mut Machine, n: u64) -> Self {
+        assert!(n > 0, "ddot needs n > 0");
+        Self {
+            n,
+            x: machine.alloc(n * 8),
+            y: machine.alloc(n * 8),
+        }
+    }
+}
+
+impl Kernel for Ddot {
+    fn name(&self) -> String {
+        "ddot".to_string()
+    }
+
+    fn param(&self) -> u64 {
+        self.n
+    }
+
+    fn flops(&self) -> u64 {
+        2 * (self.n / 4 * 4) + reduction_flops(self.n / 4) + 2 * (self.n % 4)
+    }
+
+    fn min_traffic(&self) -> u64 {
+        16 * self.n
+    }
+
+    fn working_set(&self) -> u64 {
+        16 * self.n
+    }
+
+    fn chunks(&self) -> u64 {
+        (self.n / 64).clamp(1, 64)
+    }
+
+    fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
+        // Each chunk keeps its own accumulators and reduces locally; the
+        // cross-chunk combine is negligible and omitted (the same choice a
+        // parallel BLAS makes, with the final combine on one thread).
+        let range = chunk_range(self.n, chunk, nchunks);
+        let mut i = range.start;
+        let mut acc = 0u8;
+        let mut vectorized = false;
+        while i + 4 <= range.end {
+            cpu.load(r(4), self.x.f64_at(i), W4, P);
+            cpu.load(r(5), self.y.f64_at(i), W4, P);
+            cpu.fmul(r(6), r(4), r(5), W4, P);
+            cpu.fadd(r(acc), r(acc), r(6), W4, P);
+            acc = (acc + 1) % 4;
+            vectorized = true;
+            i += 4;
+        }
+        if vectorized && nchunks == 1 {
+            emit_reduction(cpu);
+        } else if vectorized {
+            // Parallel chunks still pay their local reduction.
+            emit_reduction(cpu);
+        }
+        while i < range.end {
+            cpu.load(r(4), self.x.f64_at(i), WS, P);
+            cpu.load(r(5), self.y.f64_at(i), WS, P);
+            cpu.fmul(r(6), r(4), r(5), WS, P);
+            cpu.fadd(r(7), r(7), r(6), WS, P);
+            i += 1;
+        }
+    }
+}
+
+/// `dscal`: in-place `x *= alpha`.
+#[derive(Debug, Clone, Copy)]
+pub struct Dscal {
+    n: u64,
+    x: Buffer,
+}
+
+impl Dscal {
+    /// Allocates the vector on `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(machine: &mut Machine, n: u64) -> Self {
+        assert!(n > 0, "dscal needs n > 0");
+        Self {
+            n,
+            x: machine.alloc(n * 8),
+        }
+    }
+}
+
+impl Kernel for Dscal {
+    fn name(&self) -> String {
+        "dscal".to_string()
+    }
+
+    fn param(&self) -> u64 {
+        self.n
+    }
+
+    fn flops(&self) -> u64 {
+        self.n
+    }
+
+    fn min_traffic(&self) -> u64 {
+        16 * self.n
+    }
+
+    fn working_set(&self) -> u64 {
+        8 * self.n
+    }
+
+    fn chunks(&self) -> u64 {
+        (self.n / 64).clamp(1, 64)
+    }
+
+    fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
+        let range = chunk_range(self.n, chunk, nchunks);
+        let mut i = range.start;
+        while i + 4 <= range.end {
+            cpu.load(r(0), self.x.f64_at(i), W4, P);
+            cpu.fmul(r(1), r(0), r(15), W4, P);
+            cpu.store(self.x.f64_at(i), r(1), W4, P);
+            i += 4;
+        }
+        while i < range.end {
+            cpu.load(r(0), self.x.f64_at(i), WS, P);
+            cpu.fmul(r(1), r(0), r(15), WS, P);
+            cpu.store(self.x.f64_at(i), r(1), WS, P);
+            i += 1;
+        }
+    }
+}
+
+/// `dcopy`: `y = x`, zero flops (bandwidth validation; unplottable on a
+/// roofline since its intensity is 0).
+#[derive(Debug, Clone, Copy)]
+pub struct Dcopy {
+    n: u64,
+    x: Buffer,
+    y: Buffer,
+    /// Use non-temporal stores for the destination.
+    nt: bool,
+}
+
+impl Dcopy {
+    /// Allocates the vectors; `nt` selects streaming stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(machine: &mut Machine, n: u64, nt: bool) -> Self {
+        assert!(n > 0, "dcopy needs n > 0");
+        Self {
+            n,
+            x: machine.alloc(n * 8),
+            y: machine.alloc(n * 8),
+            nt,
+        }
+    }
+}
+
+impl Kernel for Dcopy {
+    fn name(&self) -> String {
+        if self.nt {
+            "dcopy-nt".to_string()
+        } else {
+            "dcopy".to_string()
+        }
+    }
+
+    fn param(&self) -> u64 {
+        self.n
+    }
+
+    fn flops(&self) -> u64 {
+        0
+    }
+
+    fn min_traffic(&self) -> u64 {
+        16 * self.n
+    }
+
+    fn working_set(&self) -> u64 {
+        16 * self.n
+    }
+
+    fn chunks(&self) -> u64 {
+        (self.n / 64).clamp(1, 64)
+    }
+
+    fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
+        let range = chunk_range(self.n, chunk, nchunks);
+        let mut i = range.start;
+        while i + 4 <= range.end {
+            cpu.load(r(0), self.x.f64_at(i), W4, P);
+            if self.nt {
+                cpu.store_nt(self.y.f64_at(i), r(0), W4, P);
+            } else {
+                cpu.store(self.y.f64_at(i), r(0), W4, P);
+            }
+            i += 4;
+        }
+        while i < range.end {
+            cpu.load(r(0), self.x.f64_at(i), WS, P);
+            cpu.store(self.y.f64_at(i), r(0), WS, P);
+            i += 1;
+        }
+    }
+}
+
+/// STREAM `triad`: `a = b + s * c`.
+#[derive(Debug, Clone, Copy)]
+pub struct Triad {
+    n: u64,
+    a: Buffer,
+    b: Buffer,
+    c: Buffer,
+    nt: bool,
+}
+
+impl Triad {
+    /// Allocates the three vectors; `nt` selects streaming stores for `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(machine: &mut Machine, n: u64, nt: bool) -> Self {
+        assert!(n > 0, "triad needs n > 0");
+        Self {
+            n,
+            a: machine.alloc(n * 8),
+            b: machine.alloc(n * 8),
+            c: machine.alloc(n * 8),
+            nt,
+        }
+    }
+}
+
+impl Kernel for Triad {
+    fn name(&self) -> String {
+        if self.nt {
+            "triad-nt".to_string()
+        } else {
+            "triad".to_string()
+        }
+    }
+
+    fn param(&self) -> u64 {
+        self.n
+    }
+
+    fn flops(&self) -> u64 {
+        2 * self.n
+    }
+
+    fn min_traffic(&self) -> u64 {
+        // Read b and c, write a. A regular (write-allocate) store adds an
+        // 8n RFO read on top of this minimum; the NT variant does not.
+        24 * self.n
+    }
+
+    fn working_set(&self) -> u64 {
+        24 * self.n
+    }
+
+    fn chunks(&self) -> u64 {
+        (self.n / 64).clamp(1, 64)
+    }
+
+    fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
+        let range = chunk_range(self.n, chunk, nchunks);
+        let mut i = range.start;
+        while i + 4 <= range.end {
+            cpu.load(r(0), self.b.f64_at(i), W4, P);
+            cpu.load(r(1), self.c.f64_at(i), W4, P);
+            cpu.fmul(r(2), r(1), r(15), W4, P);
+            cpu.fadd(r(3), r(0), r(2), W4, P);
+            if self.nt {
+                cpu.store_nt(self.a.f64_at(i), r(3), W4, P);
+            } else {
+                cpu.store(self.a.f64_at(i), r(3), W4, P);
+            }
+            i += 4;
+        }
+        while i < range.end {
+            cpu.load(r(0), self.b.f64_at(i), WS, P);
+            cpu.load(r(1), self.c.f64_at(i), WS, P);
+            cpu.fmul(r(2), r(1), r(15), WS, P);
+            cpu.fadd(r(3), r(0), r(2), WS, P);
+            cpu.store(self.a.f64_at(i), r(3), WS, P);
+            i += 1;
+        }
+    }
+}
+
+/// `dsum`: sum reduction, the paper's footnote-3 validation kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Dsum {
+    n: u64,
+    x: Buffer,
+}
+
+impl Dsum {
+    /// Allocates the vector on `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(machine: &mut Machine, n: u64) -> Self {
+        assert!(n > 0, "dsum needs n > 0");
+        Self {
+            n,
+            x: machine.alloc(n * 8),
+        }
+    }
+}
+
+impl Kernel for Dsum {
+    fn name(&self) -> String {
+        "dsum".to_string()
+    }
+
+    fn param(&self) -> u64 {
+        self.n
+    }
+
+    fn flops(&self) -> u64 {
+        (self.n / 4 * 4) + reduction_flops(self.n / 4) + (self.n % 4)
+    }
+
+    fn min_traffic(&self) -> u64 {
+        8 * self.n
+    }
+
+    fn working_set(&self) -> u64 {
+        8 * self.n
+    }
+
+    fn chunks(&self) -> u64 {
+        (self.n / 64).clamp(1, 64)
+    }
+
+    fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
+        let range = chunk_range(self.n, chunk, nchunks);
+        let mut i = range.start;
+        let mut acc = 0u8;
+        let mut vectorized = false;
+        while i + 4 <= range.end {
+            cpu.load(r(4), self.x.f64_at(i), W4, P);
+            cpu.fadd(r(acc), r(acc), r(4), W4, P);
+            acc = (acc + 1) % 4;
+            vectorized = true;
+            i += 4;
+        }
+        if vectorized {
+            emit_reduction(cpu);
+        }
+        while i < range.end {
+            cpu.load(r(4), self.x.f64_at(i), WS, P);
+            cpu.fadd(r(7), r(7), r(4), WS, P);
+            i += 1;
+        }
+    }
+}
+
+/// `saxpy`: the single-precision twin of [`Daxpy`], exercising the
+/// `FP_*_SINGLE` counter path (8 f32 lanes per AVX instruction, so the
+/// same instruction count measures twice the flops).
+#[derive(Debug, Clone, Copy)]
+pub struct Saxpy {
+    n: u64,
+    x: Buffer,
+    y: Buffer,
+}
+
+impl Saxpy {
+    /// Allocates the two operand vectors on `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(machine: &mut Machine, n: u64) -> Self {
+        assert!(n > 0, "saxpy needs n > 0");
+        Self {
+            n,
+            x: machine.alloc(n * 4),
+            y: machine.alloc(n * 4),
+        }
+    }
+}
+
+impl Kernel for Saxpy {
+    fn name(&self) -> String {
+        "saxpy".to_string()
+    }
+
+    fn param(&self) -> u64 {
+        self.n
+    }
+
+    fn flops(&self) -> u64 {
+        2 * self.n
+    }
+
+    fn min_traffic(&self) -> u64 {
+        12 * self.n
+    }
+
+    fn working_set(&self) -> u64 {
+        8 * self.n
+    }
+
+    fn chunks(&self) -> u64 {
+        (self.n / 128).clamp(1, 64)
+    }
+
+    fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
+        const PF: Precision = Precision::F32;
+        let range = chunk_range(self.n, chunk, nchunks);
+        let mut i = range.start;
+        while i + 8 <= range.end {
+            cpu.load(r(0), self.x.f32_at(i), W4, PF);
+            cpu.load(r(1), self.y.f32_at(i), W4, PF);
+            cpu.fmul(r(2), r(0), r(15), W4, PF);
+            cpu.fadd(r(3), r(1), r(2), W4, PF);
+            cpu.store(self.y.f32_at(i), r(3), W4, PF);
+            i += 8;
+        }
+        while i < range.end {
+            cpu.load(r(0), self.x.f32_at(i), WS, PF);
+            cpu.load(r(1), self.y.f32_at(i), WS, PF);
+            cpu.fmul(r(2), r(0), r(15), WS, PF);
+            cpu.fadd(r(3), r(1), r(2), WS, PF);
+            cpu.store(self.y.f32_at(i), r(3), WS, PF);
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simx86::config::test_machine;
+    use simx86::pmu::CoreEvent;
+
+    // --- Native numerics ---
+
+    #[test]
+    fn native_daxpy() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        daxpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn native_ddot() {
+        assert_eq!(ddot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn native_dscal_and_copy() {
+        let mut x = vec![1.0, -2.0];
+        dscal(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+        let mut y = vec![0.0; 2];
+        dcopy(&x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn native_triad() {
+        let mut a = vec![0.0; 3];
+        triad(&mut a, &[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0], 0.5);
+        assert_eq!(a, vec![6.0, 12.0, 18.0]);
+    }
+
+    #[test]
+    fn native_dsum() {
+        assert_eq!(dsum(&[1.0, 2.0, 3.5]), 6.5);
+    }
+
+    // --- Emitter work counts match analytics exactly (paper's E5) ---
+
+    fn check_flops<K: Kernel, F: FnOnce(&mut Machine) -> K>(build: F) {
+        let mut m = Machine::new(test_machine());
+        let k = build(&mut m);
+        let before = m.core_counters(0);
+        m.run(0, |cpu| k.emit(cpu));
+        let counted = m.core_counters(0).since(&before).flops(Precision::F64);
+        assert_eq!(
+            counted,
+            k.flops(),
+            "PMU flops mismatch for {} n={}",
+            k.name(),
+            k.param()
+        );
+    }
+
+    #[test]
+    fn daxpy_flops_counted_exactly() {
+        for n in [1, 3, 4, 5, 64, 257] {
+            check_flops(|m| Daxpy::new(m, n));
+        }
+    }
+
+    #[test]
+    fn ddot_flops_counted_exactly() {
+        for n in [1, 4, 7, 128, 1001] {
+            check_flops(|m| Ddot::new(m, n));
+        }
+    }
+
+    #[test]
+    fn dscal_flops_counted_exactly() {
+        for n in [2, 4, 9, 100] {
+            check_flops(|m| Dscal::new(m, n));
+        }
+    }
+
+    #[test]
+    fn triad_flops_counted_exactly() {
+        for n in [4, 6, 400] {
+            check_flops(|m| Triad::new(m, n, false));
+            check_flops(|m| Triad::new(m, n, true));
+        }
+    }
+
+    #[test]
+    fn dsum_flops_counted_exactly() {
+        for n in [1, 4, 5, 777] {
+            check_flops(|m| Dsum::new(m, n));
+        }
+    }
+
+    #[test]
+    fn dcopy_counts_zero_flops() {
+        check_flops(|m| Dcopy::new(m, 100, false));
+    }
+
+    // --- Traffic sanity (cold caches, prefetch off): measured >= minimum ---
+
+    #[test]
+    fn triad_cold_traffic_includes_write_allocate() {
+        let n = 4096u64;
+        let mut m = Machine::new(test_machine());
+        m.set_prefetch(false, false);
+        let k = Triad::new(&mut m, n, false);
+        m.flush_caches();
+        let before = m.uncore();
+        m.run(0, |cpu| k.emit(cpu));
+        let q = m.uncore().since(&before).traffic_bytes(64);
+        // Expect ~32n: reads of b, c, RFO of a, writeback of a (the last
+        // chunk of a may still sit dirty in cache, hence the slack).
+        assert!(q >= 30 * n, "traffic {q} too small for 32n = {}", 32 * n);
+        assert!(q <= 34 * n, "traffic {q} too large");
+    }
+
+    #[test]
+    fn triad_nt_avoids_rfo_traffic() {
+        let n = 4096u64;
+        let mut m = Machine::new(test_machine());
+        m.set_prefetch(false, false);
+        let k = Triad::new(&mut m, n, true);
+        m.flush_caches();
+        let before = m.uncore();
+        m.run(0, |cpu| k.emit(cpu));
+        let q = m.uncore().since(&before).traffic_bytes(64);
+        // 24n exactly: reads b and c, NT-writes a.
+        assert!((q as i64 - (24 * n) as i64).unsigned_abs() <= 2 * 64 * 2, "q = {q}");
+    }
+
+    #[test]
+    fn dsum_cold_traffic_is_read_only() {
+        let n = 8192u64;
+        let mut m = Machine::new(test_machine());
+        m.set_prefetch(false, false);
+        let k = Dsum::new(&mut m, n);
+        m.flush_caches();
+        let before = m.uncore();
+        m.run(0, |cpu| k.emit(cpu));
+        let d = m.uncore().since(&before);
+        let reads = d.get(simx86::pmu::UncoreEvent::ImcDramDataReads) * 64;
+        let writes = d.get(simx86::pmu::UncoreEvent::ImcDramDataWrites) * 64;
+        assert_eq!(reads, 8 * n);
+        assert_eq!(writes, 0);
+    }
+
+    #[test]
+    fn warm_run_produces_less_traffic_when_cache_resident() {
+        // Working set 8 KiB < 16 KiB L3 of the test machine.
+        let n = 1024u64;
+        let mut m = Machine::new(test_machine());
+        m.set_prefetch(false, false);
+        let k = Dsum::new(&mut m, n);
+        m.flush_caches();
+        let before_cold = m.uncore();
+        m.run(0, |cpu| k.emit(cpu));
+        let q_cold = m.uncore().since(&before_cold).traffic_bytes(64);
+
+        let before_warm = m.uncore();
+        m.run(0, |cpu| k.emit(cpu));
+        let q_warm = m.uncore().since(&before_warm).traffic_bytes(64);
+        assert!(q_cold >= 8 * n);
+        assert!(
+            q_warm < q_cold / 4,
+            "warm traffic {q_warm} should be far below cold {q_cold}"
+        );
+    }
+
+    #[test]
+    fn chunked_emission_preserves_total_work() {
+        let n = 1000u64;
+        let mut m = Machine::new(test_machine());
+        let k = Daxpy::new(&mut m, n);
+        let before = m.core_counters(0);
+        m.run(0, |cpu| {
+            for c in 0..8 {
+                k.emit_chunk(cpu, c, 8);
+            }
+        });
+        let counted = m.core_counters(0).since(&before).flops(Precision::F64);
+        assert_eq!(counted, k.flops());
+    }
+
+    #[test]
+    fn loads_and_stores_retired_match_shape() {
+        let n = 64u64;
+        let mut m = Machine::new(test_machine());
+        let k = Daxpy::new(&mut m, n);
+        let before = m.core_counters(0);
+        m.run(0, |cpu| k.emit(cpu));
+        let d = m.core_counters(0).since(&before);
+        assert_eq!(d.get(CoreEvent::LoadsRetired), 2 * n / 4);
+        assert_eq!(d.get(CoreEvent::StoresRetired), n / 4);
+    }
+
+    #[test]
+    fn analytic_intensity_daxpy() {
+        let mut m = Machine::new(test_machine());
+        let k = Daxpy::new(&mut m, 100);
+        assert!((k.analytic_intensity() - 2.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn native_saxpy() {
+        let x = vec![1.0f32, 2.0];
+        let mut y = vec![10.0f32, 20.0];
+        saxpy(0.5, &x, &mut y);
+        assert_eq!(y, vec![10.5, 21.0]);
+    }
+
+    #[test]
+    fn saxpy_counts_single_precision_flops_only() {
+        for n in [1u64, 8, 9, 250] {
+            let mut m = Machine::new(test_machine());
+            let k = Saxpy::new(&mut m, n);
+            let before = m.core_counters(0);
+            m.run(0, |cpu| k.emit(cpu));
+            let d = m.core_counters(0).since(&before);
+            assert_eq!(d.flops(Precision::F32), k.flops(), "n = {n}");
+            assert_eq!(d.flops(Precision::F64), 0, "no double events for saxpy");
+        }
+    }
+
+    #[test]
+    fn saxpy_halves_traffic_of_daxpy() {
+        // Same element count, half the bytes: the f32 variant's cold
+        // traffic is about half the f64 one's.
+        let n = 8192u64;
+        let mut m = Machine::new(test_machine());
+        m.set_prefetch(false, false);
+        let kd = Daxpy::new(&mut m, n);
+        m.flush_caches();
+        let b = m.uncore();
+        m.run(0, |cpu| kd.emit(cpu));
+        let q64 = m.uncore().since(&b).traffic_bytes(64);
+
+        let mut m = Machine::new(test_machine());
+        m.set_prefetch(false, false);
+        let ks = Saxpy::new(&mut m, n);
+        m.flush_caches();
+        let b = m.uncore();
+        m.run(0, |cpu| ks.emit(cpu));
+        let q32 = m.uncore().since(&b).traffic_bytes(64);
+        let ratio = q64 as f64 / q32 as f64;
+        assert!((ratio - 2.0).abs() < 0.2, "f64/f32 traffic ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn zero_size_rejected() {
+        let mut m = Machine::new(test_machine());
+        let _ = Daxpy::new(&mut m, 0);
+    }
+}

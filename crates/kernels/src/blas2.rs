@@ -1,0 +1,238 @@
+//! BLAS level-2: `dgemv`, the intermediate-intensity case study.
+
+use crate::util::{chunk_range, r};
+use crate::Kernel;
+use simx86::isa::{Precision, VecWidth};
+use simx86::{Buffer, Cpu, Machine};
+
+const P: Precision = Precision::F64;
+const W4: VecWidth = VecWidth::Y256;
+const WS: VecWidth = VecWidth::Scalar;
+
+/// Native `y = A*x + y` for a row-major `m x n` matrix.
+///
+/// # Panics
+///
+/// Panics when dimensions are inconsistent.
+pub fn dgemv(a: &[f64], x: &[f64], y: &mut [f64], m: usize, n: usize) {
+    assert_eq!(a.len(), m * n, "matrix size mismatch");
+    assert_eq!(x.len(), n, "x length mismatch");
+    assert_eq!(y.len(), m, "y length mismatch");
+    for i in 0..m {
+        let row = &a[i * n..(i + 1) * n];
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += row[j] * x[j];
+        }
+        y[i] += acc;
+    }
+}
+
+/// `dgemv`: row-major matrix-vector product, each row an AVX dot product
+/// with four accumulators.
+///
+/// The matrix streams from memory once while `x` is reused per row — the
+/// classic `O(n^2)` data / `O(n^2)` flops kernel whose intensity saturates
+/// around 1/4 flops/byte.
+#[derive(Debug, Clone, Copy)]
+pub struct Dgemv {
+    m: u64,
+    n: u64,
+    a: Buffer,
+    x: Buffer,
+    y: Buffer,
+}
+
+impl Dgemv {
+    /// Allocates an `n x n` problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(machine: &mut Machine, n: u64) -> Self {
+        Self::with_shape(machine, n, n)
+    }
+
+    /// Allocates an `m x n` problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn with_shape(machine: &mut Machine, m: u64, n: u64) -> Self {
+        assert!(m > 0 && n > 0, "dgemv needs m, n > 0");
+        Self {
+            m,
+            n,
+            a: machine.alloc(m * n * 8),
+            x: machine.alloc(n * 8),
+            y: machine.alloc(m * 8),
+        }
+    }
+
+    fn flops_per_row(&self) -> u64 {
+        let nv = self.n / 4;
+        let tail = self.n % 4;
+        let vec = 2 * nv * 4;
+        let reduction = if nv > 0 { 15 } else { 0 };
+        // Tail: scalar mul+add each; final scalar add into y.
+        vec + reduction + 2 * tail + 1
+    }
+}
+
+impl Kernel for Dgemv {
+    fn name(&self) -> String {
+        "dgemv".to_string()
+    }
+
+    fn param(&self) -> u64 {
+        self.n
+    }
+
+    fn flops(&self) -> u64 {
+        self.m * self.flops_per_row()
+    }
+
+    fn min_traffic(&self) -> u64 {
+        // A streamed once, x once, y read + written.
+        8 * (self.m * self.n + self.n + 2 * self.m)
+    }
+
+    fn working_set(&self) -> u64 {
+        8 * (self.m * self.n + self.n + self.m)
+    }
+
+    fn chunks(&self) -> u64 {
+        (self.m / 8).clamp(1, 64)
+    }
+
+    fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
+        let rows = chunk_range(self.m, chunk, nchunks);
+        for i in rows {
+            let row_base = i * self.n;
+            let mut j = 0;
+            let mut acc = 0u8;
+            let nv = self.n / 4;
+            while j + 4 <= self.n {
+                cpu.load(r(4), self.a.f64_at(row_base + j), W4, P);
+                cpu.load(r(5), self.x.f64_at(j), W4, P);
+                cpu.fmul(r(6), r(4), r(5), W4, P);
+                cpu.fadd(r(acc), r(acc), r(6), W4, P);
+                acc = (acc + 1) % 4;
+                j += 4;
+            }
+            if nv > 0 {
+                // Collapse the four accumulators and reduce horizontally.
+                cpu.fadd(r(0), r(0), r(1), W4, P);
+                cpu.fadd(r(2), r(2), r(3), W4, P);
+                cpu.fadd(r(0), r(0), r(2), W4, P);
+                cpu.fadd(r(0), r(0), r(0), VecWidth::X128, P);
+                cpu.fadd(r(0), r(0), r(0), WS, P);
+            }
+            while j < self.n {
+                cpu.load(r(4), self.a.f64_at(row_base + j), WS, P);
+                cpu.load(r(5), self.x.f64_at(j), WS, P);
+                cpu.fmul(r(6), r(4), r(5), WS, P);
+                cpu.fadd(r(0), r(0), r(6), WS, P);
+                j += 1;
+            }
+            // y[i] += acc.
+            cpu.load(r(7), self.y.f64_at(i), WS, P);
+            cpu.fadd(r(7), r(7), r(0), WS, P);
+            cpu.store(self.y.f64_at(i), r(7), WS, P);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simx86::config::test_machine;
+
+    #[test]
+    fn native_dgemv_identity() {
+        // 2x2 identity.
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let x = vec![3.0, 4.0];
+        let mut y = vec![0.0, 0.0];
+        dgemv(&a, &x, &mut y, 2, 2);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn native_dgemv_accumulates_into_y() {
+        let a = vec![1.0, 2.0, 3.0, 4.0]; // [[1,2],[3,4]]
+        let x = vec![1.0, 1.0];
+        let mut y = vec![10.0, 20.0];
+        dgemv(&a, &x, &mut y, 2, 2);
+        assert_eq!(y, vec![13.0, 27.0]);
+    }
+
+    #[test]
+    fn native_dgemv_rectangular() {
+        let a = vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0]; // 3x2
+        let x = vec![1.0, 5.0];
+        let mut y = vec![0.0; 3];
+        dgemv(&a, &x, &mut y, 3, 2);
+        assert_eq!(y, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn emitted_flops_match_analytic() {
+        for n in [1u64, 3, 4, 8, 17, 32] {
+            let mut m = Machine::new(test_machine());
+            let k = Dgemv::new(&mut m, n);
+            let before = m.core_counters(0);
+            m.run(0, |cpu| k.emit(cpu));
+            let counted = m.core_counters(0).since(&before).flops(Precision::F64);
+            assert_eq!(counted, k.flops(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn rectangular_emission_matches() {
+        let mut m = Machine::new(test_machine());
+        let k = Dgemv::with_shape(&mut m, 5, 13);
+        let before = m.core_counters(0);
+        m.run(0, |cpu| k.emit(cpu));
+        let counted = m.core_counters(0).since(&before).flops(Precision::F64);
+        assert_eq!(counted, k.flops());
+    }
+
+    #[test]
+    fn chunked_rows_preserve_work() {
+        let mut m = Machine::new(test_machine());
+        let k = Dgemv::new(&mut m, 16);
+        let before = m.core_counters(0);
+        m.run(0, |cpu| {
+            for c in 0..4 {
+                k.emit_chunk(cpu, c, 4);
+            }
+        });
+        let counted = m.core_counters(0).since(&before).flops(Precision::F64);
+        assert_eq!(counted, k.flops());
+    }
+
+    #[test]
+    fn approaches_two_flops_per_matrix_element() {
+        let mut m = Machine::new(test_machine());
+        let k = Dgemv::new(&mut m, 64);
+        let mathematical = 2 * 64u64 * 64;
+        let overhead = k.flops() as f64 / mathematical as f64;
+        assert!(overhead < 1.15, "reduction overhead too large: {overhead}");
+    }
+
+    #[test]
+    fn intensity_asymptote_quarter_flop_per_byte() {
+        let mut m = Machine::new(test_machine());
+        let k = Dgemv::new(&mut m, 128);
+        let i = k.analytic_intensity();
+        assert!(i > 0.2 && i < 0.3, "dgemv intensity ~0.25, got {i}");
+    }
+
+    #[test]
+    #[should_panic(expected = "m, n > 0")]
+    fn zero_dim_rejected() {
+        let mut m = Machine::new(test_machine());
+        let _ = Dgemv::with_shape(&mut m, 0, 4);
+    }
+}

@@ -1,0 +1,329 @@
+//! Iterative radix-2 complex FFT — the paper's library case study
+//! (standing in for MKL/FFTW/Spiral), in scalar and vectorized variants.
+//!
+//! Data layout is split complex (`re[]`, `im[]`), with per-stage twiddle
+//! tables packed contiguously: the stage with half-size `h` finds its `h`
+//! twiddles at offset `h - 1` (the prefix sum of all earlier halves).
+
+use crate::util::r;
+use crate::Kernel;
+use simx86::isa::{Precision, VecWidth};
+use simx86::{Buffer, Cpu, Machine};
+
+const P: Precision = Precision::F64;
+const W4: VecWidth = VecWidth::Y256;
+const WS: VecWidth = VecWidth::Scalar;
+
+// --- Native implementation ---------------------------------------------------
+
+fn bit_reverse_permute(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+}
+
+/// In-place forward DFT (radix-2 decimation in time).
+///
+/// # Panics
+///
+/// Panics unless `re.len() == im.len()` is a power of two `>= 2`.
+pub fn fft_radix2(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im length mismatch");
+    assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two >= 2");
+    bit_reverse_permute(re, im);
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        for start in (0..n).step_by(len) {
+            for j in 0..half {
+                let (w_im, w_re) = (ang * j as f64).sin_cos();
+                let a = start + j;
+                let b = a + half;
+                let t_re = re[b] * w_re - im[b] * w_im;
+                let t_im = re[b] * w_im + im[b] * w_re;
+                re[b] = re[a] - t_re;
+                im[b] = im[a] - t_im;
+                re[a] += t_re;
+                im[a] += t_im;
+            }
+        }
+        len *= 2;
+    }
+}
+
+/// Reference quadratic DFT, for validating [`fft_radix2`].
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn dft_reference(re: &[f64], im: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im length mismatch");
+    let mut out_re = vec![0.0; n];
+    let mut out_im = vec![0.0; n];
+    for (k, (or, oi)) in out_re.iter_mut().zip(out_im.iter_mut()).enumerate() {
+        for j in 0..n {
+            let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+            let (s, c) = ang.sin_cos();
+            *or += re[j] * c - im[j] * s;
+            *oi += re[j] * s + im[j] * c;
+        }
+    }
+    (out_re, out_im)
+}
+
+// --- Emitter ------------------------------------------------------------------
+
+/// The FFT kernel emitter.
+///
+/// `vectorized` selects AVX butterflies (four at a time) in every stage
+/// whose half-size is at least 4 — the "tuned library" variant; the scalar
+/// variant models straightforward compiled code.
+#[derive(Debug, Clone, Copy)]
+pub struct Fft {
+    n: u64,
+    vectorized: bool,
+    re: Buffer,
+    im: Buffer,
+    tw_re: Buffer,
+    tw_im: Buffer,
+}
+
+impl Fft {
+    /// Allocates data and twiddle tables for a size-`n` transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two `>= 2`.
+    pub fn new(machine: &mut Machine, n: u64, vectorized: bool) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two >= 2");
+        Self {
+            n,
+            vectorized,
+            re: machine.alloc(n * 8),
+            im: machine.alloc(n * 8),
+            tw_re: machine.alloc(n * 8),
+            tw_im: machine.alloc(n * 8),
+        }
+    }
+
+    fn log2n(&self) -> u64 {
+        self.n.trailing_zeros() as u64
+    }
+
+    /// Emits one butterfly (or four, when `w` is [`VecWidth::Y256`]).
+    /// `ta`/`tb` are the element indices of the butterfly top/bottom;
+    /// `tw` is the twiddle index.
+    fn butterfly(&self, cpu: &mut Cpu<'_>, ta: u64, tb: u64, tw: u64, w: VecWidth) {
+        cpu.load(r(0), self.tw_re.f64_at(tw), w, P);
+        cpu.load(r(1), self.tw_im.f64_at(tw), w, P);
+        cpu.load(r(2), self.re.f64_at(tb), w, P);
+        cpu.load(r(3), self.im.f64_at(tb), w, P);
+        cpu.load(r(4), self.re.f64_at(ta), w, P);
+        cpu.load(r(5), self.im.f64_at(ta), w, P);
+        // t = x[b] * w (complex).
+        cpu.fmul(r(6), r(2), r(0), w, P);
+        cpu.fmul(r(8), r(3), r(1), w, P);
+        cpu.fadd(r(6), r(6), r(8), w, P); // t_re = re*wre - im*wim
+        cpu.fmul(r(7), r(2), r(1), w, P);
+        cpu.fmul(r(9), r(3), r(0), w, P);
+        cpu.fadd(r(7), r(7), r(9), w, P); // t_im
+        // Butterfly combine.
+        cpu.fadd(r(10), r(4), r(6), w, P); // x[a] + t
+        cpu.fadd(r(11), r(5), r(7), w, P);
+        cpu.fadd(r(12), r(4), r(6), w, P); // x[a] - t
+        cpu.fadd(r(13), r(5), r(7), w, P);
+        cpu.store(self.re.f64_at(ta), r(10), w, P);
+        cpu.store(self.im.f64_at(ta), r(11), w, P);
+        cpu.store(self.re.f64_at(tb), r(12), w, P);
+        cpu.store(self.im.f64_at(tb), r(13), w, P);
+    }
+}
+
+impl Kernel for Fft {
+    fn name(&self) -> String {
+        if self.vectorized {
+            "fft-vec".to_string()
+        } else {
+            "fft".to_string()
+        }
+    }
+
+    fn param(&self) -> u64 {
+        self.n
+    }
+
+    fn flops(&self) -> u64 {
+        // 10 real flops per butterfly, n/2 butterflies per stage.
+        10 * (self.n / 2) * self.log2n()
+    }
+
+    fn min_traffic(&self) -> u64 {
+        // Data read + written once, twiddles read once.
+        16 * self.n + 16 * self.n + 16 * (self.n - 1)
+    }
+
+    fn working_set(&self) -> u64 {
+        // re + im + twiddle tables.
+        16 * self.n + 16 * (self.n - 1)
+    }
+
+    fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
+        assert_eq!(
+            nchunks, 1,
+            "FFT stages carry cross-chunk dependencies; run single-threaded"
+        );
+        assert_eq!(chunk, 0, "bad chunk");
+        let n = self.n;
+        let mut len = 2u64;
+        while len <= n {
+            let half = len / 2;
+            let tw_base = half - 1;
+            let mut start = 0;
+            while start < n {
+                let mut j = 0;
+                if self.vectorized && half >= 4 {
+                    while j + 4 <= half {
+                        self.butterfly(
+                            cpu,
+                            start + j,
+                            start + j + half,
+                            tw_base + j,
+                            W4,
+                        );
+                        j += 4;
+                    }
+                }
+                while j < half {
+                    self.butterfly(cpu, start + j, start + j + half, tw_base + j, WS);
+                    j += 1;
+                }
+                start += len;
+            }
+            len *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simx86::config::test_machine;
+    use simx86::pmu::CoreEvent;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut re = vec![0.0; 8];
+        let mut im = vec![0.0; 8];
+        re[0] = 1.0;
+        fft_radix2(&mut re, &mut im);
+        assert_close(&re, &[1.0; 8]);
+        assert_close(&im, &[0.0; 8]);
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for n in [2usize, 4, 16, 64] {
+            let re0: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) % 7) as f64 - 3.0).collect();
+            let im0: Vec<f64> = (0..n).map(|i| ((i * 11 + 2) % 5) as f64).collect();
+            let (want_re, want_im) = dft_reference(&re0, &im0);
+            let mut re = re0.clone();
+            let mut im = im0.clone();
+            fft_radix2(&mut re, &mut im);
+            assert_close(&re, &want_re);
+            assert_close(&im, &want_im);
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let mut re = vec![1.0; 16];
+        let mut im = vec![0.0; 16];
+        fft_radix2(&mut re, &mut im);
+        assert!((re[0] - 16.0).abs() < 1e-9);
+        for v in &re[1..] {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut re = vec![0.0; 6];
+        let mut im = vec![0.0; 6];
+        fft_radix2(&mut re, &mut im);
+    }
+
+    #[test]
+    fn emitted_flops_exact_scalar_and_vector() {
+        for n in [4u64, 8, 32, 128] {
+            for vec in [false, true] {
+                let mut m = Machine::new(test_machine());
+                let k = Fft::new(&mut m, n, vec);
+                let before = m.core_counters(0);
+                m.run(0, |cpu| k.emit(cpu));
+                let counted = m.core_counters(0).since(&before).flops(Precision::F64);
+                assert_eq!(counted, k.flops(), "n = {n}, vec = {vec}");
+            }
+        }
+    }
+
+    #[test]
+    fn vector_variant_uses_avx_events() {
+        let mut m = Machine::new(test_machine());
+        let k = Fft::new(&mut m, 64, true);
+        let before = m.core_counters(0);
+        m.run(0, |cpu| k.emit(cpu));
+        let d = m.core_counters(0).since(&before);
+        assert!(d.get(CoreEvent::FpPacked256Double) > 0);
+        // Early stages (half < 4) stay scalar.
+        assert!(d.get(CoreEvent::FpScalarDouble) > 0);
+    }
+
+    #[test]
+    fn vector_variant_is_faster() {
+        let time = |vec: bool| {
+            let mut m = Machine::new(test_machine());
+            let k = Fft::new(&mut m, 256, vec);
+            let t0 = m.tsc();
+            m.run(0, |cpu| k.emit(cpu));
+            m.tsc() - t0
+        };
+        let scalar = time(false);
+        let vector = time(true);
+        assert!(
+            vector < scalar * 0.6,
+            "vectorized FFT should be much faster: {vector} vs {scalar}"
+        );
+    }
+
+    #[test]
+    fn flop_formula_is_5nlogn() {
+        let mut m = Machine::new(test_machine());
+        let k = Fft::new(&mut m, 1024, true);
+        assert_eq!(k.flops(), 5 * 1024 * 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-threaded")]
+    fn fft_refuses_parallel_chunks() {
+        let mut m = Machine::new(test_machine());
+        let k = Fft::new(&mut m, 16, false);
+        m.run(0, |cpu| k.emit_chunk(cpu, 0, 2));
+    }
+}

@@ -1,0 +1,158 @@
+//! # kernels
+//!
+//! The kernels evaluated in the ISPASS'14 roofline study, each in two
+//! coupled forms:
+//!
+//! 1. a **native Rust implementation** (`native` functions in each module)
+//!    that computes real numbers — used by the test suite to check that the
+//!    algorithms are actually correct; and
+//! 2. an **instruction-stream emitter** (the [`Kernel`] implementations)
+//!    that replays the same algorithm's operation/memory-access shape on a
+//!    [`simx86`] machine, which is what the measurement harness profiles.
+//!
+//! The two are kept in lock-step: every kernel also exposes an **analytic
+//! flop count** and **minimum compulsory DRAM traffic**, and the test suite
+//! asserts that the emitted stream's PMU-counted work matches the analytic
+//! `W` exactly — the same counter-validation experiment the paper runs
+//! (experiments E5/E6).
+//!
+//! Provided kernels:
+//!
+//! * [`blas1`] — `daxpy`, `ddot`, `dscal`, `dcopy`, STREAM `triad`, `dsum`
+//! * [`blas2`] — `dgemv` (row-major, vectorized rows)
+//! * [`blas3`] — `dgemm` naive (scalar `ijk`) and blocked+vectorized
+//! * [`fft`] — iterative radix-2 complex FFT, scalar and vectorized passes
+//! * [`wht`] — Walsh–Hadamard transform
+//! * [`stencil`] — Jacobi 2-D sweep
+//! * [`spmv`] — CSR sparse matrix–vector product (irregular gather)
+//! * [`maxpool`] — max-reduction kernel whose work the FP events cannot
+//!   see (the paper's applicability limitation)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blas1;
+pub mod blas2;
+pub mod blas3;
+pub mod fft;
+pub mod maxpool;
+pub mod spmv;
+pub mod stencil;
+pub mod wht;
+
+use simx86::Cpu;
+
+/// A kernel bound to buffers on a specific machine.
+///
+/// Construct with each kernel type's `new(&mut Machine, ...)`, then hand
+/// the emitter to the measurement harness.
+pub trait Kernel {
+    /// Display name, including the variant (e.g. `"dgemm-blocked"`).
+    fn name(&self) -> String;
+
+    /// The problem-size parameter swept in trajectories.
+    fn param(&self) -> u64;
+
+    /// Analytic flop count `W` of one execution.
+    fn flops(&self) -> u64;
+
+    /// Analytic *minimum* DRAM traffic in bytes of one cold execution:
+    /// compulsory misses only (each input read once, each output written
+    /// once). Real measured `Q` is at least this, inflated by capacity
+    /// misses, write-allocate reads and prefetch overshoot.
+    fn min_traffic(&self) -> u64;
+
+    /// Bytes of data the kernel touches (for cache-residency reasoning).
+    fn working_set(&self) -> u64;
+
+    /// How many independent chunks the kernel can be split into for
+    /// multi-threaded execution (1 = single-threaded only).
+    fn chunks(&self) -> u64 {
+        1
+    }
+
+    /// Emits chunk `chunk` of `nchunks` onto a core. With `nchunks == 1`
+    /// this is the whole kernel.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `chunk >= nchunks` or the kernel cannot be
+    /// split into `nchunks`.
+    fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64);
+
+    /// Emits the whole kernel single-threaded.
+    fn emit(&self, cpu: &mut Cpu<'_>) {
+        self.emit_chunk(cpu, 0, 1);
+    }
+
+    /// Operational intensity floor `flops / min_traffic` (the x-position a
+    /// perfectly cached cold run would have).
+    fn analytic_intensity(&self) -> f64 {
+        self.flops() as f64 / self.min_traffic() as f64
+    }
+}
+
+pub(crate) mod util {
+    //! Shared emitter helpers.
+    use simx86::isa::Reg;
+
+    /// Splits `n` items into `nchunks` contiguous ranges; chunk sizes
+    /// differ by at most one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk >= nchunks` or `nchunks == 0`.
+    pub fn chunk_range(n: u64, chunk: u64, nchunks: u64) -> std::ops::Range<u64> {
+        assert!(nchunks > 0 && chunk < nchunks, "bad chunk {chunk}/{nchunks}");
+        let base = n / nchunks;
+        let rem = n % nchunks;
+        let start = chunk * base + chunk.min(rem);
+        let len = base + u64::from(chunk < rem);
+        start..start + len
+    }
+
+    /// Shorthand register constructor.
+    pub fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn chunks_partition_exactly() {
+            for n in [0u64, 1, 7, 64, 1000] {
+                for k in [1u64, 2, 3, 7] {
+                    let mut total = 0;
+                    let mut next = 0;
+                    for c in 0..k {
+                        let range = chunk_range(n, c, k);
+                        assert_eq!(range.start, next);
+                        next = range.end;
+                        total += range.end - range.start;
+                    }
+                    assert_eq!(total, n);
+                    assert_eq!(next, n);
+                }
+            }
+        }
+
+        #[test]
+        fn chunk_sizes_balanced() {
+            let sizes: Vec<u64> = (0..4)
+                .map(|c| {
+                    let r = chunk_range(10, c, 4);
+                    r.end - r.start
+                })
+                .collect();
+            assert_eq!(sizes, vec![3, 3, 2, 2]);
+        }
+
+        #[test]
+        #[should_panic(expected = "bad chunk")]
+        fn chunk_out_of_range_panics() {
+            let _ = chunk_range(10, 4, 4);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Max-pooling — a kernel whose "work" is invisible to the FP flop events.
+//!
+//! The paper's applicability discussion (and the follow-up deep-learning
+//! study) note that kernels dominated by comparisons and data movement
+//! (ReLU, max-pooling, reorders) cannot be measured with the FP counter
+//! methodology: `vmaxpd` retires without incrementing any FLOP event. This
+//! kernel exists to *demonstrate* that blind spot in experiment E2/E5: its
+//! PMU-measured `W` is zero while [`MaxPool1d::true_ops`] reports the real
+//! operation count.
+
+use crate::util::{chunk_range, r};
+use crate::Kernel;
+use simx86::isa::{Precision, VecWidth};
+use simx86::{Buffer, Cpu, Machine};
+
+const P: Precision = Precision::F64;
+const WS: VecWidth = VecWidth::Scalar;
+
+/// Native 1-D max pooling with window and stride 4.
+///
+/// # Panics
+///
+/// Panics unless `x.len()` is a positive multiple of 4.
+pub fn maxpool1d(x: &[f64]) -> Vec<f64> {
+    assert!(!x.is_empty() && x.len() % 4 == 0, "length must be a positive multiple of 4");
+    x.chunks_exact(4)
+        .map(|w| w.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        .collect()
+}
+
+/// The max-pooling emitter (window 4, stride 4, scalar `vmaxsd` chain).
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPool1d {
+    n: u64,
+    x: Buffer,
+    out: Buffer,
+}
+
+impl MaxPool1d {
+    /// Allocates input of length `n` (output `n/4`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a positive multiple of 4.
+    pub fn new(machine: &mut Machine, n: u64) -> Self {
+        assert!(n > 0 && n % 4 == 0, "n must be a positive multiple of 4");
+        Self {
+            n,
+            x: machine.alloc(n * 8),
+            out: machine.alloc(n / 4 * 8),
+        }
+    }
+
+    /// The number of max operations actually performed — the work the PMU
+    /// methodology cannot see.
+    pub fn true_ops(&self) -> u64 {
+        3 * (self.n / 4)
+    }
+}
+
+impl Kernel for MaxPool1d {
+    fn name(&self) -> String {
+        "maxpool1d".to_string()
+    }
+
+    fn param(&self) -> u64 {
+        self.n
+    }
+
+    /// Zero **by design**: max operations do not increment FP flop events.
+    fn flops(&self) -> u64 {
+        0
+    }
+
+    fn min_traffic(&self) -> u64 {
+        8 * self.n + 2 * self.n // input read + output written
+    }
+
+    fn working_set(&self) -> u64 {
+        8 * self.n + 2 * self.n
+    }
+
+    fn chunks(&self) -> u64 {
+        (self.n / 256).clamp(1, 64)
+    }
+
+    fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
+        let outs = chunk_range(self.n / 4, chunk, nchunks);
+        for o in outs {
+            let base = o * 4;
+            cpu.load(r(0), self.x.f64_at(base), WS, P);
+            for t in 1..4 {
+                cpu.load(r(1), self.x.f64_at(base + t), WS, P);
+                cpu.fmax(r(0), r(0), r(1), WS, P);
+            }
+            cpu.store(self.out.f64_at(o), r(0), WS, P);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simx86::config::test_machine;
+    use simx86::pmu::CoreEvent;
+
+    #[test]
+    fn native_maxpool_picks_window_maxima() {
+        let x = vec![1.0, 9.0, 2.0, 3.0, -5.0, -1.0, -9.0, -2.0];
+        assert_eq!(maxpool1d(&x), vec![9.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn native_rejects_ragged_input() {
+        let _ = maxpool1d(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn pmu_sees_zero_flops_despite_real_work() {
+        let mut m = Machine::new(test_machine());
+        let k = MaxPool1d::new(&mut m, 1024);
+        let before = m.core_counters(0);
+        m.run(0, |cpu| k.emit(cpu));
+        let d = m.core_counters(0).since(&before);
+        // The methodology blind spot: W measures 0...
+        assert_eq!(d.flops(Precision::F64), 0);
+        // ...while the kernel really retired instructions and moved data.
+        assert!(d.get(CoreEvent::InstRetired) > 1024);
+        assert_eq!(k.true_ops(), 3 * 256);
+    }
+
+    #[test]
+    fn traffic_still_measurable() {
+        let mut m = Machine::new(test_machine());
+        m.set_prefetch(false, false);
+        let k = MaxPool1d::new(&mut m, 4096);
+        m.flush_caches();
+        let before = m.uncore();
+        m.run(0, |cpu| k.emit(cpu));
+        let q = m.uncore().since(&before).traffic_bytes(64);
+        assert!(q >= 8 * 4096, "input must at least stream in, q = {q}");
+    }
+}

@@ -1,0 +1,344 @@
+//! Sparse matrix–vector multiplication (CSR) — the classic
+//! irregular-access, memory-bound roofline case study. Unlike the dense
+//! kernels, its traffic depends on the gather locality of `x`, which makes
+//! it the interesting "measured Q tells you something analysis cannot"
+//! example.
+
+use crate::util::{chunk_range, r};
+use crate::Kernel;
+use simx86::isa::{Precision, VecWidth};
+use simx86::{Buffer, Cpu, Machine};
+
+const P: Precision = Precision::F64;
+const WS: VecWidth = VecWidth::Scalar;
+
+/// A compressed-sparse-row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from explicit parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parts are inconsistent (wrong `row_ptr` length,
+    /// non-monotone `row_ptr`, column index out of range, or
+    /// `col_idx`/`values` length mismatch).
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), rows + 1, "row_ptr must have rows+1 entries");
+        assert_eq!(col_idx.len(), values.len(), "col_idx/values length mismatch");
+        assert_eq!(*row_ptr.last().unwrap(), values.len(), "row_ptr end != nnz");
+        assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr must be non-decreasing"
+        );
+        assert!(
+            col_idx.iter().all(|&c| c < cols),
+            "column index out of range"
+        );
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// A deterministic pseudo-random banded-ish matrix with `nnz_per_row`
+    /// entries per row (columns drawn from an LCG, duplicates allowed in
+    /// distinct rows but unique within a row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nnz_per_row` is zero or exceeds `cols`.
+    pub fn random(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> Self {
+        assert!(nnz_per_row > 0 && nnz_per_row <= cols, "bad nnz_per_row");
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::with_capacity(rows * nnz_per_row);
+        let mut values = Vec::with_capacity(rows * nnz_per_row);
+        row_ptr.push(0);
+        for _ in 0..rows {
+            let mut cols_in_row: Vec<usize> = (0..nnz_per_row).map(|_| next() % cols).collect();
+            cols_in_row.sort_unstable();
+            cols_in_row.dedup();
+            for &c in &cols_in_row {
+                col_idx.push(c);
+                values.push(((next() % 1000) as f64 - 500.0) / 250.0);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self::new(rows, cols, row_ptr, col_idx, values)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `y = A * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "x length mismatch");
+        assert_eq!(y.len(), self.rows, "y length mismatch");
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[i] = acc;
+        }
+    }
+}
+
+/// The SpMV kernel emitter: scalar CSR loop with real gather addresses
+/// taken from the matrix structure.
+#[derive(Debug, Clone)]
+pub struct Spmv {
+    matrix: Csr,
+    values: Buffer,
+    col_idx: Buffer,
+    row_ptr: Buffer,
+    x: Buffer,
+    y: Buffer,
+}
+
+impl Spmv {
+    /// Binds a CSR matrix to simulated buffers on `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has no non-zeros.
+    pub fn new(machine: &mut Machine, matrix: Csr) -> Self {
+        assert!(matrix.nnz() > 0, "empty matrix");
+        let nnz = matrix.nnz() as u64;
+        let rows = matrix.rows() as u64;
+        let cols = matrix.cols() as u64;
+        Self {
+            values: machine.alloc(nnz * 8),
+            col_idx: machine.alloc(nnz * 8),
+            row_ptr: machine.alloc((rows + 1) * 8),
+            x: machine.alloc(cols * 8),
+            y: machine.alloc(rows * 8),
+            matrix,
+        }
+    }
+
+    /// The bound matrix.
+    pub fn matrix(&self) -> &Csr {
+        &self.matrix
+    }
+}
+
+impl Kernel for Spmv {
+    fn name(&self) -> String {
+        "spmv-csr".to_string()
+    }
+
+    fn param(&self) -> u64 {
+        self.matrix.rows() as u64
+    }
+
+    fn flops(&self) -> u64 {
+        2 * self.matrix.nnz() as u64
+    }
+
+    fn min_traffic(&self) -> u64 {
+        // values + col_idx streamed once, row_ptr once, x at least once
+        // (gather locality decides the real number), y written once.
+        let nnz = self.matrix.nnz() as u64;
+        let rows = self.matrix.rows() as u64;
+        let cols = self.matrix.cols() as u64;
+        16 * nnz + 8 * (rows + 1) + 8 * cols + 8 * rows
+    }
+
+    fn working_set(&self) -> u64 {
+        self.min_traffic()
+    }
+
+    fn chunks(&self) -> u64 {
+        (self.matrix.rows() as u64 / 16).clamp(1, 64)
+    }
+
+    fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
+        let rows = chunk_range(self.matrix.rows() as u64, chunk, nchunks);
+        for i in rows {
+            let i = i as usize;
+            // Row bounds: two row_ptr loads (the second is the next row's
+            // first, modelled as one load per row plus one extra at entry).
+            cpu.load(r(4), self.row_ptr.f64_at(i as u64), WS, P);
+            let mut first = true;
+            for k in self.matrix.row_ptr[i]..self.matrix.row_ptr[i + 1] {
+                let col = self.matrix.col_idx[k] as u64;
+                cpu.load(r(1), self.col_idx.f64_at(k as u64), WS, P);
+                cpu.load(r(2), self.values.f64_at(k as u64), WS, P);
+                // The gather: x[col] at its true (irregular) address.
+                cpu.load(r(3), self.x.f64_at(col), WS, P);
+                cpu.fmul(r(5), r(2), r(3), WS, P);
+                if first {
+                    cpu.mov(r(0), r(5));
+                    // The first product still counts both flops: a mul
+                    // happened, and the add is folded away — mirror that
+                    // by emitting the add against a zeroed accumulator.
+                    cpu.fadd(r(0), r(0), r(6), WS, P);
+                    first = false;
+                } else {
+                    cpu.fadd(r(0), r(0), r(5), WS, P);
+                }
+            }
+            cpu.store(self.y.f64_at(i as u64), r(0), WS, P);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simx86::config::test_machine;
+
+    fn small() -> Csr {
+        // [[1, 0, 2],
+        //  [0, 3, 0],
+        //  [4, 0, 5]]
+        Csr::new(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+    }
+
+    #[test]
+    fn native_spmv_matches_hand_result() {
+        let a = small();
+        let x = [1.0, 10.0, 100.0];
+        let mut y = [0.0; 3];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, [201.0, 30.0, 504.0]);
+    }
+
+    #[test]
+    fn native_spmv_matches_dense_gemv() {
+        let a = Csr::random(24, 24, 5, 7);
+        // Expand to dense and compare against blas2::dgemv.
+        let mut dense = vec![0.0; 24 * 24];
+        for i in 0..24 {
+            for k in a.row_ptr[i]..a.row_ptr[i + 1] {
+                dense[i * 24 + a.col_idx[k]] = a.values[k];
+            }
+        }
+        let x: Vec<f64> = (0..24).map(|i| (i as f64) * 0.5 - 3.0).collect();
+        let mut y_sparse = vec![0.0; 24];
+        a.spmv(&x, &mut y_sparse);
+        let mut y_dense = vec![0.0; 24];
+        crate::blas2::dgemv(&dense, &x, &mut y_dense, 24, 24);
+        for (s, d) in y_sparse.iter().zip(&y_dense) {
+            assert!((s - d).abs() < 1e-9, "{s} vs {d}");
+        }
+    }
+
+    #[test]
+    fn random_matrix_well_formed() {
+        let a = Csr::random(100, 64, 8, 42);
+        assert_eq!(a.rows(), 100);
+        assert_eq!(a.cols(), 64);
+        assert!(a.nnz() > 100, "should have multiple nnz per row");
+        // Determinism.
+        assert_eq!(a, Csr::random(100, 64, 8, 42));
+        assert_ne!(a, Csr::random(100, 64, 8, 43));
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr")]
+    fn inconsistent_parts_rejected() {
+        let _ = Csr::new(2, 2, vec![0, 1], vec![0], vec![1.0]);
+    }
+
+    #[test]
+    fn emitted_flops_exact() {
+        let mut m = Machine::new(test_machine());
+        let a = Csr::random(32, 32, 4, 3);
+        let k = Spmv::new(&mut m, a);
+        let before = m.core_counters(0);
+        m.run(0, |cpu| k.emit(cpu));
+        let counted = m.core_counters(0).since(&before).flops(Precision::F64);
+        assert_eq!(counted, k.flops());
+    }
+
+    #[test]
+    fn chunked_rows_preserve_work() {
+        let mut m = Machine::new(test_machine());
+        let k = Spmv::new(&mut m, Csr::random(48, 48, 3, 11));
+        let before = m.core_counters(0);
+        m.run(0, |cpu| {
+            for c in 0..4 {
+                k.emit_chunk(cpu, c, 4);
+            }
+        });
+        let counted = m.core_counters(0).since(&before).flops(Precision::F64);
+        assert_eq!(counted, k.flops());
+    }
+
+    #[test]
+    fn spmv_is_low_intensity() {
+        let mut m = Machine::new(test_machine());
+        let k = Spmv::new(&mut m, Csr::random(64, 64, 8, 5));
+        assert!(
+            k.analytic_intensity() < 0.15,
+            "SpMV intensity should be well below 1/8, got {}",
+            k.analytic_intensity()
+        );
+    }
+
+    #[test]
+    fn gather_traffic_exceeds_streaming_minimum() {
+        // With x much larger than the caches and random columns, the
+        // gather re-reads x lines: measured Q > analytic minimum.
+        let mut m = Machine::new(test_machine());
+        m.set_prefetch(false, false);
+        let a = Csr::random(256, 4096, 8, 9);
+        let k = Spmv::new(&mut m, a);
+        m.flush_caches();
+        let before = m.uncore();
+        m.run(0, |cpu| k.emit(cpu));
+        let q = m.uncore().since(&before).traffic_bytes(64);
+        assert!(
+            q > k.min_traffic() / 2,
+            "traffic {q} implausibly low vs min {}",
+            k.min_traffic()
+        );
+    }
+}

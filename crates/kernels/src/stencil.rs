@@ -1,0 +1,211 @@
+//! Jacobi 2-D stencil — an extension kernel with intensity between the
+//! BLAS-1 streams and the transforms.
+
+use crate::util::{chunk_range, r};
+use crate::Kernel;
+use simx86::isa::{Precision, VecWidth};
+use simx86::{Buffer, Cpu, Machine};
+
+const P: Precision = Precision::F64;
+const W4: VecWidth = VecWidth::Y256;
+const WS: VecWidth = VecWidth::Scalar;
+
+/// One Jacobi sweep: `out[i][j] = 0.25 * (N + S + W + E)` on the interior
+/// of a `rows x cols` row-major grid; the boundary is copied unchanged.
+///
+/// # Panics
+///
+/// Panics when slice lengths don't match the grid, or the grid is smaller
+/// than 3×3.
+pub fn jacobi2d(input: &[f64], out: &mut [f64], rows: usize, cols: usize) {
+    assert!(rows >= 3 && cols >= 3, "grid must be at least 3x3");
+    assert_eq!(input.len(), rows * cols, "input size mismatch");
+    assert_eq!(out.len(), rows * cols, "output size mismatch");
+    out.copy_from_slice(input);
+    for i in 1..rows - 1 {
+        for j in 1..cols - 1 {
+            out[i * cols + j] = 0.25
+                * (input[(i - 1) * cols + j]
+                    + input[(i + 1) * cols + j]
+                    + input[i * cols + j - 1]
+                    + input[i * cols + j + 1]);
+        }
+    }
+}
+
+/// The Jacobi sweep emitter (vectorized along rows).
+#[derive(Debug, Clone, Copy)]
+pub struct Jacobi2d {
+    rows: u64,
+    cols: u64,
+    input: Buffer,
+    out: Buffer,
+}
+
+impl Jacobi2d {
+    /// Allocates a square `n x n` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn new(machine: &mut Machine, n: u64) -> Self {
+        Self::with_shape(machine, n, n)
+    }
+
+    /// Allocates a `rows x cols` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 3.
+    pub fn with_shape(machine: &mut Machine, rows: u64, cols: u64) -> Self {
+        assert!(rows >= 3 && cols >= 3, "grid must be at least 3x3");
+        Self {
+            rows,
+            cols,
+            input: machine.alloc(rows * cols * 8),
+            out: machine.alloc(rows * cols * 8),
+        }
+    }
+
+    fn point(&self, cpu: &mut Cpu<'_>, i: u64, j: u64, w: VecWidth) {
+        let c = self.cols;
+        cpu.load(r(0), self.input.f64_at((i - 1) * c + j), w, P);
+        cpu.load(r(1), self.input.f64_at((i + 1) * c + j), w, P);
+        cpu.load(r(2), self.input.f64_at(i * c + j - 1), w, P);
+        cpu.load(r(3), self.input.f64_at(i * c + j + 1), w, P);
+        cpu.fadd(r(4), r(0), r(1), w, P);
+        cpu.fadd(r(5), r(2), r(3), w, P);
+        cpu.fadd(r(4), r(4), r(5), w, P);
+        cpu.fmul(r(4), r(4), r(15), w, P); // r15 holds 0.25
+        cpu.store(self.out.f64_at(i * c + j), r(4), w, P);
+    }
+}
+
+impl Kernel for Jacobi2d {
+    fn name(&self) -> String {
+        "jacobi2d".to_string()
+    }
+
+    fn param(&self) -> u64 {
+        self.cols
+    }
+
+    fn flops(&self) -> u64 {
+        4 * (self.rows - 2) * (self.cols - 2)
+    }
+
+    fn min_traffic(&self) -> u64 {
+        // Input read once, interior of the output written once (plus its
+        // write-allocate read in the non-NT store path, not counted here).
+        8 * self.rows * self.cols + 8 * (self.rows - 2) * (self.cols - 2)
+    }
+
+    fn working_set(&self) -> u64 {
+        16 * self.rows * self.cols
+    }
+
+    fn chunks(&self) -> u64 {
+        ((self.rows - 2) / 4).clamp(1, 64)
+    }
+
+    fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
+        // Rows 1..rows-1 split across chunks.
+        let interior = chunk_range(self.rows - 2, chunk, nchunks);
+        for ii in interior {
+            let i = ii + 1;
+            let mut j = 1;
+            while j + 4 <= self.cols - 1 {
+                self.point(cpu, i, j, W4);
+                j += 4;
+            }
+            while j < self.cols - 1 {
+                self.point(cpu, i, j, WS);
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simx86::config::test_machine;
+
+    #[test]
+    fn constant_field_is_fixed_point() {
+        let (r_, c_) = (5, 5);
+        let input = vec![7.0; r_ * c_];
+        let mut out = vec![0.0; r_ * c_];
+        jacobi2d(&input, &mut out, r_, c_);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn single_hot_point_spreads_to_neighbours() {
+        let (r_, c_) = (5, 5);
+        let mut input = vec![0.0; r_ * c_];
+        input[2 * c_ + 2] = 4.0;
+        let mut out = vec![0.0; r_ * c_];
+        jacobi2d(&input, &mut out, r_, c_);
+        // The hot point averages to zero; its four neighbours get 1.0.
+        assert_eq!(out[2 * c_ + 2], 0.0);
+        assert_eq!(out[1 * c_ + 2], 1.0);
+        assert_eq!(out[3 * c_ + 2], 1.0);
+        assert_eq!(out[2 * c_ + 1], 1.0);
+        assert_eq!(out[2 * c_ + 3], 1.0);
+    }
+
+    #[test]
+    fn boundary_copied_unchanged() {
+        let (r_, c_) = (4, 6);
+        let input: Vec<f64> = (0..r_ * c_).map(|i| i as f64).collect();
+        let mut out = vec![0.0; r_ * c_];
+        jacobi2d(&input, &mut out, r_, c_);
+        for j in 0..c_ {
+            assert_eq!(out[j], input[j]);
+            assert_eq!(out[(r_ - 1) * c_ + j], input[(r_ - 1) * c_ + j]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3")]
+    fn tiny_grid_rejected() {
+        let input = vec![0.0; 4];
+        let mut out = vec![0.0; 4];
+        jacobi2d(&input, &mut out, 2, 2);
+    }
+
+    #[test]
+    fn emitted_flops_exact() {
+        for n in [3u64, 5, 10, 18] {
+            let mut m = Machine::new(test_machine());
+            let k = Jacobi2d::new(&mut m, n);
+            let before = m.core_counters(0);
+            m.run(0, |cpu| k.emit(cpu));
+            let counted = m.core_counters(0).since(&before).flops(Precision::F64);
+            assert_eq!(counted, k.flops(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn chunked_rows_preserve_work() {
+        let mut m = Machine::new(test_machine());
+        let k = Jacobi2d::new(&mut m, 20);
+        let before = m.core_counters(0);
+        m.run(0, |cpu| {
+            for c in 0..k.chunks() {
+                k.emit_chunk(cpu, c, k.chunks());
+            }
+        });
+        let counted = m.core_counters(0).since(&before).flops(Precision::F64);
+        assert_eq!(counted, k.flops());
+    }
+
+    #[test]
+    fn intensity_around_quarter() {
+        let mut m = Machine::new(test_machine());
+        let k = Jacobi2d::new(&mut m, 64);
+        let i = k.analytic_intensity();
+        assert!(i > 0.2 && i < 0.3, "expected ~0.25, got {i}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Walsh–Hadamard transform — the Spiral-generated case study of the
+//! paper, structurally an FFT without twiddle factors.
+
+use crate::util::r;
+use crate::Kernel;
+use simx86::isa::{Precision, VecWidth};
+use simx86::{Buffer, Cpu, Machine};
+
+const P: Precision = Precision::F64;
+const W4: VecWidth = VecWidth::Y256;
+const WS: VecWidth = VecWidth::Scalar;
+
+/// In-place Walsh–Hadamard transform (natural / Hadamard ordering).
+///
+/// # Panics
+///
+/// Panics unless the length is a power of two `>= 2`.
+pub fn wht(x: &mut [f64]) {
+    let n = x.len();
+    assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two >= 2");
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            for j in 0..half {
+                let a = start + j;
+                let b = a + half;
+                let (u, v) = (x[a], x[b]);
+                x[a] = u + v;
+                x[b] = u - v;
+            }
+        }
+        len *= 2;
+    }
+}
+
+/// The WHT kernel emitter (scalar or AVX butterflies).
+#[derive(Debug, Clone, Copy)]
+pub struct Wht {
+    n: u64,
+    vectorized: bool,
+    x: Buffer,
+}
+
+impl Wht {
+    /// Allocates a size-`n` in-place transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two `>= 2`.
+    pub fn new(machine: &mut Machine, n: u64, vectorized: bool) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two >= 2");
+        Self {
+            n,
+            vectorized,
+            x: machine.alloc(n * 8),
+        }
+    }
+
+    fn butterfly(&self, cpu: &mut Cpu<'_>, a: u64, b: u64, w: VecWidth) {
+        cpu.load(r(0), self.x.f64_at(a), w, P);
+        cpu.load(r(1), self.x.f64_at(b), w, P);
+        cpu.fadd(r(2), r(0), r(1), w, P);
+        cpu.fadd(r(3), r(0), r(1), w, P); // subtraction counts as add
+        cpu.store(self.x.f64_at(a), r(2), w, P);
+        cpu.store(self.x.f64_at(b), r(3), w, P);
+    }
+}
+
+impl Kernel for Wht {
+    fn name(&self) -> String {
+        if self.vectorized {
+            "wht-vec".to_string()
+        } else {
+            "wht".to_string()
+        }
+    }
+
+    fn param(&self) -> u64 {
+        self.n
+    }
+
+    fn flops(&self) -> u64 {
+        // 2 flops per butterfly, n/2 butterflies per stage, log2(n) stages.
+        self.n * self.n.trailing_zeros() as u64
+    }
+
+    fn min_traffic(&self) -> u64 {
+        16 * self.n
+    }
+
+    fn working_set(&self) -> u64 {
+        8 * self.n
+    }
+
+    fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
+        assert_eq!(
+            nchunks, 1,
+            "WHT stages carry cross-chunk dependencies; run single-threaded"
+        );
+        assert_eq!(chunk, 0, "bad chunk");
+        let n = self.n;
+        let mut len = 2u64;
+        while len <= n {
+            let half = len / 2;
+            let mut start = 0;
+            while start < n {
+                let mut j = 0;
+                if self.vectorized && half >= 4 {
+                    while j + 4 <= half {
+                        self.butterfly(cpu, start + j, start + j + half, W4);
+                        j += 4;
+                    }
+                }
+                while j < half {
+                    self.butterfly(cpu, start + j, start + j + half, WS);
+                    j += 1;
+                }
+                start += len;
+            }
+            len *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simx86::config::test_machine;
+
+    #[test]
+    fn wht_of_impulse_is_constant() {
+        let mut x = vec![0.0; 8];
+        x[0] = 1.0;
+        wht(&mut x);
+        assert_eq!(x, vec![1.0; 8]);
+    }
+
+    #[test]
+    fn wht_is_self_inverse_up_to_n() {
+        let orig: Vec<f64> = (0..16).map(|i| (i as f64) * 0.5 - 3.0).collect();
+        let mut x = orig.clone();
+        wht(&mut x);
+        wht(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((a - b * 16.0).abs() < 1e-9, "{a} vs {}", b * 16.0);
+        }
+    }
+
+    #[test]
+    fn wht_size_two() {
+        let mut x = vec![3.0, 5.0];
+        wht(&mut x);
+        assert_eq!(x, vec![8.0, -2.0]);
+    }
+
+    #[test]
+    fn parseval_energy_scales_by_n() {
+        let orig: Vec<f64> = (0..32).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let mut x = orig.clone();
+        wht(&mut x);
+        let e0: f64 = orig.iter().map(|v| v * v).sum();
+        let e1: f64 = x.iter().map(|v| v * v).sum();
+        assert!((e1 - 32.0 * e0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn emitted_flops_exact() {
+        for n in [2u64, 8, 64, 256] {
+            for vec in [false, true] {
+                let mut m = Machine::new(test_machine());
+                let k = Wht::new(&mut m, n, vec);
+                let before = m.core_counters(0);
+                m.run(0, |cpu| k.emit(cpu));
+                let counted = m.core_counters(0).since(&before).flops(Precision::F64);
+                assert_eq!(counted, k.flops(), "n = {n}, vec = {vec}");
+            }
+        }
+    }
+
+    #[test]
+    fn flops_formula_nlogn() {
+        let mut m = Machine::new(test_machine());
+        let k = Wht::new(&mut m, 256, false);
+        assert_eq!(k.flops(), 256 * 8);
+    }
+
+    #[test]
+    fn low_intensity_kernel() {
+        let mut m = Machine::new(test_machine());
+        let k = Wht::new(&mut m, 1 << 12, true);
+        // n log n flops over 16n bytes: log n / 16 = 0.75 flops/B at n=2^12.
+        assert!((k.analytic_intensity() - 12.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_size_rejected() {
+        let mut m = Machine::new(test_machine());
+        let _ = Wht::new(&mut m, 12, false);
+    }
+}

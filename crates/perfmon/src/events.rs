@@ -1,0 +1,184 @@
+//! Perf-style event selection by hardware event name.
+//!
+//! The paper programs counters through `perf` using the textual event
+//! names (`FP_COMP_OPS_EXE.SSE_SCALAR_DOUBLE`, `UNC_IMC_DRAM_DATA_READS`,
+//! …). This module provides the same front door for the simulated PMU:
+//! parse a name (case-insensitively), get a typed event selector, read it
+//! from a machine.
+
+use simx86::pmu::{CoreEvent, UncoreEvent};
+use simx86::Machine;
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed event selector: either a per-core event (read with a core id)
+/// or a machine-wide uncore event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventSelector {
+    /// A per-core event.
+    Core(CoreEvent),
+    /// A machine-wide IMC event.
+    Uncore(UncoreEvent),
+}
+
+impl EventSelector {
+    /// The hardware name this selector was parsed from.
+    pub fn hw_name(self) -> &'static str {
+        match self {
+            EventSelector::Core(e) => e.hw_name(),
+            EventSelector::Uncore(e) => e.hw_name(),
+        }
+    }
+
+    /// Reads the event's current value from a machine. Core events read
+    /// core 0 unless [`read_on`](Self::read_on) is used.
+    pub fn read(self, machine: &Machine) -> u64 {
+        self.read_on(machine, 0)
+    }
+
+    /// Reads the event, using `core` for per-core events (ignored for
+    /// uncore events, which are machine-wide).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range for a core event.
+    pub fn read_on(self, machine: &Machine, core: usize) -> u64 {
+        match self {
+            EventSelector::Core(e) => machine.core_counters(core).get(e),
+            EventSelector::Uncore(e) => machine.uncore().get(e),
+        }
+    }
+}
+
+/// Error for unknown event names; the message lists close alternatives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownEventError(String);
+
+impl fmt::Display for UnknownEventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown PMU event `{}` (see perfmon::events::all_names())",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownEventError {}
+
+impl FromStr for EventSelector {
+    type Err = UnknownEventError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_uppercase();
+        for e in CoreEvent::ALL {
+            if e.hw_name() == norm {
+                return Ok(EventSelector::Core(e));
+            }
+        }
+        for e in UncoreEvent::ALL {
+            if e.hw_name() == norm {
+                return Ok(EventSelector::Uncore(e));
+            }
+        }
+        Err(UnknownEventError(s.to_string()))
+    }
+}
+
+/// Every selectable event name, in table order (core events first).
+pub fn all_names() -> Vec<&'static str> {
+    CoreEvent::ALL
+        .iter()
+        .map(|e| e.hw_name())
+        .chain(UncoreEvent::ALL.iter().map(|e| e.hw_name()))
+        .collect()
+}
+
+/// The event group the paper programs to measure double-precision work:
+/// the three width-split FP retirement events.
+pub fn work_group_f64() -> [EventSelector; 3] {
+    [
+        EventSelector::Core(CoreEvent::FpScalarDouble),
+        EventSelector::Core(CoreEvent::FpPacked128Double),
+        EventSelector::Core(CoreEvent::FpPacked256Double),
+    ]
+}
+
+/// The event group for memory traffic: both IMC directions.
+pub fn traffic_group() -> [EventSelector; 2] {
+    [
+        EventSelector::Uncore(UncoreEvent::ImcDramDataReads),
+        EventSelector::Uncore(UncoreEvent::ImcDramDataWrites),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simx86::config::test_machine;
+    use simx86::isa::{Precision, Reg, VecWidth};
+
+    #[test]
+    fn every_listed_name_parses_back() {
+        for name in all_names() {
+            let sel: EventSelector = name.parse().unwrap();
+            assert_eq!(sel.hw_name(), name);
+        }
+    }
+
+    #[test]
+    fn parsing_is_case_insensitive_and_trimmed() {
+        let sel: EventSelector = "  simd_fp_256.packed_double ".parse().unwrap();
+        assert_eq!(sel.hw_name(), "SIMD_FP_256.PACKED_DOUBLE");
+    }
+
+    #[test]
+    fn unknown_names_error_helpfully() {
+        let err = "CYCLES_OF_GLORY".parse::<EventSelector>().unwrap_err();
+        assert!(err.to_string().contains("CYCLES_OF_GLORY"));
+    }
+
+    #[test]
+    fn selectors_read_live_counters() {
+        let mut m = Machine::new(test_machine());
+        m.set_prefetch(false, false);
+        let buf = m.alloc(4096);
+        m.run(0, |cpu| {
+            cpu.load(Reg::new(0), buf.base(), VecWidth::Y256, Precision::F64);
+            cpu.fadd(Reg::new(1), Reg::new(0), Reg::new(0), VecWidth::Y256, Precision::F64);
+        });
+        let fp: EventSelector = "SIMD_FP_256.PACKED_DOUBLE".parse().unwrap();
+        assert_eq!(fp.read(&m), 1);
+        let reads: EventSelector = "UNC_IMC_DRAM_DATA_READS".parse().unwrap();
+        assert_eq!(reads.read(&m), 1);
+    }
+
+    #[test]
+    fn work_group_recovers_weighted_flops() {
+        let mut m = Machine::new(test_machine());
+        m.run(0, |cpu| {
+            cpu.fadd(Reg::new(0), Reg::new(1), Reg::new(2), VecWidth::Scalar, Precision::F64);
+            cpu.fadd(Reg::new(0), Reg::new(1), Reg::new(2), VecWidth::X128, Precision::F64);
+            cpu.fadd(Reg::new(0), Reg::new(1), Reg::new(2), VecWidth::Y256, Precision::F64);
+        });
+        let [scalar, p128, p256] = work_group_f64();
+        let w = scalar.read(&m) + 2 * p128.read(&m) + 4 * p256.read(&m);
+        assert_eq!(w, 1 + 2 + 4);
+    }
+
+    #[test]
+    fn traffic_group_sums_to_q() {
+        let mut m = Machine::new(test_machine());
+        m.set_prefetch(false, false);
+        let buf = m.alloc(64 * 10);
+        m.run(0, |cpu| {
+            for i in 0..10u64 {
+                cpu.load(Reg::new(0), buf.base() + i * 64, VecWidth::Y256, Precision::F64);
+            }
+        });
+        let [reads, writes] = traffic_group();
+        let q = (reads.read(&m) + writes.read(&m)) * 64;
+        assert_eq!(q, m.uncore().traffic_bytes(64));
+        assert_eq!(q, 640);
+    }
+}

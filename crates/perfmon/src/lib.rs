@@ -1,0 +1,22 @@
+//! # perfmon
+//!
+//! The ISPASS'14 measurement methodology, implemented against the
+//! [`simx86`] PMU: event snapshots, overhead subtraction, cold/warm cache
+//! protocols, repetition statistics, peak-compute and peak-bandwidth
+//! microbenchmarks, and counter validation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod harness;
+pub mod lint;
+pub mod peaks;
+pub mod roofs;
+pub mod stats;
+pub mod validate;
+
+pub use events::EventSelector;
+pub use harness::{CacheProtocol, MeasureConfig, Measurer, RegionMeasurement};
+pub use lint::{lint_machine, Violation};
+pub use roofs::{measured_roofline, measured_roofline_with, RoofOptions};

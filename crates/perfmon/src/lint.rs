@@ -1,0 +1,137 @@
+//! Methodology linting: detects machine states that invalidate a roofline
+//! measurement *before* the data is taken, instead of leaving the user to
+//! notice a point floating above the roof afterwards.
+//!
+//! The paper's checklist, automated: Turbo Boost must be disabled while
+//! measuring against nominal-frequency ceilings, and the prefetcher state
+//! must be *known* (either is fine, but `Q` expectations differ).
+
+use simx86::Machine;
+use std::fmt;
+
+/// A detected methodology problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// Turbo Boost is enabled: measured performance is not comparable to
+    /// ceilings taken at (or normalized to) the nominal clock.
+    TurboEnabled {
+        /// Maximum turbo frequency in millihertz-free form (GHz × 1000),
+        /// kept integral so the type stays `Eq`.
+        max_turbo_mhz: u64,
+        /// Nominal frequency in MHz.
+        nominal_mhz: u64,
+    },
+    /// The stream and adjacent-line prefetchers are in different states —
+    /// usually an oversight, since MSR 0x1A4 toggles are set as a group.
+    MixedPrefetchState {
+        /// Stream prefetcher enabled?
+        stream: bool,
+        /// Adjacent-line prefetcher enabled?
+        adjacent: bool,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::TurboEnabled {
+                max_turbo_mhz,
+                nominal_mhz,
+            } => write!(
+                f,
+                "turbo boost enabled: core may clock up to {} MHz against a {} MHz nominal roofline (disable turbo or expect points above the roof)",
+                max_turbo_mhz, nominal_mhz
+            ),
+            Violation::MixedPrefetchState { stream, adjacent } => write!(
+                f,
+                "prefetchers in mixed state (stream: {stream}, adjacent: {adjacent}); traffic expectations are only documented for both-on or both-off"
+            ),
+        }
+    }
+}
+
+/// Inspects a machine and returns every methodology violation found; an
+/// empty result means the machine is in a measurable state.
+///
+/// ```
+/// use perfmon::lint::lint_machine;
+/// use simx86::{config, Machine};
+///
+/// let mut m = Machine::new(config::sandy_bridge());
+/// assert!(lint_machine(&m).is_empty());
+/// m.set_turbo(true);
+/// assert_eq!(lint_machine(&m).len(), 1);
+/// ```
+pub fn lint_machine(machine: &Machine) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let cfg = machine.config();
+    if machine.turbo_enabled() && !cfg.turbo_ghz.is_empty() {
+        let max = cfg
+            .turbo_ghz
+            .iter()
+            .cloned()
+            .fold(cfg.nominal_ghz, f64::max);
+        out.push(Violation::TurboEnabled {
+            max_turbo_mhz: (max * 1000.0).round() as u64,
+            nominal_mhz: (cfg.nominal_ghz * 1000.0).round() as u64,
+        });
+    }
+    let (stream, adjacent) = machine.prefetch_state();
+    if stream != adjacent {
+        out.push(Violation::MixedPrefetchState { stream, adjacent });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simx86::config::sandy_bridge;
+
+    #[test]
+    fn clean_machine_passes() {
+        let m = Machine::new(sandy_bridge());
+        assert!(lint_machine(&m).is_empty());
+    }
+
+    #[test]
+    fn turbo_flagged_with_frequencies() {
+        let mut m = Machine::new(sandy_bridge());
+        m.set_turbo(true);
+        let v = lint_machine(&m);
+        assert_eq!(v.len(), 1);
+        let msg = v[0].to_string();
+        assert!(msg.contains("3700"), "{msg}");
+        assert!(msg.contains("3300"), "{msg}");
+    }
+
+    #[test]
+    fn mixed_prefetch_flagged() {
+        let mut m = Machine::new(sandy_bridge());
+        m.set_prefetch(true, false);
+        let v = lint_machine(&m);
+        assert!(matches!(
+            v[0],
+            Violation::MixedPrefetchState {
+                stream: true,
+                adjacent: false
+            }
+        ));
+    }
+
+    #[test]
+    fn both_off_is_clean() {
+        let mut m = Machine::new(sandy_bridge());
+        m.set_prefetch(false, false);
+        assert!(lint_machine(&m).is_empty());
+    }
+
+    #[test]
+    fn combined_violations_all_reported() {
+        let mut m = Machine::new(sandy_bridge());
+        m.set_turbo(true);
+        m.set_prefetch(false, true);
+        assert_eq!(lint_machine(&m).len(), 2);
+    }
+}

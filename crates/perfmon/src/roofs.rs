@@ -1,0 +1,173 @@
+//! Constructing a measured [`Roofline`] from the peak microbenchmarks —
+//! the step that turns raw peaks into the plot's ceiling stack and roofs.
+
+use crate::peaks::{measure_bandwidth, measure_peak_compute, BwPattern, Mix};
+use roofline_core::model::{BandwidthRoof, Ceiling, Roofline};
+use roofline_core::units::{FlopsPerCycle, Hertz};
+use simx86::isa::{Precision, VecWidth};
+use simx86::Machine;
+
+/// Which bandwidth patterns become roofs on the measured roofline.
+const ROOF_PATTERNS: [BwPattern; 3] = [BwPattern::Triad, BwPattern::Read, BwPattern::CopyNt];
+
+/// Options controlling how much work the peak microbenchmarks do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoofOptions {
+    /// Approximate flops per core per compute-peak measurement.
+    pub flops_target: u64,
+    /// Working-set bytes per buffer per thread for the bandwidth roofs.
+    /// The pass runs cold (flushed caches), so any size measures the
+    /// DRAM regime; larger sizes just average over more lines.
+    pub dram_bytes_per_thread: u64,
+}
+
+impl Default for RoofOptions {
+    fn default() -> Self {
+        Self {
+            flops_target: 200_000,
+            dram_bytes_per_thread: 2 * 1024 * 1024,
+        }
+    }
+}
+
+/// Measures a complete roofline for `threads` active cores of `machine`.
+///
+/// Ceilings (top to bottom, where supported): AVX FMA, AVX balanced,
+/// AVX add-only, SSE balanced, scalar balanced. Roofs: STREAM triad,
+/// read-only, and non-temporal copy over a DRAM-sized working set (four
+/// times the L3 capacity per thread).
+///
+/// Ceilings are stored frequency-relative (flops/cycle at the *nominal*
+/// clock), so a turbo-contaminated measurement shows up as a ceiling above
+/// the theoretical port limit — the paper's diagnostic for E8.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or exceeds the machine's cores.
+pub fn measured_roofline(machine: &mut Machine, threads: usize) -> Roofline {
+    measured_roofline_with(machine, threads, RoofOptions::default())
+}
+
+/// [`measured_roofline`] with explicit effort options.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or exceeds the machine's cores.
+pub fn measured_roofline_with(
+    machine: &mut Machine,
+    threads: usize,
+    opts: RoofOptions,
+) -> Roofline {
+    assert!(
+        threads > 0 && threads <= machine.config().cores,
+        "thread count must be within the machine's cores"
+    );
+    let nominal_ghz = machine.config().nominal_ghz;
+    let has_fma = machine.config().fp.has_fma;
+    let name = format!("{}-{}t", machine.config().name, threads);
+    let flops_target = opts.flops_target;
+
+    let mut builder = Roofline::builder(name).frequency(Hertz::from_ghz(nominal_ghz));
+
+    let ceiling = |machine: &mut Machine, label: &str, width, mix| {
+        let gf = measure_peak_compute(machine, width, Precision::F64, mix, threads, flops_target);
+        Ceiling::new(label, FlopsPerCycle::new(gf.get() / nominal_ghz))
+    };
+
+    if has_fma {
+        builder = builder.ceiling(ceiling(machine, "AVX fma", VecWidth::Y256, Mix::Fma));
+    }
+    builder = builder
+        .ceiling(ceiling(machine, "AVX balanced", VecWidth::Y256, Mix::Balanced))
+        .ceiling(ceiling(machine, "AVX add-only", VecWidth::Y256, Mix::AddOnly))
+        .ceiling(ceiling(machine, "SSE balanced", VecWidth::X128, Mix::Balanced))
+        .ceiling(ceiling(machine, "scalar balanced", VecWidth::Scalar, Mix::Balanced));
+
+    let bytes = opts.dram_bytes_per_thread;
+    for pattern in ROOF_PATTERNS {
+        let bw = measure_bandwidth(machine, pattern, threads, bytes);
+        builder = builder.roof(BandwidthRoof::new(pattern.name(), bw));
+    }
+
+    builder.build().expect("measured roofline is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roofline_core::units::Intensity;
+    use simx86::config::{haswell, sandy_bridge, test_machine};
+
+    #[test]
+    fn snb_single_thread_roofline_shape() {
+        let mut m = Machine::new(sandy_bridge());
+        let r = measured_roofline(&mut m, 1);
+        assert_eq!(r.name(), "snb-1t");
+        // Top ceiling ~8 flops/cycle → 26.4 GF/s.
+        assert!((r.peak_compute().get() - 26.4).abs() < 1.5, "{}", r.peak_compute());
+        // Roofs below the IMC limit.
+        assert!(r.peak_bandwidth().get() <= 21.0 + 0.5);
+        // Ceiling ordering is AVX > SSE > scalar.
+        let avx = r.ceiling("AVX balanced").unwrap().throughput().get();
+        let sse = r.ceiling("SSE balanced").unwrap().throughput().get();
+        let sc = r.ceiling("scalar balanced").unwrap().throughput().get();
+        assert!(avx > sse && sse > sc);
+    }
+
+    #[test]
+    fn no_fma_ceiling_on_snb() {
+        let mut m = Machine::new(sandy_bridge());
+        let r = measured_roofline(&mut m, 1);
+        assert!(r.ceiling("AVX fma").is_none());
+    }
+
+    #[test]
+    fn fma_ceiling_tops_haswell() {
+        let mut m = Machine::new(haswell());
+        let r = measured_roofline(&mut m, 1);
+        let fma = r.ceiling("AVX fma").expect("hsw has FMA").throughput().get();
+        let bal = r.ceiling("AVX balanced").unwrap().throughput().get();
+        assert!(fma > 1.5 * bal, "FMA {fma} vs balanced {bal}");
+    }
+
+    #[test]
+    fn multithread_ridge_moves_right() {
+        // More cores: compute scales ~linearly, bandwidth saturates, so the
+        // ridge intensity grows — the paper's explanation for kernels
+        // becoming memory-bound at scale.
+        let mut m1 = Machine::new(test_machine());
+        let r1 = measured_roofline(&mut m1, 1);
+        let mut m2 = Machine::new(test_machine());
+        let r2 = measured_roofline(&mut m2, 2);
+        assert!(
+            r2.ridge().intensity().get() > 1.3 * r1.ridge().intensity().get(),
+            "ridge should move right: {} vs {}",
+            r1.ridge().intensity().get(),
+            r2.ridge().intensity().get()
+        );
+    }
+
+    #[test]
+    fn turbo_contamination_detectable() {
+        let mut clean = Machine::new(sandy_bridge());
+        let r_clean = measured_roofline(&mut clean, 1);
+        let mut dirty = Machine::new(sandy_bridge());
+        dirty.set_turbo(true);
+        let r_dirty = measured_roofline(&mut dirty, 1);
+        // Turbo-contaminated ceilings exceed the clean ones.
+        assert!(
+            r_dirty.peak_compute().get() > 1.05 * r_clean.peak_compute().get(),
+            "turbo should inflate the measured ceiling"
+        );
+    }
+
+    #[test]
+    fn attainable_envelope_usable() {
+        let mut m = Machine::new(test_machine());
+        let r = measured_roofline(&mut m, 1);
+        let low = r.attainable(Intensity::new(0.01));
+        let high = r.attainable(Intensity::new(100.0));
+        assert!(low.get() < high.get());
+        assert_eq!(high.get(), r.peak_compute().get());
+    }
+}

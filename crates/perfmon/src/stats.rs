@@ -1,0 +1,158 @@
+//! Repetition statistics for measured quantities.
+
+/// Summary statistics over a set of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    n: usize,
+    min: f64,
+    max: f64,
+    mean: f64,
+    median: f64,
+    stddev: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample or non-finite values.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        assert!(
+            samples.iter().all(|v| v.is_finite()),
+            "samples must be finite"
+        );
+        let n = samples.len();
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let min = sorted[0];
+        let max = sorted[n - 1];
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        Self {
+            n,
+            min,
+            max,
+            mean,
+            median,
+            stddev: var.sqrt(),
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Median — the statistic the harness reports, following the paper's
+    /// preference for robust central tendency over noisy means.
+    pub fn median(&self) -> f64 {
+        self.median
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.stddev
+    }
+
+    /// Coefficient of variation (`stddev / mean`); 0 for a zero mean.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+/// Relative error `|measured - expected| / expected`, with the convention
+/// that expected `0` yields `0` when measured is also `0` and `inf`
+/// otherwise.
+pub fn relative_error(measured: f64, expected: f64) -> f64 {
+    if expected == 0.0 {
+        if measured == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (measured - expected).abs() / expected.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_samples(&[3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.median(), 2.5);
+        assert!((s.stddev() - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_length_median_is_middle() {
+        let s = Summary::from_samples(&[9.0, 1.0, 5.0]);
+        assert_eq!(s.median(), 5.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_samples(&[42.0]);
+        assert_eq!(s.median(), 42.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = Summary::from_samples(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_sample_panics() {
+        let _ = Summary::from_samples(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn relative_error_conventions() {
+        assert_eq!(relative_error(11.0, 10.0), 0.1);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(1.0, 0.0), f64::INFINITY);
+        assert_eq!(relative_error(9.0, 10.0), 0.1);
+    }
+
+    #[test]
+    fn cv_nonzero_mean() {
+        let s = Summary::from_samples(&[1.0, 3.0]);
+        assert!((s.cv() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,220 @@
+//! Counter-validation scaffolding (experiments E5/E6): comparing measured
+//! `W` and `Q` against analytic expectations and rendering verdict tables.
+
+use crate::stats::relative_error;
+use std::fmt;
+
+/// Outcome of one expected-vs-measured comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the exact-match tolerance.
+    Exact,
+    /// Within the acceptable tolerance (cache/prefetch artefacts).
+    Acceptable,
+    /// Outside tolerance — the counter (or the expectation) is wrong.
+    Mismatch,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Exact => write!(f, "exact"),
+            Verdict::Acceptable => write!(f, "ok"),
+            Verdict::Mismatch => write!(f, "MISMATCH"),
+        }
+    }
+}
+
+/// One row of a validation table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Problem size.
+    pub param: u64,
+    /// Quantity label (e.g. `"W [flops]"`, `"Q [bytes]"`).
+    pub quantity: String,
+    /// Analytic expectation.
+    pub expected: u64,
+    /// Measured value.
+    pub measured: u64,
+}
+
+impl ValidationRow {
+    /// Relative error of this row.
+    pub fn error(&self) -> f64 {
+        relative_error(self.measured as f64, self.expected as f64)
+    }
+
+    /// Classifies the row: exact below `exact_tol`, acceptable below
+    /// `accept_tol`, otherwise a mismatch.
+    pub fn verdict(&self, exact_tol: f64, accept_tol: f64) -> Verdict {
+        let e = self.error();
+        if e <= exact_tol {
+            Verdict::Exact
+        } else if e <= accept_tol {
+            Verdict::Acceptable
+        } else {
+            Verdict::Mismatch
+        }
+    }
+}
+
+/// A titled validation table with fixed tolerances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationTable {
+    title: String,
+    exact_tol: f64,
+    accept_tol: f64,
+    rows: Vec<ValidationRow>,
+}
+
+impl ValidationTable {
+    /// Creates an empty table. `exact_tol` and `accept_tol` are relative
+    /// errors (e.g. `0.0` and `0.1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accept_tol < exact_tol` or either is negative.
+    pub fn new(title: impl Into<String>, exact_tol: f64, accept_tol: f64) -> Self {
+        assert!(
+            (0.0..=accept_tol).contains(&exact_tol),
+            "tolerances must satisfy 0 <= exact <= accept"
+        );
+        Self {
+            title: title.into(),
+            exact_tol,
+            accept_tol,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a comparison row.
+    pub fn push(
+        &mut self,
+        kernel: impl Into<String>,
+        param: u64,
+        quantity: impl Into<String>,
+        expected: u64,
+        measured: u64,
+    ) {
+        self.rows.push(ValidationRow {
+            kernel: kernel.into(),
+            param,
+            quantity: quantity.into(),
+            expected,
+            measured,
+        });
+    }
+
+    /// The rows recorded so far.
+    pub fn rows(&self) -> &[ValidationRow] {
+        &self.rows
+    }
+
+    /// True when no row is a [`Verdict::Mismatch`].
+    pub fn all_pass(&self) -> bool {
+        self.rows
+            .iter()
+            .all(|r| r.verdict(self.exact_tol, self.accept_tol) != Verdict::Mismatch)
+    }
+
+    /// Renders a fixed-width text table (the experiment binaries print
+    /// this; EXPERIMENTS.md embeds it).
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} ==\n", self.title);
+        out.push_str(&format!(
+            "{:<16} {:>10} {:<12} {:>16} {:>16} {:>8}  {}\n",
+            "kernel", "param", "quantity", "expected", "measured", "err%", "verdict"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<16} {:>10} {:<12} {:>16} {:>16} {:>7.2}%  {}\n",
+                row.kernel,
+                row.param,
+                row.quantity,
+                row.expected,
+                row.measured,
+                row.error() * 100.0,
+                row.verdict(self.exact_tol, self.accept_tol)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_verdict() {
+        let row = ValidationRow {
+            kernel: "triad".into(),
+            param: 100,
+            quantity: "W".into(),
+            expected: 200,
+            measured: 200,
+        };
+        assert_eq!(row.verdict(0.0, 0.1), Verdict::Exact);
+        assert_eq!(row.error(), 0.0);
+    }
+
+    #[test]
+    fn acceptable_within_band() {
+        let row = ValidationRow {
+            kernel: "triad".into(),
+            param: 100,
+            quantity: "Q".into(),
+            expected: 1000,
+            measured: 1080,
+        };
+        assert_eq!(row.verdict(0.0, 0.1), Verdict::Acceptable);
+    }
+
+    #[test]
+    fn mismatch_outside_band() {
+        let row = ValidationRow {
+            kernel: "triad".into(),
+            param: 100,
+            quantity: "Q".into(),
+            expected: 1000,
+            measured: 2000,
+        };
+        assert_eq!(row.verdict(0.0, 0.1), Verdict::Mismatch);
+    }
+
+    #[test]
+    fn table_pass_flag_and_render() {
+        let mut t = ValidationTable::new("W validation", 0.0, 0.1);
+        t.push("daxpy", 1024, "W [flops]", 2048, 2048);
+        t.push("dsum", 1024, "W [flops]", 1024, 1030);
+        assert!(t.all_pass());
+        let rendered = t.render();
+        assert!(rendered.contains("W validation"));
+        assert!(rendered.contains("daxpy"));
+        assert!(rendered.contains("exact"));
+
+        t.push("broken", 1, "W [flops]", 100, 500);
+        assert!(!t.all_pass());
+        assert!(t.render().contains("MISMATCH"));
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerances")]
+    fn inverted_tolerances_rejected() {
+        let _ = ValidationTable::new("bad", 0.2, 0.1);
+    }
+
+    #[test]
+    fn zero_expected_zero_measured_is_exact() {
+        let row = ValidationRow {
+            kernel: "maxpool".into(),
+            param: 64,
+            quantity: "W".into(),
+            expected: 0,
+            measured: 0,
+        };
+        assert_eq!(row.verdict(0.0, 0.1), Verdict::Exact);
+    }
+}

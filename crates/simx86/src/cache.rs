@@ -1,0 +1,311 @@
+//! A set-associative, write-back, write-allocate cache with true-LRU
+//! replacement, operating on 64-byte line addresses.
+
+use crate::config::CacheConfig;
+
+/// Statistics one cache level keeps about its own behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines written back to the next level on eviction.
+    pub writebacks: u64,
+    /// Lines installed by prefetch rather than demand.
+    pub prefetch_fills: u64,
+}
+
+/// The outcome of filling a line: the dirty line that had to be written
+/// back, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Writeback {
+    /// Line address (byte address >> line shift) of the evicted dirty line.
+    pub line: u64,
+}
+
+/// One cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: u64,
+    ways: usize,
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    stamp: Vec<u64>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.sets();
+        let ways = cfg.ways as usize;
+        let slots = (sets as usize) * ways;
+        Self {
+            sets,
+            ways,
+            tags: vec![0; slots],
+            valid: vec![false; slots],
+            dirty: vec![false; slots],
+            stamp: vec![0; slots],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets) as usize
+    }
+
+    fn slot_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Looks up a line; on a hit, refreshes LRU and (for writes) marks the
+    /// line dirty. Returns whether it hit.
+    pub fn access(&mut self, line: u64, write: bool) -> bool {
+        self.tick += 1;
+        let set = self.set_of(line);
+        for slot in self.slot_range(set) {
+            if self.valid[slot] && self.tags[slot] == line {
+                self.stamp[slot] = self.tick;
+                if write {
+                    self.dirty[slot] = true;
+                }
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Checks residency without touching LRU or stats.
+    pub fn contains(&self, line: u64) -> bool {
+        let set = self.set_of(line);
+        self.slot_range(set)
+            .any(|slot| self.valid[slot] && self.tags[slot] == line)
+    }
+
+    /// Installs a line (after a miss was serviced), evicting the LRU way.
+    /// Returns the dirty line that must be written back, if any.
+    ///
+    /// `dirty` marks the new line dirty immediately (write-allocate stores);
+    /// `prefetch` attributes the fill to the prefetcher in the stats.
+    pub fn fill(&mut self, line: u64, dirty: bool, prefetch: bool) -> Option<Writeback> {
+        self.tick += 1;
+        let set = self.set_of(line);
+        // If already present (e.g. raced by a prefetch), just update state.
+        for slot in self.slot_range(set) {
+            if self.valid[slot] && self.tags[slot] == line {
+                self.stamp[slot] = self.tick;
+                if dirty {
+                    self.dirty[slot] = true;
+                }
+                return None;
+            }
+        }
+        // Prefer an invalid way.
+        let victim = self
+            .slot_range(set)
+            .find(|&slot| !self.valid[slot])
+            .unwrap_or_else(|| {
+                self.slot_range(set)
+                    .min_by_key(|&slot| self.stamp[slot])
+                    .expect("cache set has at least one way")
+            });
+        let wb = if self.valid[victim] && self.dirty[victim] {
+            self.stats.writebacks += 1;
+            Some(Writeback {
+                line: self.tags[victim],
+            })
+        } else {
+            None
+        };
+        self.tags[victim] = line;
+        self.valid[victim] = true;
+        self.dirty[victim] = dirty;
+        self.stamp[victim] = self.tick;
+        if prefetch {
+            self.stats.prefetch_fills += 1;
+        }
+        wb
+    }
+
+    /// Invalidates a line if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, line: u64) -> Option<bool> {
+        let set = self.set_of(line);
+        for slot in self.slot_range(set) {
+            if self.valid[slot] && self.tags[slot] == line {
+                self.valid[slot] = false;
+                let was_dirty = self.dirty[slot];
+                self.dirty[slot] = false;
+                return Some(was_dirty);
+            }
+        }
+        None
+    }
+
+    /// Drops every line, returning the dirty line addresses (they would be
+    /// written back by a real `wbinvd`).
+    pub fn flush(&mut self) -> Vec<u64> {
+        let mut dirty_lines = Vec::new();
+        for slot in 0..self.tags.len() {
+            if self.valid[slot] && self.dirty[slot] {
+                dirty_lines.push(self.tags[slot]);
+            }
+            self.valid[slot] = false;
+            self.dirty[slot] = false;
+        }
+        dirty_lines
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of currently valid lines (for tests and debugging).
+    pub fn resident_lines(&self) -> usize {
+        self.valid.iter().filter(|v| **v).count()
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.tags.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets * 2 ways.
+        Cache::new(&CacheConfig {
+            size_bytes: 8 * 64,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1.0,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(7, false));
+        c.fill(7, false, false);
+        assert!(c.access(7, false));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.fill(0, false, false);
+        c.fill(4, false, false);
+        c.access(0, false); // 0 is now MRU, 4 LRU.
+        c.fill(8, false, false); // must evict 4.
+        assert!(c.contains(0));
+        assert!(!c.contains(4));
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.fill(0, true, false);
+        c.fill(4, false, false);
+        let wb = c.fill(8, false, false);
+        assert_eq!(wb, Some(Writeback { line: 0 }));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_reports_nothing() {
+        let mut c = tiny();
+        c.fill(0, false, false);
+        c.fill(4, false, false);
+        assert_eq!(c.fill(8, false, false), None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.fill(0, false, false);
+        c.access(0, true);
+        c.fill(4, false, false);
+        let wb = c.fill(8, false, false);
+        assert!(wb.is_some(), "written line must be written back");
+    }
+
+    #[test]
+    fn refill_of_resident_line_no_eviction() {
+        let mut c = tiny();
+        c.fill(0, false, false);
+        assert_eq!(c.fill(0, true, false), None);
+        // The refill marked it dirty.
+        c.fill(4, false, false);
+        assert!(c.fill(8, false, false).is_some());
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = tiny();
+        c.fill(3, true, false);
+        assert_eq!(c.invalidate(3), Some(true));
+        assert_eq!(c.invalidate(3), None);
+        assert!(!c.contains(3));
+    }
+
+    #[test]
+    fn flush_returns_dirty_lines_and_empties() {
+        let mut c = tiny();
+        c.fill(1, true, false);
+        c.fill(2, false, false);
+        c.fill(3, true, false);
+        let mut dirty = c.flush();
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![1, 3]);
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn prefetch_fills_counted() {
+        let mut c = tiny();
+        c.fill(1, false, true);
+        assert_eq!(c.stats().prefetch_fills, 1);
+    }
+
+    #[test]
+    fn contains_does_not_disturb_lru_or_stats() {
+        let mut c = tiny();
+        c.fill(0, false, false);
+        c.fill(4, false, false);
+        let s0 = c.stats();
+        assert!(c.contains(0));
+        assert_eq!(c.stats(), s0);
+        // LRU order still 0 < 4, so filling evicts 0.
+        c.fill(8, false, false);
+        assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let mut c = tiny();
+        assert_eq!(c.capacity_lines(), 8);
+        for line in 0..32 {
+            c.fill(line, false, false);
+        }
+        assert_eq!(c.resident_lines(), 8);
+    }
+}

@@ -1,0 +1,196 @@
+//! The modelled instruction-set subset.
+//!
+//! The simulator does not interpret values — kernels carry their numerics in
+//! native Rust and emit only the *shape* of the computation (which
+//! operations, on which registers, touching which addresses). That shape is
+//! exactly what performance counters see, so it is all the roofline
+//! methodology needs.
+
+use std::fmt;
+
+/// Floating-point element precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// 32-bit IEEE-754 (`float`).
+    F32,
+    /// 64-bit IEEE-754 (`double`).
+    F64,
+}
+
+impl Precision {
+    /// Element size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            Precision::F32 => 4,
+            Precision::F64 => 8,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::F32 => write!(f, "f32"),
+            Precision::F64 => write!(f, "f64"),
+        }
+    }
+}
+
+/// Vector register width of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VecWidth {
+    /// Scalar SSE form (`addsd`, `mulsd`, …).
+    Scalar,
+    /// 128-bit packed SSE (`addpd`, `mulpd`, …).
+    X128,
+    /// 256-bit packed AVX (`vaddpd`, `vmulpd`, …).
+    Y256,
+}
+
+impl VecWidth {
+    /// Register width in bytes (scalar operations still move one element).
+    pub const fn bytes(self, prec: Precision) -> u64 {
+        match self {
+            VecWidth::Scalar => prec.bytes(),
+            VecWidth::X128 => 16,
+            VecWidth::Y256 => 32,
+        }
+    }
+
+    /// Number of elements processed per instruction.
+    pub const fn lanes(self, prec: Precision) -> u64 {
+        match self {
+            VecWidth::Scalar => 1,
+            VecWidth::X128 => 16 / prec.bytes(),
+            VecWidth::Y256 => 32 / prec.bytes(),
+        }
+    }
+
+    /// All widths, narrow to wide.
+    pub const ALL: [VecWidth; 3] = [VecWidth::Scalar, VecWidth::X128, VecWidth::Y256];
+}
+
+impl fmt::Display for VecWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VecWidth::Scalar => write!(f, "scalar"),
+            VecWidth::X128 => write!(f, "128b"),
+            VecWidth::Y256 => write!(f, "256b"),
+        }
+    }
+}
+
+/// An architectural vector register name.
+///
+/// Sixteen registers are modelled, matching x86-64's `ymm0`–`ymm15`. The
+/// simulator uses them purely to track data dependencies: an instruction
+/// cannot begin executing before the producers of its source registers have
+/// finished. Peak-performance microbenchmarks rely on this to contrast
+/// dependency-chained streams (latency-bound) with independent accumulator
+/// streams (throughput-bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 16;
+
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    pub const fn new(index: u8) -> Self {
+        assert!(index < Reg::COUNT as u8, "register index out of range");
+        Reg(index)
+    }
+
+    /// The register index, `0..16`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ymm{}", self.0)
+    }
+}
+
+/// The floating-point operation classes distinguished by the PMU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// Vector/scalar addition or subtraction.
+    Add,
+    /// Vector/scalar multiplication.
+    Mul,
+    /// Fused multiply-add (only on FMA-capable configurations).
+    Fma,
+    /// Division (long-latency, unpipelined).
+    Div,
+    /// Min/max/compare — *not* counted by the FP flop events, which is the
+    /// methodology limitation the paper discusses for ReLU/max-pooling-like
+    /// kernels.
+    MinMax,
+}
+
+impl FpOp {
+    /// Flops one instruction of this class performs per lane.
+    ///
+    /// FMA performs a multiply and an add; min/max is counted as zero by
+    /// the flop events even though it does comparable work.
+    pub const fn flops_per_lane(self) -> u64 {
+        match self {
+            FpOp::Add | FpOp::Mul | FpOp::Div => 1,
+            FpOp::Fma => 2,
+            FpOp::MinMax => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_counts() {
+        assert_eq!(VecWidth::Scalar.lanes(Precision::F64), 1);
+        assert_eq!(VecWidth::X128.lanes(Precision::F64), 2);
+        assert_eq!(VecWidth::Y256.lanes(Precision::F64), 4);
+        assert_eq!(VecWidth::X128.lanes(Precision::F32), 4);
+        assert_eq!(VecWidth::Y256.lanes(Precision::F32), 8);
+    }
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(VecWidth::Scalar.bytes(Precision::F64), 8);
+        assert_eq!(VecWidth::Scalar.bytes(Precision::F32), 4);
+        assert_eq!(VecWidth::Y256.bytes(Precision::F32), 32);
+    }
+
+    #[test]
+    fn reg_round_trip() {
+        let r = Reg::new(15);
+        assert_eq!(r.index(), 15);
+        assert_eq!(r.to_string(), "ymm15");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn fma_counts_two_flops_per_lane() {
+        assert_eq!(FpOp::Fma.flops_per_lane(), 2);
+        assert_eq!(FpOp::Add.flops_per_lane(), 1);
+        assert_eq!(FpOp::MinMax.flops_per_lane(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VecWidth::Y256.to_string(), "256b");
+        assert_eq!(Precision::F64.to_string(), "f64");
+    }
+}

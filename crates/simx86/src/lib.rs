@@ -1,0 +1,69 @@
+//! # simx86
+//!
+//! A software-simulated x86-class multicore machine, built as the hardware
+//! substrate for reproducing *"Applying the roofline model"* (Ofenbeck et
+//! al., ISPASS 2014) in an environment without usable performance counters.
+//!
+//! The simulator models exactly the machinery the paper's measurement
+//! methodology depends on:
+//!
+//! * an **ISA subset** ([`isa`]) of scalar/SSE/AVX floating-point
+//!   arithmetic, loads, stores, and non-temporal stores;
+//! * a **greedy out-of-order core** ([`cpu`]) with issue width, a reorder
+//!   window, per-class execution ports, instruction latencies, and a
+//!   bounded number of line-fill buffers;
+//! * a **cache hierarchy** ([`cache`], [`memsys`]) with per-core L1/L2, a
+//!   shared L3, write-back/write-allocate semantics and LRU replacement;
+//! * **hardware prefetchers** ([`prefetch`]) — stream and adjacent-line —
+//!   that can be toggled like MSR `0x1A4`;
+//! * an **integrated memory controller** with a service-rate bandwidth
+//!   model shared across cores, whose uncore counters report line traffic;
+//! * a **PMU** ([`pmu`]) exposing the same events the paper programs
+//!   (width-split FP retirement counters, LLC misses, IMC reads/writes)
+//!   with the same quirks (FMA counts twice; min/max counts nothing);
+//! * **Turbo Boost** (per-active-core frequency table) and an invariant
+//!   TSC, so the paper's turbo-distortion pitfall is reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use simx86::{config, Machine};
+//! use simx86::isa::{Precision, Reg, VecWidth};
+//!
+//! let mut m = Machine::new(config::sandy_bridge());
+//! let x = m.alloc(1024 * 8);
+//! let t0 = m.tsc();
+//! m.run(0, |cpu| {
+//!     for i in 0..1024 / 4 {
+//!         cpu.load(Reg::new(0), x.f64_at(i * 4), VecWidth::Y256, Precision::F64);
+//!         cpu.fadd(Reg::new(1), Reg::new(1), Reg::new(0), VecWidth::Y256, Precision::F64);
+//!     }
+//! });
+//! let flops = m.core_counters(0).flops(Precision::F64);
+//! assert_eq!(flops, 1024);
+//! assert!(m.tsc() > t0);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod cpu;
+pub mod isa;
+pub mod machine;
+pub mod memsys;
+pub mod pmu;
+pub mod prefetch;
+
+pub use config::MachineConfig;
+pub use cpu::Cpu;
+pub use machine::{Buffer, Machine, SlicedFn, ThreadProgram};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::config::{self, MachineConfig};
+    pub use crate::cpu::Cpu;
+    pub use crate::isa::{FpOp, Precision, Reg, VecWidth};
+    pub use crate::machine::{Buffer, Machine, SlicedFn, ThreadProgram};
+    pub use crate::pmu::{CoreCounters, CoreEvent, UncoreCounters, UncoreEvent};
+}

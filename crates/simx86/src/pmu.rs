@@ -1,0 +1,344 @@
+//! Performance-monitoring counters.
+//!
+//! Mirrors the event set the ISPASS'14 methodology programs on real Sandy
+//! Bridge hardware: per-core FP retirement events (split by vector width and
+//! precision), instruction/cycle counts, last-level-cache demand misses, and
+//! the uncore integrated-memory-controller (IMC) line transfer counters.
+//!
+//! Counters only ever increment; measurement code takes snapshots before and
+//! after a region and subtracts, exactly like `perf` does with the real
+//! syscall interface.
+
+use crate::isa::{FpOp, Precision, VecWidth};
+
+/// Per-core events, named after their hardware counterparts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CoreEvent {
+    /// `FP_COMP_OPS_EXE.SSE_SCALAR_DOUBLE`: scalar double FP instructions.
+    FpScalarDouble,
+    /// `FP_COMP_OPS_EXE.SSE_FP_PACKED_DOUBLE`: 128-bit packed double.
+    FpPacked128Double,
+    /// `SIMD_FP_256.PACKED_DOUBLE`: 256-bit packed double.
+    FpPacked256Double,
+    /// `FP_COMP_OPS_EXE.SSE_SCALAR_SINGLE`.
+    FpScalarSingle,
+    /// `FP_COMP_OPS_EXE.SSE_PACKED_SINGLE`.
+    FpPacked128Single,
+    /// `SIMD_FP_256.PACKED_SINGLE`.
+    FpPacked256Single,
+    /// `INST_RETIRED.ANY`.
+    InstRetired,
+    /// `CPU_CLK_UNHALTED.THREAD`: core clock cycles while busy.
+    ClkUnhalted,
+    /// `LONGEST_LAT_CACHE.MISS`: demand accesses that missed the LLC.
+    /// Prefetch fills are *not* counted — the undercounting pitfall of E7.
+    LlcMiss,
+    /// Loads retired (any level).
+    LoadsRetired,
+    /// Stores retired.
+    StoresRetired,
+}
+
+impl CoreEvent {
+    /// All per-core events, for iteration in tables.
+    pub const ALL: [CoreEvent; 11] = [
+        CoreEvent::FpScalarDouble,
+        CoreEvent::FpPacked128Double,
+        CoreEvent::FpPacked256Double,
+        CoreEvent::FpScalarSingle,
+        CoreEvent::FpPacked128Single,
+        CoreEvent::FpPacked256Single,
+        CoreEvent::InstRetired,
+        CoreEvent::ClkUnhalted,
+        CoreEvent::LlcMiss,
+        CoreEvent::LoadsRetired,
+        CoreEvent::StoresRetired,
+    ];
+
+    /// The hardware event name this models.
+    pub fn hw_name(self) -> &'static str {
+        match self {
+            CoreEvent::FpScalarDouble => "FP_COMP_OPS_EXE.SSE_SCALAR_DOUBLE",
+            CoreEvent::FpPacked128Double => "FP_COMP_OPS_EXE.SSE_FP_PACKED_DOUBLE",
+            CoreEvent::FpPacked256Double => "SIMD_FP_256.PACKED_DOUBLE",
+            CoreEvent::FpScalarSingle => "FP_COMP_OPS_EXE.SSE_SCALAR_SINGLE",
+            CoreEvent::FpPacked128Single => "FP_COMP_OPS_EXE.SSE_PACKED_SINGLE",
+            CoreEvent::FpPacked256Single => "SIMD_FP_256.PACKED_SINGLE",
+            CoreEvent::InstRetired => "INST_RETIRED.ANY",
+            CoreEvent::ClkUnhalted => "CPU_CLK_UNHALTED.THREAD",
+            CoreEvent::LlcMiss => "LONGEST_LAT_CACHE.MISS",
+            CoreEvent::LoadsRetired => "MEM_UOPS_RETIRED.ALL_LOADS",
+            CoreEvent::StoresRetired => "MEM_UOPS_RETIRED.ALL_STORES",
+        }
+    }
+}
+
+/// Machine-wide (uncore) events at the integrated memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UncoreEvent {
+    /// `UNC_IMC_DRAM_DATA_READS`: 64-byte lines read from DRAM, including
+    /// prefetches and every core's traffic.
+    ImcDramDataReads,
+    /// `UNC_IMC_DRAM_DATA_WRITES`: 64-byte lines written to DRAM.
+    ImcDramDataWrites,
+}
+
+impl UncoreEvent {
+    /// All uncore events.
+    pub const ALL: [UncoreEvent; 2] =
+        [UncoreEvent::ImcDramDataReads, UncoreEvent::ImcDramDataWrites];
+
+    /// The hardware event name this models.
+    pub fn hw_name(self) -> &'static str {
+        match self {
+            UncoreEvent::ImcDramDataReads => "UNC_IMC_DRAM_DATA_READS",
+            UncoreEvent::ImcDramDataWrites => "UNC_IMC_DRAM_DATA_WRITES",
+        }
+    }
+}
+
+/// The counter bank of one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreCounters {
+    counts: [u64; CoreEvent::ALL.len()],
+}
+
+impl CoreCounters {
+    fn idx(ev: CoreEvent) -> usize {
+        CoreEvent::ALL
+            .iter()
+            .position(|e| *e == ev)
+            .expect("event listed in ALL")
+    }
+
+    /// Reads one counter.
+    pub fn get(&self, ev: CoreEvent) -> u64 {
+        self.counts[Self::idx(ev)]
+    }
+
+    pub(crate) fn add(&mut self, ev: CoreEvent, n: u64) {
+        self.counts[Self::idx(ev)] += n;
+    }
+
+    /// Records the retirement of one FP arithmetic instruction.
+    ///
+    /// This reproduces the hardware semantics validated in the literature:
+    /// the counter counts *instructions* per width class, and an FMA
+    /// retirement increments its class counter by **two** (so that the
+    /// standard width-weighting recovers true flops).
+    /// Min/max/compare instructions do not increment any FP event — the
+    /// documented blind spot of the method.
+    pub(crate) fn count_fp(&mut self, op: FpOp, width: VecWidth, prec: Precision) {
+        let increments = match op {
+            FpOp::MinMax => 0,
+            FpOp::Fma => 2,
+            _ => 1,
+        };
+        if increments == 0 {
+            return;
+        }
+        let ev = match (width, prec) {
+            (VecWidth::Scalar, Precision::F64) => CoreEvent::FpScalarDouble,
+            (VecWidth::X128, Precision::F64) => CoreEvent::FpPacked128Double,
+            (VecWidth::Y256, Precision::F64) => CoreEvent::FpPacked256Double,
+            (VecWidth::Scalar, Precision::F32) => CoreEvent::FpScalarSingle,
+            (VecWidth::X128, Precision::F32) => CoreEvent::FpPacked128Single,
+            (VecWidth::Y256, Precision::F32) => CoreEvent::FpPacked256Single,
+        };
+        self.add(ev, increments);
+    }
+
+    /// Width-weighted flop count for a precision, the paper's formula:
+    /// `scalar + 2·packed128 + 4·packed256` for doubles (and `1/4/8` for
+    /// singles).
+    pub fn flops(&self, prec: Precision) -> u64 {
+        match prec {
+            Precision::F64 => {
+                self.get(CoreEvent::FpScalarDouble)
+                    + 2 * self.get(CoreEvent::FpPacked128Double)
+                    + 4 * self.get(CoreEvent::FpPacked256Double)
+            }
+            Precision::F32 => {
+                self.get(CoreEvent::FpScalarSingle)
+                    + 4 * self.get(CoreEvent::FpPacked128Single)
+                    + 8 * self.get(CoreEvent::FpPacked256Single)
+            }
+        }
+    }
+
+    /// Difference since an earlier snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` has a larger value in any counter — counters are
+    /// monotone, so that indicates snapshots taken out of order.
+    pub fn since(&self, earlier: &CoreCounters) -> CoreCounters {
+        let mut out = CoreCounters::default();
+        for (i, (now, before)) in self.counts.iter().zip(earlier.counts.iter()).enumerate() {
+            out.counts[i] = now
+                .checked_sub(*before)
+                .expect("counter snapshots out of order");
+        }
+        out
+    }
+}
+
+/// The machine-wide uncore counter bank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UncoreCounters {
+    /// Lines read from DRAM.
+    reads: u64,
+    /// Lines written to DRAM.
+    writes: u64,
+}
+
+impl UncoreCounters {
+    /// Reads one counter (in 64-byte lines, like the hardware).
+    pub fn get(&self, ev: UncoreEvent) -> u64 {
+        match ev {
+            UncoreEvent::ImcDramDataReads => self.reads,
+            UncoreEvent::ImcDramDataWrites => self.writes,
+        }
+    }
+
+    pub(crate) fn add_reads(&mut self, lines: u64) {
+        self.reads += lines;
+    }
+
+    pub(crate) fn add_writes(&mut self, lines: u64) {
+        self.writes += lines;
+    }
+
+    /// Total DRAM traffic in bytes (`(reads + writes) * 64`), the paper's
+    /// `Q`.
+    pub fn traffic_bytes(&self, line_bytes: u64) -> u64 {
+        (self.reads + self.writes) * line_bytes
+    }
+
+    /// Difference since an earlier snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if snapshots are out of order.
+    pub fn since(&self, earlier: &UncoreCounters) -> UncoreCounters {
+        UncoreCounters {
+            reads: self
+                .reads
+                .checked_sub(earlier.reads)
+                .expect("uncore snapshots out of order"),
+            writes: self
+                .writes
+                .checked_sub(earlier.writes)
+                .expect("uncore snapshots out of order"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp_counting_by_width_and_precision() {
+        let mut c = CoreCounters::default();
+        c.count_fp(FpOp::Add, VecWidth::Scalar, Precision::F64);
+        c.count_fp(FpOp::Mul, VecWidth::X128, Precision::F64);
+        c.count_fp(FpOp::Add, VecWidth::Y256, Precision::F64);
+        c.count_fp(FpOp::Add, VecWidth::Y256, Precision::F32);
+        assert_eq!(c.get(CoreEvent::FpScalarDouble), 1);
+        assert_eq!(c.get(CoreEvent::FpPacked128Double), 1);
+        assert_eq!(c.get(CoreEvent::FpPacked256Double), 1);
+        assert_eq!(c.get(CoreEvent::FpPacked256Single), 1);
+    }
+
+    #[test]
+    fn fma_increments_counter_twice() {
+        let mut c = CoreCounters::default();
+        c.count_fp(FpOp::Fma, VecWidth::Y256, Precision::F64);
+        assert_eq!(c.get(CoreEvent::FpPacked256Double), 2);
+        // Width weighting then yields 8 flops: 4 lanes * 2 ops.
+        assert_eq!(c.flops(Precision::F64), 8);
+    }
+
+    #[test]
+    fn minmax_not_counted() {
+        let mut c = CoreCounters::default();
+        c.count_fp(FpOp::MinMax, VecWidth::Y256, Precision::F64);
+        assert_eq!(c.flops(Precision::F64), 0);
+    }
+
+    #[test]
+    fn flop_weighting_formula() {
+        let mut c = CoreCounters::default();
+        for _ in 0..3 {
+            c.count_fp(FpOp::Add, VecWidth::Scalar, Precision::F64);
+        }
+        for _ in 0..5 {
+            c.count_fp(FpOp::Add, VecWidth::X128, Precision::F64);
+        }
+        for _ in 0..7 {
+            c.count_fp(FpOp::Mul, VecWidth::Y256, Precision::F64);
+        }
+        assert_eq!(c.flops(Precision::F64), 3 + 2 * 5 + 4 * 7);
+    }
+
+    #[test]
+    fn single_precision_weighting() {
+        let mut c = CoreCounters::default();
+        c.count_fp(FpOp::Add, VecWidth::X128, Precision::F32);
+        c.count_fp(FpOp::Add, VecWidth::Y256, Precision::F32);
+        assert_eq!(c.flops(Precision::F32), 4 + 8);
+        assert_eq!(c.flops(Precision::F64), 0);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let mut c = CoreCounters::default();
+        c.add(CoreEvent::InstRetired, 10);
+        let snap = c;
+        c.add(CoreEvent::InstRetired, 5);
+        assert_eq!(c.since(&snap).get(CoreEvent::InstRetired), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_snapshots_panic() {
+        let mut c = CoreCounters::default();
+        c.add(CoreEvent::InstRetired, 10);
+        let later = c;
+        let earlier = CoreCounters::default();
+        let _ = earlier.since(&later);
+    }
+
+    #[test]
+    fn uncore_traffic_bytes() {
+        let mut u = UncoreCounters::default();
+        u.add_reads(3);
+        u.add_writes(2);
+        assert_eq!(u.get(UncoreEvent::ImcDramDataReads), 3);
+        assert_eq!(u.traffic_bytes(64), 5 * 64);
+    }
+
+    #[test]
+    fn uncore_snapshot_delta() {
+        let mut u = UncoreCounters::default();
+        u.add_reads(5);
+        let snap = u;
+        u.add_reads(2);
+        u.add_writes(4);
+        let d = u.since(&snap);
+        assert_eq!(d.get(UncoreEvent::ImcDramDataReads), 2);
+        assert_eq!(d.get(UncoreEvent::ImcDramDataWrites), 4);
+    }
+
+    #[test]
+    fn hw_names_are_distinct() {
+        let mut names: Vec<_> = CoreEvent::ALL.iter().map(|e| e.hw_name()).collect();
+        names.extend(UncoreEvent::ALL.iter().map(|e| e.hw_name()));
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

@@ -1,0 +1,150 @@
+//! Model-based property test: the production set-associative cache must
+//! behave identically to a straightforward reference implementation (a
+//! per-set `Vec` in LRU order) across arbitrary access/fill/invalidate
+//! sequences.
+
+use proptest::prelude::*;
+use simx86::cache::Cache;
+use simx86::config::CacheConfig;
+
+/// The oracle: per-set LRU lists, most-recent at the back.
+struct RefCache {
+    sets: u64,
+    ways: usize,
+    lru: Vec<Vec<(u64, bool)>>, // (line, dirty)
+}
+
+impl RefCache {
+    fn new(sets: u64, ways: usize) -> Self {
+        Self {
+            sets,
+            ways,
+            lru: (0..sets).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets) as usize
+    }
+
+    fn access(&mut self, line: u64, write: bool) -> bool {
+        let set = self.set_of(line);
+        let entries = &mut self.lru[set];
+        if let Some(pos) = entries.iter().position(|(l, _)| *l == line) {
+            let (l, d) = entries.remove(pos);
+            entries.push((l, d || write));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, line: u64, dirty: bool) -> Option<u64> {
+        let ways = self.ways;
+        let set = self.set_of(line);
+        let entries = &mut self.lru[set];
+        if let Some(pos) = entries.iter().position(|(l, _)| *l == line) {
+            let (l, d) = entries.remove(pos);
+            entries.push((l, d || dirty));
+            return None;
+        }
+        let mut evicted_dirty = None;
+        if entries.len() == ways {
+            let (victim, was_dirty) = entries.remove(0);
+            if was_dirty {
+                evicted_dirty = Some(victim);
+            }
+        }
+        entries.push((line, dirty));
+        evicted_dirty
+    }
+
+    fn invalidate(&mut self, line: u64) -> Option<bool> {
+        let set = self.set_of(line);
+        let entries = &mut self.lru[set];
+        entries
+            .iter()
+            .position(|(l, _)| *l == line)
+            .map(|pos| entries.remove(pos).1)
+    }
+
+    fn contains(&self, line: u64) -> bool {
+        self.lru[self.set_of(line)].iter().any(|(l, _)| *l == line)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access { line: u64, write: bool },
+    Fill { line: u64, dirty: bool },
+    Invalidate { line: u64 },
+    Contains { line: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Lines restricted to a small universe so sets actually conflict.
+    let line = 0u64..64;
+    prop_oneof![
+        (line.clone(), any::<bool>()).prop_map(|(line, write)| Op::Access { line, write }),
+        (0u64..64, any::<bool>()).prop_map(|(line, dirty)| Op::Fill { line, dirty }),
+        (0u64..64).prop_map(|line| Op::Invalidate { line }),
+        (0u64..64).prop_map(|line| Op::Contains { line }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let cfg = CacheConfig {
+            size_bytes: 8 * 64, // 4 sets x 2 ways
+            ways: 2,
+            line_bytes: 64,
+            latency: 1.0,
+        };
+        let mut cache = Cache::new(&cfg);
+        let mut oracle = RefCache::new(4, 2);
+        for op in ops {
+            match op {
+                Op::Access { line, write } => {
+                    prop_assert_eq!(cache.access(line, write), oracle.access(line, write),
+                                    "access({}, {}) diverged", line, write);
+                }
+                Op::Fill { line, dirty } => {
+                    let got = cache.fill(line, dirty, false).map(|wb| wb.line);
+                    let want = oracle.fill(line, dirty);
+                    prop_assert_eq!(got, want, "fill({}, {}) diverged", line, dirty);
+                }
+                Op::Invalidate { line } => {
+                    prop_assert_eq!(cache.invalidate(line), oracle.invalidate(line),
+                                    "invalidate({}) diverged", line);
+                }
+                Op::Contains { line } => {
+                    prop_assert_eq!(cache.contains(line), oracle.contains(line),
+                                    "contains({}) diverged", line);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residency_never_exceeds_capacity(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let cfg = CacheConfig {
+            size_bytes: 16 * 64,
+            ways: 4,
+            line_bytes: 64,
+            latency: 1.0,
+        };
+        let mut cache = Cache::new(&cfg);
+        for op in ops {
+            match op {
+                Op::Access { line, write } => { cache.access(line, write); }
+                Op::Fill { line, dirty } => { cache.fill(line, dirty, false); }
+                Op::Invalidate { line } => { cache.invalidate(line); }
+                Op::Contains { line } => { cache.contains(line); }
+            }
+            prop_assert!(cache.resident_lines() <= cache.capacity_lines());
+        }
+    }
+}

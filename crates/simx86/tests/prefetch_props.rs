@@ -1,0 +1,73 @@
+//! Property-based tests for the stream prefetcher.
+
+use proptest::prelude::*;
+use simx86::config::PrefetchConfig;
+use simx86::prefetch::StreamPrefetcher;
+
+fn cfg(distance: u64, trigger: u32) -> PrefetchConfig {
+    PrefetchConfig {
+        stream: true,
+        adjacent: false,
+        max_streams: 8,
+        distance_lines: distance,
+        trigger,
+    }
+}
+
+proptest! {
+    /// Prefetches never cross the 4 KiB page of the access that triggered
+    /// them, for any access sequence.
+    #[test]
+    fn prefetches_stay_on_page(lines in proptest::collection::vec(0u64..512, 1..100),
+                               distance in 1u64..32) {
+        let mut p = StreamPrefetcher::new(cfg(distance, 2));
+        for line in lines {
+            let page = line >> 6;
+            for pf in p.observe(line) {
+                prop_assert_eq!(pf >> 6, page,
+                    "prefetch of line {} escaped page of line {}", pf, line);
+            }
+        }
+    }
+
+    /// A prefetched line is never the line that was just demanded (it
+    /// would be useless), and within one monotone stream no line is
+    /// prefetched twice.
+    #[test]
+    fn monotone_streams_never_duplicate(start in 0u64..1024, len in 2usize..60) {
+        let mut p = StreamPrefetcher::new(cfg(8, 2));
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..len as u64 {
+            let line = start + i;
+            for pf in p.observe(line) {
+                prop_assert_ne!(pf, line);
+                prop_assert!(seen.insert(pf), "line {} prefetched twice", pf);
+            }
+        }
+    }
+
+    /// The prefetcher issues nothing before its trigger count is reached.
+    #[test]
+    fn trigger_threshold_respected(trigger in 2u32..6) {
+        let mut p = StreamPrefetcher::new(cfg(4, trigger));
+        for i in 0..(trigger as u64 - 1) {
+            let out = p.observe(2048 + i);
+            prop_assert!(out.is_empty(),
+                "prefetch fired after {} accesses with trigger {}", i + 1, trigger);
+        }
+        prop_assert!(!p.observe(2048 + trigger as u64 - 1).is_empty());
+    }
+
+    /// Total prefetch volume for a single monotone stream is bounded by
+    /// the stream length plus the lookahead distance.
+    #[test]
+    fn volume_bounded_by_stream_plus_distance(len in 2u64..200, distance in 1u64..16) {
+        let mut p = StreamPrefetcher::new(cfg(distance, 2));
+        let mut total = 0u64;
+        for i in 0..len {
+            total += p.observe(4096 + i).len() as u64;
+        }
+        prop_assert!(total <= len + distance,
+            "issued {} prefetches for a {}-line stream at distance {}", total, len, distance);
+    }
+}

@@ -1,0 +1,80 @@
+//! The NUMA discipline of the methodology, on the two-socket platform:
+//! why the paper pins threads *and* memory with `numactl`, shown with the
+//! simulated equivalent (`Machine::alloc_on` + explicit core placement).
+//!
+//! ```text
+//! cargo run --release --example numa_pinning
+//! ```
+
+use roofline::prelude::*;
+use roofline::simx86::{Buffer, Cpu};
+
+const LINES: u64 = 40_000;
+
+fn stream(buf: Buffer) -> SlicedFn<impl FnMut(&mut Cpu<'_>, usize)> {
+    SlicedFn::new(16, move |cpu: &mut Cpu<'_>, s| {
+        let chunk = LINES / 16;
+        for i in s as u64 * chunk..(s as u64 + 1) * chunk {
+            cpu.load(Reg::new(0), buf.base() + i * 64, VecWidth::Y256, Precision::F64);
+        }
+    })
+}
+
+fn idle() -> SlicedFn<impl FnMut(&mut Cpu<'_>, usize)> {
+    SlicedFn::new(1, |cpu: &mut Cpu<'_>, _| cpu.overhead(1))
+}
+
+/// Runs streaming readers on the given `(core, memory node)` placements
+/// and reports aggregate bandwidth.
+fn measure(placements: &[(usize, usize)]) -> f64 {
+    let mut m = Machine::new(config::sandy_bridge_2s());
+    let max_core = placements.iter().map(|&(c, _)| c).max().unwrap();
+    let mut bufs: Vec<Option<Buffer>> = vec![None; max_core + 1];
+    for &(core, node) in placements {
+        bufs[core] = Some(m.alloc_on(node, LINES * 64));
+    }
+    let t0 = m.tsc();
+    let programs: Vec<Box<dyn ThreadProgram + '_>> = (0..=max_core)
+        .map(|core| match bufs[core] {
+            Some(buf) => Box::new(stream(buf)) as Box<dyn ThreadProgram>,
+            None => Box::new(idle()) as Box<dyn ThreadProgram>,
+        })
+        .collect();
+    m.run_parallel(programs);
+    let secs = (m.tsc() - t0) / m.tsc_hz();
+    (placements.len() as u64 * LINES * 64) as f64 / secs / 1e9
+}
+
+fn main() {
+    let cfg = config::sandy_bridge_2s();
+    println!(
+        "platform {}: {} cores / {} sockets, {} GB/s per socket, +{} cycles remote hop\n",
+        cfg.name, cfg.cores, cfg.sockets, cfg.dram_gbps, cfg.numa_remote_latency
+    );
+
+    let cases: Vec<(&str, Vec<(usize, usize)>)> = vec![
+        ("1 reader, local memory        ", vec![(0, 0)]),
+        ("1 reader, remote memory       ", vec![(0, 1)]),
+        ("2 readers, one socket, node 0 ", vec![(0, 0), (1, 0)]),
+        ("2 readers, pinned per socket  ", vec![(0, 0), (4, 1)]),
+        ("2 readers, unpinned (node 0)  ", vec![(0, 0), (4, 0)]),
+        (
+            "8 readers, pinned per socket  ",
+            (0..8).map(|c| (c, if c < 4 { 0 } else { 1 })).collect(),
+        ),
+        (
+            "8 readers, unpinned (node 0)  ",
+            (0..8).map(|c| (c, 0)).collect(),
+        ),
+    ];
+    println!("{:<32} {:>10}", "placement", "GB/s");
+    for (name, placements) in &cases {
+        println!("{name:<32} {:>10.2}", measure(placements));
+    }
+    println!(
+        "\nonly the *pinned* multi-socket placements reach both memory\n\
+         controllers; every unpinned case is capped at one socket's 21 GB/s —\n\
+         exactly why the methodology runs one benchmark copy per node under\n\
+         numactl and sums the throughputs."
+    );
+}

@@ -1,0 +1,84 @@
+//! Quickstart: boot a simulated platform, measure its roofline, measure a
+//! kernel, and print the plot.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use roofline::kernels::{blas1::Daxpy, blas3::DgemmBlocked, Kernel};
+use roofline::perfmon::{self, RoofOptions};
+use roofline::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A Sandy-Bridge-class machine: 4 cores, AVX, no FMA, ~21 GB/s DRAM.
+    let mut machine = Machine::new(config::sandy_bridge());
+    println!(
+        "machine: {} ({} cores @ {} GHz nominal)",
+        machine.config().name,
+        machine.config().cores,
+        machine.config().nominal_ghz
+    );
+
+    // 2. Measure the single-thread roofline with the paper's
+    //    microbenchmarks: independent FP streams for the ceilings,
+    //    STREAM-style loops for the bandwidth roofs.
+    let opts = RoofOptions {
+        flops_target: 100_000,
+        dram_bytes_per_thread: 1024 * 1024,
+    };
+    let model = perfmon::measured_roofline_with(&mut machine, 1, opts);
+    println!(
+        "measured peak: {}   peak bandwidth: {}   ridge: {}",
+        model.peak_compute(),
+        model.peak_bandwidth(),
+        model.ridge().intensity()
+    );
+
+    // 3. Measure two kernels with the counter methodology (cold caches,
+    //    repetition medians, framework-overhead subtraction).
+    let daxpy = Daxpy::new(&mut machine, 1 << 18);
+    let mut measurer = Measurer::new(&mut machine, MeasureConfig::default());
+    let daxpy_m = measurer.measure(|cpu| daxpy.emit(cpu)).to_measurement();
+
+    let gemm = DgemmBlocked::new(&mut machine, 96);
+    let warm = MeasureConfig {
+        protocol: CacheProtocol::Warm { priming_runs: 1 },
+        ..MeasureConfig::default()
+    };
+    let mut measurer = Measurer::new(&mut machine, warm);
+    let gemm_r = measurer.measure(|cpu| gemm.emit(cpu));
+
+    // 4. Place them under the roofs.
+    let daxpy_pt = KernelPoint::from_measurement("daxpy", &daxpy_m);
+    println!(
+        "daxpy:  I = {:.4} flops/B, P = {:.2} GF/s → {} ({} of its bound)",
+        daxpy_pt.intensity().get(),
+        daxpy_pt.performance().get(),
+        daxpy_pt.bound(&model),
+        daxpy_pt.efficiency(&model),
+    );
+    let gemm_i = gemm_r
+        .to_measurement()
+        .intensity()
+        .map(|i| i.get())
+        .unwrap_or(model.ridge().intensity().get() * 16.0);
+    let gemm_pt = KernelPoint::new(
+        "dgemm",
+        Intensity::new(gemm_i),
+        gemm_r.to_measurement().performance(),
+    );
+    println!(
+        "dgemm:  I = {:.2} flops/B, P = {:.2} GF/s → {} ({} of peak)",
+        gemm_pt.intensity().get(),
+        gemm_pt.performance().get(),
+        gemm_pt.bound(&model),
+        gemm_pt.compute_utilization(&model),
+    );
+
+    // 5. Render the roofline plot.
+    let spec = PlotSpec::new("quickstart", model)
+        .point(daxpy_pt)
+        .point(gemm_pt);
+    println!("\n{}", render_ascii(&spec, 76, 24)?);
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! # roofline
+//!
+//! Umbrella crate for the reproduction of *"Applying the roofline model"*
+//! (Ofenbeck, Steinmann, Caparrós Cabezas, Spampinato, Püschel — ISPASS
+//! 2014): producing roofline plots from **measured** work, memory-traffic
+//! and runtime data gathered through (simulated) performance counters.
+//!
+//! The repository is a Cargo workspace; this crate re-exports the pieces
+//! and hosts the runnable examples and cross-crate integration tests:
+//!
+//! | crate | what it is |
+//! |---|---|
+//! | [`core`] (`roofline-core`) | the roofline model itself: units, ceilings, roofs, kernel points, trajectories, ASCII/SVG plots |
+//! | [`simx86`] | the simulated multicore x86 substrate: OoO-lite cores, caches, prefetchers, memory controller, PMU, turbo |
+//! | [`perfmon`] | the paper's measurement methodology: counter snapshots, overhead subtraction, cold/warm protocols, peak microbenchmarks |
+//! | [`kernels`] | the evaluated kernels (BLAS 1–3, FFT, WHT, stencil, maxpool), native + emitted forms |
+//! | [`experiments`] | the registry reproducing every table/figure (E1–E16) plus the `repro` binary |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use roofline::prelude::*;
+//! use roofline::kernels::{blas1::Daxpy, Kernel};
+//! use roofline::perfmon::{self, RoofOptions};
+//!
+//! // Boot a Sandy-Bridge-class simulated machine.
+//! let mut machine = Machine::new(config::sandy_bridge());
+//!
+//! // Measure its single-thread roofline (ceilings + bandwidth roofs).
+//! let opts = RoofOptions { flops_target: 50_000, dram_bytes_per_thread: 256 * 1024 };
+//! let model = perfmon::measured_roofline_with(&mut machine, 1, opts);
+//!
+//! // Measure a kernel under the cold-cache protocol.
+//! let kernel = Daxpy::new(&mut machine, 1 << 14);
+//! let mut measurer = Measurer::new(&mut machine, MeasureConfig::default());
+//! let region = measurer.measure(|cpu| kernel.emit(cpu));
+//!
+//! // Place it on the plot.
+//! let point = KernelPoint::from_measurement("daxpy", &region.to_measurement());
+//! assert_eq!(point.bound(&model).to_string(), "memory-bound");
+//! ```
+#![forbid(unsafe_code)]
+
+pub use experiments;
+pub use kernels;
+pub use perfmon;
+pub use roofline_core as core;
+pub use simx86;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use experiments::{run_experiment, Experiment, Fidelity};
+    pub use kernels::Kernel;
+    pub use perfmon::{self, CacheProtocol, MeasureConfig, Measurer};
+    pub use roofline_core::plot::{ascii::render_ascii, svg::render_svg, PlotSpec};
+    pub use roofline_core::prelude::*;
+    pub use simx86::prelude::*;
+    pub use simx86::{config, Machine};
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration: the full pipeline from booting a simulated
+//! machine to classified points on a measured roofline, asserting the
+//! paper-shape results (who is bound by what, and by roughly how much).
+
+use roofline::kernels::blas1::{Daxpy, Triad};
+use roofline::kernels::blas3::{DgemmBlocked, DgemmNaive};
+use roofline::kernels::Kernel;
+use roofline::perfmon::{self, RoofOptions};
+use roofline::prelude::*;
+
+fn quick_opts() -> RoofOptions {
+    RoofOptions {
+        flops_target: 60_000,
+        dram_bytes_per_thread: 512 * 1024,
+    }
+}
+
+fn measure<K: Kernel>(machine: &mut Machine, kernel: &K, protocol: CacheProtocol) -> Measurement {
+    let cfg = MeasureConfig {
+        protocol,
+        ..MeasureConfig::default()
+    };
+    let mut measurer = Measurer::new(machine, cfg);
+    measurer.measure(|cpu| kernel.emit(cpu)).to_measurement()
+}
+
+#[test]
+fn daxpy_rides_the_memory_roof() {
+    let mut rm = Machine::new(config::sandy_bridge());
+    let model = perfmon::measured_roofline_with(&mut rm, 1, quick_opts());
+
+    let mut m = Machine::new(config::sandy_bridge());
+    let k = Daxpy::new(&mut m, 1 << 16);
+    let meas = measure(&mut m, &k, CacheProtocol::Cold);
+    let p = KernelPoint::from_measurement("daxpy", &meas);
+
+    assert_eq!(p.bound(&model), Bound::Memory);
+    let eff = p.efficiency(&model).get();
+    assert!(
+        (0.5..=1.02).contains(&eff),
+        "daxpy should run close under the roof, got {eff}"
+    );
+    // And nowhere near peak compute.
+    assert!(p.compute_utilization(&model).get() < 0.2);
+}
+
+#[test]
+fn blocked_gemm_reaches_the_ceiling_naive_does_not() {
+    let mut rm = Machine::new(config::sandy_bridge());
+    let model = perfmon::measured_roofline_with(&mut rm, 1, quick_opts());
+
+    let mut m = Machine::new(config::sandy_bridge());
+    let blocked = DgemmBlocked::new(&mut m, 64);
+    let mb = measure(&mut m, &blocked, CacheProtocol::Warm { priming_runs: 1 });
+
+    let mut m = Machine::new(config::sandy_bridge());
+    let naive = DgemmNaive::new(&mut m, 64);
+    let mn = measure(&mut m, &naive, CacheProtocol::Warm { priming_runs: 1 });
+
+    let util_blocked = mb.performance().ratio(model.peak_compute());
+    let util_naive = mn.performance().ratio(model.peak_compute());
+    assert!(
+        util_blocked > 0.7,
+        "blocked dgemm should approach peak: {util_blocked}"
+    );
+    assert!(
+        util_naive < 0.25,
+        "scalar naive dgemm should sit far below: {util_naive}"
+    );
+}
+
+#[test]
+fn measured_w_is_exact_and_q_bounded_below_by_compulsory() {
+    // The twin pillars of the methodology: W from the counters is exact,
+    // and Q from the IMC can only exceed the compulsory minimum.
+    let mut m = Machine::new(config::sandy_bridge());
+    m.set_prefetch(false, false);
+    let k = Triad::new(&mut m, 1 << 15, false);
+    let meas = measure(&mut m, &k, CacheProtocol::Cold);
+    assert_eq!(meas.work().get(), k.flops());
+    assert!(meas.traffic().get() >= k.min_traffic());
+}
+
+#[test]
+fn ridge_separates_the_kernels() {
+    let mut rm = Machine::new(config::sandy_bridge());
+    let model = perfmon::measured_roofline_with(&mut rm, 1, quick_opts());
+    let ridge = model.ridge().intensity().get();
+
+    let mut m = Machine::new(config::sandy_bridge());
+    let daxpy = Daxpy::new(&mut m, 1 << 16);
+    let daxpy_i = measure(&mut m, &daxpy, CacheProtocol::Cold)
+        .intensity()
+        .unwrap()
+        .get();
+
+    let mut m = Machine::new(config::sandy_bridge());
+    m.set_prefetch(false, false);
+    let gemm = DgemmBlocked::new(&mut m, 128);
+    let gemm_i = measure(&mut m, &gemm, CacheProtocol::Cold)
+        .intensity()
+        .unwrap()
+        .get();
+
+    assert!(
+        daxpy_i < ridge && ridge < gemm_i,
+        "expected daxpy ({daxpy_i:.3}) < ridge ({ridge:.3}) < dgemm ({gemm_i:.3})"
+    );
+}
+
+#[test]
+fn plots_render_for_real_measurements() {
+    let mut rm = Machine::new(config::sandy_bridge());
+    let model = perfmon::measured_roofline_with(&mut rm, 1, quick_opts());
+
+    let mut t = Trajectory::new("daxpy sweep");
+    for shift in [10u32, 12, 14] {
+        let mut m = Machine::new(config::sandy_bridge());
+        let k = Daxpy::new(&mut m, 1 << shift);
+        t.push(1 << shift, measure(&mut m, &k, CacheProtocol::Cold));
+    }
+    let spec = PlotSpec::new("integration", model).trajectory(t);
+    let ascii = render_ascii(&spec, 72, 20).unwrap();
+    assert!(ascii.contains("daxpy sweep"));
+    let svg = render_svg(&spec, 800, 500).unwrap();
+    assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+}
+
+#[test]
+fn umbrella_prelude_is_sufficient_for_the_whole_flow() {
+    // Compile-time check that the prelude exposes everything the README
+    // quickstart uses, plus a smoke run.
+    let mut machine = Machine::new(config::test_machine());
+    let model = perfmon::measured_roofline_with(
+        &mut machine,
+        1,
+        RoofOptions {
+            flops_target: 20_000,
+            dram_bytes_per_thread: 64 * 1024,
+        },
+    );
+    let kernel = Daxpy::new(&mut machine, 4096);
+    let mut measurer = Measurer::new(&mut machine, MeasureConfig::default());
+    let region = measurer.measure(|cpu| kernel.emit(cpu));
+    let point = KernelPoint::from_measurement("daxpy", &region.to_measurement());
+    assert_eq!(point.bound(&model), Bound::Memory);
+}

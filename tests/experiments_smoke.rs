@@ -1,0 +1,60 @@
+//! Runs every registered experiment at quick fidelity and checks the
+//! outputs are complete: tables render, figures carry their artifacts, and
+//! the per-experiment findings exist. This is the CI-level guarantee that
+//! `repro --experiment all` works end to end.
+
+use roofline::experiments::{run_experiment, Experiment, Fidelity};
+
+#[test]
+fn every_experiment_produces_output() {
+    for e in Experiment::ALL {
+        // E6 needs working sets sized to the LLC; run it on the small test
+        // platform to keep this smoke test fast (its full-platform variant
+        // is covered by the experiments crate's own tests).
+        let platform = if e == Experiment::E6 { "test" } else { "snb" };
+        let out = run_experiment(e, platform, Fidelity::Quick);
+        assert_eq!(out.id, e.id());
+        assert!(
+            !out.tables.is_empty() || !out.figures.is_empty(),
+            "{}: produced neither tables nor figures",
+            e.id()
+        );
+        assert!(
+            !out.findings.is_empty(),
+            "{}: recorded no findings",
+            e.id()
+        );
+        let text = out.render_text();
+        assert!(text.contains(e.id()), "{}: report missing id", e.id());
+
+        for fig in &out.figures {
+            assert!(!fig.name.is_empty());
+            if let Some(svg) = &fig.svg {
+                assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+            }
+            if let Some(csv) = &fig.csv {
+                assert!(csv.contains('\n'), "{}: CSV without rows", fig.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn artifacts_round_trip_to_disk() {
+    let dir = std::env::temp_dir().join(format!("roofline_e2e_{}", std::process::id()));
+    let out = run_experiment(Experiment::E1, "snb", Fidelity::Quick);
+    out.write_artifacts(&dir).unwrap();
+    let report = dir.join("e1_report.txt");
+    let content = std::fs::read_to_string(&report).unwrap();
+    assert!(content.contains("platform"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn experiment_index_matches_design_doc() {
+    // DESIGN.md promises E1..E16 plus the E17/E18 extensions; the
+    // registry must provide exactly those.
+    let ids: Vec<&str> = Experiment::ALL.iter().map(|e| e.id()).collect();
+    let expected: Vec<String> = (1..=18).map(|i| format!("E{i}")).collect();
+    assert_eq!(ids, expected.iter().map(String::as_str).collect::<Vec<_>>());
+}

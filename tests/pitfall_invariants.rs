@@ -1,0 +1,149 @@
+//! Integration tests for the three measurement pitfalls, asserting the
+//! *directional* claims of the paper hold end-to-end on every platform
+//! preset.
+
+use roofline::kernels::blas1::{Ddot, Triad};
+use roofline::kernels::Kernel;
+use roofline::prelude::*;
+
+fn platforms() -> Vec<MachineConfig> {
+    vec![
+        config::sandy_bridge(),
+        config::ivy_bridge(),
+        config::haswell(),
+    ]
+}
+
+#[test]
+fn turbo_always_shortens_runtime_never_changes_work() {
+    // Turbo scales the *core* clock only; memory latencies live on the TSC
+    // timeline. A compute-dominated region therefore speeds up by close to
+    // the frequency ratio, while its counted work stays identical.
+    use roofline::perfmon::peaks::{emit_peak_stream, Mix};
+    for cfg in platforms() {
+        let ratio = cfg.turbo_ghz[0] / cfg.nominal_ghz;
+        let run = |turbo: bool| {
+            let mut m = Machine::new(cfg.clone());
+            m.set_turbo(turbo);
+            let mut measurer = Measurer::new(&mut m, MeasureConfig::default());
+            let r = measurer.measure(|cpu| {
+                emit_peak_stream(cpu, VecWidth::Y256, Precision::F64, Mix::Balanced, 2_000)
+            });
+            (r.work.get(), r.runtime.get())
+        };
+        let (w_off, t_off) = run(false);
+        let (w_on, t_on) = run(true);
+        assert_eq!(w_off, w_on, "{}: work must be clock-invariant", cfg.name);
+        let speedup = t_off / t_on;
+        assert!(
+            (speedup - ratio).abs() / ratio < 0.05,
+            "{}: expected ~{ratio:.3}x turbo speedup, got {speedup:.3}x",
+            cfg.name
+        );
+    }
+}
+
+#[test]
+fn prefetcher_never_reduces_imc_traffic_and_always_beats_llc_counting() {
+    for cfg in platforms() {
+        let measure = |prefetch: bool| {
+            let mut m = Machine::new(cfg.clone());
+            m.set_prefetch(prefetch, prefetch);
+            let k = Triad::new(&mut m, 1 << 15, false);
+            let mut measurer = Measurer::new(&mut m, MeasureConfig::default());
+            measurer.measure(|cpu| k.emit(cpu))
+        };
+        let off = measure(false);
+        let on = measure(true);
+        // Prefetching may overshoot, never undershoot, IMC reads.
+        assert!(
+            on.traffic.get() + 4096 >= off.traffic.get(),
+            "{}: prefetch lost traffic?",
+            cfg.name
+        );
+        // LLC-miss counting is never above IMC counting.
+        for r in [&off, &on] {
+            assert!(
+                r.llc_miss_traffic.get() <= r.traffic.get(),
+                "{}: llc {} > imc {}",
+                cfg.name,
+                r.llc_miss_traffic,
+                r.traffic
+            );
+        }
+        // And with prefetch on the gap must widen.
+        let gap_off = off.traffic.get() - off.llc_miss_traffic.get();
+        let gap_on = on.traffic.get() - on.llc_miss_traffic.get();
+        assert!(
+            gap_on > gap_off,
+            "{}: prefetch should widen the attribution gap",
+            cfg.name
+        );
+    }
+}
+
+#[test]
+fn warm_caches_reduce_traffic_only_for_resident_working_sets() {
+    let cfg = config::sandy_bridge();
+    let l3 = cfg.l3.size_bytes;
+    let measure = |n: u64, warm: bool| {
+        let mut m = Machine::new(cfg.clone());
+        m.set_prefetch(false, false);
+        let k = Ddot::new(&mut m, n);
+        let protocol = if warm {
+            CacheProtocol::Warm { priming_runs: 2 }
+        } else {
+            CacheProtocol::Cold
+        };
+        let mut measurer = Measurer::new(
+            &mut m,
+            MeasureConfig {
+                protocol,
+                ..MeasureConfig::default()
+            },
+        );
+        measurer.measure(|cpu| k.emit(cpu)).traffic.get()
+    };
+
+    // Resident: 2 vectors * 8B * n = 16n << L3.
+    let small = l3 / 64 / 8; // working set = L3/4
+    assert!(
+        measure(small, true) < measure(small, false) / 4,
+        "resident warm traffic should collapse"
+    );
+
+    // Streaming: working set = 4x L3 — warm cannot help.
+    let big = l3 / 2; // 16n = 8 * L3... n = l3/2 gives 16n = 8*l3.
+    let cold = measure(big, false);
+    let warm = measure(big, true);
+    let ratio = warm as f64 / cold as f64;
+    assert!(
+        ratio > 0.8,
+        "beyond-LLC working sets must stream either way, got ratio {ratio}"
+    );
+}
+
+#[test]
+fn overhead_subtraction_makes_small_kernels_measurable() {
+    // Without calibration, framework overhead dominates a tiny kernel's
+    // instruction count; with it, the kernel's exact W survives.
+    let mut m = Machine::new(config::sandy_bridge());
+    let k = Ddot::new(&mut m, 64);
+    let with = {
+        let mut measurer = Measurer::new(&mut m, MeasureConfig::default());
+        measurer.measure(|cpu| k.emit(cpu))
+    };
+    assert_eq!(with.work.get(), k.flops());
+    let without = {
+        let cfg = MeasureConfig {
+            subtract_overhead: false,
+            ..MeasureConfig::default()
+        };
+        let mut measurer = Measurer::new(&mut m, cfg);
+        measurer.measure(|cpu| k.emit(cpu))
+    };
+    assert!(
+        without.instructions > with.instructions,
+        "uncalibrated measurement must include harness instructions"
+    );
+}

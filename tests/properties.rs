@@ -1,0 +1,147 @@
+//! Property-based tests (proptest) over the core invariants of the model,
+//! the simulator, and the measurement pipeline.
+
+use proptest::prelude::*;
+use roofline::core::model::{BandwidthRoof, Ceiling, Roofline};
+use roofline::core::plot::LogScale;
+use roofline::core::units::{
+    Bytes, Flops, FlopsPerCycle, GBytesPerSec, Hertz, Intensity, Seconds,
+};
+use roofline::kernels::blas1::Daxpy;
+use roofline::kernels::Kernel;
+use roofline::prelude::{CacheProtocol, MeasureConfig, Measurer};
+use roofline::simx86::{config, Machine};
+
+fn any_roofline() -> impl Strategy<Value = Roofline> {
+    (
+        1.0f64..64.0,
+        0.5f64..64.0,
+        1.0f64..5.0,
+        proptest::collection::vec(0.1f64..64.0, 0..3),
+        proptest::collection::vec(0.1f64..64.0, 0..3),
+    )
+        .prop_map(|(peak, bw, ghz, extra_c, extra_r)| {
+            let mut b = Roofline::builder("prop")
+                .frequency(Hertz::from_ghz(ghz))
+                .ceiling(Ceiling::new("top", FlopsPerCycle::new(peak)))
+                .roof(BandwidthRoof::new("main", GBytesPerSec::new(bw)));
+            for (i, c) in extra_c.into_iter().enumerate() {
+                b = b.ceiling(Ceiling::new(format!("c{i}"), FlopsPerCycle::new(c)));
+            }
+            for (i, r) in extra_r.into_iter().enumerate() {
+                b = b.roof(BandwidthRoof::new(format!("r{i}"), GBytesPerSec::new(r)));
+            }
+            b.build().expect("well-formed")
+        })
+}
+
+proptest! {
+    /// The attainable envelope is non-decreasing in intensity and never
+    /// exceeds the peak.
+    #[test]
+    fn attainable_monotone_and_bounded(model in any_roofline(),
+                                       i1 in 1e-3f64..1e3, i2 in 1e-3f64..1e3) {
+        let (lo, hi) = if i1 <= i2 { (i1, i2) } else { (i2, i1) };
+        let a_lo = model.attainable(Intensity::new(lo)).get();
+        let a_hi = model.attainable(Intensity::new(hi)).get();
+        prop_assert!(a_lo <= a_hi + 1e-12);
+        prop_assert!(a_hi <= model.peak_compute().get() + 1e-12);
+    }
+
+    /// At the ridge the two sides of the min() agree.
+    #[test]
+    fn ridge_is_the_crossover(model in any_roofline()) {
+        let ridge = model.ridge().intensity();
+        let mem = (ridge * model.peak_bandwidth()).get();
+        let pi = model.peak_compute().get();
+        prop_assert!((mem - pi).abs() / pi < 1e-9);
+    }
+
+    /// Intensity and performance derived from a measurement are consistent
+    /// with the raw triple.
+    #[test]
+    fn measurement_arithmetic(w in 1u64..1_000_000_000, q in 1u64..1_000_000_000,
+                              t in 1e-9f64..1e3) {
+        let m = roofline::core::point::Measurement::new(
+            Flops::new(w), Bytes::new(q), Seconds::new(t));
+        let i = m.intensity().unwrap().get();
+        prop_assert!((i - w as f64 / q as f64).abs() / i < 1e-12);
+        let p = m.performance().get();
+        prop_assert!((p - w as f64 / t / 1e9).abs() / p < 1e-12);
+    }
+
+    /// Log scales round-trip all in-range values.
+    #[test]
+    fn log_scale_round_trip(lo in 1e-6f64..1.0, span in 1.01f64..1e6, v in 0.0f64..1.0) {
+        let scale = LogScale::new(lo, lo * span).unwrap();
+        let x = scale.denormalize(v);
+        let v2 = scale.normalize(x);
+        prop_assert!((v - v2).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// PMU flop counting matches analytics for daxpy at arbitrary sizes —
+    /// including awkward non-multiple-of-vector tails.
+    #[test]
+    fn daxpy_counter_exactness(n in 1u64..2048) {
+        let mut m = Machine::new(config::test_machine());
+        let k = Daxpy::new(&mut m, n);
+        let before = m.core_counters(0);
+        m.run(0, |cpu| k.emit(cpu));
+        let counted = m.core_counters(0)
+            .since(&before)
+            .flops(roofline::simx86::isa::Precision::F64);
+        prop_assert_eq!(counted, k.flops());
+    }
+
+    /// IMC traffic can never be below the LLC-miss estimate, regardless of
+    /// prefetch configuration or problem size.
+    #[test]
+    fn imc_dominates_llc_counting(n in 64u64..8192, stream in any::<bool>(),
+                                  adjacent in any::<bool>()) {
+        let mut m = Machine::new(config::test_machine());
+        m.set_prefetch(stream, adjacent);
+        let k = Daxpy::new(&mut m, n);
+        let mut measurer = Measurer::new(&mut m, MeasureConfig::default());
+        let r = measurer.measure(|cpu| k.emit(cpu));
+        prop_assert!(r.llc_miss_traffic.get() <= r.traffic.get());
+    }
+
+    /// Cold-cache traffic is at least the compulsory *read* traffic (both
+    /// vectors must stream in; the writeback share of `min_traffic` can
+    /// legitimately stay cached for LLC-resident sizes) and at most a
+    /// small constant factor above the minimum (prefetch overshoot + RFO).
+    #[test]
+    fn cold_traffic_bounded(n in 512u64..8192) {
+        let mut m = Machine::new(config::test_machine());
+        let k = Daxpy::new(&mut m, n);
+        let mut measurer = Measurer::new(&mut m, MeasureConfig::default());
+        let r = measurer.measure(|cpu| k.emit(cpu));
+        let compulsory_reads = 16 * n;
+        prop_assert!(r.traffic.get() >= compulsory_reads,
+                     "traffic {} below compulsory reads {}", r.traffic.get(), compulsory_reads);
+        prop_assert!(r.traffic.get() <= 2 * k.min_traffic() + 16 * 1024,
+                     "traffic {} vs min {}", r.traffic.get(), k.min_traffic());
+    }
+
+    /// Runtime is monotone (within slack) in problem size under a fixed
+    /// protocol.
+    #[test]
+    fn runtime_grows_with_problem_size(n in 256u64..2048) {
+        let measure = |n: u64| {
+            let mut m = Machine::new(config::test_machine());
+            let k = Daxpy::new(&mut m, n);
+            let mut measurer = Measurer::new(&mut m, MeasureConfig {
+                protocol: CacheProtocol::Cold,
+                ..MeasureConfig::default()
+            });
+            measurer.measure(|cpu| k.emit(cpu)).runtime.get()
+        };
+        let t1 = measure(n);
+        let t2 = measure(n * 4);
+        prop_assert!(t2 > t1, "4x problem ran faster: {t2} vs {t1}");
+    }
+}
