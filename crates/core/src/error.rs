@@ -22,6 +22,9 @@ pub enum Error {
     },
     /// Serialized roofline text could not be parsed.
     Parse(String),
+    /// A measured `(W, Q, T)` triple failed a sanity check and cannot be
+    /// turned into a roofline point (non-finite or non-positive runtime).
+    InvalidMeasurement(String),
 }
 
 impl fmt::Display for Error {
@@ -35,6 +38,7 @@ impl fmt::Display for Error {
                 write!(f, "axis range [{lo}, {hi}] is empty or not positive")
             }
             Error::Parse(msg) => write!(f, "could not parse roofline text: {msg}"),
+            Error::InvalidMeasurement(msg) => write!(f, "invalid measurement: {msg}"),
         }
     }
 }
@@ -54,6 +58,7 @@ mod tests {
             Error::DuplicateName("x".into()).to_string(),
             Error::BadAxisRange { lo: 1.0, hi: 0.5 }.to_string(),
             Error::Parse("x".into()).to_string(),
+            Error::InvalidMeasurement("x".into()).to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

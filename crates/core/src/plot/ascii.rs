@@ -135,7 +135,7 @@ pub fn render_ascii(spec: &PlotSpec, width: usize, height: usize) -> Result<Stri
             }
         }
     }
-    out.push_str(&tick_line.iter().collect::<String>().trim_end().to_string());
+    out.push_str(tick_line.iter().collect::<String>().trim_end());
     out.push('\n');
     out.push_str(&format!(
         "x: intensity [{}..{}] flops/B (log)   y: perf [{}..{}] GF/s (log)\n",

@@ -1,5 +1,6 @@
 //! Measured kernels as points on the roofline plot.
 
+use crate::error::Error;
 use crate::model::{Bound, Roofline};
 use crate::units::{Bytes, Flops, GFlopsPerSec, Intensity, Seconds};
 
@@ -30,6 +31,29 @@ impl Measurement {
             traffic,
             runtime,
         }
+    }
+
+    /// Fallible variant of [`Measurement::new`] for pipelines that must
+    /// survive bad samples (fault injection, crashed harnesses) instead of
+    /// panicking: returns [`Error::InvalidMeasurement`] when the runtime is
+    /// non-finite or not strictly positive.
+    pub fn try_new(work: Flops, traffic: Bytes, runtime: Seconds) -> Result<Self, Error> {
+        let t = runtime.get();
+        if !t.is_finite() {
+            return Err(Error::InvalidMeasurement(format!(
+                "runtime {t} is not finite"
+            )));
+        }
+        if t <= 0.0 {
+            return Err(Error::InvalidMeasurement(format!(
+                "runtime {t} s is not positive"
+            )));
+        }
+        Ok(Self {
+            work,
+            traffic,
+            runtime,
+        })
     }
 
     /// The measured work `W`.
@@ -215,6 +239,14 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_runtime_rejected() {
         let _ = Measurement::new(Flops::new(1), Bytes::new(1), Seconds::ZERO);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_runtime_without_panicking() {
+        let zero = Measurement::try_new(Flops::new(1), Bytes::new(1), Seconds::ZERO);
+        assert!(matches!(zero, Err(crate::error::Error::InvalidMeasurement(_))));
+        let ok = Measurement::try_new(Flops::new(4), Bytes::new(2), Seconds::new(1.0)).unwrap();
+        assert_eq!(ok.intensity().unwrap().get(), 2.0);
     }
 
     #[test]

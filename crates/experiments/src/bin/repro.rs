@@ -1,15 +1,29 @@
 //! `repro` — runs the reproduction experiments from the command line.
 //!
 //! ```text
-//! repro [--experiment <E1..E16|all>] [--platform <snb|ivb|hsw>]
-//!       [--fidelity <quick|full>] [--out <dir>] [--list]
+//! repro [--experiment <E1..E18|all>] [--platform <spec>]
+//!       [--fidelity <quick|full>] [--out <dir>] [--no-artifacts]
+//!       [--keep-going|--fail-fast] [--list]
 //! ```
 //!
 //! Prints each experiment's tables/ASCII figures to stdout and writes
 //! CSV/SVG artifacts under `--out` (default `out/`).
+//!
+//! The sweep is crash-isolated: every experiment runs under a panic guard,
+//! and a failure is recorded in `<out>/manifest.json` instead of aborting
+//! the rest (`--keep-going`, the default; `--fail-fast` restores the
+//! abort-on-first-failure behavior, marking unattempted experiments as
+//! skipped). The exit code is non-zero iff any experiment failed.
+//!
+//! `--platform` accepts a fault-injection suffix, e.g.
+//! `snb+drift=0.12,seed=7`, to run the whole sweep on a deliberately
+//! faulty machine. `--force-panic <ID>` replaces one experiment's body
+//! with a panic — the hook the crash-isolation tests use.
 
-use experiments::platforms::Fidelity;
+use experiments::manifest::{Manifest, RunStatus};
+use experiments::platforms::{platform_names, try_config_by_name, Fidelity};
 use experiments::registry::{run_experiment, Experiment};
+use experiments::runner::{run_isolated, RunError};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -18,6 +32,8 @@ struct Args {
     platform: String,
     fidelity: Fidelity,
     out_dir: Option<PathBuf>,
+    keep_going: bool,
+    force_panic: Option<Experiment>,
     list: bool,
 }
 
@@ -26,6 +42,8 @@ fn parse_args() -> Result<Args, String> {
     let mut platform = "snb".to_string();
     let mut fidelity = Fidelity::Full;
     let mut out_dir = Some(PathBuf::from("out"));
+    let mut keep_going = true;
+    let mut force_panic = None;
     let mut list = false;
 
     let mut it = std::env::args().skip(1);
@@ -56,11 +74,20 @@ fn parse_args() -> Result<Args, String> {
                 out_dir = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
             }
             "--no-artifacts" => out_dir = None,
+            "--keep-going" | "-k" => keep_going = true,
+            "--fail-fast" => keep_going = false,
+            "--force-panic" => {
+                let v = it.next().ok_or("--force-panic needs an experiment id")?;
+                force_panic = Some(v.parse().map_err(|e| format!("{e}"))?);
+            }
             "--list" | "-l" => list = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--experiment E1..E16|all] [--platform snb|ivb|hsw] \
-                     [--fidelity quick|full] [--out DIR] [--no-artifacts] [--list]"
+                    "usage: repro [--experiment E1..E18|all] [--platform SPEC] \
+                     [--fidelity quick|full] [--out DIR] [--no-artifacts] \
+                     [--keep-going|--fail-fast] [--force-panic ID] [--list]\n\
+                     SPEC is a platform preset with an optional fault suffix, \
+                     e.g. snb or snb+drift=0.12,seed=7"
                 );
                 std::process::exit(0);
             }
@@ -75,6 +102,8 @@ fn parse_args() -> Result<Args, String> {
         platform,
         fidelity,
         out_dir,
+        keep_going,
+        force_panic,
         list,
     })
 }
@@ -95,16 +124,96 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    for e in &args.experiments {
+    // Validate the platform spec before running anything, so a typo fails
+    // in milliseconds with the valid list instead of panicking mid-sweep.
+    if let Err(e) = try_config_by_name(&args.platform) {
+        eprintln!("error: {e}");
+        eprintln!("valid platforms: {}, test", platform_names().join(", "));
+        return ExitCode::FAILURE;
+    }
+
+    let fidelity_label = match args.fidelity {
+        Fidelity::Quick => "quick",
+        Fidelity::Full => "full",
+    };
+    let mut manifest = Manifest::new(args.platform.clone(), fidelity_label);
+    let mut aborted = false;
+
+    for (i, e) in args.experiments.iter().enumerate() {
+        if aborted {
+            manifest.record(e.id(), e.title(), RunStatus::Skipped, None, None);
+            continue;
+        }
         eprintln!("running {e} on {} ({:?})...", args.platform, args.fidelity);
-        let out = run_experiment(*e, &args.platform, args.fidelity);
-        println!("{}", out.render_text());
-        if let Some(dir) = &args.out_dir {
-            if let Err(err) = out.write_artifacts(dir) {
-                eprintln!("error writing artifacts for {}: {err}", e.id());
+        let result = if args.force_panic == Some(*e) {
+            run_isolated(|| panic!("forced panic (--force-panic {})", e.id()))
+        } else {
+            let (platform, fidelity) = (args.platform.as_str(), args.fidelity);
+            run_isolated(|| run_experiment(*e, platform, fidelity))
+        };
+        match result {
+            Ok(out) => {
+                println!("{}", out.render_text());
+                let mut status = if out.is_degraded() {
+                    RunStatus::Degraded
+                } else {
+                    RunStatus::Pass
+                };
+                let mut error = None;
+                let mut detail = (!out.degradations.is_empty())
+                    .then(|| out.degradations.join("; "));
+                if let Some(dir) = &args.out_dir {
+                    if let Err(err) = out.write_artifacts(dir) {
+                        // Record the artifact failure and keep sweeping;
+                        // the measurement itself was already printed.
+                        let err = RunError::Artifact(err);
+                        eprintln!("error writing artifacts for {}: {err}", e.id());
+                        status = RunStatus::Failed;
+                        error = Some(err.kind().to_string());
+                        detail = Some(err.to_string());
+                        if !args.keep_going && i + 1 < args.experiments.len() {
+                            aborted = true;
+                        }
+                    }
+                }
+                manifest.record(e.id(), e.title(), status, error, detail);
+            }
+            Err(err) => {
+                eprintln!("error: {} failed: {err}", e.id());
+                manifest.record(
+                    e.id(),
+                    e.title(),
+                    RunStatus::Failed,
+                    Some(err.kind().to_string()),
+                    Some(err.to_string()),
+                );
+                if !args.keep_going {
+                    aborted = true;
+                }
+            }
+        }
+    }
+
+    if let Some(dir) = &args.out_dir {
+        match manifest.write(dir) {
+            Ok(path) => eprintln!(
+                "wrote {} ({} pass, {} degraded, {} failed, {} skipped)",
+                path.display(),
+                manifest.count(RunStatus::Pass),
+                manifest.count(RunStatus::Degraded),
+                manifest.count(RunStatus::Failed),
+                manifest.count(RunStatus::Skipped),
+            ),
+            Err(e) => {
+                eprintln!("error: could not write manifest: {e}");
                 return ExitCode::FAILURE;
             }
         }
     }
-    ExitCode::SUCCESS
+
+    if manifest.any_failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

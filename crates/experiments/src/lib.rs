@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod extensions;
+pub mod manifest;
 pub mod multithread;
 pub mod output;
 pub mod peaks_exp;
@@ -21,11 +22,14 @@ pub mod pitfalls;
 pub mod platforms;
 pub mod points;
 pub mod registry;
+pub mod runner;
 pub mod summary;
 pub mod tables;
 pub mod trajectories;
 pub mod validation;
 
+pub use manifest::{Manifest, ManifestEntry, RunStatus};
 pub use output::{ExperimentOutput, Figure};
-pub use platforms::Fidelity;
+pub use platforms::{Fidelity, PlatformError};
 pub use registry::{run_experiment, Experiment};
+pub use runner::{run_isolated, try_run_experiment, RunError};

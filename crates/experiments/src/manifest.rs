@@ -1,0 +1,253 @@
+//! The sweep manifest: a machine-readable record of which experiments
+//! passed, which were degraded by integrity violations, and which failed.
+//!
+//! Written by the `repro` binary as `<out>/manifest.json`. The JSON is
+//! hand-rolled (flat structure, no external dependencies) and looks like:
+//!
+//! ```json
+//! {
+//!   "platform": "snb",
+//!   "fidelity": "quick",
+//!   "total": 18,
+//!   "passed": 17,
+//!   "degraded": 0,
+//!   "failed": 1,
+//!   "skipped": 0,
+//!   "experiments": [
+//!     {"id": "E1", "title": "platform parameter table", "status": "pass"},
+//!     {"id": "E7", "title": "...", "status": "failed", "error": "panic",
+//!      "detail": "experiment panicked: ..."}
+//!   ]
+//! }
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Terminal state of one experiment in a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Completed with a clean integrity record.
+    Pass,
+    /// Completed, but integrity guards recorded unexpected violations.
+    Degraded,
+    /// Did not produce usable output (panic, bad platform, artifact IO).
+    Failed,
+    /// Never attempted (a `--fail-fast` sweep aborted before it).
+    Skipped,
+}
+
+impl RunStatus {
+    /// The manifest string for this status.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunStatus::Pass => "pass",
+            RunStatus::Degraded => "degraded",
+            RunStatus::Failed => "failed",
+            RunStatus::Skipped => "skipped",
+        }
+    }
+}
+
+impl fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One experiment's row in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Experiment id (`"E7"`).
+    pub id: String,
+    /// Experiment title.
+    pub title: String,
+    /// Terminal state.
+    pub status: RunStatus,
+    /// Error class for failed entries (`"panic"`, `"platform"`,
+    /// `"artifact-io"`).
+    pub error: Option<String>,
+    /// Human-readable elaboration: the panic message, the integrity
+    /// degradations, or the IO error.
+    pub detail: Option<String>,
+}
+
+/// The whole sweep record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Platform spec the sweep ran on (may carry a fault suffix).
+    pub platform: String,
+    /// Fidelity label (`"quick"` / `"full"`).
+    pub fidelity: String,
+    /// Per-experiment rows, in run order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Creates an empty manifest for a sweep.
+    pub fn new(platform: impl Into<String>, fidelity: impl Into<String>) -> Self {
+        Self {
+            platform: platform.into(),
+            fidelity: fidelity.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends one experiment's outcome.
+    pub fn record(
+        &mut self,
+        id: impl Into<String>,
+        title: impl Into<String>,
+        status: RunStatus,
+        error: Option<String>,
+        detail: Option<String>,
+    ) {
+        self.entries.push(ManifestEntry {
+            id: id.into(),
+            title: title.into(),
+            status,
+            error,
+            detail,
+        });
+    }
+
+    /// Number of entries with the given status.
+    pub fn count(&self, status: RunStatus) -> usize {
+        self.entries.iter().filter(|e| e.status == status).count()
+    }
+
+    /// True when at least one experiment failed — the sweep's exit code.
+    pub fn any_failed(&self) -> bool {
+        self.count(RunStatus::Failed) > 0
+    }
+
+    /// Renders the manifest as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"platform\": \"{}\",\n",
+            json_escape(&self.platform)
+        ));
+        out.push_str(&format!(
+            "  \"fidelity\": \"{}\",\n",
+            json_escape(&self.fidelity)
+        ));
+        out.push_str(&format!("  \"total\": {},\n", self.entries.len()));
+        out.push_str(&format!("  \"passed\": {},\n", self.count(RunStatus::Pass)));
+        out.push_str(&format!(
+            "  \"degraded\": {},\n",
+            self.count(RunStatus::Degraded)
+        ));
+        out.push_str(&format!("  \"failed\": {},\n", self.count(RunStatus::Failed)));
+        out.push_str(&format!(
+            "  \"skipped\": {},\n",
+            self.count(RunStatus::Skipped)
+        ));
+        out.push_str("  \"experiments\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"title\": \"{}\", \"status\": \"{}\"",
+                json_escape(&e.id),
+                json_escape(&e.title),
+                e.status
+            ));
+            if let Some(err) = &e.error {
+                out.push_str(&format!(", \"error\": \"{}\"", json_escape(err)));
+            }
+            if let Some(d) = &e.detail {
+                out.push_str(&format!(", \"detail\": \"{}\"", json_escape(d)));
+            }
+            out.push('}');
+            if i + 1 < self.entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `manifest.json` under `dir` (created if missing) and returns
+    /// its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join("manifest.json");
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::new("snb", "quick");
+        m.record("E1", "platform table", RunStatus::Pass, None, None);
+        m.record(
+            "E7",
+            "prefetch \"pitfall\"",
+            RunStatus::Failed,
+            Some("panic".into()),
+            Some("experiment panicked:\nboom".into()),
+        );
+        m.record("E8", "turbo", RunStatus::Skipped, None, None);
+        m
+    }
+
+    #[test]
+    fn counts_and_failure_flag() {
+        let m = sample();
+        assert_eq!(m.count(RunStatus::Pass), 1);
+        assert_eq!(m.count(RunStatus::Failed), 1);
+        assert_eq!(m.count(RunStatus::Skipped), 1);
+        assert_eq!(m.count(RunStatus::Degraded), 0);
+        assert!(m.any_failed());
+    }
+
+    #[test]
+    fn json_is_escaped_and_structured() {
+        let j = sample().to_json();
+        assert!(j.contains("\"total\": 3"));
+        assert!(j.contains("\"failed\": 1"));
+        assert!(j.contains("prefetch \\\"pitfall\\\""));
+        assert!(j.contains("panicked:\\nboom"));
+        assert!(j.contains("\"status\": \"skipped\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn write_creates_file() {
+        let dir = std::env::temp_dir().join(format!("roofline_manifest_{}", std::process::id()));
+        let path = sample().write(&dir).unwrap();
+        assert!(path.ends_with("manifest.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"platform\": \"snb\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

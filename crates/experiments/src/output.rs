@@ -42,6 +42,12 @@ pub struct ExperimentOutput {
     /// Key quantitative findings as `(label, value)` pairs — these are the
     /// numbers EXPERIMENTS.md quotes against the paper's claims.
     pub findings: Vec<(String, String)>,
+    /// Integrity-guard verdicts that reduce how much the results should be
+    /// trusted. Empty for a clean run. Experiments that *deliberately*
+    /// demonstrate a violation (the E7/E8 fault rows) do not record their
+    /// demonstration verdicts here — only unexpected ones land in this
+    /// list, and the repro manifest downgrades the run to `degraded`.
+    pub degradations: Vec<String>,
 }
 
 impl ExperimentOutput {
@@ -53,12 +59,24 @@ impl ExperimentOutput {
             tables: Vec::new(),
             figures: Vec::new(),
             findings: Vec::new(),
+            degradations: Vec::new(),
         }
     }
 
     /// Records a key finding.
     pub fn finding(&mut self, label: impl Into<String>, value: impl std::fmt::Display) {
         self.findings.push((label.into(), value.to_string()));
+    }
+
+    /// Records an *unexpected* integrity problem; see
+    /// [`ExperimentOutput::degradations`].
+    pub fn degrade(&mut self, note: impl Into<String>) {
+        self.degradations.push(note.into());
+    }
+
+    /// True when the run completed but with integrity degradations.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradations.is_empty()
     }
 
     /// Renders everything as one console-friendly report.
@@ -79,6 +97,12 @@ impl ExperimentOutput {
             out.push_str("findings:\n");
             for (k, v) in &self.findings {
                 out.push_str(&format!("  {k}: {v}\n"));
+            }
+        }
+        if !self.degradations.is_empty() {
+            out.push_str("integrity degradations:\n");
+            for d in &self.degradations {
+                out.push_str(&format!("  {d}\n"));
             }
         }
         out

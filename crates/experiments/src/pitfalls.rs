@@ -71,8 +71,28 @@ pub fn run_e7(platform: &str, fidelity: Fidelity) -> ExperimentOutput {
     // Summary finding at the largest size.
     let last_on = &rows[sizes.len() - 1];
     let last_off = &rows[2 * sizes.len() - 1];
+    let clean_imc = last_on[2].clone();
     out.finding("undercount with prefetch on", last_on[4].clone());
     out.finding("undercount with prefetch off", last_off[4].clone());
+
+    // The same pitfall injected as a *fault*: a machine whose injector
+    // invents phantom prefetch traffic at the IMC. Counting at the IMC is
+    // only safe because the integrity guard cross-checks the counters —
+    // here it flags the inflated Q as impossible bandwidth.
+    // Compose the demo spec from the base preset so a platform that
+    // already carries a fault suffix does not double-append one.
+    let base = platform.split('+').next().unwrap_or(platform);
+    let n = *sizes.last().unwrap();
+    let mut fm = machine_by_name(&format!("{base}+phantom=2.0,seed=11"));
+    fm.set_prefetch(true, true);
+    let k = Triad::new(&mut fm, n, false);
+    let mut measurer = Measurer::new(&mut fm, MeasureConfig::default());
+    let r = measurer.measure(|cpu| k.emit(cpu));
+    out.finding(
+        "phantom-fault inflated Q",
+        format!("{} B (clean IMC: {clean_imc} B)", r.traffic.get()),
+    );
+    out.finding("phantom-fault verdict", r.integrity.verdict());
     out
 }
 
@@ -139,6 +159,40 @@ pub fn run_e8(platform: &str, fidelity: Fidelity) -> ExperimentOutput {
             points.push(point);
         }
     }
+    // The same distortion injected as a *fault*: turbo stays off, but the
+    // injector drifts the TSC the way an unnoticed turbo would. Its row
+    // (turbo column `on*`) gets its verdict from the integrity guard's
+    // report rather than from eyeballing the roofline.
+    let drift_verdict = {
+        use perfmon::peaks::{emit_peak_stream, Mix};
+        use simx86::isa::{Precision, VecWidth};
+        // Base preset only: the caller's spec may already carry a suffix.
+        let base = platform.split('+').next().unwrap_or(platform);
+        let mut m = machine_by_name(&format!("{base}+drift=0.12,seed=7"));
+        m.set_turbo(false);
+        let mut measurer = Measurer::new(&mut m, MeasureConfig::default());
+        let r = measurer.measure(|cpu| {
+            emit_peak_stream(cpu, VecWidth::Y256, Precision::F64, Mix::Balanced, 8_000)
+        });
+        let point = crate::points::point_from(
+            "fp-peak drift-fault".to_string(),
+            &r.to_measurement(),
+            &roofline,
+        );
+        let eff = point.compute_utilization(&roofline);
+        let verdict = r.integrity.verdict();
+        rows.push(vec![
+            "fp-peak".to_string(),
+            "on*".to_string(),
+            format!("{:.2}", point.performance().get()),
+            format!("{:.2}", roofline.peak_compute().get()),
+            format!("{eff}"),
+            verdict.clone(),
+        ]);
+        points.push(point);
+        verdict
+    };
+
     out.tables.push(text_table(
         "measured points vs nominal ceiling",
         &["kernel", "turbo", "P [GF/s]", "ceiling [GF/s]", "utilization", "verdict"],
@@ -153,6 +207,7 @@ pub fn run_e8(platform: &str, fidelity: Fidelity) -> ExperimentOutput {
             p_on / p_off
         }),
     );
+    out.finding("injected-drift verdict", drift_verdict);
 
     let mut spec = PlotSpec::new(format!("E8 turbo distortion ({platform})"), roofline);
     for p in points {
@@ -291,6 +346,57 @@ mod tests {
             .parse()
             .unwrap();
         assert!(spd > 1.05, "turbo should speed up dgemm: {spd}x");
+    }
+
+    #[test]
+    fn e7_phantom_fault_is_flagged_by_integrity_guard() {
+        let out = run_e7("snb", Fidelity::Quick);
+        let verdict = &out
+            .findings
+            .iter()
+            .find(|(k, _)| k == "phantom-fault verdict")
+            .unwrap()
+            .1;
+        assert!(
+            verdict.contains("bandwidth-exceeded"),
+            "phantom prefetch traffic should trip the bandwidth guard: {verdict}"
+        );
+    }
+
+    #[test]
+    fn e8_injected_drift_reproduces_violation_via_integrity_report() {
+        let out = run_e8("snb", Fidelity::Quick);
+        let verdict = &out
+            .findings
+            .iter()
+            .find(|(k, _)| k == "injected-drift verdict")
+            .unwrap()
+            .1;
+        assert!(
+            verdict.contains("VIOLATION"),
+            "drift fault must be flagged: {verdict}"
+        );
+        assert!(
+            verdict.contains("roof-violation"),
+            "drift inflates P above the ceiling: {verdict}"
+        );
+        assert!(
+            verdict.contains("clock-skew"),
+            "drift desynchronizes core clock from TSC: {verdict}"
+        );
+        // The drift row is rendered with turbo column `on*`.
+        let table = &out.tables[0];
+        let drift_line = table.lines().last().unwrap();
+        assert!(drift_line.contains("on*"), "{table}");
+        assert!(drift_line.contains("VIOLATION"), "{table}");
+    }
+
+    #[test]
+    fn e8_runs_on_a_platform_spec_with_fault_suffix() {
+        // The drift-demo spec is composed from the base preset, so a
+        // caller-supplied suffix must not end up double-appended.
+        let out = run_e8("snb+seed=3", Fidelity::Quick);
+        assert_eq!(out.id, "E8");
     }
 
     #[test]

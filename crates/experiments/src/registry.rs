@@ -138,7 +138,7 @@ pub struct ParseExperimentError(String);
 
 impl fmt::Display for ParseExperimentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown experiment id `{}` (expected E1..E16)", self.0)
+        write!(f, "unknown experiment id `{}` (expected E1..E18)", self.0)
     }
 }
 

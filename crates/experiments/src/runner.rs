@@ -1,0 +1,136 @@
+//! Crash-isolated experiment running.
+//!
+//! [`run_experiment`](crate::registry::run_experiment) panics on bad input
+//! or a buggy kernel, which is fine interactively but means one broken
+//! experiment aborts a whole `repro --experiment all` sweep. This module
+//! provides the fallible layer the `repro` binary builds on: a typed error
+//! taxonomy ([`RunError`]), platform validation up front, and a panic
+//! guard (`catch_unwind`) around the experiment body so a crash in E7
+//! cannot take E8..E18 down with it.
+
+use crate::output::ExperimentOutput;
+use crate::platforms::{try_config_by_name, Fidelity, PlatformError};
+use crate::registry::{run_experiment, Experiment};
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Why an experiment run produced no usable output.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The platform spec did not resolve (unknown preset or malformed
+    /// fault suffix). Detected before any experiment executes.
+    Platform(PlatformError),
+    /// The experiment body panicked; the payload is captured so the
+    /// manifest can record *why* without crashing the sweep.
+    Panicked {
+        /// The panic payload rendered to text (or a placeholder when the
+        /// payload was not a string).
+        message: String,
+    },
+    /// The experiment ran but its artifacts could not be written.
+    Artifact(std::io::Error),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Platform(e) => write!(f, "{e}"),
+            RunError::Panicked { message } => write!(f, "experiment panicked: {message}"),
+            RunError::Artifact(e) => write!(f, "could not write artifacts: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Platform(e) => Some(e),
+            RunError::Panicked { .. } => None,
+            RunError::Artifact(e) => Some(e),
+        }
+    }
+}
+
+impl RunError {
+    /// Short machine-readable class name (used in the manifest).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunError::Platform(_) => "platform",
+            RunError::Panicked { .. } => "panic",
+            RunError::Artifact(_) => "artifact-io",
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs an arbitrary experiment body under a panic guard.
+///
+/// This is the isolation primitive: the `repro` binary routes every
+/// experiment through it, and tests use it directly to inject bodies that
+/// panic on purpose.
+///
+/// # Errors
+///
+/// Returns [`RunError::Panicked`] carrying the panic payload when the
+/// body unwinds.
+pub fn run_isolated<F>(body: F) -> Result<ExperimentOutput, RunError>
+where
+    F: FnOnce() -> ExperimentOutput,
+{
+    catch_unwind(AssertUnwindSafe(body)).map_err(|payload| RunError::Panicked {
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+/// Fallible variant of [`run_experiment`]: validates the platform spec,
+/// then runs the experiment under a panic guard.
+///
+/// # Errors
+///
+/// Returns [`RunError::Platform`] for a bad spec and
+/// [`RunError::Panicked`] when the experiment body crashes.
+pub fn try_run_experiment(
+    e: Experiment,
+    platform: &str,
+    fidelity: Fidelity,
+) -> Result<ExperimentOutput, RunError> {
+    try_config_by_name(platform).map_err(RunError::Platform)?;
+    run_isolated(|| run_experiment(e, platform, fidelity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_platform_is_reported_not_panicked() {
+        let err = try_run_experiment(Experiment::E1, "vax11", Fidelity::Quick).unwrap_err();
+        assert_eq!(err.kind(), "platform");
+        assert!(err.to_string().contains("unknown platform"));
+    }
+
+    #[test]
+    fn panicking_body_is_contained() {
+        let err = run_isolated(|| panic!("kernel exploded at i={}", 42)).unwrap_err();
+        assert_eq!(err.kind(), "panic");
+        assert!(err.to_string().contains("kernel exploded at i=42"));
+    }
+
+    #[test]
+    fn healthy_experiment_passes_through() {
+        let out = try_run_experiment(Experiment::E1, "snb", Fidelity::Quick).unwrap();
+        assert_eq!(out.id, "E1");
+        assert!(!out.is_degraded());
+    }
+}

@@ -51,15 +51,13 @@ pub fn run_e16(platform: &str, fidelity: Fidelity) -> ExperimentOutput {
 
     let cold = CacheProtocol::Cold;
     let warm = CacheProtocol::Warm { priming_runs: 1 };
-    let measurements = vec![
-        measure_of(platform, cold, |m| Daxpy::new(m, stream_n)),
+    let measurements = [measure_of(platform, cold, |m| Daxpy::new(m, stream_n)),
         measure_of(platform, cold, |m| Triad::new(m, stream_n, false)),
         measure_of(platform, cold, |m| Dgemv::new(m, gemv_n)),
         measure_of(platform, warm, |m| DgemmNaive::new(m, gemm_n)),
         measure_of(platform, warm, |m| DgemmBlocked::new(m, gemm_n)),
         measure_of(platform, cold, |m| Fft::new(m, fft_n, true)),
-        measure_of(platform, cold, |m| Wht::new(m, fft_n, true)),
-    ];
+        measure_of(platform, cold, |m| Wht::new(m, fft_n, true))];
 
     let mut rm = machine_by_name(platform);
     let roofline = measured_roofline_with(&mut rm, 1, roof_options(fidelity));

@@ -1,0 +1,148 @@
+//! End-to-end tests of the `repro` binary's crash isolation: a forced
+//! panic in one experiment must not stop the sweep, the manifest must
+//! record every outcome, and the exit code must reflect the failure.
+
+use std::path::Path;
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn read_manifest(dir: &Path) -> String {
+    std::fs::read_to_string(dir.join("manifest.json")).expect("manifest.json written")
+}
+
+#[test]
+fn unknown_platform_fails_cleanly_with_the_valid_list() {
+    let out = repro()
+        .args(["--experiment", "E1", "--platform", "vax11", "--no-artifacts"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown platform `vax11`"), "{stderr}");
+    assert!(stderr.contains("valid platforms:"), "{stderr}");
+    assert!(stderr.contains("snb"), "{stderr}");
+    // A clean error, not a crash.
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn forced_panic_keeps_going_and_lands_in_the_manifest() {
+    let dir = tmp_dir("keep_going");
+    let out = repro()
+        .args([
+            "--experiment",
+            "E1,E2",
+            "--fidelity",
+            "quick",
+            "--force-panic",
+            "E1",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    // Exit code reflects the failure...
+    assert!(!out.status.success());
+    // ...but the sweep continued: E2 ran and printed its report.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("===== E2"), "{stdout}");
+    let manifest = read_manifest(&dir);
+    assert!(
+        manifest.contains(r#""id": "E1", "title": "platform parameter table", "status": "failed""#),
+        "{manifest}"
+    );
+    assert!(manifest.contains(r#""error": "panic""#), "{manifest}");
+    assert!(manifest.contains("forced panic (--force-panic E1)"), "{manifest}");
+    assert!(
+        manifest.contains(r#""id": "E2", "title": "PMU event inventory", "status": "pass""#),
+        "{manifest}"
+    );
+    assert!(manifest.contains(r#""failed": 1"#), "{manifest}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fail_fast_skips_the_rest_but_still_writes_the_manifest() {
+    let dir = tmp_dir("fail_fast");
+    let out = repro()
+        .args([
+            "--experiment",
+            "E1,E2",
+            "--fidelity",
+            "quick",
+            "--force-panic",
+            "E1",
+            "--fail-fast",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("===== E2"), "E2 must be skipped: {stdout}");
+    let manifest = read_manifest(&dir);
+    assert!(manifest.contains(r#""status": "skipped""#), "{manifest}");
+    assert!(manifest.contains(r#""skipped": 1"#), "{manifest}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn healthy_sweep_passes_with_a_clean_manifest_and_zero_exit() {
+    let dir = tmp_dir("healthy");
+    let out = repro()
+        .args([
+            "--experiment",
+            "E1,E2",
+            "--fidelity",
+            "quick",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let manifest = read_manifest(&dir);
+    assert!(manifest.contains(r#""passed": 2"#), "{manifest}");
+    assert!(manifest.contains(r#""failed": 0"#), "{manifest}");
+    // Artifacts and reports landed next to the manifest.
+    assert!(dir.join("e1_report.txt").exists());
+    assert!(dir.join("e2_report.txt").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fault_spec_platform_is_accepted_end_to_end() {
+    let out = repro()
+        .args([
+            "--experiment",
+            "E1",
+            "--platform",
+            "snb+seed=3",
+            "--fidelity",
+            "quick",
+            "--no-artifacts",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let bad = repro()
+        .args(["--experiment", "E1", "--platform", "snb+volts=9", "--no-artifacts"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("bad fault spec"),
+        "{}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
+}

@@ -1,0 +1,21 @@
+//! An armed-but-zero-rate fault injector must be observationally
+//! invisible: the full E16 roofline summary rendered from a `snb+seed=…`
+//! spec (injector on, every rate zero) must be byte-identical to the
+//! un-instrumented `snb` run.
+
+use experiments::platforms::Fidelity;
+use experiments::registry::{run_experiment, Experiment};
+
+#[test]
+fn zero_rate_injector_leaves_e16_byte_identical() {
+    let clean = run_experiment(Experiment::E16, "snb", Fidelity::Quick);
+    let armed = run_experiment(Experiment::E16, "snb+seed=42", Fidelity::Quick);
+    // Titles and figure names embed the platform spec verbatim; normalize
+    // the spec away so the comparison is over measured content only.
+    let normalized = armed.render_text().replace("snb+seed=42", "snb");
+    assert_eq!(
+        clean.render_text(),
+        normalized,
+        "zero-rate fault injection must not perturb any measured number"
+    );
+}

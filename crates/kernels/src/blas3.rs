@@ -56,7 +56,7 @@ pub fn dgemm_blocked(a: &[f64], b: &[f64], c: &mut [f64], n: usize) {
     assert_eq!(a.len(), n * n, "A size mismatch");
     assert_eq!(b.len(), n * n, "B size mismatch");
     assert_eq!(c.len(), n * n, "C size mismatch");
-    assert!(n % 8 == 0, "blocked dgemm requires n % 8 == 0");
+    assert!(n.is_multiple_of(8), "blocked dgemm requires n % 8 == 0");
     let (mr, nr) = (MR as usize, NR as usize);
     for ib in (0..n).step_by(mr) {
         for jb in (0..n).step_by(nr) {
@@ -168,7 +168,7 @@ impl DgemmBlocked {
     ///
     /// Panics if `n` is not a positive multiple of 8.
     pub fn new(machine: &mut Machine, n: u64) -> Self {
-        assert!(n > 0 && n % 8 == 0, "blocked dgemm requires n % 8 == 0");
+        assert!(n > 0 && n.is_multiple_of(8), "blocked dgemm requires n % 8 == 0");
         Self {
             n,
             a: machine.alloc(n * n * 8),
@@ -284,7 +284,7 @@ impl DgemmBlockedFma {
     /// Panics if `n` is not a positive multiple of 12 (the 4×12 tile).
     /// Emission panics on machines without FMA support.
     pub fn new(machine: &mut Machine, n: u64) -> Self {
-        assert!(n > 0 && n % NR_FMA == 0, "FMA dgemm requires n % 12 == 0");
+        assert!(n > 0 && n.is_multiple_of(NR_FMA), "FMA dgemm requires n % 12 == 0");
         Self {
             n,
             a: machine.alloc(n * n * 8),

@@ -22,7 +22,7 @@ const WS: VecWidth = VecWidth::Scalar;
 ///
 /// Panics unless `x.len()` is a positive multiple of 4.
 pub fn maxpool1d(x: &[f64]) -> Vec<f64> {
-    assert!(!x.is_empty() && x.len() % 4 == 0, "length must be a positive multiple of 4");
+    assert!(!x.is_empty() && x.len().is_multiple_of(4), "length must be a positive multiple of 4");
     x.chunks_exact(4)
         .map(|w| w.iter().copied().fold(f64::NEG_INFINITY, f64::max))
         .collect()
@@ -43,7 +43,7 @@ impl MaxPool1d {
     ///
     /// Panics unless `n` is a positive multiple of 4.
     pub fn new(machine: &mut Machine, n: u64) -> Self {
-        assert!(n > 0 && n % 4 == 0, "n must be a positive multiple of 4");
+        assert!(n > 0 && n.is_multiple_of(4), "n must be a positive multiple of 4");
         Self {
             n,
             x: machine.alloc(n * 8),

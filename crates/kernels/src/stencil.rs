@@ -114,7 +114,7 @@ impl Kernel for Jacobi2d {
         for ii in interior {
             let i = ii + 1;
             let mut j = 1;
-            while j + 4 <= self.cols - 1 {
+            while j + 4 < self.cols {
                 self.point(cpu, i, j, W4);
                 j += 4;
             }
@@ -149,7 +149,7 @@ mod tests {
         jacobi2d(&input, &mut out, r_, c_);
         // The hot point averages to zero; its four neighbours get 1.0.
         assert_eq!(out[2 * c_ + 2], 0.0);
-        assert_eq!(out[1 * c_ + 2], 1.0);
+        assert_eq!(out[c_ + 2], 1.0);
         assert_eq!(out[3 * c_ + 2], 1.0);
         assert_eq!(out[2 * c_ + 1], 1.0);
         assert_eq!(out[2 * c_ + 3], 1.0);

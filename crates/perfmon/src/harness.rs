@@ -16,6 +16,7 @@
 //! summarized by their median.
 
 use crate::stats::Summary;
+use crate::validate::{IntegrityGuard, IntegrityReport};
 use roofline_core::point::Measurement;
 use roofline_core::units::{Bytes, Cycles, Flops, Seconds};
 use simx86::isa::{Precision, Reg, VecWidth};
@@ -74,6 +75,11 @@ pub struct RegionMeasurement {
     pub runtime: Seconds,
     /// Runtime in TSC cycles.
     pub cycles: Cycles,
+    /// `CPU_CLK_UNHALTED` cycles summed over the measured cores. Equal to
+    /// `cycles` (times thread count) at nominal clock; they diverge under
+    /// turbo, clock drift, or dropped PMU samples — which is exactly what
+    /// the integrity guard's clock-skew check looks for.
+    pub core_cycles: Cycles,
     /// Traffic estimate from LLC demand misses only (`misses * 64`) — the
     /// undercounting method of experiment E7.
     pub llc_miss_traffic: Bytes,
@@ -81,6 +87,9 @@ pub struct RegionMeasurement {
     pub instructions: u64,
     /// Runtime statistics across repetitions (seconds).
     pub runtime_stats: Summary,
+    /// Integrity verdict for this sample, computed automatically by the
+    /// harness via [`IntegrityGuard::check`].
+    pub integrity: IntegrityReport,
 }
 
 impl RegionMeasurement {
@@ -100,6 +109,7 @@ struct RawDelta {
     traffic: u64,
     llc_bytes: u64,
     instr: u64,
+    cycles: u64,
     tsc: f64,
 }
 
@@ -159,6 +169,7 @@ impl<'m> Measurer<'m> {
                 + du.get(UncoreEvent::ImcDramDataWrites) * 64,
             llc_bytes: dc.get(CoreEvent::LlcMiss) * 64,
             instr: dc.get(CoreEvent::InstRetired),
+            cycles: dc.get(CoreEvent::ClkUnhalted),
             tsc: self.machine.tsc() - t0,
         }
     }
@@ -194,6 +205,7 @@ impl<'m> Measurer<'m> {
         let mut traffics = Vec::new();
         let mut llcs = Vec::new();
         let mut instrs = Vec::new();
+        let mut core_cycles = Vec::new();
         let mut times = Vec::new();
         for _ in 0..self.cfg.repetitions {
             self.apply_protocol(&mut region);
@@ -202,20 +214,26 @@ impl<'m> Measurer<'m> {
             traffics.push(raw.traffic.saturating_sub(overhead.traffic) as f64);
             llcs.push(raw.llc_bytes.saturating_sub(overhead.llc_bytes) as f64);
             instrs.push(raw.instr.saturating_sub(overhead.instr) as f64);
+            core_cycles.push(raw.cycles.saturating_sub(overhead.cycles) as f64);
             times.push((raw.tsc - overhead.tsc).max(0.0) / self.machine.tsc_hz());
         }
         let runtime_stats = Summary::from_samples(&times);
         let med = |v: &[f64]| Summary::from_samples(v).median();
         let tsc_cycles = runtime_stats.median() * self.machine.tsc_hz();
-        RegionMeasurement {
+        let mut out = RegionMeasurement {
             work: Flops::new(med(&works).round() as u64),
             traffic: Bytes::new(med(&traffics).round() as u64),
             runtime: Seconds::new(runtime_stats.median().max(f64::MIN_POSITIVE)),
             cycles: Cycles::new(tsc_cycles.round() as u64),
+            core_cycles: Cycles::new(med(&core_cycles).round() as u64),
             llc_miss_traffic: Bytes::new(med(&llcs).round() as u64),
             instructions: med(&instrs).round() as u64,
             runtime_stats,
-        }
+            integrity: IntegrityReport::clean(),
+        };
+        out.integrity = IntegrityGuard::for_machine_with_precision(self.machine, 1, self.precision)
+            .check(&out);
+        out
     }
 
     /// Measures a multi-threaded region: `threads` programs of `slices`
@@ -241,6 +259,7 @@ impl<'m> Measurer<'m> {
         let mut traffics = Vec::new();
         let mut llcs = Vec::new();
         let mut instrs = Vec::new();
+        let mut core_cycles = Vec::new();
         let mut times = Vec::new();
         for _ in 0..self.cfg.repetitions {
             match self.cfg.protocol {
@@ -258,11 +277,13 @@ impl<'m> Measurer<'m> {
             let mut flops = 0u64;
             let mut llc = 0u64;
             let mut instr = 0u64;
+            let mut cycles = 0u64;
             for (t, before) in c0.iter().enumerate() {
                 let d = self.machine.core_counters(t).since(before);
                 flops += d.flops(self.precision);
                 llc += d.get(CoreEvent::LlcMiss) * 64;
                 instr += d.get(CoreEvent::InstRetired);
+                cycles += d.get(CoreEvent::ClkUnhalted);
             }
             let du = self.machine.uncore().since(&u0);
             works.push(flops as f64);
@@ -272,19 +293,26 @@ impl<'m> Measurer<'m> {
             );
             llcs.push(llc as f64);
             instrs.push(instr as f64);
+            core_cycles.push(cycles as f64);
             times.push((self.machine.tsc() - t0) / self.machine.tsc_hz());
         }
         let runtime_stats = Summary::from_samples(&times);
         let med = |v: &[f64]| Summary::from_samples(v).median();
-        RegionMeasurement {
+        let mut out = RegionMeasurement {
             work: Flops::new(med(&works).round() as u64),
             traffic: Bytes::new(med(&traffics).round() as u64),
             runtime: Seconds::new(runtime_stats.median().max(f64::MIN_POSITIVE)),
             cycles: Cycles::new((runtime_stats.median() * self.machine.tsc_hz()).round() as u64),
+            core_cycles: Cycles::new(med(&core_cycles).round() as u64),
             llc_miss_traffic: Bytes::new(med(&llcs).round() as u64),
             instructions: med(&instrs).round() as u64,
             runtime_stats,
-        }
+            integrity: IntegrityReport::clean(),
+        };
+        out.integrity =
+            IntegrityGuard::for_machine_with_precision(self.machine, threads, self.precision)
+                .check(&out);
+        out
     }
 
     fn run_threads<F>(&mut self, threads: usize, slices: usize, body: F)

@@ -20,3 +20,4 @@ pub use events::EventSelector;
 pub use harness::{CacheProtocol, MeasureConfig, Measurer, RegionMeasurement};
 pub use lint::{lint_machine, Violation};
 pub use roofs::{measured_roofline, measured_roofline_with, RoofOptions};
+pub use validate::{IntegrityGuard, IntegrityReport, IntegrityViolation};

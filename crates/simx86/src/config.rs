@@ -4,6 +4,7 @@
 //! the memory system keeps a single global timeline even when cores clock up
 //! under Turbo Boost.
 
+use crate::fault::FaultConfig;
 use crate::isa::{Precision, VecWidth};
 
 /// Geometry and latency of one cache level.
@@ -37,7 +38,7 @@ impl CacheConfig {
             "{name}: line size must be a power of two"
         );
         assert!(
-            self.size_bytes % (self.ways as u64 * self.line_bytes) == 0,
+            self.size_bytes.is_multiple_of(self.ways as u64 * self.line_bytes),
             "{name}: size must be divisible by ways*line"
         );
         let sets = self.sets();
@@ -168,6 +169,9 @@ pub struct MachineConfig {
     pub dram_gbps: f64,
     /// Prefetcher behaviour.
     pub prefetch: PrefetchConfig,
+    /// Fault injection into the PMU/IMC measurement path (disabled by
+    /// default; see [`crate::fault`]).
+    pub fault: FaultConfig,
 }
 
 impl MachineConfig {
@@ -181,7 +185,7 @@ impl MachineConfig {
         assert!(self.cores > 0, "machine needs at least one core");
         assert!(self.sockets > 0, "machine needs at least one socket");
         assert!(
-            self.cores % self.sockets == 0,
+            self.cores.is_multiple_of(self.sockets),
             "cores must divide evenly across sockets"
         );
         assert!(
@@ -214,6 +218,7 @@ impl MachineConfig {
         if self.fp.has_fma {
             assert!(self.fp.fma_ports > 0, "FMA machine needs FMA ports");
         }
+        self.fault.validate();
     }
 
     /// Cache line size in bytes.
@@ -317,6 +322,7 @@ pub fn sandy_bridge() -> MachineConfig {
         numa_remote_latency: 0.0,
         dram_gbps: 21.0,
         prefetch: PrefetchConfig::default(),
+        fault: FaultConfig::default(),
     };
     cfg.validate();
     cfg
@@ -423,6 +429,7 @@ pub fn test_machine() -> MachineConfig {
         numa_remote_latency: 0.0,
         dram_gbps: 8.0,
         prefetch: PrefetchConfig::default(),
+        fault: FaultConfig::default(),
     };
     cfg.validate();
     cfg

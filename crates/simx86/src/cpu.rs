@@ -73,7 +73,7 @@ const SLOT_WINDOW: usize = 4096;
 impl PortSlots {
     fn new(ports: u32) -> Self {
         Self {
-            ports: ports.max(1).min(255) as u8,
+            ports: ports.clamp(1, 255) as u8,
             base: 0,
             head: 0,
             used: vec![0; SLOT_WINDOW],

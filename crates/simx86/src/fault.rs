@@ -1,0 +1,358 @@
+//! Deterministic fault injection for the PMU/IMC measurement path.
+//!
+//! Real counter collection fails in well-documented ways: 32/48-bit
+//! counters overflow and wrap between reads, sampling drivers drop
+//! interrupts under load, event multiplexing extrapolates with a scaling
+//! error, the core clock drifts away from the TSC under turbo/AVX license
+//! transitions, and prefetchers generate DRAM traffic the kernel never
+//! asked for. The measurement-integrity guards in `perfmon` exist to catch
+//! exactly these corruptions, and this module makes each of them
+//! *injectable on demand* so the guards can be tested end to end.
+//!
+//! Faults perturb the per-run counter **deltas** at the end of
+//! [`Machine::run`](crate::Machine::run) /
+//! [`Machine::run_parallel`](crate::Machine::run_parallel), never the
+//! absolute readings, so counters stay monotone and snapshot arithmetic
+//! (`since`) keeps working. All randomness comes from a seeded xorshift64*
+//! generator: the same seed and run sequence reproduces the same faults
+//! bit for bit.
+
+use crate::pmu::{CoreCounters, CoreEvent, UncoreCounters, UncoreEvent};
+
+/// Configuration of the fault injector, carried on
+/// [`MachineConfig`](crate::config::MachineConfig).
+///
+/// The default configuration is disabled and injects nothing. An *enabled*
+/// configuration with every knob at zero runs the injection path but
+/// perturbs nothing — measurements are bit-identical to an
+/// un-instrumented machine (the guard tests rely on this).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Master switch; when false the machine takes no fault snapshots.
+    pub enabled: bool,
+    /// RNG seed for per-run fault magnitudes.
+    pub seed: u64,
+    /// When `Some(bits)`, IMC read/write deltas are reported modulo
+    /// `2^bits` lines — a counter-overflow wrap between snapshot reads.
+    pub uncore_wrap_bits: Option<u32>,
+    /// Fraction (0..=1) of `ClkUnhalted`/`InstRetired` increments lost to
+    /// dropped PMU samples. The realised loss varies per run between 50%
+    /// and 100% of this rate.
+    pub sample_drop_rate: f64,
+    /// Relative overcount applied to FP retirement events, as produced by
+    /// event multiplexing that extrapolates from a biased time slice
+    /// (e.g. `0.3` inflates FP counts by up to 30%).
+    pub multiplex_error: f64,
+    /// Relative clock drift: the core secretly runs `(1 + drift)` times
+    /// faster than nominal (turbo left enabled), shortening wall-clock
+    /// time while core-cycle counts stay put.
+    pub turbo_drift: f64,
+    /// Phantom prefetch traffic: extra IMC read lines injected as a
+    /// fraction of the real read delta (e.g. `1.0` doubles reads).
+    pub phantom_prefetch_rate: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            enabled: false,
+            seed: 0x5eed,
+            uncore_wrap_bits: None,
+            sample_drop_rate: 0.0,
+            multiplex_error: 0.0,
+            turbo_drift: 0.0,
+            phantom_prefetch_rate: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// An enabled configuration with every fault knob at zero: the
+    /// injection path runs but measurements are unperturbed.
+    pub fn enabled_noop() -> Self {
+        FaultConfig {
+            enabled: true,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Sanity-checks rates and wrap width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a rate is negative/non-finite, `sample_drop_rate`
+    /// exceeds 1, or `uncore_wrap_bits` is 0 or ≥ 64.
+    pub fn validate(&self) {
+        for (name, v) in [
+            ("sample_drop_rate", self.sample_drop_rate),
+            ("multiplex_error", self.multiplex_error),
+            ("turbo_drift", self.turbo_drift),
+            ("phantom_prefetch_rate", self.phantom_prefetch_rate),
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and >= 0");
+        }
+        assert!(
+            self.sample_drop_rate <= 1.0,
+            "sample_drop_rate is a fraction of samples, must be <= 1"
+        );
+        if let Some(bits) = self.uncore_wrap_bits {
+            assert!(
+                (1..64).contains(&bits),
+                "uncore_wrap_bits must be in 1..64"
+            );
+        }
+    }
+
+    /// Parses a fault-spec string of comma-separated `key=value` pairs:
+    /// `seed=<u64>`, `wrap=<bits>`, `drop=<rate>`, `mux=<rate>`,
+    /// `drift=<rate>`, `phantom=<rate>`. The result is always `enabled`,
+    /// so `""` yields [`FaultConfig::enabled_noop`]. Used by the
+    /// experiment runner's `<platform>+<faults>` syntax.
+    pub fn parse(spec: &str) -> Result<FaultConfig, String> {
+        let mut cfg = FaultConfig::enabled_noop();
+        for pair in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec `{pair}` is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |e: &dyn std::fmt::Display| format!("fault `{key}={value}`: {e}");
+            match key {
+                "seed" => cfg.seed = value.parse().map_err(|e| bad(&e))?,
+                "wrap" => cfg.uncore_wrap_bits = Some(value.parse().map_err(|e| bad(&e))?),
+                "drop" => cfg.sample_drop_rate = value.parse().map_err(|e| bad(&e))?,
+                "mux" => cfg.multiplex_error = value.parse().map_err(|e| bad(&e))?,
+                "drift" => cfg.turbo_drift = value.parse().map_err(|e| bad(&e))?,
+                "phantom" => cfg.phantom_prefetch_rate = value.parse().map_err(|e| bad(&e))?,
+                _ => {
+                    return Err(format!(
+                        "unknown fault key `{key}` (expected seed, wrap, drop, mux, drift, phantom)"
+                    ))
+                }
+            }
+        }
+        cfg.validate();
+        Ok(cfg)
+    }
+}
+
+/// Applies the configured perturbations to per-run counter deltas.
+///
+/// Owned by [`Machine`](crate::Machine) when its config enables faults;
+/// the machine feeds it before/after snapshots at the end of every run.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    state: u64,
+}
+
+impl FaultInjector {
+    /// Builds an injector from a validated configuration.
+    pub fn new(cfg: FaultConfig) -> Self {
+        cfg.validate();
+        let state = cfg.seed | 1; // xorshift state must be nonzero
+        FaultInjector { cfg, state }
+    }
+
+    /// The configuration this injector applies.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in [0.5, 1): fault magnitudes vary per run but never fall
+    /// below half the configured rate, so injected faults are reliably
+    /// detectable.
+    fn magnitude(&mut self) -> f64 {
+        0.5 + ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) / 2.0
+    }
+
+    /// The factor by which wall-clock (TSC) deltas shrink under the
+    /// configured clock drift: `1 / (1 + drift)`.
+    pub fn tsc_scale(&self) -> f64 {
+        1.0 / (1.0 + self.cfg.turbo_drift)
+    }
+
+    /// Perturbs one core's counter delta, returning the delta the PMU
+    /// should report instead.
+    pub fn perturb_core_delta(&mut self, delta: &CoreCounters) -> CoreCounters {
+        let mut out = *delta;
+        if self.cfg.sample_drop_rate > 0.0 {
+            for ev in [CoreEvent::ClkUnhalted, CoreEvent::InstRetired] {
+                let d = out.get(ev);
+                let dropped = (d as f64 * self.cfg.sample_drop_rate * self.magnitude())
+                    .round() as u64;
+                out.set(ev, d - dropped.min(d));
+            }
+        }
+        if self.cfg.multiplex_error > 0.0 {
+            for ev in [
+                CoreEvent::FpScalarDouble,
+                CoreEvent::FpPacked128Double,
+                CoreEvent::FpPacked256Double,
+                CoreEvent::FpScalarSingle,
+                CoreEvent::FpPacked128Single,
+                CoreEvent::FpPacked256Single,
+            ] {
+                let d = out.get(ev);
+                if d > 0 {
+                    let extra = (d as f64 * self.cfg.multiplex_error * self.magnitude())
+                        .round() as u64;
+                    out.set(ev, d + extra);
+                }
+            }
+        }
+        out
+    }
+
+    /// Perturbs the machine-wide IMC delta, returning the delta the
+    /// uncore should report instead.
+    pub fn perturb_uncore_delta(&mut self, delta: &UncoreCounters) -> UncoreCounters {
+        let mut reads = delta.get(UncoreEvent::ImcDramDataReads);
+        let mut writes = delta.get(UncoreEvent::ImcDramDataWrites);
+        if let Some(bits) = self.cfg.uncore_wrap_bits {
+            let modulus = 1u64 << bits;
+            reads %= modulus;
+            writes %= modulus;
+        }
+        if self.cfg.phantom_prefetch_rate > 0.0 {
+            let extra =
+                (reads as f64 * self.cfg.phantom_prefetch_rate * self.magnitude()).round() as u64;
+            reads += extra;
+        }
+        UncoreCounters::from_lines(reads, writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core_delta(cycles: u64, instrs: u64, fp256d: u64) -> CoreCounters {
+        let mut c = CoreCounters::default();
+        c.set(CoreEvent::ClkUnhalted, cycles);
+        c.set(CoreEvent::InstRetired, instrs);
+        c.set(CoreEvent::FpPacked256Double, fp256d);
+        c
+    }
+
+    #[test]
+    fn noop_config_perturbs_nothing() {
+        let mut inj = FaultInjector::new(FaultConfig::enabled_noop());
+        let d = core_delta(1000, 800, 200);
+        assert_eq!(inj.perturb_core_delta(&d), d);
+        let u = UncoreCounters::from_lines(500, 300);
+        assert_eq!(inj.perturb_uncore_delta(&u), u);
+        assert_eq!(inj.tsc_scale(), 1.0);
+    }
+
+    #[test]
+    fn sample_drop_shrinks_cycles_and_instructions_only() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            sample_drop_rate: 0.4,
+            ..FaultConfig::enabled_noop()
+        });
+        let d = core_delta(10_000, 8_000, 200);
+        let p = inj.perturb_core_delta(&d);
+        let cycles = p.get(CoreEvent::ClkUnhalted);
+        assert!((6_000..10_000).contains(&cycles), "cycles {cycles}");
+        assert!(p.get(CoreEvent::InstRetired) < 8_000);
+        assert_eq!(p.get(CoreEvent::FpPacked256Double), 200);
+    }
+
+    #[test]
+    fn multiplex_error_inflates_fp_events_only() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            multiplex_error: 0.5,
+            ..FaultConfig::enabled_noop()
+        });
+        let d = core_delta(10_000, 8_000, 1_000);
+        let p = inj.perturb_core_delta(&d);
+        let fp = p.get(CoreEvent::FpPacked256Double);
+        assert!(fp > 1_000 && fp <= 1_500, "fp {fp}");
+        assert_eq!(p.get(CoreEvent::ClkUnhalted), 10_000);
+    }
+
+    #[test]
+    fn wrap_reduces_large_deltas_modulo_width() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            uncore_wrap_bits: Some(10),
+            ..FaultConfig::enabled_noop()
+        });
+        let p = inj.perturb_uncore_delta(&UncoreCounters::from_lines(5000, 1024));
+        assert_eq!(p.get(UncoreEvent::ImcDramDataReads), 5000 % 1024);
+        assert_eq!(p.get(UncoreEvent::ImcDramDataWrites), 0);
+    }
+
+    #[test]
+    fn phantom_adds_reads_not_writes() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            phantom_prefetch_rate: 2.0,
+            ..FaultConfig::enabled_noop()
+        });
+        let p = inj.perturb_uncore_delta(&UncoreCounters::from_lines(1000, 400));
+        let reads = p.get(UncoreEvent::ImcDramDataReads);
+        assert!(reads >= 2000, "reads {reads}");
+        assert_eq!(p.get(UncoreEvent::ImcDramDataWrites), 400);
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(FaultConfig {
+                seed,
+                sample_drop_rate: 0.3,
+                multiplex_error: 0.2,
+                phantom_prefetch_rate: 0.7,
+                ..FaultConfig::enabled_noop()
+            });
+            let c = inj.perturb_core_delta(&core_delta(9999, 7777, 555));
+            let u = inj.perturb_uncore_delta(&UncoreCounters::from_lines(4321, 1234));
+            (c, u)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let cfg = FaultConfig::parse("seed=9,wrap=32,drop=0.1,mux=0.2,drift=0.12,phantom=1.5")
+            .unwrap();
+        assert!(cfg.enabled);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.uncore_wrap_bits, Some(32));
+        assert_eq!(cfg.sample_drop_rate, 0.1);
+        assert_eq!(cfg.multiplex_error, 0.2);
+        assert_eq!(cfg.turbo_drift, 0.12);
+        assert_eq!(cfg.phantom_prefetch_rate, 1.5);
+    }
+
+    #[test]
+    fn parse_empty_spec_is_enabled_noop() {
+        assert_eq!(FaultConfig::parse("").unwrap(), FaultConfig::enabled_noop());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_bad_values() {
+        assert!(FaultConfig::parse("turbo=1").is_err());
+        assert!(FaultConfig::parse("drift").is_err());
+        assert!(FaultConfig::parse("drop=lots").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_drop_rate")]
+    fn validate_rejects_drop_rate_above_one() {
+        FaultConfig {
+            sample_drop_rate: 1.5,
+            ..FaultConfig::enabled_noop()
+        }
+        .validate();
+    }
+}

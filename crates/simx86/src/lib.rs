@@ -49,6 +49,7 @@
 pub mod cache;
 pub mod config;
 pub mod cpu;
+pub mod fault;
 pub mod isa;
 pub mod machine;
 pub mod memsys;
@@ -56,6 +57,7 @@ pub mod pmu;
 pub mod prefetch;
 
 pub use config::MachineConfig;
+pub use fault::{FaultConfig, FaultInjector};
 pub use cpu::Cpu;
 pub use machine::{Buffer, Machine, SlicedFn, ThreadProgram};
 
@@ -63,6 +65,7 @@ pub use machine::{Buffer, Machine, SlicedFn, ThreadProgram};
 pub mod prelude {
     pub use crate::config::{self, MachineConfig};
     pub use crate::cpu::Cpu;
+    pub use crate::fault::{FaultConfig, FaultInjector};
     pub use crate::isa::{FpOp, Precision, Reg, VecWidth};
     pub use crate::machine::{Buffer, Machine, SlicedFn, ThreadProgram};
     pub use crate::pmu::{CoreCounters, CoreEvent, UncoreCounters, UncoreEvent};

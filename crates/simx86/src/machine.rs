@@ -3,6 +3,7 @@
 
 use crate::config::MachineConfig;
 use crate::cpu::{CoreState, Cpu};
+use crate::fault::FaultInjector;
 use crate::memsys::MemSystem;
 use crate::pmu::{CoreCounters, CoreEvent, UncoreCounters};
 
@@ -125,6 +126,9 @@ pub struct Machine {
     turbo: bool,
     /// Per-NUMA-node bump allocators; node `n`'s heap starts at `n << 40`.
     heap_next: Vec<u64>,
+    /// Present iff `cfg.fault.enabled`: perturbs counter deltas at the end
+    /// of every run (see [`crate::fault`]).
+    injector: Option<FaultInjector>,
 }
 
 impl Machine {
@@ -136,6 +140,10 @@ impl Machine {
         let heap_next = (0..cfg.sockets)
             .map(|n| ((n as u64) << 40) + (1 << 20))
             .collect();
+        let injector = cfg
+            .fault
+            .enabled
+            .then(|| FaultInjector::new(cfg.fault.clone()));
         Self {
             cfg,
             cores,
@@ -143,7 +151,13 @@ impl Machine {
             tsc: 0.0,
             turbo: false,
             heap_next,
+            injector,
         }
+    }
+
+    /// Whether this machine injects measurement faults.
+    pub fn fault_injection_active(&self) -> bool {
+        self.injector.is_some()
     }
 
     /// The machine configuration.
@@ -259,6 +273,7 @@ impl Machine {
     /// Panics if `core` is out of range.
     pub fn run<F: FnOnce(&mut Cpu<'_>)>(&mut self, core: usize, f: F) {
         assert!(core < self.cores.len(), "core {core} out of range");
+        let snap = self.fault_snapshot(&[core]);
         let ghz = self.cfg.core_ghz(1, self.turbo);
         let tsc_per_cc = self.cfg.nominal_ghz / ghz;
         let state = &mut self.cores[core];
@@ -278,6 +293,7 @@ impl Machine {
             .counters
             .add(CoreEvent::ClkUnhalted, end_cc.round() as u64);
         self.tsc += end_cc * tsc_per_cc;
+        self.apply_faults(&[core], snap);
     }
 
     /// Runs one program per core concurrently (program `i` on core `i`),
@@ -292,6 +308,8 @@ impl Machine {
         let n = programs.len();
         assert!(n > 0, "run_parallel needs at least one program");
         assert!(n <= self.cores.len(), "more programs than cores");
+        let cores_used: Vec<usize> = (0..n).collect();
+        let snap = self.fault_snapshot(&cores_used);
         let ghz = self.cfg.core_ghz(n, self.turbo);
         let tsc_per_cc = self.cfg.nominal_ghz / ghz;
 
@@ -336,7 +354,47 @@ impl Machine {
             let _ = i;
         }
         self.tsc += end_cc * tsc_per_cc;
+        self.apply_faults(&cores_used, snap);
     }
+
+    /// Pre-run counter/TSC snapshot for fault injection; `None` when the
+    /// injector is disabled.
+    fn fault_snapshot(&self, cores: &[usize]) -> Option<FaultSnapshot> {
+        self.injector.as_ref()?;
+        Some(FaultSnapshot {
+            core_before: cores.iter().map(|&c| self.cores[c].counters).collect(),
+            uncore_before: self.mem.uncore(),
+            tsc_before: self.tsc,
+        })
+    }
+
+    /// Rewrites this run's counter deltas through the fault injector.
+    /// Perturbed totals are always `before + perturbed_delta` with the
+    /// delta non-negative, so counters stay monotone and earlier snapshots
+    /// remain valid.
+    fn apply_faults(&mut self, cores: &[usize], snap: Option<FaultSnapshot>) {
+        let Some(snap) = snap else { return };
+        let inj = self.injector.as_mut().expect("snapshot implies injector");
+        for (&c, before) in cores.iter().zip(&snap.core_before) {
+            let delta = self.cores[c].counters.since(before);
+            let perturbed = inj.perturb_core_delta(&delta);
+            self.cores[c].counters = before.plus(&perturbed);
+        }
+        let uncore_delta = self.mem.uncore().since(&snap.uncore_before);
+        let perturbed = inj.perturb_uncore_delta(&uncore_delta);
+        self.mem.fault_rewrite_uncore(snap.uncore_before, perturbed);
+        // Clock drift: the cores secretly ran fast, so the same cycle
+        // counts fit in less wall-clock (TSC) time.
+        let dt = self.tsc - snap.tsc_before;
+        self.tsc = snap.tsc_before + dt * inj.tsc_scale();
+    }
+}
+
+/// Counter and TSC state captured before a run, for delta perturbation.
+struct FaultSnapshot {
+    core_before: Vec<CoreCounters>,
+    uncore_before: UncoreCounters,
+    tsc_before: f64,
 }
 
 #[cfg(test)]

@@ -175,6 +175,27 @@ impl MemSystem {
         self.uncore_socket[socket]
     }
 
+    /// Replaces the machine-wide uncore totals with `before + new_delta`
+    /// after fault perturbation, mirroring the signed adjustment onto
+    /// socket 0's bank (clamped at zero) so the per-socket view stays
+    /// roughly consistent. Fault-injection layer only.
+    pub(crate) fn fault_rewrite_uncore(
+        &mut self,
+        before: UncoreCounters,
+        new_delta: UncoreCounters,
+    ) {
+        use crate::pmu::UncoreEvent::{ImcDramDataReads, ImcDramDataWrites};
+        let old = self.uncore;
+        self.uncore = before.plus(&new_delta);
+        let dr = self.uncore.get(ImcDramDataReads) as i64 - old.get(ImcDramDataReads) as i64;
+        let dw = self.uncore.get(ImcDramDataWrites) as i64 - old.get(ImcDramDataWrites) as i64;
+        let s0 = self.uncore_socket[0];
+        self.uncore_socket[0] = UncoreCounters::from_lines(
+            (s0.get(ImcDramDataReads) as i64 + dr).max(0) as u64,
+            (s0.get(ImcDramDataWrites) as i64 + dw).max(0) as u64,
+        );
+    }
+
     /// Per-core L1/L2 and shared L3 statistics, for diagnostics.
     pub fn cache_stats(&self, core: usize) -> (CacheStats, CacheStats, CacheStats) {
         (

@@ -121,6 +121,21 @@ impl CoreCounters {
         self.counts[Self::idx(ev)] += n;
     }
 
+    /// Overwrites one counter; only the fault-injection layer may rewrite
+    /// history, and it preserves monotonicity by construction.
+    pub(crate) fn set(&mut self, ev: CoreEvent, v: u64) {
+        self.counts[Self::idx(ev)] = v;
+    }
+
+    /// Component-wise sum, used to rebuild totals from perturbed deltas.
+    pub(crate) fn plus(&self, delta: &CoreCounters) -> CoreCounters {
+        let mut out = *self;
+        for (i, d) in delta.counts.iter().enumerate() {
+            out.counts[i] += d;
+        }
+        out
+    }
+
     /// Records the retirement of one FP arithmetic instruction.
     ///
     /// This reproduces the hardware semantics validated in the literature:
@@ -208,6 +223,19 @@ impl UncoreCounters {
 
     pub(crate) fn add_writes(&mut self, lines: u64) {
         self.writes += lines;
+    }
+
+    /// Builds a bank directly from line counts (fault-injection layer).
+    pub(crate) fn from_lines(reads: u64, writes: u64) -> UncoreCounters {
+        UncoreCounters { reads, writes }
+    }
+
+    /// Component-wise sum, used to rebuild totals from perturbed deltas.
+    pub(crate) fn plus(&self, delta: &UncoreCounters) -> UncoreCounters {
+        UncoreCounters {
+            reads: self.reads + delta.reads,
+            writes: self.writes + delta.writes,
+        }
     }
 
     /// Total DRAM traffic in bytes (`(reads + writes) * 64`), the paper's
