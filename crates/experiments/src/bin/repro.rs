@@ -2,28 +2,37 @@
 //!
 //! ```text
 //! repro [--experiment <E1..E18|all>] [--platform <spec>]
-//!       [--fidelity <quick|full>] [--out <dir>] [--no-artifacts]
-//!       [--keep-going|--fail-fast] [--list]
+//!       [--fidelity <quick|full>] [--jobs <N>] [--out <dir>]
+//!       [--no-artifacts] [--keep-going|--fail-fast] [--list]
 //! ```
 //!
 //! Prints each experiment's tables/ASCII figures to stdout and writes
 //! CSV/SVG artifacts under `--out` (default `out/`).
 //!
-//! The sweep is crash-isolated: every experiment runs under a panic guard,
-//! and a failure is recorded in `<out>/manifest.json` instead of aborting
-//! the rest (`--keep-going`, the default; `--fail-fast` restores the
-//! abort-on-first-failure behavior, marking unattempted experiments as
-//! skipped). The exit code is non-zero iff any experiment failed.
+//! The sweep runs on a worker pool (`--jobs`, default = available
+//! parallelism; `--jobs 1` reproduces the fully serial behavior). Every
+//! experiment is an independent pure function of `(platform, fidelity)`,
+//! so scheduling cannot change results: artifacts are staged per
+//! experiment and committed in canonical E1..E18 order, stdout reports
+//! are printed in canonical order, and `<out>/manifest.json` is identical
+//! for any `--jobs` value except its timing/scheduling fields
+//! (`elapsed_ms`, `worker`, `jobs`, `wall_ms`, `serial_ms`, `speedup`).
+//!
+//! The sweep is also crash-isolated: every experiment runs under a panic
+//! guard, and a failure is recorded in the manifest instead of aborting
+//! the rest (`--keep-going`, the default; `--fail-fast` cancels
+//! not-yet-started experiments cooperatively, marking them as skipped).
+//! The exit code is non-zero iff any experiment failed.
 //!
 //! `--platform` accepts a fault-injection suffix, e.g.
 //! `snb+drift=0.12,seed=7`, to run the whole sweep on a deliberately
 //! faulty machine. `--force-panic <ID>` replaces one experiment's body
 //! with a panic — the hook the crash-isolation tests use.
 
-use experiments::manifest::{Manifest, RunStatus};
-use experiments::platforms::{platform_names, try_config_by_name, Fidelity};
-use experiments::registry::{run_experiment, Experiment};
-use experiments::runner::{run_isolated, RunError};
+use experiments::manifest::RunStatus;
+use experiments::platforms::{platform_names, Fidelity};
+use experiments::registry::Experiment;
+use experiments::sweep::{run_sweep, SweepConfig, SweepError};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -31,6 +40,7 @@ struct Args {
     experiments: Vec<Experiment>,
     platform: String,
     fidelity: Fidelity,
+    jobs: Option<usize>,
     out_dir: Option<PathBuf>,
     keep_going: bool,
     force_panic: Option<Experiment>,
@@ -41,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
     let mut experiments = vec![];
     let mut platform = "snb".to_string();
     let mut fidelity = Fidelity::Full;
+    let mut jobs = None;
     let mut out_dir = Some(PathBuf::from("out"));
     let mut keep_going = true;
     let mut force_panic = None;
@@ -70,6 +81,16 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown fidelity `{other}`")),
                 };
             }
+            "--jobs" | "-j" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs needs a positive integer, got `{v}`"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                jobs = Some(n);
+            }
             "--out" | "-o" => {
                 out_dir = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
             }
@@ -84,10 +105,12 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--experiment E1..E18|all] [--platform SPEC] \
-                     [--fidelity quick|full] [--out DIR] [--no-artifacts] \
+                     [--fidelity quick|full] [--jobs N] [--out DIR] [--no-artifacts] \
                      [--keep-going|--fail-fast] [--force-panic ID] [--list]\n\
                      SPEC is a platform preset with an optional fault suffix, \
-                     e.g. snb or snb+drift=0.12,seed=7"
+                     e.g. snb or snb+drift=0.12,seed=7\n\
+                     --jobs defaults to the available parallelism; results are \
+                     byte-identical for any N (timing metadata aside)"
                 );
                 std::process::exit(0);
             }
@@ -101,11 +124,18 @@ fn parse_args() -> Result<Args, String> {
         experiments,
         platform,
         fidelity,
+        jobs,
         out_dir,
         keep_going,
         force_panic,
         list,
     })
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn main() -> ExitCode {
@@ -124,91 +154,56 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    // Validate the platform spec before running anything, so a typo fails
-    // in milliseconds with the valid list instead of panicking mid-sweep.
-    if let Err(e) = try_config_by_name(&args.platform) {
-        eprintln!("error: {e}");
-        eprintln!("valid platforms: {}, test", platform_names().join(", "));
-        return ExitCode::FAILURE;
-    }
-
-    let fidelity_label = match args.fidelity {
-        Fidelity::Quick => "quick",
-        Fidelity::Full => "full",
+    let config = SweepConfig {
+        experiments: args.experiments,
+        platform: args.platform,
+        fidelity: args.fidelity,
+        jobs: args.jobs.unwrap_or_else(default_jobs),
+        fail_fast: !args.keep_going,
+        out_dir: args.out_dir,
+        force_panic: args.force_panic,
+        progress: true,
     };
-    let mut manifest = Manifest::new(args.platform.clone(), fidelity_label);
-    let mut aborted = false;
 
-    for (i, e) in args.experiments.iter().enumerate() {
-        if aborted {
-            manifest.record(e.id(), e.title(), RunStatus::Skipped, None, None);
-            continue;
+    let outcome = match run_sweep(&config) {
+        Ok(outcome) => outcome,
+        Err(SweepError::Platform(e)) => {
+            // A typo fails in milliseconds with the valid list instead of
+            // panicking mid-sweep.
+            eprintln!("error: {e}");
+            eprintln!("valid platforms: {}, test", platform_names().join(", "));
+            return ExitCode::FAILURE;
         }
-        eprintln!("running {e} on {} ({:?})...", args.platform, args.fidelity);
-        let result = if args.force_panic == Some(*e) {
-            run_isolated(|| panic!("forced panic (--force-panic {})", e.id()))
-        } else {
-            let (platform, fidelity) = (args.platform.as_str(), args.fidelity);
-            run_isolated(|| run_experiment(*e, platform, fidelity))
-        };
-        match result {
-            Ok(out) => {
-                println!("{}", out.render_text());
-                let mut status = if out.is_degraded() {
-                    RunStatus::Degraded
-                } else {
-                    RunStatus::Pass
-                };
-                let mut error = None;
-                let mut detail = (!out.degradations.is_empty())
-                    .then(|| out.degradations.join("; "));
-                if let Some(dir) = &args.out_dir {
-                    if let Err(err) = out.write_artifacts(dir) {
-                        // Record the artifact failure and keep sweeping;
-                        // the measurement itself was already printed.
-                        let err = RunError::Artifact(err);
-                        eprintln!("error writing artifacts for {}: {err}", e.id());
-                        status = RunStatus::Failed;
-                        error = Some(err.kind().to_string());
-                        detail = Some(err.to_string());
-                        if !args.keep_going && i + 1 < args.experiments.len() {
-                            aborted = true;
-                        }
-                    }
-                }
-                manifest.record(e.id(), e.title(), status, error, detail);
-            }
-            Err(err) => {
-                eprintln!("error: {} failed: {err}", e.id());
-                manifest.record(
-                    e.id(),
-                    e.title(),
-                    RunStatus::Failed,
-                    Some(err.kind().to_string()),
-                    Some(err.to_string()),
-                );
-                if !args.keep_going {
-                    aborted = true;
-                }
-            }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
+    };
+
+    for report in &outcome.reports {
+        println!("{report}");
     }
 
-    if let Some(dir) = &args.out_dir {
-        match manifest.write(dir) {
-            Ok(path) => eprintln!(
-                "wrote {} ({} pass, {} degraded, {} failed, {} skipped)",
-                path.display(),
-                manifest.count(RunStatus::Pass),
-                manifest.count(RunStatus::Degraded),
-                manifest.count(RunStatus::Failed),
-                manifest.count(RunStatus::Skipped),
-            ),
-            Err(e) => {
-                eprintln!("error: could not write manifest: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+    let manifest = &outcome.manifest;
+    if let Some(path) = &outcome.manifest_path {
+        eprintln!(
+            "wrote {} ({} pass, {} degraded, {} failed, {} skipped)",
+            path.display(),
+            manifest.count(RunStatus::Pass),
+            manifest.count(RunStatus::Degraded),
+            manifest.count(RunStatus::Failed),
+            manifest.count(RunStatus::Skipped),
+        );
+    }
+    if let Some(t) = &manifest.timing {
+        eprintln!(
+            "sweep: {} experiment(s) on {} worker(s) in {} ms (serial sum {} ms, speedup {:.2}x)",
+            manifest.entries.len(),
+            t.jobs,
+            t.wall_ms,
+            t.serial_ms,
+            t.speedup()
+        );
     }
 
     if manifest.any_failed() {

@@ -23,13 +23,16 @@ pub mod platforms;
 pub mod points;
 pub mod registry;
 pub mod runner;
+pub mod snapshot;
 pub mod summary;
+pub mod sweep;
 pub mod tables;
 pub mod trajectories;
 pub mod validation;
 
-pub use manifest::{Manifest, ManifestEntry, RunStatus};
+pub use manifest::{Manifest, ManifestEntry, RunStatus, SweepTiming};
 pub use output::{ExperimentOutput, Figure};
 pub use platforms::{Fidelity, PlatformError};
 pub use registry::{run_experiment, Experiment};
 pub use runner::{run_isolated, try_run_experiment, RunError};
+pub use sweep::{run_sweep, run_sweep_with, SweepConfig, SweepError, SweepOutcome};

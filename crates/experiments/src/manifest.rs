@@ -8,18 +8,29 @@
 //! {
 //!   "platform": "snb",
 //!   "fidelity": "quick",
+//!   "jobs": 4,
+//!   "wall_ms": 10412,
+//!   "serial_ms": 17890,
+//!   "speedup": 1.72,
 //!   "total": 18,
 //!   "passed": 17,
 //!   "degraded": 0,
 //!   "failed": 1,
 //!   "skipped": 0,
 //!   "experiments": [
-//!     {"id": "E1", "title": "platform parameter table", "status": "pass"},
+//!     {"id": "E1", "title": "platform parameter table", "status": "pass",
+//!      "elapsed_ms": 6, "worker": 2, "budget_ms": 15000},
 //!     {"id": "E7", "title": "...", "status": "failed", "error": "panic",
 //!      "detail": "experiment panicked: ..."}
 //!   ]
 //! }
 //! ```
+//!
+//! Timing and scheduling fields (`jobs`, `wall_ms`, `serial_ms`,
+//! `speedup`, `elapsed_ms`, `worker`, `budget_ms`) are the only parts of
+//! the manifest allowed to differ between a serial and a parallel sweep;
+//! [`normalized_json`] strips exactly those, and the golden-snapshot /
+//! determinism tests compare the normalized form.
 
 use std::fmt;
 use std::fs;
@@ -72,6 +83,39 @@ pub struct ManifestEntry {
     /// Human-readable elaboration: the panic message, the integrity
     /// degradations, or the IO error.
     pub detail: Option<String>,
+    /// Wall time of the experiment body plus its artifact writes, in
+    /// milliseconds. `None` for skipped entries.
+    pub elapsed_ms: Option<u64>,
+    /// Id of the worker thread that executed the experiment (0-based).
+    /// `None` for skipped entries.
+    pub worker: Option<usize>,
+    /// The per-experiment wall-time budget CI enforces (see
+    /// `scripts/check_budgets.py`).
+    pub budget_ms: Option<u64>,
+}
+
+/// Sweep-level scheduling/timing metadata, present when the manifest was
+/// produced by the sweep executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepTiming {
+    /// Worker-pool size the sweep ran with.
+    pub jobs: usize,
+    /// End-to-end wall time of the whole sweep in milliseconds.
+    pub wall_ms: u64,
+    /// Sum of the per-experiment wall times — what a serial sweep would
+    /// have cost.
+    pub serial_ms: u64,
+}
+
+impl SweepTiming {
+    /// Measured speedup of the sweep over the serial-time sum.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_ms == 0 {
+            1.0
+        } else {
+            self.serial_ms as f64 / self.wall_ms as f64
+        }
+    }
 }
 
 /// The whole sweep record.
@@ -81,7 +125,9 @@ pub struct Manifest {
     pub platform: String,
     /// Fidelity label (`"quick"` / `"full"`).
     pub fidelity: String,
-    /// Per-experiment rows, in run order.
+    /// Scheduling/timing totals (absent for hand-built manifests).
+    pub timing: Option<SweepTiming>,
+    /// Per-experiment rows, in canonical (E1..E18) order.
     pub entries: Vec<ManifestEntry>,
 }
 
@@ -91,11 +137,12 @@ impl Manifest {
         Self {
             platform: platform.into(),
             fidelity: fidelity.into(),
+            timing: None,
             entries: Vec::new(),
         }
     }
 
-    /// Appends one experiment's outcome.
+    /// Appends one experiment's outcome without timing metadata.
     pub fn record(
         &mut self,
         id: impl Into<String>,
@@ -110,7 +157,15 @@ impl Manifest {
             status,
             error,
             detail,
+            elapsed_ms: None,
+            worker: None,
+            budget_ms: None,
         });
+    }
+
+    /// Appends a fully-populated row (the sweep executor's path).
+    pub fn record_entry(&mut self, entry: ManifestEntry) {
+        self.entries.push(entry);
     }
 
     /// Number of entries with the given status.
@@ -134,6 +189,12 @@ impl Manifest {
             "  \"fidelity\": \"{}\",\n",
             json_escape(&self.fidelity)
         ));
+        if let Some(t) = &self.timing {
+            out.push_str(&format!("  \"jobs\": {},\n", t.jobs));
+            out.push_str(&format!("  \"wall_ms\": {},\n", t.wall_ms));
+            out.push_str(&format!("  \"serial_ms\": {},\n", t.serial_ms));
+            out.push_str(&format!("  \"speedup\": {:.2},\n", t.speedup()));
+        }
         out.push_str(&format!("  \"total\": {},\n", self.entries.len()));
         out.push_str(&format!("  \"passed\": {},\n", self.count(RunStatus::Pass)));
         out.push_str(&format!(
@@ -159,6 +220,15 @@ impl Manifest {
             if let Some(d) = &e.detail {
                 out.push_str(&format!(", \"detail\": \"{}\"", json_escape(d)));
             }
+            if let Some(ms) = e.elapsed_ms {
+                out.push_str(&format!(", \"elapsed_ms\": {ms}"));
+            }
+            if let Some(w) = e.worker {
+                out.push_str(&format!(", \"worker\": {w}"));
+            }
+            if let Some(b) = e.budget_ms {
+                out.push_str(&format!(", \"budget_ms\": {b}"));
+            }
             out.push('}');
             if i + 1 < self.entries.len() {
                 out.push(',');
@@ -181,6 +251,58 @@ impl Manifest {
         fs::write(&path, self.to_json())?;
         Ok(path)
     }
+}
+
+/// Sweep-level keys that may legitimately differ between two runs of the
+/// same sweep (each occupies a whole line of the hand-rolled JSON).
+const TIMING_LINE_KEYS: [&str; 4] = ["\"jobs\":", "\"wall_ms\":", "\"serial_ms\":", "\"speedup\":"];
+
+/// Per-entry keys that may legitimately differ between two runs of the
+/// same sweep (embedded inline in an experiment row).
+const TIMING_ENTRY_KEYS: [&str; 3] = ["elapsed_ms", "worker", "budget_ms"];
+
+/// Strips the timing/scheduling metadata from a rendered manifest, leaving
+/// only the fields the determinism contract covers: two sweeps of the same
+/// experiments on the same platform must agree on `normalized_json` no
+/// matter how many workers ran them.
+///
+/// This operates on the textual form written by [`Manifest::to_json`]
+/// (one experiment per line), so tests can normalize a `manifest.json`
+/// read back from disk without a JSON parser.
+pub fn normalized_json(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    'line: for line in json.lines() {
+        let trimmed = line.trim_start();
+        for key in TIMING_LINE_KEYS {
+            if trimmed.starts_with(key) {
+                continue 'line;
+            }
+        }
+        let mut line = line.to_string();
+        for key in TIMING_ENTRY_KEYS {
+            line = strip_number_field(&line, key);
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Removes every `, "key": <number>` fragment from a single JSON line.
+fn strip_number_field(line: &str, key: &str) -> String {
+    let needle = format!(", \"{key}\": ");
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(pos) = rest.find(&needle) {
+        out.push_str(&rest[..pos]);
+        let after = &rest[pos + needle.len()..];
+        let end = after
+            .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .unwrap_or(after.len());
+        rest = &after[end..];
+    }
+    out.push_str(rest);
+    out
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -239,6 +361,42 @@ mod tests {
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn timing_fields_render_and_normalize_away() {
+        let mut m = sample();
+        m.timing = Some(SweepTiming {
+            jobs: 4,
+            wall_ms: 1000,
+            serial_ms: 1720,
+        });
+        m.entries[0].elapsed_ms = Some(123);
+        m.entries[0].worker = Some(2);
+        m.entries[0].budget_ms = Some(15000);
+        let j = m.to_json();
+        assert!(j.contains("\"jobs\": 4"), "{j}");
+        assert!(j.contains("\"speedup\": 1.72"), "{j}");
+        assert!(j.contains("\"elapsed_ms\": 123, \"worker\": 2, \"budget_ms\": 15000"), "{j}");
+
+        // The normalized form is identical to an untimed manifest's.
+        let untimed = sample().to_json();
+        assert_eq!(normalized_json(&j), normalized_json(&untimed));
+        let n = normalized_json(&j);
+        assert!(!n.contains("elapsed_ms") && !n.contains("worker") && !n.contains("speedup"));
+        // Normalization keeps the rows and statuses intact.
+        assert!(n.contains(r#""id": "E7", "title": "prefetch \"pitfall\"", "status": "failed""#));
+        assert_eq!(n.matches('{').count(), n.matches('}').count());
+    }
+
+    #[test]
+    fn speedup_handles_zero_wall_time() {
+        let t = SweepTiming {
+            jobs: 8,
+            wall_ms: 0,
+            serial_ms: 0,
+        };
+        assert_eq!(t.speedup(), 1.0);
     }
 
     #[test]

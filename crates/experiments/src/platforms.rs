@@ -30,6 +30,14 @@ impl Fidelity {
             Fidelity::Full => full,
         }
     }
+
+    /// The label used in CLI flags and the manifest (`"quick"`/`"full"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Fidelity::Quick => "quick",
+            Fidelity::Full => "full",
+        }
+    }
 }
 
 /// Why a platform spec could not be resolved.

@@ -100,6 +100,30 @@ impl Experiment {
         }
     }
 
+    /// Per-experiment wall-time budget in milliseconds.
+    ///
+    /// Two consumers: CI fails a sweep whose manifest records an
+    /// `elapsed_ms` above this (`scripts/check_budgets.py`), and the
+    /// parallel executor uses it as the cost estimate for longest-first
+    /// scheduling. The quick numbers are ~10× the measured cost on a
+    /// 1-core dev box, so a budget violation means a real perf
+    /// regression, not runner jitter.
+    pub fn wall_budget_ms(self, fidelity: Fidelity) -> u64 {
+        let quick = match self {
+            Experiment::E4 => 120_000,
+            Experiment::E6 => 60_000,
+            Experiment::E15 | Experiment::E18 => 30_000,
+            Experiment::E3 => 20_000,
+            _ => 15_000,
+        };
+        match fidelity {
+            Fidelity::Quick => quick,
+            // Full fidelity simulates paper-scale problem sizes — DESIGN.md
+            // budgets minutes per case study.
+            Fidelity::Full => quick * 30,
+        }
+    }
+
     /// The artifact of Ofenbeck et al. this corresponds to (reconstructed —
     /// see the mismatch notice in `DESIGN.md`).
     pub fn paper_artifact(self) -> &'static str {
@@ -180,6 +204,16 @@ pub fn run_experiment(e: Experiment, platform: &str, fidelity: Fidelity) -> Expe
     }
 }
 
+// The parallel sweep executor hands experiments and their outputs across
+// worker threads; keep that capability a compile-time guarantee so a
+// future non-Send field (an Rc, a raw pointer) fails here with a readable
+// error instead of deep inside `sweep.rs`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Experiment>();
+    assert_send_sync::<ExperimentOutput>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +240,22 @@ mod tests {
             assert!(!e.paper_artifact().is_empty());
             assert!(e.to_string().contains(e.id()));
         }
+    }
+
+    #[test]
+    fn budgets_are_positive_and_full_dominates_quick() {
+        for e in Experiment::ALL {
+            let quick = e.wall_budget_ms(Fidelity::Quick);
+            let full = e.wall_budget_ms(Fidelity::Full);
+            assert!(quick > 0);
+            assert!(full > quick, "{e}: full budget must exceed quick");
+        }
+        // E4 streams the bandwidth staircase — by far the heaviest cell.
+        let heaviest = Experiment::ALL
+            .into_iter()
+            .max_by_key(|e| e.wall_budget_ms(Fidelity::Quick))
+            .unwrap();
+        assert_eq!(heaviest, Experiment::E4);
     }
 
     #[test]

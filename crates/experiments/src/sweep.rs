@@ -1,0 +1,488 @@
+//! Parallel, deterministic experiment sweeps.
+//!
+//! Every experiment is an independent pure function of
+//! `(platform, fidelity)`, so a sweep is a batch job over independent
+//! cells — exactly the shape that parallelizes. This module runs the
+//! requested experiments on a scope-based worker pool ([`std::thread::scope`])
+//! with a shared work queue: idle workers greedily steal the next
+//! unclaimed experiment, each body runs under the existing
+//! [`run_isolated`] panic guard, artifacts land in a per-experiment
+//! staging directory, and a final single-threaded commit pass moves them
+//! into the output directory and assembles the manifest in canonical
+//! E1..E18 order.
+//!
+//! **The determinism contract.** Because experiments share no mutable
+//! state and the commit pass is ordered, the `out/` tree produced by a
+//! parallel sweep is byte-identical to a serial sweep of the same
+//! experiments — except for the timing/scheduling metadata in
+//! `manifest.json`, which [`crate::manifest::normalized_json`] strips.
+//! The golden-snapshot and determinism tests under `tests/` enforce this
+//! on every CI run.
+//!
+//! **Cancellation.** `fail_fast` cancels cooperatively: the first failure
+//! raises a flag, in-flight experiments run to completion (their results
+//! are kept), and experiments nobody has claimed yet are recorded as
+//! `skipped`. An experiment is therefore never both run and skipped.
+
+use crate::manifest::{Manifest, ManifestEntry, RunStatus, SweepTiming};
+use crate::output::ExperimentOutput;
+use crate::platforms::{try_config_by_name, Fidelity, PlatformError};
+use crate::registry::{run_experiment, Experiment};
+use crate::runner::{run_isolated, RunError};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Everything a sweep needs to know before it starts.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Experiments to run. Deduplicated and reordered into canonical
+    /// E1..E18 order before execution.
+    pub experiments: Vec<Experiment>,
+    /// Platform spec (preset name plus optional fault suffix).
+    pub platform: String,
+    /// Problem-size fidelity.
+    pub fidelity: Fidelity,
+    /// Worker-pool size; `1` reproduces the serial sweep exactly
+    /// (including `fail_fast` skip semantics).
+    pub jobs: usize,
+    /// Cancel not-yet-started experiments after the first failure.
+    pub fail_fast: bool,
+    /// Where artifacts and `manifest.json` go; `None` disables artifact
+    /// and manifest writing entirely.
+    pub out_dir: Option<PathBuf>,
+    /// Replace this experiment's body with a panic (crash-isolation test
+    /// hook, `--force-panic`).
+    pub force_panic: Option<Experiment>,
+    /// Emit per-experiment progress lines on stderr.
+    pub progress: bool,
+}
+
+impl SweepConfig {
+    /// A quiet, serial, artifact-less sweep — the baseline tests build on.
+    pub fn new(experiments: Vec<Experiment>, platform: impl Into<String>, fidelity: Fidelity) -> Self {
+        Self {
+            experiments,
+            platform: platform.into(),
+            fidelity,
+            jobs: 1,
+            fail_fast: false,
+            out_dir: None,
+            force_panic: None,
+            progress: false,
+        }
+    }
+}
+
+/// Why a sweep could not run (individual experiment failures are not
+/// errors — they are recorded in the manifest).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// The platform spec did not resolve; nothing was executed.
+    Platform(PlatformError),
+    /// Staging, committing, or the manifest write failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Platform(e) => write!(f, "{e}"),
+            SweepError::Io(e) => write!(f, "sweep i/o failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Platform(e) => Some(e),
+            SweepError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for SweepError {
+    fn from(e: io::Error) -> Self {
+        SweepError::Io(e)
+    }
+}
+
+/// What a sweep hands back to its caller.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The manifest, entries in canonical order, timing populated. Already
+    /// written to `<out>/manifest.json` when an output directory was set.
+    pub manifest: Manifest,
+    /// Rendered text reports of every experiment that produced output, in
+    /// canonical order — print these to reproduce the serial CLI stdout.
+    pub reports: Vec<String>,
+    /// Path of the written manifest, if any.
+    pub manifest_path: Option<PathBuf>,
+}
+
+/// One worker's record of one experiment, parked in its result slot until
+/// the commit pass.
+struct Slot {
+    status: RunStatus,
+    error: Option<String>,
+    detail: Option<String>,
+    report: Option<String>,
+    elapsed_ms: Option<u64>,
+    worker: Option<usize>,
+    staged: Option<PathBuf>,
+}
+
+impl Slot {
+    fn skipped() -> Self {
+        Slot {
+            status: RunStatus::Skipped,
+            error: None,
+            detail: None,
+            report: None,
+            elapsed_ms: None,
+            worker: None,
+            staged: None,
+        }
+    }
+}
+
+/// Runs a sweep of the registered experiments (the `repro` binary's
+/// engine).
+///
+/// # Errors
+///
+/// See [`SweepError`]; per-experiment failures land in the manifest
+/// instead.
+pub fn run_sweep(config: &SweepConfig) -> Result<SweepOutcome, SweepError> {
+    run_sweep_with(config, run_experiment)
+}
+
+/// [`run_sweep`] with an injectable experiment body.
+///
+/// The scheduling, staging, cancellation and manifest logic is identical;
+/// only the work inside the panic guard changes. Tests use this to drive
+/// the executor with bodies that are cheap, deterministic, or deliberately
+/// panicking, without simulating millions of instructions per property
+/// case.
+///
+/// # Errors
+///
+/// See [`SweepError`].
+pub fn run_sweep_with<F>(config: &SweepConfig, body: F) -> Result<SweepOutcome, SweepError>
+where
+    F: Fn(Experiment, &str, Fidelity) -> ExperimentOutput + Sync,
+{
+    try_config_by_name(&config.platform).map_err(SweepError::Platform)?;
+
+    let mut experiments = config.experiments.clone();
+    experiments.sort_unstable();
+    experiments.dedup();
+    let n = experiments.len();
+    let jobs = config.jobs.max(1).min(n.max(1));
+
+    // Queue order. A single worker keeps canonical order so `--jobs 1`
+    // reproduces the serial sweep exactly (same fail-fast skip set). With
+    // more workers the queue is sorted longest-budget-first (LPT
+    // heuristic): E4's ten-second staircase starts immediately instead of
+    // serializing behind seventeen cheap cells at the end of the sweep.
+    let mut queue: Vec<usize> = (0..n).collect();
+    if jobs > 1 {
+        queue.sort_by_key(|&i| {
+            std::cmp::Reverse(experiments[i].wall_budget_ms(config.fidelity))
+        });
+    }
+
+    let staging_root = config.out_dir.as_ref().map(|d| d.join(".staging"));
+    if let Some(root) = &staging_root {
+        fs::create_dir_all(root)?;
+    }
+
+    let next = AtomicUsize::new(0);
+    let cancel = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Slot>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let sweep_start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for worker in 0..jobs {
+            let (experiments, queue, slots) = (&experiments, &queue, &slots);
+            let (next, cancel) = (&next, &cancel);
+            let (config, body, staging_root) = (&config, &body, &staging_root);
+            scope.spawn(move || loop {
+                let k = next.fetch_add(1, Ordering::SeqCst);
+                if k >= n {
+                    break;
+                }
+                let i = queue[k];
+                let e = experiments[i];
+                if cancel.load(Ordering::SeqCst) {
+                    *slots[i].lock().unwrap() = Some(Slot::skipped());
+                    continue;
+                }
+                if config.progress {
+                    eprintln!(
+                        "[worker {worker}] running {e} on {} ({})...",
+                        config.platform,
+                        config.fidelity.label()
+                    );
+                }
+                let slot = execute_one(e, worker, config, body, staging_root.as_deref());
+                if slot.status == RunStatus::Failed && config.fail_fast {
+                    cancel.store(true, Ordering::SeqCst);
+                }
+                *slots[i].lock().unwrap() = Some(slot);
+            });
+        }
+    });
+
+    let wall_ms = sweep_start.elapsed().as_millis() as u64;
+
+    // Commit pass: single-threaded, canonical order. This is what makes
+    // parallel and serial sweeps byte-identical — artifacts move from
+    // their staging directories and the manifest rows are appended in
+    // E1..E18 order regardless of which worker finished when.
+    let mut manifest = Manifest::new(config.platform.clone(), config.fidelity.label());
+    let mut reports = Vec::new();
+    let mut serial_ms = 0u64;
+    for (i, e) in experiments.iter().enumerate() {
+        let slot = slots[i]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("every claimed experiment records a slot");
+        serial_ms += slot.elapsed_ms.unwrap_or(0);
+        if let (Some(out_dir), Some(staged)) = (&config.out_dir, &slot.staged) {
+            commit_staged(staged, out_dir)?;
+        }
+        if let Some(report) = slot.report {
+            reports.push(report);
+        }
+        manifest.record_entry(ManifestEntry {
+            id: e.id().to_string(),
+            title: e.title().to_string(),
+            status: slot.status,
+            error: slot.error,
+            detail: slot.detail,
+            elapsed_ms: slot.elapsed_ms,
+            worker: slot.worker,
+            budget_ms: Some(e.wall_budget_ms(config.fidelity)),
+        });
+    }
+    if let Some(root) = &staging_root {
+        // Best-effort: an empty staging tree left behind is cosmetic.
+        let _ = fs::remove_dir_all(root);
+    }
+    manifest.timing = Some(SweepTiming {
+        jobs,
+        wall_ms,
+        serial_ms,
+    });
+
+    let manifest_path = match &config.out_dir {
+        Some(dir) => Some(manifest.write(dir)?),
+        None => None,
+    };
+    Ok(SweepOutcome {
+        manifest,
+        reports,
+        manifest_path,
+    })
+}
+
+/// Runs one experiment on one worker: panic guard, staging writes, status
+/// classification. Mirrors the serial CLI loop's semantics exactly.
+fn execute_one<F>(
+    e: Experiment,
+    worker: usize,
+    config: &SweepConfig,
+    body: &F,
+    staging_root: Option<&Path>,
+) -> Slot
+where
+    F: Fn(Experiment, &str, Fidelity) -> ExperimentOutput + Sync,
+{
+    let start = Instant::now();
+    let result = if config.force_panic == Some(e) {
+        run_isolated(|| panic!("forced panic (--force-panic {})", e.id()))
+    } else {
+        run_isolated(|| body(e, &config.platform, config.fidelity))
+    };
+    let mut slot = match result {
+        Ok(out) => {
+            let mut slot = Slot {
+                status: if out.is_degraded() {
+                    RunStatus::Degraded
+                } else {
+                    RunStatus::Pass
+                },
+                error: None,
+                detail: (!out.degradations.is_empty()).then(|| out.degradations.join("; ")),
+                report: Some(out.render_text()),
+                elapsed_ms: None,
+                worker: None,
+                staged: None,
+            };
+            if let Some(root) = staging_root {
+                let dir = root.join(e.id());
+                match out.write_artifacts(&dir) {
+                    // The measurement itself is still reported even when
+                    // its artifacts could not be written.
+                    Err(err) => {
+                        let err = RunError::Artifact(err);
+                        eprintln!("error writing artifacts for {}: {err}", e.id());
+                        slot.status = RunStatus::Failed;
+                        slot.error = Some(err.kind().to_string());
+                        slot.detail = Some(err.to_string());
+                    }
+                    Ok(()) => slot.staged = Some(dir),
+                }
+            }
+            slot
+        }
+        Err(err) => {
+            eprintln!("error: {} failed: {err}", e.id());
+            Slot {
+                status: RunStatus::Failed,
+                error: Some(err.kind().to_string()),
+                detail: Some(err.to_string()),
+                report: None,
+                elapsed_ms: None,
+                worker: None,
+                staged: None,
+            }
+        }
+    };
+    slot.elapsed_ms = Some(start.elapsed().as_millis() as u64);
+    slot.worker = Some(worker);
+    slot
+}
+
+/// Moves every file of one experiment's staging directory into the final
+/// output directory.
+fn commit_staged(staged: &Path, out_dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(out_dir)?;
+    for entry in fs::read_dir(staged)? {
+        let entry = entry?;
+        let target = out_dir.join(entry.file_name());
+        // Same filesystem (staging lives under the out dir), so a rename
+        // is atomic and cheap; fall back to copy for exotic setups where
+        // `out` straddles a mount point.
+        if fs::rename(entry.path(), &target).is_err() {
+            fs::copy(entry.path(), &target)?;
+            fs::remove_file(entry.path())?;
+        }
+    }
+    fs::remove_dir(staged)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cheap deterministic stand-in body: one figure whose CSV encodes
+    /// the cell coordinates, one finding.
+    fn stub(e: Experiment, platform: &str, fidelity: Fidelity) -> ExperimentOutput {
+        let mut out = ExperimentOutput::new(e.id(), e.title());
+        let mut fig = crate::output::Figure::new(format!("{}_stub", e.id().to_lowercase()));
+        fig.csv = Some(format!("id,platform,fidelity\n{},{platform},{}\n", e.id(), fidelity.label()));
+        out.figures.push(fig);
+        out.finding("cell", format!("{}@{platform}", e.id()));
+        out
+    }
+
+    fn cfg(experiments: Vec<Experiment>, jobs: usize) -> SweepConfig {
+        let mut c = SweepConfig::new(experiments, "snb", Fidelity::Quick);
+        c.jobs = jobs;
+        c
+    }
+
+    #[test]
+    fn unknown_platform_fails_before_running_anything() {
+        let mut c = cfg(vec![Experiment::E1], 1);
+        c.platform = "vax11".into();
+        let err = run_sweep_with(&c, stub).unwrap_err();
+        assert!(matches!(err, SweepError::Platform(_)), "{err}");
+    }
+
+    #[test]
+    fn requested_order_is_canonicalized_and_deduplicated() {
+        let out = run_sweep_with(
+            &cfg(vec![Experiment::E9, Experiment::E2, Experiment::E9], 2),
+            stub,
+        )
+        .unwrap();
+        let ids: Vec<_> = out.manifest.entries.iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(ids, ["E2", "E9"]);
+        assert_eq!(out.reports.len(), 2);
+        assert!(out.reports[0].contains("===== E2"));
+    }
+
+    #[test]
+    fn parallel_and_serial_manifests_agree_modulo_timing() {
+        let all = Experiment::ALL.to_vec();
+        let serial = run_sweep_with(&cfg(all.clone(), 1), stub).unwrap();
+        let parallel = run_sweep_with(&cfg(all, 5), stub).unwrap();
+        assert_eq!(
+            crate::manifest::normalized_json(&serial.manifest.to_json()),
+            crate::manifest::normalized_json(&parallel.manifest.to_json()),
+        );
+        assert_eq!(serial.reports, parallel.reports);
+        let timing = parallel.manifest.timing.unwrap();
+        assert_eq!(timing.jobs, 5);
+    }
+
+    #[test]
+    fn artifacts_commit_to_the_out_root_and_staging_is_cleaned() {
+        let dir = std::env::temp_dir().join(format!("sweep_commit_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut c = cfg(vec![Experiment::E1, Experiment::E5], 2);
+        c.out_dir = Some(dir.clone());
+        let out = run_sweep_with(&c, stub).unwrap();
+        assert!(dir.join("e1_stub.csv").exists());
+        assert!(dir.join("e5_report.txt").exists());
+        assert!(dir.join("manifest.json").exists());
+        assert!(!dir.join(".staging").exists(), "staging must be cleaned up");
+        assert_eq!(out.manifest_path.unwrap(), dir.join("manifest.json"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn forced_panic_is_contained_and_fail_fast_skips_with_one_worker() {
+        let mut c = cfg(vec![Experiment::E1, Experiment::E2, Experiment::E3], 1);
+        c.force_panic = Some(Experiment::E1);
+        c.fail_fast = true;
+        let out = run_sweep_with(&c, stub).unwrap();
+        let statuses: Vec<_> = out.manifest.entries.iter().map(|e| e.status).collect();
+        assert_eq!(
+            statuses,
+            [RunStatus::Failed, RunStatus::Skipped, RunStatus::Skipped]
+        );
+        assert!(out.manifest.any_failed());
+        // Skipped entries carry no timing metadata.
+        assert_eq!(out.manifest.entries[1].elapsed_ms, None);
+        assert_eq!(out.manifest.entries[1].worker, None);
+    }
+
+    #[test]
+    fn timing_totals_cover_every_executed_experiment() {
+        let out = run_sweep_with(&cfg(vec![Experiment::E1, Experiment::E2], 2), stub).unwrap();
+        let timing = out.manifest.timing.unwrap();
+        let sum: u64 = out
+            .manifest
+            .entries
+            .iter()
+            .filter_map(|e| e.elapsed_ms)
+            .sum();
+        assert_eq!(timing.serial_ms, sum);
+        for e in &out.manifest.entries {
+            assert!(e.worker.unwrap() < 2);
+            assert!(e.budget_ms.unwrap() > 0);
+        }
+    }
+}

@@ -73,12 +73,18 @@ fn forced_panic_keeps_going_and_lands_in_the_manifest() {
 #[test]
 fn fail_fast_skips_the_rest_but_still_writes_the_manifest() {
     let dir = tmp_dir("fail_fast");
+    // `--jobs 1`: with more workers E2 could legitimately start (and
+    // complete) before E1's failure raises the cancellation flag — only
+    // the serial schedule guarantees the deterministic skip set this
+    // test asserts.
     let out = repro()
         .args([
             "--experiment",
             "E1,E2",
             "--fidelity",
             "quick",
+            "--jobs",
+            "1",
             "--force-panic",
             "E1",
             "--fail-fast",
@@ -118,6 +124,67 @@ fn healthy_sweep_passes_with_a_clean_manifest_and_zero_exit() {
     assert!(dir.join("e1_report.txt").exists());
     assert!(dir.join("e2_report.txt").exists());
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn parallel_sweep_records_timing_and_prints_reports_in_canonical_order() {
+    let dir = tmp_dir("parallel");
+    let out = repro()
+        .args([
+            "--experiment",
+            "E5,E2,E1",
+            "--fidelity",
+            "quick",
+            "--jobs",
+            "4",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // stdout reports come out in canonical order no matter the schedule.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let (p1, p2, p5) = (
+        stdout.find("===== E1").expect("E1 report"),
+        stdout.find("===== E2").expect("E2 report"),
+        stdout.find("===== E5").expect("E5 report"),
+    );
+    assert!(p1 < p2 && p2 < p5, "reports out of order:\n{stdout}");
+    // The manifest carries scheduling/timing metadata. (The pool is
+    // clamped to the number of experiments, so `--jobs 4` records 3.)
+    let manifest = read_manifest(&dir);
+    for key in ["\"jobs\": 3", "\"wall_ms\"", "\"serial_ms\"", "\"speedup\""] {
+        assert!(manifest.contains(key), "missing {key}: {manifest}");
+    }
+    assert!(manifest.contains("\"elapsed_ms\""), "{manifest}");
+    assert!(manifest.contains("\"worker\""), "{manifest}");
+    assert!(manifest.contains("\"budget_ms\""), "{manifest}");
+    // ...and lists entries canonically even though they were requested
+    // (and possibly finished) in a different order.
+    let (m1, m2, m5) = (
+        manifest.find(r#""id": "E1""#).unwrap(),
+        manifest.find(r#""id": "E2""#).unwrap(),
+        manifest.find(r#""id": "E5""#).unwrap(),
+    );
+    assert!(m1 < m2 && m2 < m5, "{manifest}");
+    // No staging residue is left behind.
+    assert!(!dir.join(".staging").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn zero_jobs_is_rejected() {
+    let out = repro()
+        .args(["--experiment", "E1", "--jobs", "0", "--no-artifacts"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--jobs must be at least 1"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]

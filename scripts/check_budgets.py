@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Enforce per-experiment wall-time budgets from a repro manifest.
+
+Usage: check_budgets.py <path/to/manifest.json>
+
+The sweep executor records, for every experiment, its measured wall time
+(`elapsed_ms`) and its budget (`budget_ms`, from
+`Experiment::wall_budget_ms`). CI runs the quick sweep with `--jobs 4` and
+then this script: exit 1 if any experiment ran over budget (or failed to
+run at all), so a perf regression in the simulator or an experiment body
+fails the job with a per-experiment attribution instead of a silent
+slowdown of the whole pipeline.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        manifest = json.load(f)
+
+    failures = []
+    over_budget = []
+    for entry in manifest.get("experiments", []):
+        eid = entry.get("id", "?")
+        status = entry.get("status")
+        if status in ("failed", "skipped"):
+            failures.append(f"{eid}: status {status}")
+            continue
+        elapsed = entry.get("elapsed_ms")
+        budget = entry.get("budget_ms")
+        if elapsed is None or budget is None:
+            failures.append(f"{eid}: manifest entry lacks timing fields")
+            continue
+        marker = "OVER" if elapsed > budget else "ok"
+        print(f"{eid:>4}  {elapsed:>8} ms / budget {budget:>7} ms  [{marker}]")
+        if elapsed > budget:
+            over_budget.append(f"{eid}: {elapsed} ms exceeds budget of {budget} ms")
+
+    jobs = manifest.get("jobs")
+    wall = manifest.get("wall_ms")
+    serial = manifest.get("serial_ms")
+    speedup = manifest.get("speedup")
+    if wall is not None:
+        print(
+            f"sweep: {wall} ms wall on {jobs} worker(s), "
+            f"serial sum {serial} ms, speedup {speedup}x"
+        )
+
+    for problem in failures + over_budget:
+        print(f"error: {problem}", file=sys.stderr)
+    return 1 if (failures or over_budget) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

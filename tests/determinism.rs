@@ -1,0 +1,61 @@
+//! The determinism contract, end to end: a full 18-experiment sweep at
+//! quick fidelity run serially (`--jobs 1`) and in parallel (`--jobs 4`)
+//! must produce byte-identical artifact trees — every CSV, SVG and report,
+//! and the manifest modulo its timing/scheduling fields.
+//!
+//! This is the ISPASS'14 methodology requirement made executable: results
+//! must be bit-reproducible regardless of how the sweep was scheduled.
+
+use roofline::experiments::snapshot::{diff_trees, read_tree};
+use roofline::experiments::sweep::{run_sweep, SweepConfig};
+use roofline::experiments::{Experiment, Fidelity, RunStatus};
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("determinism_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn full_sweep_is_byte_identical_across_jobs_1_and_4() {
+    let mut trees = Vec::new();
+    for jobs in [1usize, 4] {
+        let out_dir = scratch(&format!("j{jobs}"));
+        let mut config = SweepConfig::new(Experiment::ALL.to_vec(), "snb", Fidelity::Quick);
+        config.jobs = jobs;
+        config.out_dir = Some(out_dir.clone());
+        let outcome = run_sweep(&config).expect("sweep runs");
+
+        // Sanity on the sweep itself before comparing trees.
+        assert_eq!(outcome.manifest.entries.len(), Experiment::ALL.len());
+        assert_eq!(
+            outcome.manifest.count(RunStatus::Pass),
+            Experiment::ALL.len(),
+            "all experiments pass on a clean snb platform (jobs={jobs})"
+        );
+        let timing = outcome.manifest.timing.expect("timing populated");
+        assert_eq!(timing.jobs, jobs.min(Experiment::ALL.len()));
+        // (Per-experiment times are truncated to whole milliseconds, so
+        // their sum may slightly undercut the end-to-end wall time.)
+        assert!(timing.wall_ms > 0 && timing.serial_ms > 0);
+        assert!(
+            timing.serial_ms <= timing.wall_ms * jobs as u64,
+            "serial sum {} ms cannot exceed wall {} ms x {jobs} workers",
+            timing.serial_ms,
+            timing.wall_ms
+        );
+
+        let tree = read_tree(&out_dir).expect("artifact tree readable");
+        assert!(tree.contains_key("manifest.json"));
+        std::fs::remove_dir_all(&out_dir).ok();
+        trees.push(tree);
+    }
+
+    let diffs = diff_trees("jobs=1", &trees[0], "jobs=4", &trees[1]);
+    assert!(
+        diffs.is_empty(),
+        "parallel sweep diverged from serial sweep:\n  {}",
+        diffs.join("\n  ")
+    );
+}

@@ -1,0 +1,65 @@
+//! Golden-snapshot tests: the full artifact tree of selected experiments
+//! at quick fidelity (manifest, CSV series, SVG figures, report text) is
+//! diffed against checked-in snapshots under `tests/golden/<ID>/`.
+//!
+//! The snapshots are stored in *normalized* form — timing/scheduling
+//! fields stripped from `manifest.json`, CRLF folded — so the comparison
+//! pins exactly the deterministic content the sweep executor promises to
+//! keep byte-identical across schedules and `--jobs` values.
+//!
+//! To regenerate after an intentional change to an experiment's output:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+
+use roofline::experiments::snapshot;
+use roofline::experiments::sweep::{run_sweep, SweepConfig};
+use roofline::experiments::{Experiment, Fidelity};
+use std::path::{Path, PathBuf};
+
+/// A scratch output directory, unique per test and process.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("golden_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs one experiment at quick fidelity into a scratch dir and compares
+/// the whole artifact tree against `tests/golden/<ID>/`.
+fn golden_case(id: &str) {
+    let experiment: Experiment = id.parse().expect("valid experiment id");
+    let out_dir = scratch(id);
+    let mut config = SweepConfig::new(vec![experiment], "snb", Fidelity::Quick);
+    config.out_dir = Some(out_dir.clone());
+    run_sweep(&config).expect("sweep runs");
+
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(id);
+    let verdict = snapshot::check_golden(&out_dir, &golden_dir);
+    std::fs::remove_dir_all(&out_dir).ok();
+    if let Err(report) = verdict {
+        panic!("{id}: {report}");
+    }
+}
+
+#[test]
+fn golden_e1_platform_table() {
+    golden_case("E1");
+}
+
+#[test]
+fn golden_e5_work_counter_validation() {
+    golden_case("E5");
+}
+
+#[test]
+fn golden_e12_dgemm_case_study() {
+    golden_case("E12");
+}
+
+#[test]
+fn golden_e16_roofline_summary() {
+    golden_case("E16");
+}

@@ -1,0 +1,123 @@
+//! Property tests (proptest) over the parallel sweep executor's
+//! scheduling invariants, driven with a cheap deterministic stub body so
+//! each case costs microseconds instead of simulating millions of
+//! instructions:
+//!
+//! * the manifest always lists results in canonical E1..E18 order, once
+//!   per requested experiment, for any subset and any job count;
+//! * outside `--fail-fast`, statuses and reports are independent of
+//!   scheduling (identical to the serial sweep's);
+//! * under `--fail-fast`, an experiment is never reported as both run and
+//!   skipped, skipped entries carry no timing/worker metadata, and only
+//!   the forced-panic experiment ever fails.
+
+use proptest::prelude::*;
+use roofline::experiments::sweep::{run_sweep_with, SweepConfig};
+use roofline::experiments::{Experiment, ExperimentOutput, Fidelity, RunStatus};
+
+/// Deterministic stand-in experiment body: no simulation, just output
+/// that uniquely identifies the cell.
+fn stub(e: Experiment, platform: &str, fidelity: Fidelity) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(e.id(), e.title());
+    out.finding("cell", format!("{}@{platform}/{}", e.id(), fidelity.label()));
+    out
+}
+
+/// Maps generated indices onto a concrete experiment subset (duplicates
+/// allowed on purpose — the executor must deduplicate).
+fn subset(picks: &[usize]) -> Vec<Experiment> {
+    picks.iter().map(|&i| Experiment::ALL[i % 18]).collect()
+}
+
+/// The canonical (sorted, deduplicated) id list a manifest must show.
+fn canonical_ids(experiments: &[Experiment]) -> Vec<&'static str> {
+    let mut sorted = experiments.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    sorted.into_iter().map(|e| e.id()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn manifest_is_canonical_and_scheduling_independent(
+        picks in proptest::collection::vec(0usize..18, 1..12),
+        jobs in 1usize..6,
+    ) {
+        let experiments = subset(&picks);
+        let mut serial = SweepConfig::new(experiments.clone(), "snb", Fidelity::Quick);
+        serial.jobs = 1;
+        let mut parallel = serial.clone();
+        parallel.jobs = jobs;
+
+        let a = run_sweep_with(&serial, stub).unwrap();
+        let b = run_sweep_with(&parallel, stub).unwrap();
+
+        let ids: Vec<_> = b.manifest.entries.iter().map(|e| e.id.as_str()).collect();
+        prop_assert_eq!(&ids, &canonical_ids(&experiments));
+
+        // Statuses, reports, and the whole normalized manifest agree with
+        // the serial schedule.
+        prop_assert_eq!(&a.reports, &b.reports);
+        prop_assert_eq!(
+            roofline::experiments::manifest::normalized_json(&a.manifest.to_json()),
+            roofline::experiments::manifest::normalized_json(&b.manifest.to_json())
+        );
+    }
+
+    #[test]
+    fn fail_fast_never_reports_run_and_skipped_for_one_experiment(
+        picks in proptest::collection::vec(0usize..18, 1..12),
+        jobs in 1usize..6,
+        panic_pick in 0usize..18,
+        fail_fast in any::<bool>(),
+    ) {
+        let experiments = subset(&picks);
+        let panicker = Experiment::ALL[panic_pick % 18];
+        let mut config = SweepConfig::new(experiments.clone(), "snb", Fidelity::Quick);
+        config.jobs = jobs;
+        config.fail_fast = fail_fast;
+        config.force_panic = Some(panicker);
+
+        let out = run_sweep_with(&config, stub).unwrap();
+
+        // Exactly one manifest row per requested experiment: "run" and
+        // "skipped" are mutually exclusive terminal states by construction.
+        let ids: Vec<_> = out.manifest.entries.iter().map(|e| e.id.as_str()).collect();
+        prop_assert_eq!(&ids, &canonical_ids(&experiments));
+
+        let mut reports = 0usize;
+        for entry in &out.manifest.entries {
+            match entry.status {
+                RunStatus::Pass | RunStatus::Degraded => {
+                    reports += 1;
+                    prop_assert!(entry.elapsed_ms.is_some());
+                    prop_assert!(entry.worker.is_some());
+                }
+                RunStatus::Failed => {
+                    // Only the forced panic can fail the stub body.
+                    prop_assert_eq!(entry.id.as_str(), panicker.id());
+                    prop_assert!(entry.elapsed_ms.is_some());
+                }
+                RunStatus::Skipped => {
+                    // Skipping requires fail-fast, and a skipped experiment
+                    // was never run: no timing, no worker, no report.
+                    prop_assert!(fail_fast, "skip without --fail-fast");
+                    prop_assert!(entry.elapsed_ms.is_none());
+                    prop_assert!(entry.worker.is_none());
+                }
+            }
+        }
+        // Every completed experiment produced exactly one report.
+        prop_assert_eq!(out.reports.len(), reports);
+        // Without fail-fast nothing may be skipped, and the panicking
+        // experiment (when requested) must actually have failed.
+        if !fail_fast {
+            prop_assert_eq!(out.manifest.count(RunStatus::Skipped), 0);
+            if experiments.contains(&panicker) {
+                prop_assert!(out.manifest.any_failed());
+            }
+        }
+    }
+}
