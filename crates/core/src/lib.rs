@@ -33,6 +33,8 @@
 //!   paper's preferred way of plotting.
 //! * [`plot`] — log-log renderers to ASCII (for terminals) and SVG (for
 //!   papers).
+//! * [`json`] — a dependency-free JSON value/parser and the JSON-lines
+//!   [`json::Envelope`] framing used by the `roofd` analysis service.
 //!
 //! ## Quick example
 //!
@@ -61,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod model;
 pub mod plot;
 pub mod point;

@@ -31,8 +31,8 @@
 
 use experiments::manifest::RunStatus;
 use experiments::platforms::{platform_names, Fidelity};
-use experiments::registry::Experiment;
-use experiments::sweep::{run_sweep, SweepConfig, SweepError};
+use experiments::registry::{registry_table, Experiment};
+use experiments::sweep::{default_jobs, run_sweep, SweepConfig, SweepError};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -132,12 +132,6 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -148,9 +142,8 @@ fn main() -> ExitCode {
     };
 
     if args.list {
-        for e in Experiment::ALL {
-            println!("{:<4} {:<45} [{}]", e.id(), e.title(), e.paper_artifact());
-        }
+        // Budgets are fidelity-dependent, so `--list` honors `--fidelity`.
+        print!("{}", registry_table(args.fidelity));
         return ExitCode::SUCCESS;
     }
 

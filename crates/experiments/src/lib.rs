@@ -33,6 +33,8 @@ pub mod validation;
 pub use manifest::{Manifest, ManifestEntry, RunStatus, SweepTiming};
 pub use output::{ExperimentOutput, Figure};
 pub use platforms::{Fidelity, PlatformError};
-pub use registry::{run_experiment, Experiment};
+pub use registry::{registry_table, run_experiment, Experiment};
 pub use runner::{run_isolated, try_run_experiment, RunError};
-pub use sweep::{run_sweep, run_sweep_with, SweepConfig, SweepError, SweepOutcome};
+pub use sweep::{
+    default_jobs, run_one, run_sweep, run_sweep_with, SweepConfig, SweepError, SweepOutcome,
+};

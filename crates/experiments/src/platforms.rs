@@ -14,7 +14,7 @@ use std::fmt;
 ///
 /// `Quick` keeps everything small enough for CI and Criterion; `Full`
 /// matches the scale discussed in `DESIGN.md` (minutes of simulation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Fidelity {
     /// CI-scale problem sizes.
     Quick,

@@ -150,6 +150,28 @@ impl Experiment {
     }
 }
 
+/// Renders the experiment registry as an aligned listing: id, title, and
+/// the wall-time budget (in milliseconds) at the given fidelity.
+///
+/// This is the single source of truth behind `repro --list`, `roofctl
+/// list`, and the client-side request validation the `roofd` service
+/// tooling performs before putting a request on the wire.
+pub fn registry_table(fidelity: Fidelity) -> String {
+    let mut out = format!(
+        "experiment registry — {} fidelity, wall budgets in ms\n",
+        fidelity.label()
+    );
+    for e in Experiment::ALL {
+        out.push_str(&format!(
+            "{:<4} {:<45} budget_ms={}\n",
+            e.id(),
+            e.title(),
+            e.wall_budget_ms(fidelity)
+        ));
+    }
+    out
+}
+
 impl fmt::Display for Experiment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}: {}", self.id(), self.title())
@@ -256,6 +278,25 @@ mod tests {
             .max_by_key(|e| e.wall_budget_ms(Fidelity::Quick))
             .unwrap();
         assert_eq!(heaviest, Experiment::E4);
+    }
+
+    #[test]
+    fn registry_table_lists_every_experiment_with_its_budget() {
+        for fidelity in [Fidelity::Quick, Fidelity::Full] {
+            let table = registry_table(fidelity);
+            assert!(table.contains(fidelity.label()));
+            for e in Experiment::ALL {
+                let line = table
+                    .lines()
+                    .find(|l| l.starts_with(e.id()))
+                    .unwrap_or_else(|| panic!("{} missing from table", e.id()));
+                assert!(line.contains(e.title()), "{line}");
+                assert!(
+                    line.contains(&format!("budget_ms={}", e.wall_budget_ms(fidelity))),
+                    "{line}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -152,6 +152,15 @@ impl Slot {
     }
 }
 
+/// The worker-pool size used when the caller does not choose one: the
+/// machine's available parallelism. Shared by the `repro` binary and the
+/// `roofd` service so both default to the same saturation point.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Runs a sweep of the registered experiments (the `repro` binary's
 /// engine).
 ///
@@ -161,6 +170,26 @@ impl Slot {
 /// instead.
 pub fn run_sweep(config: &SweepConfig) -> Result<SweepOutcome, SweepError> {
     run_sweep_with(config, run_experiment)
+}
+
+/// Runs a single experiment into an artifact directory — the
+/// request-sized slice of [`run_sweep`] the `roofd` service schedules for
+/// every cache miss. Identical semantics to `repro -e <id> --jobs 1 -o
+/// <dir>`: staging, panic isolation, canonical manifest.
+///
+/// # Errors
+///
+/// See [`SweepError`]; the experiment's own failure (panic, artifact IO)
+/// lands in the returned manifest instead.
+pub fn run_one(
+    experiment: Experiment,
+    platform: &str,
+    fidelity: Fidelity,
+    out_dir: &Path,
+) -> Result<SweepOutcome, SweepError> {
+    let mut config = SweepConfig::new(vec![experiment], platform, fidelity);
+    config.out_dir = Some(out_dir.to_path_buf());
+    run_sweep(&config)
 }
 
 /// [`run_sweep`] with an injectable experiment body.

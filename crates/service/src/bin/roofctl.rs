@@ -1,0 +1,208 @@
+//! `roofctl` — command-line client for the `roofd` service.
+//!
+//! ```text
+//! roofctl [--addr HOST:PORT] <command>
+//!
+//! commands:
+//!   run -e <E1..E18> [-p SPEC] [-f quick|full] [--out DIR]   request one analysis
+//!   list [-f quick|full]        print the experiment registry (no server needed)
+//!   stats                       print the server's counters
+//!   purge                       drop the server's memory and disk caches
+//!   ping                        health check
+//! ```
+//!
+//! `run` prints one summary line, e.g.
+//! `E1 status=pass cache=miss source=computed elapsed_ms=12 budget_ms=15000`,
+//! and with `--out` writes the returned artifact tree to a directory —
+//! byte-identical to what `repro -e <id>` produces after snapshot
+//! normalization. Requests are validated client-side against the same
+//! experiment registry the server uses, so a typo fails before it
+//! touches the wire.
+
+use experiments::platforms::{platform_names, try_config_by_name, Fidelity};
+use experiments::registry::{registry_table, Experiment};
+use roofline_service::client::Client;
+use roofline_service::DEFAULT_ADDR;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+enum Command {
+    Run {
+        experiment: Experiment,
+        platform: String,
+        fidelity: Fidelity,
+        out_dir: Option<PathBuf>,
+    },
+    List {
+        fidelity: Fidelity,
+    },
+    Stats,
+    Purge,
+    Ping,
+}
+
+struct Args {
+    addr: String,
+    command: Command,
+}
+
+fn parse_fidelity(v: &str) -> Result<Fidelity, String> {
+    match v {
+        "quick" => Ok(Fidelity::Quick),
+        "full" => Ok(Fidelity::Full),
+        other => Err(format!("unknown fidelity `{other}` (expected quick or full)")),
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut command = None;
+    let mut experiment = None;
+    let mut platform = "snb".to_string();
+    let mut fidelity = Fidelity::Quick;
+    let mut out_dir = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" | "-a" => addr = value("--addr")?,
+            "run" | "list" | "stats" | "purge" | "ping" if command.is_none() => {
+                command = Some(arg);
+            }
+            "--experiment" | "-e" => {
+                let v = value("--experiment")?;
+                experiment = Some(v.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--platform" | "-p" => platform = value("--platform")?,
+            "--fidelity" | "-f" => fidelity = parse_fidelity(&value("--fidelity")?)?,
+            "--out" | "-o" => out_dir = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: roofctl [--addr HOST:PORT] <run|list|stats|purge|ping>\n\
+                     \x20 run -e E1..E18 [-p SPEC] [-f quick|full] [--out DIR]\n\
+                     \x20 list [-f quick|full]\n\
+                     default address: {DEFAULT_ADDR}"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let command = match command.as_deref() {
+        Some("run") => {
+            let experiment = experiment.ok_or("run needs --experiment <E1..E18>")?;
+            // Validate the platform spec locally (same resolver the server
+            // uses) so a typo fails here, with the valid list, instead of
+            // after a round trip.
+            try_config_by_name(&platform).map_err(|e| {
+                format!("{e}\nvalid platforms: {}, test", platform_names().join(", "))
+            })?;
+            Command::Run {
+                experiment,
+                platform,
+                fidelity,
+                out_dir,
+            }
+        }
+        Some("list") => Command::List { fidelity },
+        Some("stats") => Command::Stats,
+        Some("purge") => Command::Purge,
+        Some("ping") => Command::Ping,
+        _ => return Err("missing command (run, list, stats, purge, or ping)".to_string()),
+    };
+    Ok(Args { addr, command })
+}
+
+fn run(args: Args) -> Result<ExitCode, String> {
+    // `list` is offline: the client binary embeds the same registry the
+    // server consults, budgets included.
+    if let Command::List { fidelity } = args.command {
+        print!("{}", registry_table(fidelity));
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut client = Client::connect(args.addr.as_str())
+        .map_err(|e| format!("could not connect to roofd at {}: {e}", args.addr))?;
+    match args.command {
+        Command::List { .. } => unreachable!("handled offline above"),
+        Command::Ping => {
+            client.ping().map_err(|e| e.to_string())?;
+            println!("pong from {}", args.addr);
+            Ok(ExitCode::SUCCESS)
+        }
+        Command::Stats => {
+            for (name, v) in client.stats().map_err(|e| e.to_string())? {
+                println!("{name}={v}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Command::Purge => {
+            let (mem, disk) = client.purge().map_err(|e| e.to_string())?;
+            println!("purged {mem} memory entries, {disk} disk entries");
+            Ok(ExitCode::SUCCESS)
+        }
+        Command::Run {
+            experiment,
+            platform,
+            fidelity,
+            out_dir,
+        } => {
+            let reply = client
+                .run(experiment, &platform, fidelity)
+                .map_err(|e| e.to_string())?;
+            let mut summary = format!(
+                "{} status={} cache={} source={} elapsed_ms={} budget_ms={}",
+                experiment.id(),
+                reply.status,
+                if reply.cache_hit { "hit" } else { "miss" },
+                reply.source,
+                reply.elapsed_ms,
+                reply.budget_ms,
+            );
+            if let Some(ms) = reply.compute_ms {
+                summary.push_str(&format!(" compute_ms={ms}"));
+            }
+            if reply.over_budget {
+                summary.push_str(" over_budget=true");
+            }
+            println!("{summary}");
+            for verdict in &reply.integrity {
+                println!("integrity: {verdict}");
+            }
+            if let Some(detail) = &reply.detail {
+                if reply.status == "failed" {
+                    eprintln!("detail: {detail}");
+                }
+            }
+            if let Some(dir) = out_dir {
+                std::fs::create_dir_all(&dir)
+                    .map_err(|e| format!("could not create {}: {e}", dir.display()))?;
+                for (name, contents) in &reply.artifacts {
+                    std::fs::write(dir.join(name), contents)
+                        .map_err(|e| format!("could not write {name}: {e}"))?;
+                }
+                eprintln!(
+                    "wrote {} artifact file(s) to {}",
+                    reply.artifacts.len(),
+                    dir.display()
+                );
+            }
+            Ok(if reply.status == "failed" {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_args().and_then(run) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! `roofd` — the long-running roofline-analysis server.
+//!
+//! ```text
+//! roofd [--addr HOST:PORT] [--cache-dir DIR | --no-disk-cache]
+//!       [--mem-budget-mb N] [--workers N] [--queue-depth N]
+//!       [--max-backlog-min N] [--connections N]
+//! ```
+//!
+//! Speaks the JSON-lines protocol on TCP: one request envelope per line,
+//! one response envelope per line. Identical concurrent requests are
+//! computed once; repeats are served from the content-addressed cache
+//! (memory LRU spilling to `--cache-dir`, default `.roofd-cache/`).
+//! Requests beyond the queue/backlog bounds get a `busy` response.
+//!
+//! Prints `roofd listening on <addr>` on stdout once the socket is
+//! bound — scripts wait for that line before connecting.
+
+use roofline_service::engine::{Engine, EngineConfig};
+use roofline_service::server::Server;
+use roofline_service::{DEFAULT_ADDR, DEFAULT_CACHE_DIR};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    cfg: EngineConfig,
+    connections: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut cfg = EngineConfig {
+        cache_dir: Some(PathBuf::from(DEFAULT_CACHE_DIR)),
+        ..EngineConfig::default()
+    };
+    let mut connections = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" | "-a" => addr = value("--addr")?,
+            "--cache-dir" => cfg.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--no-disk-cache" => cfg.cache_dir = None,
+            "--mem-budget-mb" => {
+                let v = value("--mem-budget-mb")?;
+                let mb: usize = v
+                    .parse()
+                    .map_err(|_| format!("--mem-budget-mb needs an integer, got `{v}`"))?;
+                cfg.mem_budget_bytes = mb << 20;
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                cfg.workers = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(format!("--workers needs a positive integer, got `{v}`"))?;
+            }
+            "--queue-depth" => {
+                let v = value("--queue-depth")?;
+                cfg.queue_depth = v
+                    .parse()
+                    .map_err(|_| format!("--queue-depth needs an integer, got `{v}`"))?;
+            }
+            "--max-backlog-min" => {
+                let v = value("--max-backlog-min")?;
+                let min: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--max-backlog-min needs an integer, got `{v}`"))?;
+                cfg.max_backlog_ms = min * 60_000;
+            }
+            "--connections" => {
+                let v = value("--connections")?;
+                connections = Some(
+                    v.parse()
+                        .map_err(|_| format!("--connections needs an integer, got `{v}`"))?,
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: roofd [--addr HOST:PORT] [--cache-dir DIR | --no-disk-cache]\n\
+                     \x20            [--mem-budget-mb N] [--workers N] [--queue-depth N]\n\
+                     \x20            [--max-backlog-min N] [--connections N]\n\
+                     defaults: --addr {DEFAULT_ADDR}, --cache-dir {DEFAULT_CACHE_DIR},\n\
+                     \x20         --mem-budget-mb 64, workers = available parallelism\n\
+                     --connections N serves exactly N connections then exits (for scripts)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        addr,
+        cfg,
+        connections,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(args.addr.as_str(), Engine::new(args.cfg)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("roofd listening on {addr}"),
+        Err(e) => {
+            eprintln!("error: could not read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match args.connections {
+        None => server.serve(),
+        Some(n) => match server.serve_n(n) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: accept failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

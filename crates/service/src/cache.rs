@@ -1,0 +1,484 @@
+//! Content-addressed result caching for the roofline-analysis service.
+//!
+//! Every experiment result is a pure function of the request tuple
+//! `(experiment, platform spec, fidelity)` — that is the determinism
+//! contract the sweep executor is tested against — so a result can be
+//! cached under a key derived from the tuple alone. The crate version is
+//! folded into the key so a rebuild with changed experiment code can
+//! never serve artifacts computed by an older binary.
+//!
+//! Two tiers:
+//!
+//! * [`LruCache`] — in-memory, least-recently-used, bounded by a byte
+//!   budget over the summed artifact sizes;
+//! * [`DiskStore`] — an on-disk spill laid out exactly like the `repro`
+//!   binary's `out/` tree (one directory per key holding the artifact
+//!   files), written and read back through
+//!   [`experiments::snapshot`]'s normalization so a cached tree is
+//!   byte-identical to a freshly computed one.
+
+use experiments::manifest::RunStatus;
+use experiments::platforms::Fidelity;
+use experiments::registry::Experiment;
+use experiments::snapshot::read_tree;
+use roofline_core::json::Json;
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The content address of one analysis result: the request tuple plus the
+/// version of the code that computes it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Which experiment.
+    pub experiment: Experiment,
+    /// Full platform spec, fault suffix included (`snb+drift=0.12,seed=7`
+    /// and `snb` are different results and different keys).
+    pub platform: String,
+    /// Problem-size fidelity.
+    pub fidelity: Fidelity,
+    /// Version of the computing code; a rebuild invalidates the cache.
+    pub version: String,
+}
+
+impl CacheKey {
+    /// Builds the key for a request tuple under this crate's version.
+    pub fn new(experiment: Experiment, platform: &str, fidelity: Fidelity) -> Self {
+        Self::with_version(experiment, platform, fidelity, env!("CARGO_PKG_VERSION"))
+    }
+
+    /// Builds a key under an explicit version (the hook the key-sensitivity
+    /// tests use to prove version changes miss).
+    pub fn with_version(
+        experiment: Experiment,
+        platform: &str,
+        fidelity: Fidelity,
+        version: &str,
+    ) -> Self {
+        CacheKey {
+            experiment,
+            platform: platform.to_string(),
+            fidelity,
+            version: version.to_string(),
+        }
+    }
+
+    /// The canonical text form the digest is computed over.
+    pub fn canonical(&self) -> String {
+        format!(
+            "experiment={};platform={};fidelity={};version={}",
+            self.experiment.id(),
+            self.platform,
+            self.fidelity.label(),
+            self.version
+        )
+    }
+
+    /// 64-bit FNV-1a digest of [`CacheKey::canonical`], as 16 hex digits.
+    pub fn digest(&self) -> String {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.canonical().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// Directory name of this key's on-disk entry: a human-readable prefix
+    /// plus the digest, filesystem-safe.
+    pub fn dir_name(&self) -> String {
+        let safe: String = format!(
+            "{}-{}-{}-v{}",
+            self.experiment.id().to_lowercase(),
+            self.platform,
+            self.fidelity.label(),
+            self.version
+        )
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '.' | '_') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+        format!("{safe}-{}", self.digest())
+    }
+}
+
+/// One cached analysis result: the terminal status, the failure/integrity
+/// record, and the normalized artifact tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedResult {
+    /// Terminal state of the computation (`pass`, `degraded`, `failed`).
+    pub status: RunStatus,
+    /// Error class for failed computations (`"panic"`, `"artifact-io"`…).
+    pub error: Option<String>,
+    /// Human-readable elaboration (panic message, IO error).
+    pub detail: Option<String>,
+    /// Integrity-guard verdicts for degraded runs — returned to the client
+    /// instead of dropping the connection when the platform spec carries a
+    /// fault suffix.
+    pub integrity: Vec<String>,
+    /// Wall time of the computation that produced this result, in
+    /// milliseconds. `None` when the result was reloaded from disk (the
+    /// normalized tree strips timing by design).
+    pub compute_ms: Option<u64>,
+    /// The normalized artifact tree, name → contents — byte-identical to
+    /// what `repro -e <id>` leaves under `out/` after
+    /// [`experiments::snapshot`] normalization.
+    pub tree: BTreeMap<String, String>,
+}
+
+impl CachedResult {
+    /// Summed size of the artifact tree in bytes (names + contents) — the
+    /// unit of the memory cache's budget.
+    pub fn bytes(&self) -> usize {
+        self.tree.iter().map(|(k, v)| k.len() + v.len()).sum()
+    }
+
+    /// Whether the result may be cached. Failures are never cached: a
+    /// panic is deterministic too, but serving it from cache would mask
+    /// the fix until a purge.
+    pub fn cacheable(&self) -> bool {
+        self.status != RunStatus::Failed
+    }
+}
+
+/// Parses a manifest status string back to [`RunStatus`].
+pub fn status_from_str(s: &str) -> Option<RunStatus> {
+    match s {
+        "pass" => Some(RunStatus::Pass),
+        "degraded" => Some(RunStatus::Degraded),
+        "failed" => Some(RunStatus::Failed),
+        "skipped" => Some(RunStatus::Skipped),
+        _ => None,
+    }
+}
+
+struct LruEntry {
+    result: Arc<CachedResult>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// In-memory LRU cache bounded by a byte budget over artifact sizes.
+///
+/// Eviction drops least-recently-used entries until the budget holds
+/// again; an entry larger than the whole budget is evicted immediately
+/// after insertion (the disk tier still covers it).
+pub struct LruCache {
+    budget: usize,
+    clock: u64,
+    bytes: usize,
+    map: HashMap<String, LruEntry>,
+}
+
+impl LruCache {
+    /// Creates an empty cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        LruCache {
+            budget: budget_bytes,
+            clock: 0,
+            bytes: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Looks up a digest, marking the entry most-recently-used.
+    pub fn get(&mut self, digest: &str) -> Option<Arc<CachedResult>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(digest).map(|e| {
+            e.last_used = clock;
+            e.result.clone()
+        })
+    }
+
+    /// Inserts a result, evicting least-recently-used entries until the
+    /// byte budget holds. Returns the number of entries evicted.
+    pub fn insert(&mut self, digest: String, result: Arc<CachedResult>) -> usize {
+        self.clock += 1;
+        let bytes = result.bytes();
+        if let Some(old) = self.map.insert(
+            digest,
+            LruEntry {
+                result,
+                bytes,
+                last_used: self.clock,
+            },
+        ) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        let mut evicted = 0;
+        while self.bytes > self.budget && !self.map.is_empty() {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map has a minimum");
+            let entry = self.map.remove(&oldest).expect("key just observed");
+            self.bytes -= entry.bytes;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Drops every entry; returns how many were held.
+    pub fn purge(&mut self) -> usize {
+        let n = self.map.len();
+        self.map.clear();
+        self.bytes = 0;
+        n
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Current summed artifact bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// Monotonic counter distinguishing concurrent staging/tmp directories
+/// within one process.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The on-disk spill tier: one directory per cache key, laid out like the
+/// `repro` binary's `out/` tree.
+pub struct DiskStore {
+    root: PathBuf,
+}
+
+impl DiskStore {
+    /// Opens (or designates) a store rooted at `root`; the directory is
+    /// created lazily on first write.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        DiskStore { root: root.into() }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of one key's entry directory.
+    pub fn entry_dir(&self, key: &CacheKey) -> PathBuf {
+        self.root.join(key.dir_name())
+    }
+
+    /// Loads a key's result, re-validating through the same
+    /// [`experiments::snapshot`] normalization a fresh computation goes
+    /// through, and recovering the status/integrity record from the
+    /// stored `manifest.json`. Returns `None` on a missing or unreadable
+    /// entry (a corrupt entry is simply a cache miss).
+    pub fn load(&self, key: &CacheKey) -> Option<CachedResult> {
+        let dir = self.entry_dir(key);
+        let tree = read_tree(&dir).ok()?;
+        let manifest = Json::parse(tree.get("manifest.json")?).ok()?;
+        let entry = manifest.get("experiments")?.as_arr()?.first()?;
+        if entry.get("id")?.as_str()? != key.experiment.id() {
+            return None;
+        }
+        let status = status_from_str(entry.get("status")?.as_str()?)?;
+        let detail = entry
+            .get("detail")
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        let integrity = match (status, &detail) {
+            (RunStatus::Degraded, Some(d)) => d.split("; ").map(str::to_string).collect(),
+            _ => Vec::new(),
+        };
+        Some(CachedResult {
+            status,
+            error: entry
+                .get("error")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            detail,
+            integrity,
+            compute_ms: None,
+            tree,
+        })
+    }
+
+    /// Persists a result under its key, atomically: the tree is written to
+    /// a temporary sibling and renamed into place, so readers never see a
+    /// half-written entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (an existing entry is not an error —
+    /// first writer wins).
+    pub fn store(&self, key: &CacheKey, result: &CachedResult) -> io::Result<()> {
+        let target = self.entry_dir(key);
+        if target.exists() {
+            return Ok(());
+        }
+        let tmp = self.root.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&tmp)?;
+        for (name, contents) in &result.tree {
+            fs::write(tmp.join(name), contents)?;
+        }
+        if fs::rename(&tmp, &target).is_err() {
+            // Lost a race with a concurrent writer of the same key (or the
+            // entry appeared meanwhile) — their copy is byte-identical by
+            // the determinism contract, so just drop ours.
+            let _ = fs::remove_dir_all(&tmp);
+        }
+        Ok(())
+    }
+
+    /// Removes every cache entry (and stray tmp directory). Returns the
+    /// number of entries removed; a store that was never written counts 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than the root not existing.
+    pub fn purge(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        let entries = match fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                fs::remove_dir_all(entry.path())?;
+                // `.staging`/`.tmp-*` scratch directories are removed but
+                // are not cache entries.
+                if !entry.file_name().to_string_lossy().starts_with('.') {
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// A unique scratch directory for one computation's staging output.
+pub fn staging_dir(base: Option<&Path>, digest: &str) -> PathBuf {
+    let base = base
+        .map(|p| p.join(".staging"))
+        .unwrap_or_else(std::env::temp_dir);
+    base.join(format!(
+        "roofd-{}-{}-{}",
+        std::process::id(),
+        digest,
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_with(bytes: usize, tag: &str) -> Arc<CachedResult> {
+        let mut tree = BTreeMap::new();
+        // Key length counts toward the budget too; keep it simple.
+        tree.insert(tag.to_string(), "x".repeat(bytes.saturating_sub(tag.len())));
+        Arc::new(CachedResult {
+            status: RunStatus::Pass,
+            error: None,
+            detail: None,
+            integrity: Vec::new(),
+            compute_ms: Some(1),
+            tree,
+        })
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_every_tuple_component() {
+        let base = CacheKey::with_version(Experiment::E1, "snb", Fidelity::Quick, "1.0");
+        let variants = [
+            CacheKey::with_version(Experiment::E2, "snb", Fidelity::Quick, "1.0"),
+            CacheKey::with_version(Experiment::E1, "hsw", Fidelity::Quick, "1.0"),
+            CacheKey::with_version(Experiment::E1, "snb+drift=0.1,seed=7", Fidelity::Quick, "1.0"),
+            CacheKey::with_version(Experiment::E1, "snb", Fidelity::Full, "1.0"),
+            CacheKey::with_version(Experiment::E1, "snb", Fidelity::Quick, "1.1"),
+        ];
+        for v in &variants {
+            assert_ne!(base.digest(), v.digest(), "{} vs {}", base.canonical(), v.canonical());
+        }
+        // Same tuple, same digest — content addressing is deterministic.
+        assert_eq!(
+            base.digest(),
+            CacheKey::with_version(Experiment::E1, "snb", Fidelity::Quick, "1.0").digest()
+        );
+    }
+
+    #[test]
+    fn dir_name_is_filesystem_safe_and_digest_tagged() {
+        let key = CacheKey::with_version(
+            Experiment::E7,
+            "snb+drift=0.12,seed=7",
+            Fidelity::Quick,
+            "0.1.0",
+        );
+        let name = key.dir_name();
+        assert!(name.ends_with(&key.digest()), "{name}");
+        assert!(name.starts_with("e7-snb_drift_0.12_seed_7-quick-v0.1.0"), "{name}");
+        assert!(!name.contains('+') && !name.contains('=') && !name.contains(','));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_under_byte_budget() {
+        let mut cache = LruCache::new(100);
+        assert_eq!(cache.insert("a".into(), result_with(40, "fa")), 0);
+        assert_eq!(cache.insert("b".into(), result_with(40, "fb")), 0);
+        // Touch `a` so `b` is the LRU entry when the budget breaks.
+        assert!(cache.get("a").is_some());
+        assert_eq!(cache.insert("c".into(), result_with(40, "fc")), 1);
+        assert!(cache.get("b").is_none(), "b was least recently used");
+        assert!(cache.get("a").is_some() && cache.get("c").is_some());
+        assert!(cache.bytes() <= 100);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn oversized_entry_does_not_wedge_the_cache() {
+        let mut cache = LruCache::new(50);
+        let evicted = cache.insert("huge".into(), result_with(500, "f"));
+        assert_eq!(evicted, 1, "the oversized entry itself is evicted");
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_without_double_counting() {
+        let mut cache = LruCache::new(1000);
+        cache.insert("k".into(), result_with(100, "f"));
+        cache.insert("k".into(), result_with(200, "f"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), 200);
+    }
+
+    #[test]
+    fn purge_empties_everything() {
+        let mut cache = LruCache::new(1000);
+        cache.insert("a".into(), result_with(10, "f"));
+        cache.insert("b".into(), result_with(10, "g"));
+        assert_eq!(cache.purge(), 2);
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! The client side of the roofd protocol — what `roofctl` and the e2e
+//! tests are built on.
+
+use experiments::platforms::Fidelity;
+use experiments::registry::Experiment;
+use roofline_core::json::{Envelope, Json};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket broke (connect, read, or write).
+    Io(io::Error),
+    /// The server's reply was not a parseable envelope.
+    Protocol(String),
+    /// The server answered with an `error` envelope.
+    Server {
+        /// Machine-readable code (`bad-request`, `invalid-platform`, …).
+        code: String,
+        /// Human-readable elaboration.
+        detail: String,
+    },
+    /// The server answered `busy` (backpressure); retry later.
+    Busy {
+        /// Computations waiting for a worker slot at rejection time.
+        queued: u64,
+        /// Budgeted backlog at rejection time, in milliseconds.
+        backlog_ms: u64,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, detail } => write!(f, "server error [{code}]: {detail}"),
+            ClientError::Busy { queued, backlog_ms } => write!(
+                f,
+                "server busy: {queued} queued, {backlog_ms} ms of budgeted backlog"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One `result` response, decoded.
+#[derive(Debug, Clone)]
+pub struct RunReply {
+    /// Terminal status of the computation (`pass`, `degraded`, `failed`).
+    pub status: String,
+    /// `true` when the response was served from cache (either tier).
+    pub cache_hit: bool,
+    /// Payload provenance: `computed`, `coalesced`, `mem`, or `disk`.
+    pub source: String,
+    /// End-to-end request latency reported by the server, ms.
+    pub elapsed_ms: u64,
+    /// The experiment's registry wall budget, ms.
+    pub budget_ms: u64,
+    /// True when the computation ran over that budget.
+    pub over_budget: bool,
+    /// Wall time of the computation itself, ms; absent on disk hits.
+    pub compute_ms: Option<u64>,
+    /// Error class for failed computations.
+    pub error: Option<String>,
+    /// Human-readable failure/degradation detail.
+    pub detail: Option<String>,
+    /// Integrity-guard verdicts for degraded (faulted-platform) runs.
+    pub integrity: Vec<String>,
+    /// The normalized artifact tree, name → contents.
+    pub artifacts: BTreeMap<String, String>,
+}
+
+/// A connected roofd client. One request is in flight at a time;
+/// responses are matched by an auto-incremented `seq`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_seq: u64,
+}
+
+impl Client {
+    /// Connects to a roofd server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            next_seq: 0,
+        })
+    }
+
+    fn round_trip(&mut self, env: Envelope) -> Result<Envelope, ClientError> {
+        let seq = format!("c{}", self.next_seq);
+        self.next_seq += 1;
+        let line = env.seq(&seq).to_line();
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ClientError::Protocol(
+                "server closed the connection".to_string(),
+            ));
+        }
+        let reply =
+            Envelope::parse_line(reply.trim_end()).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if reply.seq.as_deref() != Some(seq.as_str()) {
+            return Err(ClientError::Protocol(format!(
+                "response seq {:?} does not match request seq {seq:?}",
+                reply.seq
+            )));
+        }
+        match reply.kind.as_str() {
+            "error" => Err(ClientError::Server {
+                code: field_str(&reply, "code").unwrap_or_default(),
+                detail: field_str(&reply, "detail").unwrap_or_default(),
+            }),
+            "busy" => Err(ClientError::Busy {
+                queued: field_u64(&reply, "queued").unwrap_or(0),
+                backlog_ms: field_u64(&reply, "backlog_ms").unwrap_or(0),
+            }),
+            _ => Ok(reply),
+        }
+    }
+
+    /// Health check.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let reply = self.round_trip(Envelope::new("ping"))?;
+        if reply.kind == "pong" {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!(
+                "expected pong, got {}",
+                reply.kind
+            )))
+        }
+    }
+
+    /// Requests one analysis and blocks until the result arrives.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; note that a *failed experiment* is still an
+    /// `Ok` reply (with `status == "failed"`) — only transport, protocol,
+    /// and admission problems are `Err`.
+    pub fn run(
+        &mut self,
+        experiment: Experiment,
+        platform: &str,
+        fidelity: Fidelity,
+    ) -> Result<RunReply, ClientError> {
+        let env = Envelope::new("run")
+            .field("experiment", Json::str(experiment.id()))
+            .field("platform", Json::str(platform))
+            .field("fidelity", Json::str(fidelity.label()));
+        let reply = self.round_trip(env)?;
+        if reply.kind != "result" {
+            return Err(ClientError::Protocol(format!(
+                "expected result, got {}",
+                reply.kind
+            )));
+        }
+        let artifacts = reply
+            .get("artifacts")
+            .and_then(Json::as_obj)
+            .map(|pairs| {
+                pairs
+                    .iter()
+                    .filter_map(|(k, v)| Some((k.clone(), v.as_str()?.to_string())))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let integrity = reply
+            .get("integrity")
+            .and_then(Json::as_arr)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(RunReply {
+            status: field_str(&reply, "status")
+                .ok_or_else(|| ClientError::Protocol("result lacks a status".to_string()))?,
+            cache_hit: field_str(&reply, "cache").as_deref() == Some("hit"),
+            source: field_str(&reply, "source").unwrap_or_default(),
+            elapsed_ms: field_u64(&reply, "elapsed_ms").unwrap_or(0),
+            budget_ms: field_u64(&reply, "budget_ms").unwrap_or(0),
+            over_budget: reply
+                .get("over_budget")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            compute_ms: field_u64(&reply, "compute_ms"),
+            error: field_str(&reply, "error"),
+            detail: field_str(&reply, "detail"),
+            integrity,
+            artifacts,
+        })
+    }
+
+    /// Fetches the server's counters as `(name, value)` pairs, in the
+    /// server's reporting order.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
+        let reply = self.round_trip(Envelope::new("stats"))?;
+        if reply.kind != "stats" {
+            return Err(ClientError::Protocol(format!(
+                "expected stats, got {}",
+                reply.kind
+            )));
+        }
+        Ok(reply
+            .fields
+            .iter()
+            .filter_map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+            .collect())
+    }
+
+    /// Purges the server's caches; returns `(memory, disk)` entry counts.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn purge(&mut self) -> Result<(u64, u64), ClientError> {
+        let reply = self.round_trip(Envelope::new("purge"))?;
+        if reply.kind != "purged" {
+            return Err(ClientError::Protocol(format!(
+                "expected purged, got {}",
+                reply.kind
+            )));
+        }
+        Ok((
+            field_u64(&reply, "memory_entries").unwrap_or(0),
+            field_u64(&reply, "disk_entries").unwrap_or(0),
+        ))
+    }
+}
+
+fn field_str(env: &Envelope, name: &str) -> Option<String> {
+    env.get(name).and_then(Json::as_str).map(str::to_string)
+}
+
+fn field_u64(env: &Envelope, name: &str) -> Option<u64> {
+    env.get(name).and_then(Json::as_u64)
+}

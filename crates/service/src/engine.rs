@@ -1,0 +1,447 @@
+//! The serving engine: admission control, duplicate coalescing, and the
+//! two-tier result cache, independent of any transport.
+//!
+//! A request names `(experiment, platform spec, fidelity)`. Because every
+//! result is a pure function of that tuple (the determinism contract the
+//! sweep executor enforces), the engine can:
+//!
+//! * serve repeats from the content-addressed cache
+//!   ([`crate::cache`]) — memory first, then the on-disk spill;
+//! * **coalesce** identical in-flight requests: N clients asking for the
+//!   same tuple trigger exactly one computation, and the N−1 duplicates
+//!   block on the owner's flight and share its result;
+//! * enforce **backpressure**: at most `workers` computations run
+//!   concurrently, at most `queue_depth` more may wait for a slot, and
+//!   the summed registry wall budgets of admitted-but-unfinished work may
+//!   not exceed `max_backlog_ms` — beyond either bound a request is
+//!   answered `busy` instead of queueing unboundedly.
+//!
+//! Computations run as request-sized sweeps on the existing
+//! [`experiments::sweep`] executor (staging directory, panic isolation,
+//! canonical manifest), so a crash in an experiment body degrades one
+//! response, never the server.
+
+use crate::cache::{staging_dir, CacheKey, CachedResult, DiskStore, LruCache};
+use crate::stats::{Gauges, StatsInner, StatsSnapshot};
+use experiments::manifest::RunStatus;
+use experiments::output::ExperimentOutput;
+use experiments::platforms::{try_config_by_name, Fidelity};
+use experiments::registry::{run_experiment, Experiment};
+use experiments::snapshot::read_tree;
+use experiments::sweep::{default_jobs, run_sweep_with, SweepConfig};
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One analysis request: the tuple results are content-addressed by.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Which experiment to run.
+    pub experiment: Experiment,
+    /// Platform spec, optional fault suffix included.
+    pub platform: String,
+    /// Problem-size fidelity.
+    pub fidelity: Fidelity,
+}
+
+impl Request {
+    /// Builds a request.
+    pub fn new(experiment: Experiment, platform: impl Into<String>, fidelity: Fidelity) -> Self {
+        Request {
+            experiment,
+            platform: platform.into(),
+            fidelity,
+        }
+    }
+
+    /// The content address of this request's result.
+    pub fn cache_key(&self) -> CacheKey {
+        CacheKey::new(self.experiment, &self.platform, self.fidelity)
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// On-disk spill root; `None` keeps the cache memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Byte budget of the in-memory LRU tier.
+    pub mem_budget_bytes: usize,
+    /// Concurrent computations (worker slots).
+    pub workers: usize,
+    /// Admitted computations allowed to wait for a slot before new
+    /// requests are answered `busy`.
+    pub queue_depth: usize,
+    /// Cap on the summed registry wall budgets of admitted-but-unfinished
+    /// computations — backpressure in *time*, not just count.
+    pub max_backlog_ms: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cache_dir: None,
+            mem_budget_bytes: 64 << 20,
+            workers: default_jobs(),
+            queue_depth: 64,
+            max_backlog_ms: 30 * 60_000,
+        }
+    }
+}
+
+/// Where a response's payload came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Computed by this request.
+    Computed,
+    /// Shared with an identical in-flight request's computation.
+    Coalesced,
+    /// Served from the in-memory cache.
+    Mem,
+    /// Served from the on-disk store.
+    Disk,
+}
+
+impl Source {
+    /// Protocol string for this source.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Source::Computed => "computed",
+            Source::Coalesced => "coalesced",
+            Source::Mem => "mem",
+            Source::Disk => "disk",
+        }
+    }
+
+    /// True when the request was answered without (waiting for) a
+    /// computation.
+    pub fn is_hit(self) -> bool {
+        matches!(self, Source::Mem | Source::Disk)
+    }
+}
+
+/// A successfully answered request.
+#[derive(Debug, Clone)]
+pub struct Done {
+    /// The result payload (shared with the cache and any coalesced
+    /// duplicates).
+    pub result: Arc<CachedResult>,
+    /// Where the payload came from.
+    pub source: Source,
+    /// End-to-end latency of *this* request in milliseconds (queue wait
+    /// included).
+    pub elapsed_ms: u64,
+    /// The experiment's registry wall budget at this fidelity.
+    pub budget_ms: u64,
+    /// True when the computation behind this result ran over that budget.
+    pub over_budget: bool,
+}
+
+/// What [`Engine::submit`] hands back.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Answered with a result (pass, degraded, or failed — see
+    /// [`CachedResult::status`]).
+    Done(Done),
+    /// Rejected by backpressure; retry later.
+    Busy {
+        /// Computations waiting for a worker slot at rejection time.
+        queued: usize,
+        /// Budgeted backlog at rejection time, in milliseconds.
+        backlog_ms: u64,
+    },
+    /// Rejected up front: the platform spec did not resolve.
+    Invalid(String),
+}
+
+/// The experiment body the engine schedules; injectable for tests.
+pub type ComputeFn = dyn Fn(Experiment, &str, Fidelity) -> ExperimentOutput + Send + Sync;
+
+struct Flight {
+    result: Mutex<Option<Arc<CachedResult>>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: Arc<CachedResult>) {
+        *self.result.lock().unwrap() = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Arc<CachedResult> {
+        let mut slot = self.result.lock().unwrap();
+        while slot.is_none() {
+            slot = self.ready.wait(slot).unwrap();
+        }
+        slot.clone().expect("loop exits only when published")
+    }
+}
+
+struct State {
+    cache: LruCache,
+    inflight: HashMap<String, Arc<Flight>>,
+    running: usize,
+    queued: usize,
+    backlog_ms: u64,
+}
+
+struct Inner {
+    cfg: EngineConfig,
+    disk: Option<DiskStore>,
+    compute: Box<ComputeFn>,
+    state: Mutex<State>,
+    slot_free: Condvar,
+    stats: Mutex<StatsInner>,
+}
+
+/// The shared, clonable serving engine. Clones are handles onto one
+/// state; every connection thread gets one.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<Inner>,
+}
+
+impl Engine {
+    /// Builds an engine that computes with the real experiment registry.
+    pub fn new(cfg: EngineConfig) -> Engine {
+        Engine::with_compute(cfg, run_experiment)
+    }
+
+    /// Builds an engine with an injectable experiment body — the same
+    /// test seam as [`experiments::sweep::run_sweep_with`].
+    pub fn with_compute<F>(cfg: EngineConfig, compute: F) -> Engine
+    where
+        F: Fn(Experiment, &str, Fidelity) -> ExperimentOutput + Send + Sync + 'static,
+    {
+        let disk = cfg.cache_dir.as_ref().map(DiskStore::new);
+        Engine {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    cache: LruCache::new(cfg.mem_budget_bytes),
+                    inflight: HashMap::new(),
+                    running: 0,
+                    queued: 0,
+                    backlog_ms: 0,
+                }),
+                slot_free: Condvar::new(),
+                stats: Mutex::new(StatsInner::default()),
+                disk,
+                compute: Box::new(compute),
+                cfg,
+            }),
+        }
+    }
+
+    /// Serves one request, blocking until it is answered or rejected.
+    ///
+    /// Identical concurrent requests are coalesced onto one computation;
+    /// distinct requests beyond the worker/queue/backlog bounds are
+    /// answered [`Outcome::Busy`] instead of queueing without limit.
+    pub fn submit(&self, req: &Request) -> Outcome {
+        let start = Instant::now();
+        if let Err(e) = try_config_by_name(&req.platform) {
+            self.inner.stats.lock().unwrap().invalid += 1;
+            return Outcome::Invalid(e.to_string());
+        }
+        let key = req.cache_key();
+        let digest = key.digest();
+        let budget_ms = req.experiment.wall_budget_ms(req.fidelity);
+
+        enum Role {
+            Hit(Arc<CachedResult>),
+            Waiter(Arc<Flight>),
+            Owner(Arc<Flight>),
+        }
+
+        let role = {
+            let mut st = self.inner.state.lock().unwrap();
+            if let Some(result) = st.cache.get(&digest) {
+                self.inner.stats.lock().unwrap().mem_hits += 1;
+                Role::Hit(result)
+            } else if let Some(flight) = st.inflight.get(&digest) {
+                self.inner.stats.lock().unwrap().coalesced += 1;
+                Role::Waiter(flight.clone())
+            } else {
+                // Bounded admission: total admitted work may not exceed
+                // the worker slots plus the queue allowance, and the
+                // budgeted backlog may not exceed its cap. An idle engine
+                // always admits one request, whatever its budget —
+                // otherwise a single over-cap experiment could never run.
+                let over_queue = st.running + st.queued
+                    >= self.inner.cfg.workers.max(1) + self.inner.cfg.queue_depth;
+                let over_backlog = st.backlog_ms > 0
+                    && st.backlog_ms + budget_ms > self.inner.cfg.max_backlog_ms;
+                if over_queue || over_backlog {
+                    self.inner.stats.lock().unwrap().busy += 1;
+                    return Outcome::Busy {
+                        queued: st.queued,
+                        backlog_ms: st.backlog_ms,
+                    };
+                }
+                let flight = Arc::new(Flight::new());
+                st.inflight.insert(digest.clone(), flight.clone());
+                st.queued += 1;
+                st.backlog_ms += budget_ms;
+                Role::Owner(flight)
+            }
+        };
+
+        let (result, source) = match role {
+            Role::Hit(result) => (result, Source::Mem),
+            Role::Waiter(flight) => (flight.wait(), Source::Coalesced),
+            Role::Owner(flight) => self.run_owned(req, &key, &digest, budget_ms, &flight),
+        };
+
+        let elapsed_ms = start.elapsed().as_millis() as u64;
+        let over_budget = matches!(source, Source::Computed | Source::Coalesced)
+            && result.compute_ms.is_some_and(|ms| ms > budget_ms);
+        {
+            let mut stats = self.inner.stats.lock().unwrap();
+            stats.record_latency(elapsed_ms);
+            if over_budget && source == Source::Computed {
+                stats.over_budget += 1;
+            }
+        }
+        Outcome::Done(Done {
+            result,
+            source,
+            elapsed_ms,
+            budget_ms,
+            over_budget,
+        })
+    }
+
+    /// The owner path: wait for a worker slot, probe the disk tier, and
+    /// compute on a miss; then publish to cache, flight, and disk.
+    fn run_owned(
+        &self,
+        req: &Request,
+        key: &CacheKey,
+        digest: &str,
+        budget_ms: u64,
+        flight: &Arc<Flight>,
+    ) -> (Arc<CachedResult>, Source) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            while st.running >= self.inner.cfg.workers.max(1) {
+                st = self.inner.slot_free.wait(st).unwrap();
+            }
+            st.queued -= 1;
+            st.running += 1;
+        }
+
+        let (result, source) = match self.inner.disk.as_ref().and_then(|d| d.load(key)) {
+            Some(loaded) => {
+                self.inner.stats.lock().unwrap().disk_hits += 1;
+                (Arc::new(loaded), Source::Disk)
+            }
+            None => {
+                self.inner.stats.lock().unwrap().misses += 1;
+                let computed = Arc::new(self.compute(req, digest));
+                if computed.cacheable() {
+                    if let Some(disk) = &self.inner.disk {
+                        if let Err(e) = disk.store(key, &computed) {
+                            eprintln!("roofd: could not spill {} to disk: {e}", key.canonical());
+                        }
+                    }
+                }
+                (computed, Source::Computed)
+            }
+        };
+
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            if result.cacheable() {
+                let evicted = st.cache.insert(digest.to_string(), result.clone());
+                self.inner.stats.lock().unwrap().evictions += evicted as u64;
+            }
+            st.inflight.remove(digest);
+            st.running -= 1;
+            st.backlog_ms -= budget_ms;
+        }
+        self.inner.slot_free.notify_all();
+        flight.publish(result.clone());
+        (result, source)
+    }
+
+    /// Runs the request as a single-experiment sweep into a staging
+    /// directory and packages the normalized artifact tree.
+    fn compute(&self, req: &Request, digest: &str) -> CachedResult {
+        let staging = staging_dir(
+            self.inner.disk.as_ref().map(DiskStore::root),
+            digest,
+        );
+        let mut config = SweepConfig::new(vec![req.experiment], req.platform.clone(), req.fidelity);
+        config.out_dir = Some(staging.clone());
+        let compute = &self.inner.compute;
+        let outcome = run_sweep_with(&config, |e, p, f| compute(e, p, f));
+        let result = match outcome {
+            Err(e) => CachedResult {
+                status: RunStatus::Failed,
+                error: Some("sweep".to_string()),
+                detail: Some(e.to_string()),
+                integrity: Vec::new(),
+                compute_ms: None,
+                tree: Default::default(),
+            },
+            Ok(out) => {
+                let entry = &out.manifest.entries[0];
+                let tree = read_tree(&staging).unwrap_or_default();
+                let integrity = match (entry.status, &entry.detail) {
+                    (RunStatus::Degraded, Some(d)) => {
+                        d.split("; ").map(str::to_string).collect()
+                    }
+                    _ => Vec::new(),
+                };
+                CachedResult {
+                    status: entry.status,
+                    error: entry.error.clone(),
+                    detail: entry.detail.clone(),
+                    integrity,
+                    compute_ms: entry.elapsed_ms,
+                    tree,
+                }
+            }
+        };
+        let _ = fs::remove_dir_all(&staging);
+        result
+    }
+
+    /// Snapshot of the counters and gauges.
+    pub fn stats(&self) -> StatsSnapshot {
+        let gauges = {
+            let st = self.inner.state.lock().unwrap();
+            Gauges {
+                in_flight: st.inflight.len(),
+                queued: st.queued,
+                backlog_ms: st.backlog_ms,
+                entries: st.cache.len(),
+                bytes: st.cache.bytes(),
+            }
+        };
+        self.inner.stats.lock().unwrap().snapshot(gauges)
+    }
+
+    /// Drops every cached result from memory and disk so stale caches
+    /// cannot mask code changes. Returns `(memory, disk)` entry counts.
+    pub fn purge(&self) -> (usize, usize) {
+        let mem = self.inner.state.lock().unwrap().cache.purge();
+        let disk = match &self.inner.disk {
+            Some(d) => d.purge().unwrap_or_else(|e| {
+                eprintln!("roofd: disk purge failed: {e}");
+                0
+            }),
+            None => 0,
+        };
+        (mem, disk)
+    }
+}

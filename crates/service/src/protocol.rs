@@ -1,0 +1,305 @@
+//! The roofd wire protocol: JSON-lines envelopes in, JSON-lines
+//! envelopes out, independent of the TCP plumbing so it can be tested
+//! without sockets.
+//!
+//! Request kinds: `run`, `stats`, `purge`, `ping`. Response kinds:
+//! `result`, `stats`, `purged`, `pong`, `busy`, `error`. Every response
+//! echoes the request's `seq` so clients can pipeline. A malformed or
+//! invalid request produces an `error` envelope, never a dropped
+//! connection — a faulted platform spec (`snb+drift=…`) is not even an
+//! error: the experiment runs, degrades, and the response carries the
+//! integrity report.
+
+use crate::engine::{Done, Engine, Outcome, Request};
+use crate::stats::StatsSnapshot;
+use experiments::platforms::Fidelity;
+use experiments::registry::Experiment;
+use roofline_core::json::{Envelope, Json};
+
+/// Machine-readable error codes the service emits.
+pub mod error_code {
+    /// The line was not a valid protocol envelope.
+    pub const BAD_REQUEST: &str = "bad-request";
+    /// The request's experiment id did not parse.
+    pub const UNKNOWN_EXPERIMENT: &str = "unknown-experiment";
+    /// The request's platform spec did not resolve.
+    pub const INVALID_PLATFORM: &str = "invalid-platform";
+    /// The request's kind is not a command this server speaks.
+    pub const UNKNOWN_COMMAND: &str = "unknown-command";
+}
+
+/// Builds an `error` response envelope.
+pub fn error_envelope(seq: Option<&str>, code: &str, detail: impl Into<String>) -> Envelope {
+    let mut env = Envelope::new("error")
+        .field("code", Json::str(code))
+        .field("detail", Json::str(detail.into()));
+    if let Some(seq) = seq {
+        env = env.seq(seq);
+    }
+    env
+}
+
+/// Parses the `(experiment, platform, fidelity)` tuple out of a `run`
+/// request envelope. Platform defaults to `snb`, fidelity to `quick`.
+///
+/// # Errors
+///
+/// Returns an `error` envelope describing the first bad field.
+pub fn parse_run_request(env: &Envelope) -> Result<Request, Box<Envelope>> {
+    let seq = env.seq.as_deref();
+    let experiment: Experiment = env
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or_else(|| {
+            error_envelope(
+                seq,
+                error_code::BAD_REQUEST,
+                "run request lacks a string `experiment` field",
+            )
+        })?
+        .parse()
+        .map_err(|e| error_envelope(seq, error_code::UNKNOWN_EXPERIMENT, format!("{e}")))?;
+    let platform = env
+        .get("platform")
+        .and_then(Json::as_str)
+        .unwrap_or("snb")
+        .to_string();
+    let fidelity = match env.get("fidelity").and_then(Json::as_str).unwrap_or("quick") {
+        "quick" => Fidelity::Quick,
+        "full" => Fidelity::Full,
+        other => {
+            return Err(Box::new(error_envelope(
+                seq,
+                error_code::BAD_REQUEST,
+                format!("unknown fidelity `{other}` (expected `quick` or `full`)"),
+            )))
+        }
+    };
+    Ok(Request::new(experiment, platform, fidelity))
+}
+
+/// Renders a completed request as a `result` envelope: status, cache
+/// provenance, timings, the integrity report, and the full normalized
+/// artifact tree.
+pub fn result_envelope(seq: Option<&str>, req: &Request, done: &Done) -> Envelope {
+    let r = &done.result;
+    let mut env = Envelope::new("result");
+    if let Some(seq) = seq {
+        env = env.seq(seq);
+    }
+    env = env
+        .field("experiment", Json::str(req.experiment.id()))
+        .field("platform", Json::str(&req.platform))
+        .field("fidelity", Json::str(req.fidelity.label()))
+        .field("status", Json::str(r.status.as_str()))
+        .field(
+            "cache",
+            Json::str(if done.source.is_hit() { "hit" } else { "miss" }),
+        )
+        .field("source", Json::str(done.source.as_str()))
+        .field("elapsed_ms", Json::num(done.elapsed_ms as f64))
+        .field("budget_ms", Json::num(done.budget_ms as f64))
+        .field("over_budget", Json::Bool(done.over_budget));
+    if let Some(ms) = r.compute_ms {
+        env = env.field("compute_ms", Json::num(ms as f64));
+    }
+    if let Some(error) = &r.error {
+        env = env.field("error", Json::str(error));
+    }
+    if let Some(detail) = &r.detail {
+        env = env.field("detail", Json::str(detail));
+    }
+    if !r.integrity.is_empty() {
+        env = env.field(
+            "integrity",
+            Json::Arr(r.integrity.iter().map(Json::str).collect()),
+        );
+    }
+    let artifacts = r
+        .tree
+        .iter()
+        .map(|(name, contents)| (name.clone(), Json::str(contents)))
+        .collect();
+    env.field("artifacts", Json::Obj(artifacts))
+}
+
+/// Renders a stats snapshot as a `stats` envelope.
+pub fn stats_envelope(seq: Option<&str>, s: &StatsSnapshot) -> Envelope {
+    let mut env = Envelope::new("stats");
+    if let Some(seq) = seq {
+        env = env.seq(seq);
+    }
+    env.field("mem_hits", Json::num(s.mem_hits as f64))
+        .field("disk_hits", Json::num(s.disk_hits as f64))
+        .field("hits", Json::num(s.hits() as f64))
+        .field("misses", Json::num(s.misses as f64))
+        .field("coalesced", Json::num(s.coalesced as f64))
+        .field("busy", Json::num(s.busy as f64))
+        .field("invalid", Json::num(s.invalid as f64))
+        .field("evictions", Json::num(s.evictions as f64))
+        .field("over_budget", Json::num(s.over_budget as f64))
+        .field("completed", Json::num(s.completed as f64))
+        .field("in_flight", Json::num(s.in_flight as f64))
+        .field("queued", Json::num(s.queued as f64))
+        .field("backlog_ms", Json::num(s.backlog_ms as f64))
+        .field("entries", Json::num(s.entries as f64))
+        .field("bytes", Json::num(s.bytes as f64))
+        .field("p50_ms", Json::num(s.p50_ms as f64))
+        .field("p90_ms", Json::num(s.p90_ms as f64))
+        .field("p99_ms", Json::num(s.p99_ms as f64))
+}
+
+/// Serves one request line: parse, dispatch to the engine, render the
+/// response envelope. Never panics on client input; every failure mode
+/// maps to an `error` (or `busy`) envelope so the connection survives.
+pub fn dispatch_line(engine: &Engine, line: &str) -> Envelope {
+    let env = match Envelope::parse_line(line) {
+        Ok(env) => env,
+        Err(e) => return error_envelope(None, error_code::BAD_REQUEST, e.to_string()),
+    };
+    let seq = env.seq.clone();
+    let seq = seq.as_deref();
+    match env.kind.as_str() {
+        "ping" => {
+            let mut pong = Envelope::new("pong");
+            if let Some(seq) = seq {
+                pong = pong.seq(seq);
+            }
+            pong
+        }
+        "stats" => stats_envelope(seq, &engine.stats()),
+        "purge" => {
+            let (mem, disk) = engine.purge();
+            let mut env = Envelope::new("purged");
+            if let Some(seq) = seq {
+                env = env.seq(seq);
+            }
+            env.field("memory_entries", Json::num(mem as f64))
+                .field("disk_entries", Json::num(disk as f64))
+        }
+        "run" => {
+            let req = match parse_run_request(&env) {
+                Ok(req) => req,
+                Err(error) => return *error,
+            };
+            match engine.submit(&req) {
+                Outcome::Done(done) => result_envelope(seq, &req, &done),
+                Outcome::Busy { queued, backlog_ms } => {
+                    let mut env = Envelope::new("busy");
+                    if let Some(seq) = seq {
+                        env = env.seq(seq);
+                    }
+                    env.field("queued", Json::num(queued as f64))
+                        .field("backlog_ms", Json::num(backlog_ms as f64))
+                }
+                Outcome::Invalid(detail) => {
+                    error_envelope(seq, error_code::INVALID_PLATFORM, detail)
+                }
+            }
+        }
+        other => error_envelope(
+            seq,
+            error_code::UNKNOWN_COMMAND,
+            format!("unknown command `{other}` (expected run, stats, purge, or ping)"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use experiments::output::ExperimentOutput;
+
+    fn test_engine() -> Engine {
+        Engine::with_compute(EngineConfig::default(), |e, platform, fidelity| {
+            let mut out = ExperimentOutput::new(e.id(), e.title());
+            out.finding("cell", format!("{}@{platform}/{}", e.id(), fidelity.label()));
+            out
+        })
+    }
+
+    #[test]
+    fn ping_pongs_with_seq_echo() {
+        let engine = test_engine();
+        let reply = dispatch_line(&engine, r#"{"v":1,"kind":"ping","seq":"a-1"}"#);
+        assert_eq!(reply.kind, "pong");
+        assert_eq!(reply.seq.as_deref(), Some("a-1"));
+    }
+
+    #[test]
+    fn malformed_line_yields_bad_request() {
+        let engine = test_engine();
+        let reply = dispatch_line(&engine, "this is not json");
+        assert_eq!(reply.kind, "error");
+        assert_eq!(
+            reply.get("code").unwrap().as_str(),
+            Some(error_code::BAD_REQUEST)
+        );
+    }
+
+    #[test]
+    fn unknown_experiment_and_platform_are_distinct_errors() {
+        let engine = test_engine();
+        let reply = dispatch_line(&engine, r#"{"v":1,"kind":"run","experiment":"E99"}"#);
+        assert_eq!(
+            reply.get("code").unwrap().as_str(),
+            Some(error_code::UNKNOWN_EXPERIMENT)
+        );
+        let reply = dispatch_line(
+            &engine,
+            r#"{"v":1,"kind":"run","experiment":"E1","platform":"vax11"}"#,
+        );
+        assert_eq!(
+            reply.get("code").unwrap().as_str(),
+            Some(error_code::INVALID_PLATFORM)
+        );
+    }
+
+    #[test]
+    fn run_then_rerun_flips_cache_miss_to_hit() {
+        let engine = test_engine();
+        let line = r#"{"v":1,"kind":"run","seq":"s1","experiment":"E1","platform":"snb"}"#;
+        let first = dispatch_line(&engine, line);
+        assert_eq!(first.kind, "result", "{}", first.to_line());
+        assert_eq!(first.get("cache").unwrap().as_str(), Some("miss"));
+        assert_eq!(first.get("source").unwrap().as_str(), Some("computed"));
+        assert_eq!(first.get("status").unwrap().as_str(), Some("pass"));
+        assert_eq!(first.seq.as_deref(), Some("s1"));
+        let second = dispatch_line(&engine, line);
+        assert_eq!(second.get("cache").unwrap().as_str(), Some("hit"));
+        assert_eq!(second.get("source").unwrap().as_str(), Some("mem"));
+        // The payloads themselves are identical.
+        assert_eq!(first.get("artifacts"), second.get("artifacts"));
+    }
+
+    #[test]
+    fn stats_reflect_traffic_and_purge_resets_entries() {
+        let engine = test_engine();
+        let run = r#"{"v":1,"kind":"run","experiment":"E2"}"#;
+        dispatch_line(&engine, run);
+        dispatch_line(&engine, run);
+        let stats = dispatch_line(&engine, r#"{"v":1,"kind":"stats"}"#);
+        assert_eq!(stats.kind, "stats");
+        assert_eq!(stats.get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("hits").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("entries").unwrap().as_u64(), Some(1));
+        let purged = dispatch_line(&engine, r#"{"v":1,"kind":"purge"}"#);
+        assert_eq!(purged.kind, "purged");
+        assert_eq!(purged.get("memory_entries").unwrap().as_u64(), Some(1));
+        let stats = dispatch_line(&engine, r#"{"v":1,"kind":"stats"}"#);
+        assert_eq!(stats.get("entries").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn unknown_command_keeps_the_session_usable() {
+        let engine = test_engine();
+        let reply = dispatch_line(&engine, r#"{"v":1,"kind":"dance"}"#);
+        assert_eq!(
+            reply.get("code").unwrap().as_str(),
+            Some(error_code::UNKNOWN_COMMAND)
+        );
+        let reply = dispatch_line(&engine, r#"{"v":1,"kind":"ping"}"#);
+        assert_eq!(reply.kind, "pong");
+    }
+}

@@ -1,0 +1,104 @@
+//! The TCP front end of `roofd`: accept loop, one thread per
+//! connection, JSON-lines framing.
+//!
+//! All protocol behaviour lives in [`crate::protocol`]; this module only
+//! moves lines between sockets and the engine. A connection stays open
+//! across errors — a malformed request, an unknown experiment, or a
+//! faulted platform spec each produce a response envelope, and the next
+//! line on the same connection is served normally.
+
+use crate::engine::Engine;
+use crate::protocol::dispatch_line;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::thread;
+
+/// A bound, not-yet-serving server: the listener exists (so the port is
+/// known and clients can be pointed at it) but the accept loop has not
+/// started.
+pub struct Server {
+    listener: TcpListener,
+    engine: Engine,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 to let the OS pick a free port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, engine: Engine) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            engine,
+        })
+    }
+
+    /// The bound address, e.g. `127.0.0.1:47130`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves forever: accepts connections and spawns one serving thread
+    /// each. Accept errors are transient (a client can abort between
+    /// `accept` starting and finishing) and are logged, not fatal.
+    pub fn serve(self) -> ! {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let engine = self.engine.clone();
+                    thread::spawn(move || {
+                        if let Err(e) = serve_connection(stream, &engine) {
+                            // A vanished client is normal; log and move on.
+                            eprintln!("roofd: connection ended: {e}");
+                        }
+                    });
+                }
+                Err(e) => eprintln!("roofd: accept failed: {e}"),
+            }
+        }
+    }
+
+    /// Accepts and serves exactly `n` connections, then returns — the
+    /// deterministic variant the e2e tests use so the server thread can
+    /// be joined instead of killed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures (unlike [`Server::serve`], which logs
+    /// them, a test wants to fail loudly).
+    pub fn serve_n(self, n: usize) -> io::Result<()> {
+        let mut workers = Vec::new();
+        for _ in 0..n {
+            let (stream, _peer) = self.listener.accept()?;
+            let engine = self.engine.clone();
+            workers.push(thread::spawn(move || serve_connection(stream, &engine)));
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection to completion: one response line per request
+/// line, until the client closes its half.
+fn serve_connection(stream: TcpStream, engine: &Engine) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = dispatch_line(engine, &line);
+        writer.write_all(reply.to_line().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}

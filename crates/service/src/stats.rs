@@ -1,0 +1,169 @@
+//! Service counters and latency percentiles — what `roofctl stats`
+//! reports.
+
+/// Cap on the retained latency samples; the ring overwrites oldest-first
+/// so percentiles always describe recent traffic.
+const LATENCY_RING: usize = 4096;
+
+/// Mutable counter state, owned by the engine behind a mutex.
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub mem_hits: u64,
+    pub disk_hits: u64,
+    pub misses: u64,
+    pub coalesced: u64,
+    pub busy: u64,
+    pub invalid: u64,
+    pub evictions: u64,
+    pub over_budget: u64,
+    pub completed: u64,
+    latencies: Vec<u64>,
+    next_slot: usize,
+}
+
+impl StatsInner {
+    /// Records one completed request's end-to-end latency.
+    pub fn record_latency(&mut self, ms: u64) {
+        self.completed += 1;
+        if self.latencies.len() < LATENCY_RING {
+            self.latencies.push(ms);
+        } else {
+            self.latencies[self.next_slot] = ms;
+            self.next_slot = (self.next_slot + 1) % LATENCY_RING;
+        }
+    }
+
+    /// Freezes the counters into a snapshot; gauges are supplied by the
+    /// engine, which owns them.
+    pub fn snapshot(&self, gauges: Gauges) -> StatsSnapshot {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                0
+            } else {
+                let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+                sorted[rank.clamp(1, sorted.len()) - 1]
+            }
+        };
+        StatsSnapshot {
+            mem_hits: self.mem_hits,
+            disk_hits: self.disk_hits,
+            misses: self.misses,
+            coalesced: self.coalesced,
+            busy: self.busy,
+            invalid: self.invalid,
+            evictions: self.evictions,
+            over_budget: self.over_budget,
+            completed: self.completed,
+            in_flight: gauges.in_flight,
+            queued: gauges.queued,
+            backlog_ms: gauges.backlog_ms,
+            entries: gauges.entries,
+            bytes: gauges.bytes,
+            p50_ms: pct(50.0),
+            p90_ms: pct(90.0),
+            p99_ms: pct(99.0),
+        }
+    }
+}
+
+/// Point-in-time gauges the engine reads out of its state when
+/// snapshotting.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Gauges {
+    pub in_flight: usize,
+    pub queued: usize,
+    pub backlog_ms: u64,
+    pub entries: usize,
+    pub bytes: usize,
+}
+
+/// One frozen view of the service counters — the payload of the `stats`
+/// command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests served from the in-memory cache.
+    pub mem_hits: u64,
+    /// Requests served from the on-disk store.
+    pub disk_hits: u64,
+    /// Requests that triggered a computation.
+    pub misses: u64,
+    /// Duplicate requests that attached to an already-running computation
+    /// instead of triggering their own.
+    pub coalesced: u64,
+    /// Requests rejected by backpressure (bounded queue / backlog budget).
+    pub busy: u64,
+    /// Requests rejected up front (unresolvable platform spec).
+    pub invalid: u64,
+    /// Memory-cache entries evicted under the byte budget.
+    pub evictions: u64,
+    /// Computations that exceeded their registry wall budget.
+    pub over_budget: u64,
+    /// Requests answered with a result (any source).
+    pub completed: u64,
+    /// Computations currently running or queued (coalesced waiters share
+    /// their owner's flight and are not counted separately).
+    pub in_flight: usize,
+    /// Admitted computations waiting for a worker slot.
+    pub queued: usize,
+    /// Summed registry wall budgets of admitted-but-unfinished work — the
+    /// quantity the admission control bounds.
+    pub backlog_ms: u64,
+    /// Entries in the memory cache.
+    pub entries: usize,
+    /// Bytes held by the memory cache.
+    pub bytes: usize,
+    /// Median end-to-end request latency (ms).
+    pub p50_ms: u64,
+    /// 90th-percentile latency (ms).
+    pub p90_ms: u64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: u64,
+}
+
+impl StatsSnapshot {
+    /// Total cache hits across both tiers.
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_known_distribution() {
+        let mut s = StatsInner::default();
+        for ms in 1..=100 {
+            s.record_latency(ms);
+        }
+        let snap = s.snapshot(Gauges::default());
+        assert_eq!(snap.completed, 100);
+        assert_eq!(snap.p50_ms, 50);
+        assert_eq!(snap.p90_ms, 90);
+        assert_eq!(snap.p99_ms, 99);
+    }
+
+    #[test]
+    fn empty_latencies_report_zero() {
+        let snap = StatsInner::default().snapshot(Gauges::default());
+        assert_eq!((snap.p50_ms, snap.p90_ms, snap.p99_ms), (0, 0, 0));
+        assert_eq!(snap.hits(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_samples() {
+        let mut s = StatsInner::default();
+        for _ in 0..LATENCY_RING {
+            s.record_latency(1_000_000);
+        }
+        for _ in 0..LATENCY_RING {
+            s.record_latency(5);
+        }
+        let snap = s.snapshot(Gauges::default());
+        assert_eq!(snap.completed, 2 * LATENCY_RING as u64);
+        assert_eq!(snap.p99_ms, 5, "old slow samples must age out");
+    }
+}

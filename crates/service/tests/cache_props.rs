@@ -1,0 +1,319 @@
+//! Engine-level tests of the service's caching contract, driven with
+//! cheap injected experiment bodies (no sockets, no real simulation):
+//!
+//! * property: over any request mix, every distinct tuple is computed
+//!   exactly once and repeats are cache hits with identical payloads;
+//! * property: cache digests collide exactly when the full key tuple
+//!   (experiment, platform, fidelity, version) matches;
+//! * duplicate in-flight requests coalesce onto one computation
+//!   (proven with a gated body that blocks until all waiters arrive);
+//! * results spilled to disk are reloaded byte-identical, and purge
+//!   really empties both tiers;
+//! * backpressure answers `busy` instead of queueing without bound.
+
+use experiments::output::ExperimentOutput;
+use experiments::platforms::Fidelity;
+use experiments::registry::Experiment;
+use experiments::snapshot::diff_trees;
+use proptest::prelude::*;
+use roofline_service::cache::CacheKey;
+use roofline_service::engine::{Done, Engine, EngineConfig, Outcome, Request, Source};
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A deterministic stand-in body whose artifacts uniquely identify the
+/// cell, so payload mix-ups between cache entries are detectable.
+fn stub(e: Experiment, platform: &str, fidelity: Fidelity) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(e.id(), e.title());
+    out.finding("cell", format!("{}@{platform}/{}", e.id(), fidelity.label()));
+    out
+}
+
+fn unwrap_done(outcome: Outcome) -> Done {
+    match outcome {
+        Outcome::Done(done) => done,
+        other => panic!("expected Done, got {other:?}"),
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("roofd-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The request tuples the properties draw from: 4 experiments × 2
+/// platforms (one faulted) × 2 fidelities.
+fn tuple(index: usize) -> Request {
+    let experiments = [Experiment::E1, Experiment::E2, Experiment::E5, Experiment::E9];
+    let platforms = ["snb", "hsw"];
+    let fidelities = [Fidelity::Quick, Fidelity::Full];
+    Request::new(
+        experiments[index % 4],
+        platforms[(index / 4) % 2],
+        fidelities[(index / 8) % 2],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_request_mix_computes_each_distinct_tuple_once(
+        picks in proptest::collection::vec(0usize..16, 1..24),
+    ) {
+        let counts: Arc<Mutex<HashMap<String, usize>>> = Arc::default();
+        let body_counts = counts.clone();
+        let engine = Engine::with_compute(EngineConfig::default(), move |e, p, f| {
+            *body_counts
+                .lock()
+                .unwrap()
+                .entry(format!("{}/{p}/{}", e.id(), f.label()))
+                .or_insert(0) += 1;
+            stub(e, p, f)
+        });
+
+        let mut first_payload: HashMap<String, _> = HashMap::new();
+        for &pick in &picks {
+            let req = tuple(pick);
+            let done = unwrap_done(engine.submit(&req));
+            prop_assert_eq!(done.result.status.as_str(), "pass");
+            let key = req.cache_key().digest();
+            match first_payload.get(&key) {
+                None => {
+                    // First sighting of this tuple: must be a real computation.
+                    prop_assert_eq!(done.source, Source::Computed);
+                    first_payload.insert(key, done.result.clone());
+                }
+                Some(first) => {
+                    // Repeat: a hit, and byte-identical to the first answer.
+                    prop_assert!(done.source.is_hit(), "repeat was {:?}", done.source);
+                    prop_assert!(
+                        diff_trees("first", &first.tree, "repeat", &done.result.tree).is_empty()
+                    );
+                }
+            }
+        }
+
+        let distinct: std::collections::HashSet<_> =
+            picks.iter().map(|&p| tuple(p).cache_key().digest()).collect();
+        let counts = counts.lock().unwrap();
+        prop_assert_eq!(counts.values().sum::<usize>(), distinct.len());
+        prop_assert!(counts.values().all(|&n| n == 1), "recomputed: {:?}", *counts);
+        let stats = engine.stats();
+        prop_assert_eq!(stats.misses as usize, distinct.len());
+        prop_assert_eq!(stats.hits() as usize, picks.len() - distinct.len());
+    }
+
+    #[test]
+    fn digests_collide_exactly_when_keys_match(a in 0usize..32, b in 0usize..32) {
+        let versions = ["0.1.0", "0.2.0"];
+        let key = |i: usize| {
+            let t = tuple(i % 16);
+            CacheKey::with_version(t.experiment, &t.platform, t.fidelity, versions[(i / 16) % 2])
+        };
+        let (ka, kb) = (key(a), key(b));
+        prop_assert_eq!(ka.digest() == kb.digest(), ka == kb,
+            "digest collision disagreement: {} vs {}", ka.canonical(), kb.canonical());
+    }
+}
+
+/// A body gate: computations block inside the body until released, so the
+/// test controls exactly when the owner's flight completes.
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Polls until `probe` returns true (the engine's counters are updated
+/// under its own locks, so tests observe them by polling, not by fiat).
+fn wait_until(what: &str, probe: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !probe() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn duplicate_in_flight_requests_coalesce_onto_one_computation() {
+    const CLIENTS: usize = 6;
+    let gate = Arc::new(Gate::default());
+    let body_gate = gate.clone();
+    let engine = Engine::with_compute(EngineConfig::default(), move |e, p, f| {
+        body_gate.wait();
+        stub(e, p, f)
+    });
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                unwrap_done(engine.submit(&Request::new(Experiment::E3, "snb", Fidelity::Quick)))
+            })
+        })
+        .collect();
+
+    // All duplicates must have attached to the single owner's flight
+    // before the computation is allowed to finish.
+    wait_until("all duplicates to attach", || {
+        engine.stats().coalesced as usize == CLIENTS - 1
+    });
+    gate.open();
+
+    let dones: Vec<Done> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let computed = dones.iter().filter(|d| d.source == Source::Computed).count();
+    let coalesced = dones.iter().filter(|d| d.source == Source::Coalesced).count();
+    assert_eq!((computed, coalesced), (1, CLIENTS - 1));
+    for d in &dones {
+        assert!(
+            diff_trees("owner", &dones[0].result.tree, "waiter", &d.result.tree).is_empty()
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.misses, 1, "duplicates computed exactly once");
+    assert_eq!(stats.in_flight, 0);
+}
+
+#[test]
+fn backpressure_rejects_beyond_queue_and_backlog_bounds() {
+    let gate = Arc::new(Gate::default());
+    let body_gate = gate.clone();
+    let cfg = EngineConfig {
+        workers: 1,
+        queue_depth: 0,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::with_compute(cfg, move |e, p, f| {
+        body_gate.wait();
+        stub(e, p, f)
+    });
+
+    let blocker = {
+        let engine = engine.clone();
+        std::thread::spawn(move || {
+            unwrap_done(engine.submit(&Request::new(Experiment::E1, "snb", Fidelity::Quick)))
+        })
+    };
+    wait_until("the blocking request to be admitted", || {
+        engine.stats().in_flight == 1
+    });
+
+    // A *distinct* request now exceeds the admission bound (1 worker + 0
+    // queue slots) and must be rejected, not queued.
+    match engine.submit(&Request::new(Experiment::E2, "snb", Fidelity::Quick)) {
+        Outcome::Busy { .. } => {}
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    // A *duplicate* of the in-flight request still coalesces — duplicates
+    // consume no extra compute, so backpressure never applies to them.
+    let duplicate = {
+        let engine = engine.clone();
+        std::thread::spawn(move || {
+            unwrap_done(engine.submit(&Request::new(Experiment::E1, "snb", Fidelity::Quick)))
+        })
+    };
+    wait_until("the duplicate to attach", || engine.stats().coalesced == 1);
+
+    gate.open();
+    assert_eq!(blocker.join().unwrap().source, Source::Computed);
+    assert_eq!(duplicate.join().unwrap().source, Source::Coalesced);
+    let stats = engine.stats();
+    assert_eq!(stats.busy, 1);
+    assert_eq!(stats.misses, 1);
+
+    // With the engine idle again, the rejected request is admitted.
+    let done = unwrap_done(engine.submit(&Request::new(Experiment::E2, "snb", Fidelity::Quick)));
+    assert_eq!(done.source, Source::Computed);
+}
+
+#[test]
+fn disk_spill_reloads_byte_identical_and_purge_empties_both_tiers() {
+    let dir = temp_dir("disk-roundtrip");
+    let cfg = || EngineConfig {
+        cache_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    };
+    let req = Request::new(Experiment::E2, "snb", Fidelity::Quick);
+
+    // First engine computes and spills to disk.
+    let first = Engine::with_compute(cfg(), stub);
+    let computed = unwrap_done(first.submit(&req));
+    assert_eq!(computed.source, Source::Computed);
+
+    // A fresh engine (cold memory tier) must answer from disk without
+    // invoking the body at all — byte-identically.
+    let second = Engine::with_compute(cfg(), |e, _, _| {
+        panic!("{} must be served from disk, not recomputed", e.id())
+    });
+    let reloaded = unwrap_done(second.submit(&req));
+    assert_eq!(reloaded.source, Source::Disk);
+    assert_eq!(
+        diff_trees(
+            "computed",
+            &computed.result.tree,
+            "disk",
+            &reloaded.result.tree
+        ),
+        Vec::<String>::new()
+    );
+    assert_eq!(reloaded.result.status, computed.result.status);
+    assert_eq!(second.stats().disk_hits, 1);
+
+    // Purge empties both tiers: the next request must recompute.
+    let (mem, disk) = second.purge();
+    assert_eq!((mem, disk), (1, 1));
+    let third = Engine::with_compute(cfg(), stub);
+    let after_purge = unwrap_done(third.submit(&req));
+    assert_eq!(after_purge.source, Source::Computed);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_computations_are_answered_but_never_cached() {
+    let attempts = Arc::new(Mutex::new(0usize));
+    let body_attempts = attempts.clone();
+    let engine = Engine::with_compute(EngineConfig::default(), move |e, p, f| {
+        *body_attempts.lock().unwrap() += 1;
+        panic!("deliberate failure for {}@{p}/{}", e.id(), f.label());
+    });
+    let req = Request::new(Experiment::E7, "snb", Fidelity::Quick);
+    for _ in 0..2 {
+        let done = unwrap_done(engine.submit(&req));
+        assert_eq!(done.result.status.as_str(), "failed");
+        assert_eq!(done.source, Source::Computed, "failures must not be cached");
+    }
+    assert_eq!(*attempts.lock().unwrap(), 2);
+    assert_eq!(engine.stats().misses, 2);
+    assert_eq!(engine.stats().entries, 0);
+}
+
+#[test]
+fn invalid_platform_is_rejected_without_touching_the_cache() {
+    let engine = Engine::with_compute(EngineConfig::default(), stub);
+    match engine.submit(&Request::new(Experiment::E1, "vax11", Fidelity::Quick)) {
+        Outcome::Invalid(detail) => assert!(detail.contains("vax11"), "{detail}"),
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+    assert_eq!(engine.stats().invalid, 1);
+    assert_eq!(engine.stats().misses, 0);
+}

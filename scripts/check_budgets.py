@@ -6,10 +6,17 @@ Usage: check_budgets.py <path/to/manifest.json>
 The sweep executor records, for every experiment, its measured wall time
 (`elapsed_ms`) and its budget (`budget_ms`, from
 `Experiment::wall_budget_ms`). CI runs the quick sweep with `--jobs 4` and
-then this script: exit 1 if any experiment ran over budget (or failed to
-run at all), so a perf regression in the simulator or an experiment body
-fails the job with a per-experiment attribution instead of a silent
-slowdown of the whole pipeline.
+then this script: exit 1 if any experiment ran over budget, so a perf
+regression in the simulator or an experiment body fails the job with a
+per-experiment attribution instead of a silent slowdown of the whole
+pipeline.
+
+Entries whose status is `failed` or `skipped` legitimately carry no
+timing fields (a skipped experiment never ran; a panicking one may not
+have finished its clock) — they are reported as notes, not errors: the
+`repro` binary's own exit code already fails the job when any experiment
+fails, and double-reporting it here as a budget problem only obscures
+the attribution.
 """
 
 import json
@@ -29,12 +36,14 @@ def main() -> int:
         eid = entry.get("id", "?")
         status = entry.get("status")
         if status in ("failed", "skipped"):
-            failures.append(f"{eid}: status {status}")
+            # No budget to enforce: the experiment did not run to
+            # completion, and `repro`'s exit code already reflects it.
+            print(f"{eid:>4}  (no timing: status {status})")
             continue
         elapsed = entry.get("elapsed_ms")
         budget = entry.get("budget_ms")
         if elapsed is None or budget is None:
-            failures.append(f"{eid}: manifest entry lacks timing fields")
+            failures.append(f"{eid}: {status} entry lacks timing fields")
             continue
         marker = "OVER" if elapsed > budget else "ok"
         print(f"{eid:>4}  {elapsed:>8} ms / budget {budget:>7} ms  [{marker}]")
