@@ -1,5 +1,13 @@
-//! Shared helpers for the Criterion benchmark targets. The real content of
-//! this crate lives in `benches/`, one group per reproduced table/figure.
+//! The perf-bench harness for the simulator itself.
+//!
+//! Two kinds of content live here:
+//!
+//! * [`sizes`] — shared problem sizes for the Criterion targets in
+//!   `benches/` (one group per reproduced table/figure);
+//! * [`harness`] — the `BENCH_simx86.json` trajectory: memory-system
+//!   accesses/sec microbenchmarks plus end-to-end sweep wall times,
+//!   emitted by the `simx86-bench` binary and checked by CI's perf-smoke
+//!   job against the committed baseline.
 
 /// Problem sizes used by the benchmark harness: small enough to iterate,
 /// large enough to leave the caches of the simulated platforms.
@@ -10,4 +18,266 @@ pub mod sizes {
     pub const GEMM_N: u64 = 128;
     /// Transform size for FFT/WHT benches.
     pub const FFT_N: u64 = 1 << 14;
+}
+
+pub mod harness {
+    //! Measurement bodies and the JSON trajectory format.
+    //!
+    //! Each microbenchmark isolates one layer of the simulator's per-
+    //! instruction cost (front end only, FP ports, L1-hit memory fast
+    //! path, miss paths), so a regression in the trajectory points at the
+    //! layer that caused it. The sweep benches run the real `repro`
+    //! engine in-process with artifacts disabled, so they time pure
+    //! simulation, not disk writes.
+
+    use std::time::Instant;
+
+    use experiments::platforms::Fidelity;
+    use experiments::registry::Experiment;
+    use experiments::sweep::{run_sweep, SweepConfig};
+    use simx86::config::sandy_bridge;
+    use simx86::isa::{Precision, Reg, VecWidth};
+    use simx86::Machine;
+
+    const W: VecWidth = VecWidth::Y256;
+    const P: Precision = Precision::F64;
+
+    /// One memory-system microbenchmark result.
+    #[derive(Debug, Clone)]
+    pub struct MicroResult {
+        /// Stable identifier (`l1_hit_stream`, ...).
+        pub id: &'static str,
+        /// Simulated accesses (or instructions) per wall second, in
+        /// millions.
+        pub mops_per_s: f64,
+        /// Operations performed.
+        pub ops: u64,
+    }
+
+    /// One end-to-end sweep timing.
+    #[derive(Debug, Clone)]
+    pub struct SweepResult {
+        /// Fidelity the sweep ran at.
+        pub fidelity: &'static str,
+        /// Wall-clock milliseconds for the 18-experiment serial sweep.
+        pub wall_ms: u64,
+        /// Experiments run.
+        pub experiments: usize,
+    }
+
+    fn time_machine<F: FnOnce(&mut Machine) -> u64>(id: &'static str, body: F) -> MicroResult {
+        let mut m = Machine::new(sandy_bridge());
+        let t0 = Instant::now();
+        let ops = body(&mut m);
+        let secs = t0.elapsed().as_secs_f64();
+        MicroResult {
+            id,
+            mops_per_s: ops as f64 / secs / 1e6,
+            ops,
+        }
+    }
+
+    /// L1-resident loads walking one page in 32-byte steps: all but one
+    /// access in two hits the line touched last, exercising the
+    /// unit-stride streaming fast path.
+    pub fn bench_l1_hit_stream(accesses: u64) -> MicroResult {
+        time_machine("l1_hit_stream", |m| {
+            let buf = m.alloc(4096);
+            m.run(0, |cpu| {
+                for i in 0..accesses {
+                    cpu.load(Reg::new(0), buf.at((i * 32) % 4096), W, P);
+                }
+            });
+            accesses
+        })
+    }
+
+    /// Cold unit-stride streaming loads from DRAM with prefetch enabled:
+    /// demand misses, the stream prefetcher, and the IMC model.
+    pub fn bench_dram_stream(accesses: u64) -> MicroResult {
+        time_machine("dram_stream", |m| {
+            let buf = m.alloc(accesses * 32);
+            m.run(0, |cpu| {
+                for i in 0..accesses {
+                    cpu.load(Reg::new(0), buf.at(i * 32), W, P);
+                }
+            });
+            accesses
+        })
+    }
+
+    /// Cold streaming with prefetchers off: fill-buffer-limited misses.
+    pub fn bench_dram_stream_noprefetch(accesses: u64) -> MicroResult {
+        time_machine("dram_stream_noprefetch", |m| {
+            m.set_prefetch(false, false);
+            let buf = m.alloc(accesses * 32);
+            m.run(0, |cpu| {
+                for i in 0..accesses {
+                    cpu.load(Reg::new(0), buf.at(i * 32), W, P);
+                }
+            });
+            accesses
+        })
+    }
+
+    /// Write-allocate store stream: RFO reads plus eviction writebacks.
+    pub fn bench_store_stream(accesses: u64) -> MicroResult {
+        time_machine("store_stream", |m| {
+            let buf = m.alloc(accesses * 32);
+            m.run(0, |cpu| {
+                for i in 0..accesses {
+                    cpu.store(buf.at(i * 32), Reg::new(8), W, P);
+                }
+            });
+            accesses
+        })
+    }
+
+    /// Front-end-only instructions (no ports, no memory): isolates the
+    /// dispatch/retire bookkeeping cost per instruction.
+    pub fn bench_frontend_only(instrs: u64) -> MicroResult {
+        time_machine("frontend_only", |m| {
+            m.run(0, |cpu| cpu.overhead(instrs));
+            instrs
+        })
+    }
+
+    /// Independent FP adds/muls: dispatch plus port-slot scheduling.
+    pub fn bench_fp_ports(instrs: u64) -> MicroResult {
+        time_machine("fp_ports", |m| {
+            m.run(0, |cpu| {
+                for i in 0..instrs {
+                    let d = Reg::new((i % 8) as u8);
+                    if i % 2 == 0 {
+                        cpu.fadd(d, Reg::new(14), Reg::new(15), W, P);
+                    } else {
+                        cpu.fmul(d, Reg::new(14), Reg::new(15), W, P);
+                    }
+                }
+            });
+            instrs
+        })
+    }
+
+    /// The default microbenchmark suite. `scale` is the op count of the
+    /// heaviest memory benches; cheap benches run a multiple of it.
+    pub fn run_micro_suite(scale: u64) -> Vec<MicroResult> {
+        vec![
+            bench_l1_hit_stream(4 * scale),
+            bench_dram_stream(scale),
+            bench_dram_stream_noprefetch(scale / 2),
+            bench_store_stream(scale),
+            bench_frontend_only(4 * scale),
+            bench_fp_ports(4 * scale),
+        ]
+    }
+
+    /// Runs the full 18-experiment sweep in-process at the given fidelity
+    /// on one worker without writing artifacts, timing pure simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep engine itself errors (platform resolution or
+    /// staging IO) — a broken harness should fail loudly in a bench run.
+    pub fn bench_sweep(fidelity: Fidelity) -> SweepResult {
+        let config = SweepConfig::new(Experiment::ALL.to_vec(), "snb", fidelity);
+        let t0 = Instant::now();
+        let outcome = run_sweep(&config).expect("bench sweep runs");
+        let wall_ms = t0.elapsed().as_millis() as u64;
+        SweepResult {
+            fidelity: match fidelity {
+                Fidelity::Quick => "quick",
+                Fidelity::Full => "full",
+            },
+            wall_ms,
+            experiments: outcome.manifest.entries.len(),
+        }
+    }
+
+    /// Renders the trajectory JSON (hand-rolled like the manifest: stable
+    /// key order, one object per line in arrays).
+    pub fn render_json(
+        micro: &[MicroResult],
+        sweeps: &[SweepResult],
+        baseline_full_ms: u64,
+        baseline_quick_ms: u64,
+    ) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": 1,\n");
+        s.push_str("  \"name\": \"BENCH_simx86\",\n");
+        s.push_str("  \"memsys\": [\n");
+        for (i, r) in micro.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"mops_per_s\": {:.2}, \"ops\": {}}}{}\n",
+                r.id,
+                r.mops_per_s,
+                r.ops,
+                if i + 1 < micro.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"sweeps\": [\n");
+        for (i, r) in sweeps.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"fidelity\": \"{}\", \"jobs\": 1, \"wall_ms\": {}, \"experiments\": {}}}{}\n",
+                r.fidelity,
+                r.wall_ms,
+                r.experiments,
+                if i + 1 < sweeps.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"reference\": {\n");
+        s.push_str(&format!("    \"pre_pr_full_wall_ms\": {baseline_full_ms},\n"));
+        s.push_str(&format!("    \"pre_pr_quick_wall_ms\": {baseline_quick_ms}"));
+        for r in sweeps {
+            let base = match r.fidelity {
+                "full" => baseline_full_ms,
+                _ => baseline_quick_ms,
+            };
+            if r.wall_ms > 0 {
+                s.push_str(&format!(
+                    ",\n    \"speedup_{}\": {:.2}",
+                    r.fidelity,
+                    base as f64 / r.wall_ms as f64
+                ));
+            }
+        }
+        s.push_str("\n  }\n}\n");
+        s
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn micro_benches_report_positive_rates() {
+            for r in run_micro_suite(2_000) {
+                assert!(r.mops_per_s > 0.0, "{} reported no rate", r.id);
+                assert!(r.ops > 0);
+            }
+        }
+
+        #[test]
+        fn json_is_well_formed_enough_for_python() {
+            let micro = vec![MicroResult {
+                id: "l1_hit_stream",
+                mops_per_s: 12.34,
+                ops: 1000,
+            }];
+            let sweeps = vec![SweepResult {
+                fidelity: "quick",
+                wall_ms: 5000,
+                experiments: 18,
+            }];
+            let s = render_json(&micro, &sweeps, 112570, 14627);
+            assert!(s.contains("\"speedup_quick\": 2.93"));
+            assert!(s.contains("\"pre_pr_full_wall_ms\": 112570"));
+            // Balanced braces/brackets (the cheap structural check).
+            assert_eq!(s.matches('{').count(), s.matches('}').count());
+            assert_eq!(s.matches('[').count(), s.matches(']').count());
+        }
+    }
 }

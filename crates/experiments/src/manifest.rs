@@ -111,7 +111,10 @@ impl SweepTiming {
     /// Measured speedup of the sweep over the serial-time sum.
     pub fn speedup(&self) -> f64 {
         if self.wall_ms == 0 {
-            1.0
+            // A sub-millisecond wall rounds down to 0: clamp the divisor
+            // to 1 ms so the ratio stays finite and a fast sweep reports
+            // its serial sum instead of degenerating to 1.0.
+            self.serial_ms.max(1) as f64
         } else {
             self.serial_ms as f64 / self.wall_ms as f64
         }
@@ -397,6 +400,21 @@ mod tests {
             serial_ms: 0,
         };
         assert_eq!(t.speedup(), 1.0);
+        // Sub-millisecond wall with real serial work: the 1 ms clamp
+        // reports the serial sum rather than pretending no speedup.
+        let t = SweepTiming {
+            jobs: 8,
+            wall_ms: 0,
+            serial_ms: 7,
+        };
+        assert_eq!(t.speedup(), 7.0);
+        // And a zero-work serial sweep with measurable wall stays finite.
+        let t = SweepTiming {
+            jobs: 1,
+            wall_ms: 4,
+            serial_ms: 0,
+        };
+        assert_eq!(t.speedup(), 0.0);
     }
 
     #[test]

@@ -414,6 +414,13 @@ fn commit_staged(staged: &Path, out_dir: &Path) -> io::Result<()> {
 mod tests {
     use super::*;
 
+    #[test]
+    fn default_jobs_is_always_at_least_one() {
+        // The fallback for platforms where available_parallelism errors
+        // is 1; a zero here would wedge the worker pool before it starts.
+        assert!(default_jobs() >= 1);
+    }
+
     /// A cheap deterministic stand-in body: one figure whose CSV encodes
     /// the cell coordinates, one finding.
     fn stub(e: Experiment, platform: &str, fidelity: Fidelity) -> ExperimentOutput {

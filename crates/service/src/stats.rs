@@ -154,6 +154,53 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_is_every_percentile() {
+        let mut s = StatsInner::default();
+        s.record_latency(42);
+        let snap = s.snapshot(Gauges::default());
+        assert_eq!((snap.p50_ms, snap.p90_ms, snap.p99_ms), (42, 42, 42));
+    }
+
+    #[test]
+    fn partially_filled_ring_ranks_over_recorded_samples_only() {
+        // Regression pin: with far fewer samples than the ring capacity,
+        // percentiles must rank over what was recorded — zero-filled or
+        // stale slots leaking into the sort would drag p50 to 0.
+        let mut s = StatsInner::default();
+        for ms in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            s.record_latency(ms);
+        }
+        let snap = s.snapshot(Gauges::default());
+        assert_eq!(snap.p50_ms, 50);
+        assert_eq!(snap.p90_ms, 90);
+        assert_eq!(snap.p99_ms, 100);
+    }
+
+    #[test]
+    fn mid_wrap_window_mixes_old_and_new_samples() {
+        // Exactly LATENCY_RING samples are retained: after 100 overwrites
+        // the window holds 100 new + (RING-100) old samples, so the
+        // median still reflects the old population while p-low sees the
+        // new one.
+        let mut s = StatsInner::default();
+        for _ in 0..LATENCY_RING {
+            s.record_latency(1000);
+        }
+        for _ in 0..100 {
+            s.record_latency(5);
+        }
+        let snap = s.snapshot(Gauges::default());
+        assert_eq!(snap.completed, LATENCY_RING as u64 + 100);
+        assert_eq!(snap.p50_ms, 1000);
+        let pct_low = {
+            let mut sorted: Vec<u64> = vec![5; 100];
+            sorted.extend(vec![1000; LATENCY_RING - 100]);
+            sorted[((2.0_f64 / 100.0) * LATENCY_RING as f64).ceil() as usize - 1]
+        };
+        assert_eq!(pct_low, 5, "sanity: 2nd percentile lands in new samples");
+    }
+
+    #[test]
     fn ring_overwrites_oldest_samples() {
         let mut s = StatsInner::default();
         for _ in 0..LATENCY_RING {

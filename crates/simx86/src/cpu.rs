@@ -30,6 +30,10 @@ use crate::pmu::{CoreCounters, CoreEvent};
 pub struct CoreState {
     /// Front-end position in core cycles (fractional).
     front: f64,
+    /// Cycles per dispatched instruction (`1 / issue_width`), computed
+    /// once — `dispatch` sits on the per-instruction hot path and the
+    /// divide is pure overhead there.
+    issue_step: f64,
     /// Ready time of each architectural register (core cycles).
     reg_ready: [f64; Reg::COUNT],
     /// Per-class issue capacity, grouped by class.
@@ -46,6 +50,12 @@ pub struct CoreState {
     pub(crate) counters: CoreCounters,
     /// Latest completion observed (core cycles), for end-of-run accounting.
     horizon: f64,
+    /// Retirement events accumulated during a run and flushed into
+    /// `counters` in one batch at the end of the region (counters are only
+    /// read between runs, so batching is invisible to every observer).
+    pending_instr: u64,
+    pending_loads: u64,
+    pending_stores: u64,
 }
 
 /// A port class modelled as per-cycle issue slots over a sliding window.
@@ -63,6 +73,14 @@ struct PortSlots {
     base: u64,
     head: usize,
     used: Vec<u8>,
+    /// Every cycle in `[full_start, full_end)` is verified fully
+    /// occupied. Slot occupancy only ever grows within the window, so the
+    /// interval stays valid forever; scans starting inside it jump
+    /// straight to its end. On saturated streams the ROB keeps `ready`
+    /// tens of cycles behind the issue frontier, and without this memo
+    /// every instruction re-walks that known-full run linearly.
+    full_start: u64,
+    full_end: u64,
 }
 
 /// Slot-window length in cycles: must exceed the deepest time spread
@@ -77,6 +95,8 @@ impl PortSlots {
             base: 0,
             head: 0,
             used: vec![0; SLOT_WINDOW],
+            full_start: 0,
+            full_end: 0,
         }
     }
 
@@ -84,14 +104,25 @@ impl PortSlots {
         self.base = 0;
         self.head = 0;
         self.used.iter_mut().for_each(|u| *u = 0);
+        self.full_start = 0;
+        self.full_end = 0;
     }
 
+    /// Slides the window forward `by` cycles, zeroing the slots that fall
+    /// off the front in bulk (equivalent to stepping one cycle at a time,
+    /// but a pair of slice fills instead of a per-cycle loop — time jumps
+    /// after DRAM misses make `by` large).
     fn advance(&mut self, by: u64) {
-        for _ in 0..by {
-            self.used[self.head] = 0;
-            self.head = (self.head + 1) % SLOT_WINDOW;
-            self.base += 1;
+        if by as usize >= SLOT_WINDOW {
+            self.used.fill(0);
+        } else {
+            let by = by as usize;
+            let contiguous = by.min(SLOT_WINDOW - self.head);
+            self.used[self.head..self.head + contiguous].fill(0);
+            self.used[..by - contiguous].fill(0);
         }
+        self.head = (self.head + (by as usize % SLOT_WINDOW)) % SLOT_WINDOW;
+        self.base += by;
     }
 
     /// Finds and occupies the earliest issue slot at or after `ready`,
@@ -102,7 +133,26 @@ impl PortSlots {
         if c < self.base {
             c = self.base;
         }
-        let span = occupy.ceil().max(1.0) as u64;
+        // Cycles inside the verified-full interval cannot accept an issue,
+        // so a scan starting there jumps to its end — skipping them
+        // changes nothing but the scan length. `merge` records whether the
+        // run this scan walks is contiguous with the interval (no
+        // unexamined gap), and may therefore extend it.
+        let merge = c >= self.full_start && c <= self.full_end;
+        let scan_start = if merge {
+            c = self.full_end.max(c);
+            c
+        } else {
+            c
+        };
+        // Pipelined ops (`occupy <= 1`) are the overwhelming majority;
+        // skipping the ceil/max/convert chain for them shortens the
+        // serial dependency path this function sits on.
+        let span = if occupy <= 1.0 {
+            1
+        } else {
+            occupy.ceil() as u64
+        };
         loop {
             if c + span >= self.base + SLOT_WINDOW as u64 {
                 let needed = c + span - (self.base + SLOT_WINDOW as u64) + SLOT_WINDOW as u64 / 4;
@@ -114,6 +164,17 @@ impl PortSlots {
             let idx = (self.head + (c - self.base) as usize) % SLOT_WINDOW;
             if self.used[idx] < self.ports {
                 self.used[idx] += 1;
+                let now_full = self.used[idx] >= self.ports;
+                if merge {
+                    // [full_start, c) is full and contiguous with the
+                    // old interval; the found slot extends it only once
+                    // this issue saturates it.
+                    self.full_end = if now_full { c + 1 } else { c };
+                } else {
+                    // Restart the interval at this scan's walked run.
+                    self.full_start = scan_start;
+                    self.full_end = if now_full { c + 1 } else { c };
+                }
                 // Unpipelined occupancy: block the whole class for the
                 // remaining cycles (divides are rare; exact per-port
                 // tracking is not worth the bookkeeping).
@@ -132,6 +193,7 @@ impl CoreState {
     pub(crate) fn new(cfg: &MachineConfig) -> Self {
         Self {
             front: 0.0,
+            issue_step: 1.0 / cfg.issue_width as f64,
             reg_ready: [0.0; Reg::COUNT],
             add_ports: PortSlots::new(cfg.fp.add_ports),
             mul_ports: PortSlots::new(cfg.fp.mul_ports),
@@ -142,6 +204,9 @@ impl CoreState {
             rob: std::collections::VecDeque::with_capacity(cfg.rob_size as usize),
             counters: CoreCounters::default(),
             horizon: 0.0,
+            pending_instr: 0,
+            pending_loads: 0,
+            pending_stores: 0,
         }
     }
 
@@ -163,6 +228,20 @@ impl CoreState {
     /// Core-cycle time at which the core has fully drained.
     pub(crate) fn drain_time(&self) -> f64 {
         self.front.max(self.horizon)
+    }
+
+    /// Moves batched retirement events into the PMU bank. Called at the
+    /// end of every run region, before anything can observe the counters.
+    pub(crate) fn flush_pending(&mut self) {
+        self.counters
+            .add(CoreEvent::InstRetired, self.pending_instr);
+        self.counters
+            .add(CoreEvent::LoadsRetired, self.pending_loads);
+        self.counters
+            .add(CoreEvent::StoresRetired, self.pending_stores);
+        self.pending_instr = 0;
+        self.pending_loads = 0;
+        self.pending_stores = 0;
     }
 }
 
@@ -204,14 +283,21 @@ impl<'m> Cpu<'m> {
 
     #[inline]
     fn tsc_to_cc(&self, tsc: f64) -> f64 {
-        (tsc - self.tsc_base) / self.tsc_per_cc
+        // Without turbo the clocks coincide and dividing by exactly 1.0
+        // is the identity, so the (hot, per-memory-op) divide can be
+        // skipped without perturbing a single bit.
+        if self.tsc_per_cc == 1.0 {
+            tsc - self.tsc_base
+        } else {
+            (tsc - self.tsc_base) / self.tsc_per_cc
+        }
     }
 
     /// Front-end dispatch: advances program order and enforces the reorder
     /// window. Returns the earliest cycle the instruction may execute.
     #[inline]
     fn dispatch(&mut self) -> f64 {
-        let issue = 1.0 / self.cfg.issue_width as f64;
+        let issue = self.state.issue_step;
         if self.state.rob.len() >= self.cfg.rob_size as usize {
             let oldest = self.state.rob.pop_front().expect("rob nonempty");
             if oldest > self.state.front {
@@ -228,7 +314,7 @@ impl<'m> Cpu<'m> {
         if completion_cc > self.state.horizon {
             self.state.horizon = completion_cc;
         }
-        self.state.counters.add(CoreEvent::InstRetired, 1);
+        self.state.pending_instr += 1;
     }
 
     #[inline]
@@ -393,11 +479,10 @@ impl<'m> Cpu<'m> {
         if let Some(dst) = dst {
             self.state.reg_ready[dst.index()] = done_cc;
         }
-        let ev = match kind {
-            AccessKind::Load => CoreEvent::LoadsRetired,
-            _ => CoreEvent::StoresRetired,
-        };
-        self.state.counters.add(ev, 1);
+        match kind {
+            AccessKind::Load => self.state.pending_loads += 1,
+            _ => self.state.pending_stores += 1,
+        }
         // All accesses hold their window entry until the line transaction
         // completes. For loads that is the ROB proper; for stores it
         // approximates the store buffer — a real core retires stores

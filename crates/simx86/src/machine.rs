@@ -288,6 +288,7 @@ impl Machine {
             fill_cap: self.cfg.fill_buffers,
         };
         f(&mut cpu);
+        self.cores[core].flush_pending();
         let end_cc = self.cores[core].drain_time();
         self.cores[core]
             .counters
@@ -348,6 +349,7 @@ impl Machine {
 
         let mut end_cc: f64 = 0.0;
         for (i, core) in self.cores.iter_mut().enumerate().take(n) {
+            core.flush_pending();
             let t = core.drain_time();
             core.counters.add(CoreEvent::ClkUnhalted, t.round() as u64);
             end_cc = end_cc.max(t);

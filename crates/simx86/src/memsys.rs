@@ -65,6 +65,14 @@ impl Imc {
 /// bit 40 (the machine allocator places node `n`'s heap at `n << 40`).
 const NODE_LINE_SHIFT: u32 = 40 - 6;
 
+/// Sentinel for "no line" in the per-core L1 residency hint. Real line
+/// addresses top out around bit 40 and can never equal this.
+const NO_LINE: u64 = u64::MAX;
+
+/// Hint slots allocated per core (the live count is capped by the L1's
+/// associativity — see the soundness note on `MemSystem::l1_hint`).
+const HINT_STRIDE: usize = 4;
+
 /// The complete memory hierarchy of a machine: per-core L1/L2, one L3 and
 /// one memory controller **per socket**, and the NUMA home-node routing
 /// between them.
@@ -86,6 +94,30 @@ pub struct MemSystem {
     l3_lat: f64,
     /// Per-core open write-combining line (for NT stores).
     wc_open_line: Vec<Option<u64>>,
+    /// Per-core L1 residency hints: the `hint_ways` most recently demand-
+    /// accessed lines, MRU-first, in `HINT_STRIDE`-sized chunks (unused
+    /// tail slots stay `NO_LINE`). A line in this list is provably still
+    /// resident in the core's private L1, so single-line accesses to it
+    /// take a short fast path instead of the full hierarchy walk — the
+    /// common case when a kernel walks a handful of operand streams in
+    /// 8- or 32-byte steps (dgemm rows, FFT butterfly pairs).
+    ///
+    /// Soundness: evicting a line from a `ways`-associative L1 set
+    /// requires `ways` distinct lines of that set to be demand-touched
+    /// after it (the incoming fill plus every other resident way carrying
+    /// a newer LRU stamp; prefetches never fill L1). Every demand touch
+    /// promotes its line to the hint's MRU slot — or, for wide accesses
+    /// that insert only their trailing lines, fully replaces the list —
+    /// so a line still present among the `hint_ways <= ways` entries has
+    /// seen fewer than `ways` such touches and cannot have been evicted.
+    /// NT stores invalidate the issuing core's own L1 lines (clearing its
+    /// hints), `flush_all` clears everything, and no other event touches
+    /// a foreign core's L1.
+    l1_hint: Vec<u64>,
+    /// Live entries per core in `l1_hint`: `min(HINT_STRIDE, l1.ways)`.
+    hint_ways: usize,
+    /// Scratch buffer for prefetcher output, reused across misses.
+    pf_buf: Vec<u64>,
 }
 
 impl MemSystem {
@@ -116,6 +148,9 @@ impl MemSystem {
             l2_lat: cfg.l2.latency,
             l3_lat: cfg.l3.latency,
             wc_open_line: vec![None; cfg.cores],
+            l1_hint: vec![NO_LINE; cfg.cores * HINT_STRIDE],
+            hint_ways: HINT_STRIDE.min(cfg.l1.ways as usize),
+            pf_buf: Vec::new(),
         }
     }
 
@@ -158,7 +193,9 @@ impl MemSystem {
     /// Whether `addr`'s line currently resides in `core`'s L1 (no state
     /// change; used by the core to decide fill-buffer admission).
     pub fn l1_contains(&self, core: usize, addr: u64) -> bool {
-        self.l1[core].contains(self.line_of(addr))
+        let line = self.line_of(addr);
+        let base = core * HINT_STRIDE;
+        self.l1_hint[base..base + HINT_STRIDE].contains(&line) || self.l1[core].contains(line)
     }
 
     /// Machine-wide uncore counter bank (sum over all sockets' IMCs).
@@ -253,6 +290,7 @@ impl MemSystem {
             t = t.max(self.dram_write(home, line, t));
         }
         self.wc_open_line.iter_mut().for_each(|w| *w = None);
+        self.l1_hint.iter_mut().for_each(|h| *h = NO_LINE);
         t
     }
 
@@ -270,6 +308,26 @@ impl MemSystem {
         debug_assert!(bytes > 0);
         let first = self.line_of(addr);
         let last = self.line_of(addr + bytes - 1);
+        // Streaming fast path: a single-line access to one of the lines
+        // this core touched most recently (the hint list proves it is
+        // still in its L1 — see the field's soundness note). `Cache::access`
+        // via the MRU way is one compare, and the hierarchy walk,
+        // prefetcher, and fill logic are all skipped — exactly what the
+        // slow path would have done on an L1 hit, with identical
+        // tick/stamp/stats evolution.
+        let base = core * HINT_STRIDE;
+        if first == last
+            && kind != AccessKind::StoreNt
+            && self.l1_hint[base..base + HINT_STRIDE].contains(&first)
+        {
+            let hit = self.l1[core].access(first, kind == AccessKind::Store);
+            debug_assert!(hit, "L1 hint pointed at a non-resident line");
+            self.hint_touch(core, first);
+            return AccessResult {
+                complete_at: now + self.l1_lat,
+                l1_miss: !hit,
+            };
+        }
         let mut result = AccessResult {
             complete_at: now,
             l1_miss: false,
@@ -279,7 +337,39 @@ impl MemSystem {
             result.complete_at = result.complete_at.max(r.complete_at);
             result.l1_miss |= r.l1_miss;
         }
+        if kind == AccessKind::StoreNt {
+            // NT stores invalidated their own L1 lines: every prior hint
+            // for this core is conservatively dropped.
+            self.l1_hint[base..base + HINT_STRIDE].fill(NO_LINE);
+        } else {
+            // The trailing lines of the access are resident in this
+            // core's L1 (hit or freshly filled). Inserting only the last
+            // `hint_ways` keeps wide accesses O(1); when an access spans
+            // more lines than that, the insertions replace the whole
+            // list, which is what the soundness argument requires.
+            let from = last.saturating_sub(self.hint_ways as u64 - 1).max(first);
+            for line in from..=last {
+                self.hint_touch(core, line);
+            }
+        }
         result
+    }
+
+    /// Promotes `line` to the MRU slot of `core`'s L1 hint list,
+    /// inserting it (and dropping the LRU entry) if absent.
+    #[inline]
+    fn hint_touch(&mut self, core: usize, line: u64) {
+        let base = core * HINT_STRIDE;
+        let chunk = &mut self.l1_hint[base..base + HINT_STRIDE];
+        if chunk[0] == line {
+            return;
+        }
+        let pos = chunk[..self.hint_ways]
+            .iter()
+            .position(|&h| h == line)
+            .unwrap_or(self.hint_ways - 1);
+        chunk[..=pos].rotate_right(1);
+        chunk[0] = line;
     }
 
     fn access_line(
@@ -303,11 +393,15 @@ impl MemSystem {
             };
         }
 
-        // The L1-miss stream trains the L2 stream prefetcher.
-        let prefetch_lines = self.prefetchers[core].observe(line);
-        for pf in prefetch_lines {
+        // The L1-miss stream trains the L2 stream prefetcher. The scratch
+        // buffer is taken out of `self` for the duration so steady-state
+        // streaming performs no allocation.
+        let mut pf_lines = std::mem::take(&mut self.pf_buf);
+        self.prefetchers[core].observe_into(line, &mut pf_lines);
+        for &pf in &pf_lines {
             self.prefetch_line(core, pf, now);
         }
+        self.pf_buf = pf_lines;
 
         // L2.
         if self.l2[core].access(line, false) {

@@ -105,11 +105,24 @@ pub struct CoreCounters {
 }
 
 impl CoreCounters {
-    fn idx(ev: CoreEvent) -> usize {
-        CoreEvent::ALL
-            .iter()
-            .position(|e| *e == ev)
-            .expect("event listed in ALL")
+    /// Slot of an event in the counter bank. A `const` match (not a scan of
+    /// [`CoreEvent::ALL`]): this sits on the per-instruction hot path of the
+    /// simulator, and the compiler folds it to a constant at every call
+    /// site. Must stay in sync with `ALL` — pinned by a test below.
+    const fn idx(ev: CoreEvent) -> usize {
+        match ev {
+            CoreEvent::FpScalarDouble => 0,
+            CoreEvent::FpPacked128Double => 1,
+            CoreEvent::FpPacked256Double => 2,
+            CoreEvent::FpScalarSingle => 3,
+            CoreEvent::FpPacked128Single => 4,
+            CoreEvent::FpPacked256Single => 5,
+            CoreEvent::InstRetired => 6,
+            CoreEvent::ClkUnhalted => 7,
+            CoreEvent::LlcMiss => 8,
+            CoreEvent::LoadsRetired => 9,
+            CoreEvent::StoresRetired => 10,
+        }
     }
 
     /// Reads one counter.
@@ -266,6 +279,15 @@ impl UncoreCounters {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The hand-written `idx` match must agree with the position of every
+    /// event in `ALL` (the iteration order of snapshots and reports).
+    #[test]
+    fn idx_matches_all_order() {
+        for (i, &ev) in CoreEvent::ALL.iter().enumerate() {
+            assert_eq!(CoreCounters::idx(ev), i, "{ev:?} out of sync with ALL");
+        }
+    }
 
     #[test]
     fn fp_counting_by_width_and_precision() {

@@ -29,6 +29,11 @@ pub struct StreamPrefetcher {
     streams: Vec<Stream>,
     tick: u64,
     issued: u64,
+    /// Index of the stream touched by the previous observation. A unit-
+    /// stride region keeps hitting the same stream, so this memo turns the
+    /// per-miss table scan into one compare. Pages are unique per stream,
+    /// so the memoized index and the scan always agree.
+    last_idx: usize,
 }
 
 impl StreamPrefetcher {
@@ -39,6 +44,7 @@ impl StreamPrefetcher {
             cfg,
             tick: 0,
             issued: 0,
+            last_idx: 0,
         }
     }
 
@@ -51,6 +57,7 @@ impl StreamPrefetcher {
     pub fn set_config(&mut self, cfg: PrefetchConfig) {
         self.cfg = cfg;
         self.streams.clear();
+        self.last_idx = 0;
     }
 
     /// Current policy.
@@ -60,19 +67,38 @@ impl StreamPrefetcher {
 
     /// Observes a demand L1 miss for `line` and returns the lines to
     /// prefetch (possibly empty). Lines never cross the 4 KiB page.
+    ///
+    /// Convenience wrapper over [`Self::observe_into`] for callers that do
+    /// not keep a scratch buffer (tests, diagnostics).
     pub fn observe(&mut self, line: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.observe_into(line, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Self::observe`]: clears `out` and fills it
+    /// with the lines to prefetch. The memory system threads one scratch
+    /// buffer through every miss, so steady-state streaming allocates
+    /// nothing.
+    pub fn observe_into(&mut self, line: u64, out: &mut Vec<u64>) {
+        out.clear();
         if !self.cfg.stream {
-            return Vec::new();
+            return;
         }
         self.tick += 1;
         let page = line >> LINES_PER_PAGE_SHIFT;
 
-        if let Some(idx) = self.streams.iter().position(|s| s.page == page) {
+        let found = match self.streams.get(self.last_idx) {
+            Some(s) if s.page == page => Some(self.last_idx),
+            _ => self.streams.iter().position(|s| s.page == page),
+        };
+        if let Some(idx) = found {
+            self.last_idx = idx;
             let s = &mut self.streams[idx];
             s.lru = self.tick;
             let delta = line as i64 - s.last_line as i64;
             if delta == 0 {
-                return Vec::new();
+                return;
             }
             let dir = delta.signum();
             if s.dir == 0 || s.dir == dir {
@@ -93,11 +119,10 @@ impl StreamPrefetcher {
             }
             s.last_line = line;
             if s.confidence >= self.cfg.trigger {
-                let out = Self::emit(s, self.cfg.distance_lines);
+                Self::emit(s, self.cfg.distance_lines, out);
                 self.issued += out.len() as u64;
-                return out;
             }
-            return Vec::new();
+            return;
         }
 
         // New page: allocate a stream, evicting the LRU entry if full.
@@ -110,17 +135,22 @@ impl StreamPrefetcher {
             lru: self.tick,
         };
         if self.streams.len() < self.cfg.max_streams {
+            self.last_idx = self.streams.len();
             self.streams.push(stream);
-        } else if let Some(victim) = self.streams.iter_mut().min_by_key(|s| s.lru) {
+        } else if let Some((idx, victim)) = self
+            .streams
+            .iter_mut()
+            .enumerate()
+            .min_by_key(|(_, s)| s.lru)
+        {
             *victim = stream;
+            self.last_idx = idx;
         }
-        Vec::new()
     }
 
-    fn emit(s: &mut Stream, distance: u64) -> Vec<u64> {
+    fn emit(s: &mut Stream, distance: u64, out: &mut Vec<u64>) {
         let page_first = s.page << LINES_PER_PAGE_SHIFT;
         let page_last = page_first + (1 << LINES_PER_PAGE_SHIFT) - 1;
-        let mut out = Vec::new();
         if s.dir > 0 {
             let target = (s.last_line + distance).min(page_last);
             let from = s.next.max(s.last_line + 1);
@@ -143,7 +173,6 @@ impl StreamPrefetcher {
                 s.next = target.saturating_sub(1);
             }
         }
-        out
     }
 }
 

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_simx86.json against the committed baseline.
+
+Usage: check_bench.py <baseline.json> <candidate.json> [--max-regress PCT]
+
+CI's perf-smoke job reruns the bench harness's quick sweep and fails if
+its wall time regressed more than `--max-regress` percent (default 25)
+over the committed baseline — a coarse gate, deliberately tolerant of
+runner-to-runner variance, that still catches order-of-magnitude
+slowdowns in the simulator's hot paths.
+
+Microbenchmark rates are reported for attribution but not gated: they
+are noisier than the end-to-end sweep and the sweep is what CI pays for.
+
+Exit status: 0 ok, 1 regression, 2 usage/malformed input.
+"""
+
+import json
+import sys
+
+
+def quick_wall_ms(doc: dict, name: str) -> int:
+    for sweep in doc.get("sweeps", []):
+        if sweep.get("fidelity") == "quick":
+            wall = sweep.get("wall_ms")
+            if not isinstance(wall, int) or wall <= 0:
+                raise ValueError(f"{name}: quick sweep has no positive wall_ms")
+            return wall
+    raise ValueError(f"{name}: no quick sweep entry")
+
+
+def main() -> int:
+    args = []
+    max_regress = 25.0
+    it = iter(sys.argv[1:])
+    for arg in it:
+        if arg == "--max-regress":
+            try:
+                max_regress = float(next(it))
+            except (StopIteration, ValueError):
+                print("error: --max-regress needs a number", file=sys.stderr)
+                return 2
+        else:
+            args.append(arg)
+    if len(args) != 2 or max_regress <= 0:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    try:
+        with open(args[0], encoding="utf-8") as f:
+            baseline = json.load(f)
+        with open(args[1], encoding="utf-8") as f:
+            candidate = json.load(f)
+        base_ms = quick_wall_ms(baseline, args[0])
+        cand_ms = quick_wall_ms(candidate, args[1])
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    change = (cand_ms - base_ms) / base_ms * 100.0
+    print(
+        f"quick sweep: baseline {base_ms} ms, candidate {cand_ms} ms "
+        f"({change:+.1f}%, limit +{max_regress:.0f}%)"
+    )
+    for micro in candidate.get("memsys", []):
+        print(f"  {micro.get('id', '?'):<24} {micro.get('mops_per_s', 0):>10} Mops/s")
+
+    if change > max_regress:
+        print(
+            f"error: quick sweep regressed {change:+.1f}% "
+            f"(limit +{max_regress:.0f}%)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,9 +30,16 @@ def main() -> int:
     with open(sys.argv[1], encoding="utf-8") as f:
         manifest = json.load(f)
 
+    entries = manifest.get("experiments", [])
+    if not entries:
+        # A manifest with no experiment entries would otherwise pass
+        # vacuously — and CI would go green on a sweep that ran nothing.
+        print("error: manifest contains no experiment entries", file=sys.stderr)
+        return 1
+
     failures = []
     over_budget = []
-    for entry in manifest.get("experiments", []):
+    for entry in entries:
         eid = entry.get("id", "?")
         status = entry.get("status")
         if status in ("failed", "skipped"):

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Byte-diff two repro artifact trees, ignoring timing metadata.
+
+Usage: diff_trees.py <reference-dir> <candidate-dir>
+
+The sweep executor promises that every artifact is a pure function of
+`(experiment, platform, fidelity)` — scheduling, `--jobs`, caching, and
+the fast paths inside the simulator must never change a single output
+byte. This script is the enforcement point CI uses for all three
+equivalence checks (serial vs parallel, service vs direct, regenerated
+vs golden): it compares the two trees file-by-file after stripping the
+only fields documented as schedule-dependent (the timing keys of
+`manifest.json`).
+
+Exit status: 0 if the trees are byte-identical modulo timing, 1 with a
+per-file report otherwise, 2 on usage error.
+"""
+
+import json
+import pathlib
+import sys
+
+#: Manifest keys that legitimately differ between runs (documented in
+#: `repro --help`): scheduling and wall-clock measurements.
+TIMING = (
+    "jobs",
+    "wall_ms",
+    "serial_ms",
+    "speedup",
+    "elapsed_ms",
+    "worker",
+    "budget_ms",
+)
+
+
+def normalize(path: pathlib.Path) -> str:
+    """File content with schedule-dependent manifest fields removed."""
+    text = path.read_text(encoding="utf-8")
+    if path.name == "manifest.json":
+        manifest = json.loads(text)
+        for key in TIMING:
+            manifest.pop(key, None)
+        for entry in manifest.get("experiments", []):
+            for key in TIMING:
+                entry.pop(key, None)
+        return json.dumps(manifest, sort_keys=True)
+    return text
+
+
+def load_tree(root: pathlib.Path) -> dict:
+    """Maps relative path -> normalized content for every file in root."""
+    return {
+        str(p.relative_to(root)): normalize(p)
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    ref_root = pathlib.Path(sys.argv[1])
+    cand_root = pathlib.Path(sys.argv[2])
+    for root in (ref_root, cand_root):
+        if not root.is_dir():
+            print(f"error: {root} is not a directory", file=sys.stderr)
+            return 2
+
+    ref = load_tree(ref_root)
+    cand = load_tree(cand_root)
+    if not ref:
+        # An empty reference would vacuously "match" a broken candidate.
+        print(f"error: reference tree {ref_root} is empty", file=sys.stderr)
+        return 2
+
+    problems = []
+    for name in sorted(set(ref) - set(cand)):
+        problems.append(f"missing from {cand_root}: {name}")
+    for name in sorted(set(cand) - set(ref)):
+        problems.append(f"unexpected in {cand_root}: {name}")
+    for name in sorted(set(ref) & set(cand)):
+        if ref[name] != cand[name]:
+            problems.append(f"content differs: {name}")
+
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    print(f"{len(ref)} artifact(s) byte-identical (timing fields aside)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench.py (run: python3 scripts/test_check_bench.py)."""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = pathlib.Path(__file__).resolve().parent / "check_bench.py"
+
+
+def doc(quick_ms):
+    return {
+        "schema": 1,
+        "name": "BENCH_simx86",
+        "memsys": [{"id": "l1_hit_stream", "mops_per_s": 25.0, "ops": 1000}],
+        "sweeps": [
+            {"fidelity": "quick", "jobs": 1, "wall_ms": quick_ms, "experiments": 18}
+        ],
+    }
+
+
+def run_on(baseline, candidate, *extra):
+    paths = []
+    for payload in (baseline, candidate):
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False
+        ) as handle:
+            json.dump(payload, handle)
+            paths.append(handle.name)
+    try:
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), *paths, *extra],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        return proc.returncode, proc.stdout, proc.stderr
+    finally:
+        for path in paths:
+            pathlib.Path(path).unlink()
+
+
+class CheckBenchTest(unittest.TestCase):
+    def test_equal_times_pass(self):
+        code, out, _ = run_on(doc(10000), doc(10000))
+        self.assertEqual(code, 0)
+        self.assertIn("+0.0%", out)
+
+    def test_improvement_passes(self):
+        code, _, _ = run_on(doc(10000), doc(6000))
+        self.assertEqual(code, 0)
+
+    def test_within_tolerance_passes(self):
+        code, _, _ = run_on(doc(10000), doc(12400))
+        self.assertEqual(code, 0)
+
+    def test_over_tolerance_fails(self):
+        code, _, err = run_on(doc(10000), doc(12600))
+        self.assertEqual(code, 1)
+        self.assertIn("regressed", err)
+
+    def test_custom_tolerance(self):
+        code, _, _ = run_on(doc(10000), doc(10400), "--max-regress", "5")
+        self.assertEqual(code, 0)
+        code, _, _ = run_on(doc(10000), doc(10600), "--max-regress", "5")
+        self.assertEqual(code, 1)
+
+    def test_missing_quick_sweep_is_usage_error(self):
+        bad = doc(10000)
+        bad["sweeps"] = []
+        code, _, err = run_on(bad, doc(10000))
+        self.assertEqual(code, 2)
+        self.assertIn("no quick sweep", err)
+
+    def test_zero_wall_ms_is_usage_error(self):
+        code, _, err = run_on(doc(10000), doc(0))
+        self.assertEqual(code, 2)
+        self.assertIn("positive wall_ms", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Unit tests for check_budgets.py (run: python3 scripts/test_check_budgets.py).
+
+The script is CI's wall-time budget gate, so its edge cases are pinned
+here: a manifest that would let a regression through (or fail a healthy
+sweep) is a CI bug, not just a script bug.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = pathlib.Path(__file__).resolve().parent / "check_budgets.py"
+
+
+def run_on(manifest: dict):
+    """Runs check_budgets.py on a manifest dict; returns (exit, out, err)."""
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".json", delete=False
+    ) as handle:
+        json.dump(manifest, handle)
+        path = handle.name
+    try:
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), path],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        return proc.returncode, proc.stdout, proc.stderr
+    finally:
+        pathlib.Path(path).unlink()
+
+
+def entry(eid, status="pass", elapsed=100, budget=1000, **extra):
+    e = {"id": eid, "status": status}
+    if elapsed is not None:
+        e["elapsed_ms"] = elapsed
+    if budget is not None:
+        e["budget_ms"] = budget
+    e.update(extra)
+    return e
+
+
+class CheckBudgetsTest(unittest.TestCase):
+    def test_all_within_budget_passes(self):
+        code, out, err = run_on(
+            {"experiments": [entry("E1"), entry("E2", status="degraded")]}
+        )
+        self.assertEqual(code, 0, err)
+        self.assertIn("[ok]", out)
+        self.assertNotIn("OVER", out)
+
+    def test_over_budget_exits_nonzero_with_attribution(self):
+        code, out, err = run_on(
+            {"experiments": [entry("E1"), entry("E2", elapsed=5000, budget=400)]}
+        )
+        self.assertEqual(code, 1)
+        self.assertIn("[OVER]", out)
+        self.assertIn("E2", err)
+        self.assertIn("5000", err)
+
+    def test_exactly_at_budget_is_ok(self):
+        code, _, _ = run_on(
+            {"experiments": [entry("E1", elapsed=1000, budget=1000)]}
+        )
+        self.assertEqual(code, 0)
+
+    def test_failed_and_skipped_entries_tolerate_missing_timing(self):
+        # A panicked experiment may have no clock; a skipped one never ran.
+        # Neither is a *budget* problem — repro's own exit code covers it.
+        code, out, _ = run_on(
+            {
+                "experiments": [
+                    entry("E1"),
+                    entry("E2", status="failed", elapsed=None, budget=None),
+                    entry("E3", status="skipped", elapsed=None, budget=None),
+                ]
+            }
+        )
+        self.assertEqual(code, 0)
+        self.assertIn("no timing: status failed", out)
+        self.assertIn("no timing: status skipped", out)
+
+    def test_pass_entry_missing_timing_is_an_error(self):
+        # A *passing* entry without timing means the manifest writer broke.
+        code, _, err = run_on(
+            {"experiments": [entry("E1", elapsed=None, budget=None)]}
+        )
+        self.assertEqual(code, 1)
+        self.assertIn("lacks timing fields", err)
+
+    def test_empty_manifest_is_an_error(self):
+        # Regression test: an empty sweep must not pass vacuously.
+        for manifest in ({}, {"experiments": []}):
+            code, _, err = run_on(manifest)
+            self.assertEqual(code, 1, f"manifest {manifest} passed")
+            self.assertIn("no experiment entries", err)
+
+    def test_sweep_timing_summary_is_printed_when_present(self):
+        code, out, _ = run_on(
+            {
+                "experiments": [entry("E1")],
+                "jobs": 4,
+                "wall_ms": 1234,
+                "serial_ms": 4000,
+                "speedup": 3.24,
+            }
+        )
+        self.assertEqual(code, 0)
+        self.assertIn("1234 ms wall on 4 worker(s)", out)
+
+    def test_usage_error_exits_two(self):
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT)],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("Usage", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -55,6 +55,21 @@ fn golden_e5_work_counter_validation() {
 }
 
 #[test]
+fn golden_e7_prefetch_pitfall() {
+    golden_case("E7");
+}
+
+#[test]
+fn golden_e8_turbo_pitfall() {
+    golden_case("E8");
+}
+
+#[test]
+fn golden_e9_cold_warm_traffic_accounting() {
+    golden_case("E9");
+}
+
+#[test]
 fn golden_e12_dgemm_case_study() {
     golden_case("E12");
 }
