@@ -78,6 +78,12 @@ fn main() -> ExitCode {
         eprintln!("  {:<24} {:>10.2} Mops/s  ({} ops)", r.id, r.mops_per_s, r.ops);
     }
 
+    eprintln!("simx86-bench: roofd cached-hit fast path");
+    let service = harness::run_service_suite(args.scale / 10);
+    for r in &service {
+        eprintln!("  {:<32} {:>10.2} Mops/s  ({} ops)", r.id, r.mops_per_s, r.ops);
+    }
+
     eprintln!("simx86-bench: quick sweep (18 experiments, serial, no artifacts)");
     let mut sweeps = vec![harness::bench_sweep(Fidelity::Quick)];
     eprintln!(
@@ -98,7 +104,7 @@ fn main() -> ExitCode {
         sweeps.push(full);
     }
 
-    let json = harness::render_json(&micro, &sweeps, PRE_PR_FULL_MS, PRE_PR_QUICK_MS);
+    let json = harness::render_json(&micro, &service, &sweeps, PRE_PR_FULL_MS, PRE_PR_QUICK_MS);
     match std::fs::File::create(&args.out).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => {
             eprintln!("wrote {}", args.out);

@@ -159,6 +159,68 @@ pub mod harness {
         })
     }
 
+    /// Round trips through the roofd engine's cached-hit fast path —
+    /// the submit → key digest → memory-LRU hit → clone path every
+    /// warm request takes, including the deadline computation and the
+    /// poison-recovering locks the hardening layer added there. A
+    /// regression here means the resilience layer grew a per-request
+    /// cost, which it must not.
+    ///
+    /// With `noop_faults` the fault lottery is *enabled* but every rate
+    /// is zero, pinning the claim that an armed-but-inert chaos config
+    /// is free on the hot path.
+    pub fn bench_service_cached_hits(hits: u64, noop_faults: bool) -> MicroResult {
+        use experiments::output::ExperimentOutput;
+        use roofline_service::engine::{Engine, EngineConfig, Outcome, Request};
+        use roofline_service::faults::ServiceFaults;
+
+        let cfg = EngineConfig {
+            cache_dir: None,
+            faults: if noop_faults {
+                ServiceFaults::enabled_noop()
+            } else {
+                ServiceFaults::default()
+            },
+            ..EngineConfig::default()
+        };
+        let engine = Engine::with_compute(cfg, |e, _, _| {
+            let mut out = ExperimentOutput::new(e.id(), e.title());
+            out.finding("bench", "cached-hit payload");
+            out
+        });
+        let req = Request::new(Experiment::E1, "snb", Fidelity::Quick);
+        assert!(
+            matches!(engine.submit(&req), Outcome::Done(_)),
+            "warm-up submit must succeed"
+        );
+        let t0 = Instant::now();
+        for _ in 0..hits {
+            match engine.submit(&req) {
+                Outcome::Done(done) => debug_assert_eq!(done.source.as_str(), "mem"),
+                other => panic!("cached hit turned into {other:?}"),
+            }
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        MicroResult {
+            id: if noop_faults {
+                "service_cached_hit_noop_faults"
+            } else {
+                "service_cached_hit"
+            },
+            mops_per_s: hits as f64 / secs / 1e6,
+            ops: hits,
+        }
+    }
+
+    /// The service-layer suite: the cached-hit fast path, unarmed and
+    /// with an inert fault config.
+    pub fn run_service_suite(hits: u64) -> Vec<MicroResult> {
+        vec![
+            bench_service_cached_hits(hits, false),
+            bench_service_cached_hits(hits, true),
+        ]
+    }
+
     /// The default microbenchmark suite. `scale` is the op count of the
     /// heaviest memory benches; cheap benches run a multiple of it.
     pub fn run_micro_suite(scale: u64) -> Vec<MicroResult> {
@@ -198,24 +260,31 @@ pub mod harness {
     /// key order, one object per line in arrays).
     pub fn render_json(
         micro: &[MicroResult],
+        service: &[MicroResult],
         sweeps: &[SweepResult],
         baseline_full_ms: u64,
         baseline_quick_ms: u64,
     ) -> String {
+        fn micro_array(s: &mut String, results: &[MicroResult]) {
+            for (i, r) in results.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"id\": \"{}\", \"mops_per_s\": {:.2}, \"ops\": {}}}{}\n",
+                    r.id,
+                    r.mops_per_s,
+                    r.ops,
+                    if i + 1 < results.len() { "," } else { "" }
+                ));
+            }
+        }
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str("  \"schema\": 1,\n");
         s.push_str("  \"name\": \"BENCH_simx86\",\n");
         s.push_str("  \"memsys\": [\n");
-        for (i, r) in micro.iter().enumerate() {
-            s.push_str(&format!(
-                "    {{\"id\": \"{}\", \"mops_per_s\": {:.2}, \"ops\": {}}}{}\n",
-                r.id,
-                r.mops_per_s,
-                r.ops,
-                if i + 1 < micro.len() { "," } else { "" }
-            ));
-        }
+        micro_array(&mut s, micro);
+        s.push_str("  ],\n");
+        s.push_str("  \"service\": [\n");
+        micro_array(&mut s, service);
         s.push_str("  ],\n");
         s.push_str("  \"sweeps\": [\n");
         for (i, r) in sweeps.iter().enumerate() {
@@ -272,7 +341,13 @@ pub mod harness {
                 wall_ms: 5000,
                 experiments: 18,
             }];
-            let s = render_json(&micro, &sweeps, 112570, 14627);
+            let service = vec![MicroResult {
+                id: "service_cached_hit",
+                mops_per_s: 0.42,
+                ops: 20000,
+            }];
+            let s = render_json(&micro, &service, &sweeps, 112570, 14627);
+            assert!(s.contains("\"service_cached_hit\""));
             assert!(s.contains("\"speedup_quick\": 2.93"));
             assert!(s.contains("\"pre_pr_full_wall_ms\": 112570"));
             // Balanced braces/brackets (the cheap structural check).

@@ -1,7 +1,8 @@
 //! `roofctl` — command-line client for the `roofd` service.
 //!
 //! ```text
-//! roofctl [--addr HOST:PORT] <command>
+//! roofctl [--addr HOST:PORT] [--retries N] [--retry-base-ms N]
+//!         [--retry-seed N] [--timeout-ms N] <command>
 //!
 //! commands:
 //!   run -e <E1..E18> [-p SPEC] [-f quick|full] [--out DIR]   request one analysis
@@ -9,6 +10,7 @@
 //!   stats                       print the server's counters
 //!   purge                       drop the server's memory and disk caches
 //!   ping                        health check
+//!   shutdown                    ask the server to stop gracefully
 //! ```
 //!
 //! `run` prints one summary line, e.g.
@@ -18,13 +20,20 @@
 //! normalization. Requests are validated client-side against the same
 //! experiment registry the server uses, so a typo fails before it
 //! touches the wire.
+//!
+//! `--retries N` retries `run` up to N extra times on transient
+//! failures (`busy` backpressure, `timeout` deadlines, connection
+//! resets) with seeded jittered exponential backoff — deterministic for
+//! a given `--retry-seed`, so scripted sweeps stay reproducible.
+//! `--timeout-ms` bounds each attempt's connect/read/write.
 
 use experiments::platforms::{platform_names, try_config_by_name, Fidelity};
 use experiments::registry::{registry_table, Experiment};
-use roofline_service::client::Client;
+use roofline_service::client::{run_with_retries, Client, RetryPolicy};
 use roofline_service::DEFAULT_ADDR;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 enum Command {
     Run {
@@ -39,11 +48,16 @@ enum Command {
     Stats,
     Purge,
     Ping,
+    Shutdown,
 }
 
 struct Args {
     addr: String,
     command: Command,
+    retries: u32,
+    retry_base_ms: u64,
+    retry_seed: u64,
+    timeout: Option<Duration>,
 }
 
 fn parse_fidelity(v: &str) -> Result<Fidelity, String> {
@@ -62,12 +76,17 @@ fn parse_args() -> Result<Args, String> {
     let mut fidelity = Fidelity::Quick;
     let mut out_dir = None;
 
+    let mut retries = 0u32;
+    let mut retry_base_ms = 100u64;
+    let mut retry_seed = 0x5eedu64;
+    let mut timeout = None;
+
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match arg.as_str() {
             "--addr" | "-a" => addr = value("--addr")?,
-            "run" | "list" | "stats" | "purge" | "ping" if command.is_none() => {
+            "run" | "list" | "stats" | "purge" | "ping" | "shutdown" if command.is_none() => {
                 command = Some(arg);
             }
             "--experiment" | "-e" => {
@@ -77,12 +96,45 @@ fn parse_args() -> Result<Args, String> {
             "--platform" | "-p" => platform = value("--platform")?,
             "--fidelity" | "-f" => fidelity = parse_fidelity(&value("--fidelity")?)?,
             "--out" | "-o" => out_dir = Some(PathBuf::from(value("--out")?)),
+            "--retries" => {
+                let v = value("--retries")?;
+                retries = v
+                    .parse()
+                    .map_err(|_| format!("--retries needs an integer, got `{v}`"))?;
+            }
+            "--retry-base-ms" => {
+                let v = value("--retry-base-ms")?;
+                retry_base_ms = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(format!("--retry-base-ms needs a positive integer, got `{v}`"))?;
+            }
+            "--retry-seed" => {
+                let v = value("--retry-seed")?;
+                retry_seed = v
+                    .parse()
+                    .map_err(|_| format!("--retry-seed needs an integer, got `{v}`"))?;
+            }
+            "--timeout-ms" => {
+                let v = value("--timeout-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(format!("--timeout-ms needs a positive integer, got `{v}`"))?;
+                timeout = Some(Duration::from_millis(ms));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: roofctl [--addr HOST:PORT] <run|list|stats|purge|ping>\n\
+                    "usage: roofctl [--addr HOST:PORT] [--retries N] [--retry-base-ms N]\n\
+                     \x20              [--retry-seed N] [--timeout-ms N]\n\
+                     \x20              <run|list|stats|purge|ping|shutdown>\n\
                      \x20 run -e E1..E18 [-p SPEC] [-f quick|full] [--out DIR]\n\
                      \x20 list [-f quick|full]\n\
-                     default address: {DEFAULT_ADDR}"
+                     default address: {DEFAULT_ADDR}\n\
+                     --retries N retries run on busy/timeout/disconnect with seeded\n\
+                     \x20           jittered exponential backoff (default 0: fail fast)"
                 );
                 std::process::exit(0);
             }
@@ -109,9 +161,21 @@ fn parse_args() -> Result<Args, String> {
         Some("stats") => Command::Stats,
         Some("purge") => Command::Purge,
         Some("ping") => Command::Ping,
-        _ => return Err("missing command (run, list, stats, purge, or ping)".to_string()),
+        Some("shutdown") => Command::Shutdown,
+        _ => {
+            return Err(
+                "missing command (run, list, stats, purge, ping, or shutdown)".to_string(),
+            )
+        }
     };
-    Ok(Args { addr, command })
+    Ok(Args {
+        addr,
+        command,
+        retries,
+        retry_base_ms,
+        retry_seed,
+        timeout,
+    })
 }
 
 fn run(args: Args) -> Result<ExitCode, String> {
@@ -122,24 +186,31 @@ fn run(args: Args) -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
-    let mut client = Client::connect(args.addr.as_str())
-        .map_err(|e| format!("could not connect to roofd at {}: {e}", args.addr))?;
+    let connect = |addr: &str| {
+        Client::connect_with(addr, args.timeout)
+            .map_err(|e| format!("could not connect to roofd at {addr}: {e}"))
+    };
     match args.command {
         Command::List { .. } => unreachable!("handled offline above"),
         Command::Ping => {
-            client.ping().map_err(|e| e.to_string())?;
+            connect(&args.addr)?.ping().map_err(|e| e.to_string())?;
             println!("pong from {}", args.addr);
             Ok(ExitCode::SUCCESS)
         }
         Command::Stats => {
-            for (name, v) in client.stats().map_err(|e| e.to_string())? {
+            for (name, v) in connect(&args.addr)?.stats().map_err(|e| e.to_string())? {
                 println!("{name}={v}");
             }
             Ok(ExitCode::SUCCESS)
         }
         Command::Purge => {
-            let (mem, disk) = client.purge().map_err(|e| e.to_string())?;
+            let (mem, disk) = connect(&args.addr)?.purge().map_err(|e| e.to_string())?;
             println!("purged {mem} memory entries, {disk} disk entries");
+            Ok(ExitCode::SUCCESS)
+        }
+        Command::Shutdown => {
+            connect(&args.addr)?.shutdown().map_err(|e| e.to_string())?;
+            println!("roofd at {} is shutting down", args.addr);
             Ok(ExitCode::SUCCESS)
         }
         Command::Run {
@@ -148,9 +219,21 @@ fn run(args: Args) -> Result<ExitCode, String> {
             fidelity,
             out_dir,
         } => {
-            let reply = client
-                .run(experiment, &platform, fidelity)
-                .map_err(|e| e.to_string())?;
+            let policy = RetryPolicy {
+                attempts: args.retries.saturating_add(1),
+                base_ms: args.retry_base_ms,
+                cap_ms: 5_000,
+                seed: args.retry_seed,
+            };
+            let reply = run_with_retries(
+                args.addr.as_str(),
+                experiment,
+                &platform,
+                fidelity,
+                &policy,
+                args.timeout,
+            )
+            .map_err(|e| e.to_string())?;
             let mut summary = format!(
                 "{} status={} cache={} source={} elapsed_ms={} budget_ms={}",
                 experiment.id(),

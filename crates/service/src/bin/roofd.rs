@@ -4,26 +4,45 @@
 //! roofd [--addr HOST:PORT] [--cache-dir DIR | --no-disk-cache]
 //!       [--mem-budget-mb N] [--workers N] [--queue-depth N]
 //!       [--max-backlog-min N] [--connections N]
+//!       [--read-timeout-ms N] [--write-timeout-ms N] [--max-line-kb N]
+//!       [--max-connections N] [--deadline-cap-ms N] [--chaos SPEC]
 //! ```
 //!
 //! Speaks the JSON-lines protocol on TCP: one request envelope per line,
 //! one response envelope per line. Identical concurrent requests are
 //! computed once; repeats are served from the content-addressed cache
 //! (memory LRU spilling to `--cache-dir`, default `.roofd-cache/`).
-//! Requests beyond the queue/backlog bounds get a `busy` response.
+//! Requests beyond the queue/backlog bounds get a `busy` response; a
+//! request whose deadline expires gets a retryable `timeout` error; disk
+//! entries failing checksum verification are quarantined, not served.
+//!
+//! `--chaos SPEC` arms the fault injector (a class name like
+//! `torn-write`, or `key=value` pairs — see
+//! `roofline_service::faults::ServiceFaults::parse`); the `ROOFD_CHAOS`
+//! environment variable is the equivalent for CI jobs that cannot edit
+//! the command line. Never arm chaos on a server whose cache you care
+//! about.
+//!
+//! The server stops gracefully on a `shutdown` protocol command
+//! (`roofctl shutdown`): it stops accepting, drains in-flight requests,
+//! and exits 0. There is no signal handler — SIGTERM is an abrupt stop,
+//! and the next startup sweeps any staging debris it left.
 //!
 //! Prints `roofd listening on <addr>` on stdout once the socket is
 //! bound — scripts wait for that line before connecting.
 
 use roofline_service::engine::{Engine, EngineConfig};
-use roofline_service::server::Server;
+use roofline_service::faults::ServiceFaults;
+use roofline_service::server::{Server, ServerConfig};
 use roofline_service::{DEFAULT_ADDR, DEFAULT_CACHE_DIR};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     addr: String,
     cfg: EngineConfig,
+    server_cfg: ServerConfig,
     connections: Option<usize>,
 }
 
@@ -33,7 +52,9 @@ fn parse_args() -> Result<Args, String> {
         cache_dir: Some(PathBuf::from(DEFAULT_CACHE_DIR)),
         ..EngineConfig::default()
     };
+    let mut server_cfg = ServerConfig::default();
     let mut connections = None;
+    let mut chaos = ServiceFaults::from_env()?;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -70,6 +91,51 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("--max-backlog-min needs an integer, got `{v}`"))?;
                 cfg.max_backlog_ms = min * 60_000;
             }
+            "--read-timeout-ms" => {
+                let v = value("--read-timeout-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(format!("--read-timeout-ms needs a positive integer, got `{v}`"))?;
+                server_cfg.read_timeout = Duration::from_millis(ms);
+            }
+            "--write-timeout-ms" => {
+                let v = value("--write-timeout-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(format!("--write-timeout-ms needs a positive integer, got `{v}`"))?;
+                server_cfg.write_timeout = Duration::from_millis(ms);
+            }
+            "--max-line-kb" => {
+                let v = value("--max-line-kb")?;
+                let kb: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(format!("--max-line-kb needs a positive integer, got `{v}`"))?;
+                server_cfg.max_line_bytes = kb << 10;
+            }
+            "--max-connections" => {
+                let v = value("--max-connections")?;
+                server_cfg.max_connections = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(format!("--max-connections needs a positive integer, got `{v}`"))?;
+            }
+            "--deadline-cap-ms" => {
+                let v = value("--deadline-cap-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(format!("--deadline-cap-ms needs a positive integer, got `{v}`"))?;
+                cfg.deadline_cap_ms = Some(ms);
+            }
+            "--chaos" => chaos = Some(ServiceFaults::parse(&value("--chaos")?)?),
             "--connections" => {
                 let v = value("--connections")?;
                 connections = Some(
@@ -82,18 +148,31 @@ fn parse_args() -> Result<Args, String> {
                     "usage: roofd [--addr HOST:PORT] [--cache-dir DIR | --no-disk-cache]\n\
                      \x20            [--mem-budget-mb N] [--workers N] [--queue-depth N]\n\
                      \x20            [--max-backlog-min N] [--connections N]\n\
+                     \x20            [--read-timeout-ms N] [--write-timeout-ms N]\n\
+                     \x20            [--max-line-kb N] [--max-connections N]\n\
+                     \x20            [--deadline-cap-ms N] [--chaos SPEC]\n\
                      defaults: --addr {DEFAULT_ADDR}, --cache-dir {DEFAULT_CACHE_DIR},\n\
-                     \x20         --mem-budget-mb 64, workers = available parallelism\n\
-                     --connections N serves exactly N connections then exits (for scripts)"
+                     \x20         --mem-budget-mb 64, workers = available parallelism,\n\
+                     \x20         --read-timeout-ms 60000, --write-timeout-ms 30000,\n\
+                     \x20         --max-line-kb 1024, --max-connections 256\n\
+                     --connections N serves exactly N connections then exits (for scripts)\n\
+                     --chaos SPEC arms fault injection (class name or key=value pairs);\n\
+                     \x20           the ROOFD_CHAOS env var is equivalent"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if let Some(chaos) = chaos {
+        eprintln!("roofd: CHAOS ARMED: {chaos:?}");
+        cfg.faults = chaos.clone();
+        server_cfg.faults = chaos;
+    }
     Ok(Args {
         addr,
         cfg,
+        server_cfg,
         connections,
     })
 }
@@ -106,7 +185,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let server = match Server::bind(args.addr.as_str(), Engine::new(args.cfg)) {
+    let server = match Server::bind_with(
+        args.addr.as_str(),
+        Engine::new(args.cfg),
+        args.server_cfg,
+    ) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: could not bind {}: {e}", args.addr);
@@ -120,14 +203,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    match args.connections {
+    let outcome = match args.connections {
         None => server.serve(),
-        Some(n) => match server.serve_n(n) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: accept failed: {e}");
-                ExitCode::FAILURE
-            }
-        },
+        Some(n) => server.serve_n(n),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: serve failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

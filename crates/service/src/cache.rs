@@ -17,6 +17,7 @@
 //!   [`experiments::snapshot`]'s normalization so a cached tree is
 //!   byte-identical to a freshly computed one.
 
+use crate::faults::{FaultLottery, ServiceFaults};
 use experiments::manifest::RunStatus;
 use experiments::platforms::Fidelity;
 use experiments::registry::Experiment;
@@ -28,6 +29,32 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Name of the per-entry checksum manifest written alongside the artifact
+/// files. Dotted so [`DiskStore::purge`] already treats it as
+/// housekeeping, and stripped from loaded trees so cached responses stay
+/// byte-identical to fresh `repro` output.
+pub const SUMS_FILE: &str = ".sums";
+
+/// Header line of the checksum manifest; bumping it invalidates every
+/// entry written under an older layout.
+pub const SUMS_HEADER: &str = "roofd-sums v1";
+
+/// Directory (under the store root) where entries that fail checksum
+/// verification are moved. Dotted so it is never mistaken for an entry.
+pub const QUARANTINE_DIR: &str = ".quarantine";
+
+/// 64-bit FNV-1a over a byte slice — the same hash [`CacheKey::digest`]
+/// uses for content addressing, reused for per-file checksums so
+/// `scripts/check_quarantine.py` only has to mirror one function.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// The content address of one analysis result: the request tuple plus the
 /// version of the code that computes it.
@@ -79,12 +106,7 @@ impl CacheKey {
 
     /// 64-bit FNV-1a digest of [`CacheKey::canonical`], as 16 hex digits.
     pub fn digest(&self) -> String {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for b in self.canonical().bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        format!("{h:016x}")
+        format!("{:016x}", fnv64(self.canonical().as_bytes()))
     }
 
     /// Directory name of this key's on-disk entry: a human-readable prefix
@@ -259,16 +281,33 @@ impl LruCache {
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// The on-disk spill tier: one directory per cache key, laid out like the
-/// `repro` binary's `out/` tree.
+/// `repro` binary's `out/` tree, plus a [`SUMS_FILE`] checksum manifest
+/// per entry so torn or bit-flipped bytes are detected at load time and
+/// quarantined instead of served.
 pub struct DiskStore {
     root: PathBuf,
+    faults: Arc<FaultLottery>,
+    quarantined: AtomicU64,
+    swept_tmp: AtomicU64,
 }
 
 impl DiskStore {
     /// Opens (or designates) a store rooted at `root`; the directory is
     /// created lazily on first write.
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        DiskStore { root: root.into() }
+        Self::with_faults(root, Arc::new(ServiceFaults::default().lottery()))
+    }
+
+    /// Opens a store whose writes are filtered through a fault lottery —
+    /// the hook the chaos tests use to produce torn and bit-flipped
+    /// entries on demand.
+    pub fn with_faults(root: impl Into<PathBuf>, faults: Arc<FaultLottery>) -> Self {
+        DiskStore {
+            root: root.into(),
+            faults,
+            quarantined: AtomicU64::new(0),
+            swept_tmp: AtomicU64::new(0),
+        }
     }
 
     /// The store's root directory.
@@ -281,14 +320,165 @@ impl DiskStore {
         self.root.join(key.dir_name())
     }
 
+    /// Entries quarantined by this process since startup.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Stale staging/tmp directories removed by [`DiskStore::sweep_stale`].
+    pub fn swept_tmp(&self) -> u64 {
+        self.swept_tmp.load(Ordering::Relaxed)
+    }
+
+    /// Renders the checksum manifest for an artifact tree: a header line
+    /// then one `"<fnv64-hex> <byte-len> <name>"` line per file, in tree
+    /// (lexicographic) order.
+    pub fn render_sums(tree: &BTreeMap<String, String>) -> String {
+        let mut out = String::from(SUMS_HEADER);
+        out.push('\n');
+        for (name, contents) in tree {
+            out.push_str(&format!(
+                "{:016x} {} {}\n",
+                fnv64(contents.as_bytes()),
+                contents.len(),
+                name
+            ));
+        }
+        out
+    }
+
+    /// Verifies one on-disk entry directory against its [`SUMS_FILE`]:
+    /// every listed file must exist with matching length and FNV-1a
+    /// digest, and no unlisted artifact file may be present. Returns a
+    /// human-readable reason on the first violation.
+    ///
+    /// Verification reads the raw stored bytes (`fs::read`), not the
+    /// normalized view — the store only ever writes normalized trees, so
+    /// any divergence is corruption, not line-ending noise.
+    pub fn verify_entry(dir: &Path) -> Result<(), String> {
+        let sums_path = dir.join(SUMS_FILE);
+        let sums = fs::read_to_string(&sums_path)
+            .map_err(|e| format!("unreadable {SUMS_FILE}: {e}"))?;
+        let mut lines = sums.lines();
+        if lines.next() != Some(SUMS_HEADER) {
+            return Err(format!("bad {SUMS_FILE} header"));
+        }
+        let mut listed = Vec::new();
+        for line in lines {
+            let mut parts = line.splitn(3, ' ');
+            let (hash, len, name) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(h), Some(l), Some(n)) if !n.is_empty() => (h, l, n),
+                _ => return Err(format!("malformed {SUMS_FILE} line `{line}`")),
+            };
+            let want_len: usize = len
+                .parse()
+                .map_err(|_| format!("malformed length in {SUMS_FILE} line `{line}`"))?;
+            let bytes = fs::read(dir.join(name))
+                .map_err(|e| format!("listed file `{name}` unreadable: {e}"))?;
+            if bytes.len() != want_len {
+                return Err(format!(
+                    "`{name}` is {} bytes, manifest says {want_len} (torn write?)",
+                    bytes.len()
+                ));
+            }
+            let got = format!("{:016x}", fnv64(&bytes));
+            if got != hash {
+                return Err(format!(
+                    "`{name}` checksum {got} does not match manifest {hash}"
+                ));
+            }
+            listed.push(name.to_string());
+        }
+        let entries = fs::read_dir(dir).map_err(|e| format!("unreadable entry dir: {e}"))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name == SUMS_FILE || name.starts_with('.') {
+                continue;
+            }
+            if entry.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+                continue;
+            }
+            if !listed.iter().any(|l| l == &name) {
+                return Err(format!("unlisted file `{name}` present in entry"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves a failed entry aside into [`QUARANTINE_DIR`] (suffixing
+    /// `-1`, `-2`… on name collisions), records the failure reason in a
+    /// `reason.txt` inside it, and counts it. Quarantined entries are
+    /// kept, not deleted, so an operator can post-mortem the corruption;
+    /// `scripts/check_quarantine.py` audits that they stay unservable.
+    fn quarantine(&self, dir: &Path, reason: &str) {
+        let Some(name) = dir.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            return;
+        };
+        let qroot = self.root.join(QUARANTINE_DIR);
+        if fs::create_dir_all(&qroot).is_err() {
+            // Can't quarantine (read-only disk?); at worst the entry is
+            // re-verified and re-refused on the next load.
+            return;
+        }
+        let mut dest = qroot.join(&name);
+        let mut n = 0u32;
+        while dest.exists() {
+            n += 1;
+            dest = qroot.join(format!("{name}-{n}"));
+        }
+        if fs::rename(dir, &dest).is_ok() {
+            let _ = fs::write(dest.join("reason.txt"), format!("{reason}\n"));
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Removes stale scratch directories (`.tmp-*`, `.staging`) left
+    /// behind by a killed process. Called once at engine startup; returns
+    /// how many were removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than the root not existing.
+    pub fn sweep_stale(&self) -> io::Result<usize> {
+        let entries = match fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let mut swept = 0;
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if entry.file_type()?.is_dir() && (name.starts_with(".tmp-") || name == ".staging") {
+                fs::remove_dir_all(entry.path())?;
+                swept += 1;
+            }
+        }
+        self.swept_tmp.fetch_add(swept as u64, Ordering::Relaxed);
+        Ok(swept)
+    }
+
     /// Loads a key's result, re-validating through the same
     /// [`experiments::snapshot`] normalization a fresh computation goes
     /// through, and recovering the status/integrity record from the
-    /// stored `manifest.json`. Returns `None` on a missing or unreadable
-    /// entry (a corrupt entry is simply a cache miss).
+    /// stored `manifest.json`. The entry's checksum manifest is verified
+    /// first: a torn, truncated, or bit-flipped entry is quarantined (see
+    /// [`QUARANTINE_DIR`]) and reported as a miss, so corrupt bytes are
+    /// recomputed, never served. Returns `None` on any missing,
+    /// unverifiable, or unreadable entry.
     pub fn load(&self, key: &CacheKey) -> Option<CachedResult> {
         let dir = self.entry_dir(key);
-        let tree = read_tree(&dir).ok()?;
+        if !dir.exists() {
+            return None;
+        }
+        if let Err(reason) = Self::verify_entry(&dir) {
+            self.quarantine(&dir, &reason);
+            return None;
+        }
+        let mut tree = read_tree(&dir).ok()?;
+        // The checksum manifest is store metadata, not an artifact: strip
+        // it so a cached tree stays byte-identical to fresh `repro` output.
+        tree.remove(SUMS_FILE);
         let manifest = Json::parse(tree.get("manifest.json")?).ok()?;
         let entry = manifest.get("experiments")?.as_arr()?.first()?;
         if entry.get("id")?.as_str()? != key.experiment.id() {
@@ -316,9 +506,12 @@ impl DiskStore {
         })
     }
 
-    /// Persists a result under its key, atomically: the tree is written to
-    /// a temporary sibling and renamed into place, so readers never see a
-    /// half-written entry.
+    /// Persists a result under its key, atomically: the tree plus its
+    /// [`SUMS_FILE`] checksum manifest is written to a temporary sibling
+    /// and renamed into place, so readers never see a half-written entry.
+    /// An armed fault lottery may tear or bit-flip the staged entry after
+    /// the manifest is recorded — modelling a crash or bit rot — which a
+    /// later [`DiskStore::load`] must catch and quarantine.
     ///
     /// # Errors
     ///
@@ -338,11 +531,41 @@ impl DiskStore {
         for (name, contents) in &result.tree {
             fs::write(tmp.join(name), contents)?;
         }
+        fs::write(tmp.join(SUMS_FILE), Self::render_sums(&result.tree))?;
+        self.inject_store_faults(&tmp, result)?;
         if fs::rename(&tmp, &target).is_err() {
             // Lost a race with a concurrent writer of the same key (or the
             // entry appeared meanwhile) — their copy is byte-identical by
             // the determinism contract, so just drop ours.
             let _ = fs::remove_dir_all(&tmp);
+        }
+        Ok(())
+    }
+
+    /// Applies any armed store-side faults to a staged entry: a torn
+    /// write truncates the largest artifact to half its bytes; a checksum
+    /// flip XORs one byte at a lottery-chosen offset. Both happen *after*
+    /// the checksum manifest was written — the point is to plant exactly
+    /// the inconsistency a crash or bit rot would.
+    fn inject_store_faults(&self, tmp: &Path, result: &CachedResult) -> io::Result<()> {
+        let victim = result
+            .tree
+            .iter()
+            .max_by_key(|(name, contents)| (contents.len(), std::cmp::Reverse(name.as_str())))
+            .map(|(name, _)| name.clone());
+        let Some(victim) = victim else {
+            return Ok(());
+        };
+        if self.faults.torn_write() {
+            let bytes = fs::read(tmp.join(&victim))?;
+            fs::write(tmp.join(&victim), &bytes[..bytes.len() / 2])?;
+        } else if self.faults.flip_byte() {
+            let mut bytes = fs::read(tmp.join(&victim))?;
+            if !bytes.is_empty() {
+                let at = self.faults.flip_offset(bytes.len());
+                bytes[at] ^= 0x40;
+                fs::write(tmp.join(&victim), &bytes)?;
+            }
         }
         Ok(())
     }
@@ -480,5 +703,125 @@ mod tests {
         assert_eq!(cache.purge(), 2);
         assert!(cache.is_empty());
         assert_eq!(cache.bytes(), 0);
+    }
+
+    fn scratch_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "roofd-cache-test-{tag}-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A minimal but loadable result: `load` insists on a parseable
+    /// `manifest.json` naming the key's experiment. The manifest is
+    /// pre-normalized, as every tree the engine stores is (they come out
+    /// of `read_tree`), so store→load round trips byte-identically.
+    fn loadable_result(key: &CacheKey) -> CachedResult {
+        let mut tree = BTreeMap::new();
+        let raw = format!(
+            "{{\"experiments\": [{{\"id\": \"{}\", \"status\": \"pass\"}}]}}",
+            key.experiment.id()
+        );
+        tree.insert(
+            "manifest.json".to_string(),
+            experiments::snapshot::normalize_file("manifest.json", &raw),
+        );
+        tree.insert("data.csv".to_string(), "a,b\n1,2\n".repeat(32));
+        CachedResult {
+            status: RunStatus::Pass,
+            error: None,
+            detail: None,
+            integrity: Vec::new(),
+            compute_ms: Some(3),
+            tree,
+        }
+    }
+
+    #[test]
+    fn store_then_load_verifies_and_strips_the_sums_file() {
+        let root = scratch_root("roundtrip");
+        let store = DiskStore::new(&root);
+        let key = CacheKey::with_version(Experiment::E1, "snb", Fidelity::Quick, "t");
+        let result = loadable_result(&key);
+        store.store(&key, &result).unwrap();
+        assert!(store.entry_dir(&key).join(SUMS_FILE).exists());
+        let loaded = store.load(&key).expect("verified entry loads");
+        assert!(!loaded.tree.contains_key(SUMS_FILE), "sums must not leak into served trees");
+        assert_eq!(loaded.tree, result.tree);
+        assert_eq!(store.quarantined(), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_write_is_quarantined_not_served() {
+        let root = scratch_root("torn");
+        let faults = Arc::new(ServiceFaults::parse("torn=1").unwrap().lottery());
+        let store = DiskStore::with_faults(&root, faults);
+        let key = CacheKey::with_version(Experiment::E2, "snb", Fidelity::Quick, "t");
+        store.store(&key, &loadable_result(&key)).unwrap();
+        assert!(store.load(&key).is_none(), "torn entry must read as a miss");
+        assert_eq!(store.quarantined(), 1);
+        assert!(!store.entry_dir(&key).exists(), "entry moved aside");
+        let quarantined: Vec<_> = fs::read_dir(root.join(QUARANTINE_DIR))
+            .unwrap()
+            .flatten()
+            .collect();
+        assert_eq!(quarantined.len(), 1);
+        let reason =
+            fs::read_to_string(quarantined[0].path().join("reason.txt")).unwrap();
+        assert!(reason.contains("torn write"), "reason names the failure: {reason}");
+        // A verified clean rewrite is servable again.
+        let clean = DiskStore::new(&root);
+        clean.store(&key, &loadable_result(&key)).unwrap();
+        assert!(clean.load(&key).is_some());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn bit_flip_is_quarantined_not_served() {
+        let root = scratch_root("flip");
+        let faults = Arc::new(ServiceFaults::parse("flip=1").unwrap().lottery());
+        let store = DiskStore::with_faults(&root, faults);
+        let key = CacheKey::with_version(Experiment::E3, "snb", Fidelity::Quick, "t");
+        store.store(&key, &loadable_result(&key)).unwrap();
+        assert!(store.load(&key).is_none());
+        assert_eq!(store.quarantined(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_sums_or_extra_file_fails_verification() {
+        let root = scratch_root("verify");
+        let store = DiskStore::new(&root);
+        let key = CacheKey::with_version(Experiment::E4, "snb", Fidelity::Quick, "t");
+        store.store(&key, &loadable_result(&key)).unwrap();
+        let dir = store.entry_dir(&key);
+        assert!(DiskStore::verify_entry(&dir).is_ok());
+        fs::write(dir.join("stray.txt"), "not in the manifest").unwrap();
+        assert!(DiskStore::verify_entry(&dir).is_err(), "unlisted file");
+        fs::remove_file(dir.join("stray.txt")).unwrap();
+        fs::remove_file(dir.join(SUMS_FILE)).unwrap();
+        assert!(DiskStore::verify_entry(&dir).is_err(), "missing sums");
+        assert!(store.load(&key).is_none(), "unverifiable entry is a miss");
+        assert_eq!(store.quarantined(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sweep_stale_removes_only_scratch_dirs() {
+        let root = scratch_root("sweep");
+        let store = DiskStore::new(&root);
+        let key = CacheKey::with_version(Experiment::E5, "snb", Fidelity::Quick, "t");
+        store.store(&key, &loadable_result(&key)).unwrap();
+        fs::create_dir_all(root.join(".tmp-999-0")).unwrap();
+        fs::create_dir_all(root.join(".staging")).unwrap();
+        assert_eq!(store.sweep_stale().unwrap(), 2);
+        assert_eq!(store.swept_tmp(), 2);
+        assert!(store.load(&key).is_some(), "real entries survive the sweep");
+        assert_eq!(store.sweep_stale().unwrap(), 0, "idempotent");
+        let _ = fs::remove_dir_all(&root);
     }
 }

@@ -1,5 +1,14 @@
 //! The client side of the roofd protocol — what `roofctl` and the e2e
 //! tests are built on.
+//!
+//! Besides the plain request/response calls, this module provides the
+//! client half of the resilience story: [`ClientError::is_retryable`]
+//! classifies transient failures (`busy`, `timeout`, connection resets,
+//! mid-request disconnects), and [`run_with_retries`] reconnects and
+//! retries them under a deterministic seeded jittered exponential
+//! backoff ([`RetryPolicy`]) — the same reproducibility discipline the
+//! sweep executor applies to everything else: two clients with the same
+//! seed back off identically.
 
 use experiments::platforms::Fidelity;
 use experiments::registry::Experiment;
@@ -7,7 +16,8 @@ use roofline_core::json::{Envelope, Json};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -46,12 +56,122 @@ impl fmt::Display for ClientError {
     }
 }
 
+impl ClientError {
+    /// True when the failure is transient and the request is safe to
+    /// retry on a fresh connection: server backpressure (`busy`), an
+    /// expired request deadline (`timeout`), and the socket-level
+    /// failures a mid-request disconnect or restart produces. Requests
+    /// are idempotent (results are pure functions of the request tuple),
+    /// so retrying can never double-apply anything.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Busy { .. } => true,
+            ClientError::Server { code, .. } => code == "timeout",
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::UnexpectedEof
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
+            ),
+            ClientError::Protocol(_) => false,
+        }
+    }
+}
+
 impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
         ClientError::Io(e)
     }
+}
+
+/// Deterministic jittered exponential backoff for retryable failures.
+///
+/// Attempt `k` (zero-based) sleeps a duration drawn uniformly from
+/// `[base·2ᵏ/2, base·2ᵏ)`, capped at `cap_ms` — jitter de-synchronizes
+/// a thundering herd of clients, and seeding the jitter keeps any one
+/// client's schedule reproducible.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included). 1 means no retries.
+    pub attempts: u32,
+    /// Base backoff before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Ceiling on any single backoff, in milliseconds.
+    pub cap_ms: u64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_ms: 100,
+            cap_ms: 5_000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry `attempt` (zero-based), in milliseconds.
+    /// Pure function of `(seed, attempt)`.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.cap_ms.max(1));
+        // xorshift64* over seed⊕attempt: independent draws per attempt,
+        // reproducible across runs.
+        let mut x = (self.seed ^ (attempt as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)) | 1;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let draw = x.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        // Uniform in [exp/2, exp).
+        exp / 2 + draw % (exp - exp / 2).max(1)
+    }
+}
+
+/// Runs one request with retries: each attempt opens a fresh connection
+/// (a mid-request disconnect leaves the old one useless), and retryable
+/// failures back off per `policy`. `io_timeout` bounds each attempt's
+/// connect/read/write; pass `None` to block indefinitely.
+///
+/// # Errors
+///
+/// The last attempt's error, once `policy.attempts` are exhausted or a
+/// non-retryable error (bad request, protocol violation) occurs.
+pub fn run_with_retries(
+    addr: impl ToSocketAddrs,
+    experiment: Experiment,
+    platform: &str,
+    fidelity: Fidelity,
+    policy: &RetryPolicy,
+    io_timeout: Option<Duration>,
+) -> Result<RunReply, ClientError> {
+    let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+    let mut last = None;
+    for attempt in 0..policy.attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(policy.backoff_ms(attempt - 1)));
+        }
+        let result = Client::connect_with(&addrs[..], io_timeout)
+            .map_err(ClientError::from)
+            .and_then(|mut client| client.run(experiment, platform, fidelity));
+        match result {
+            Ok(reply) => return Ok(reply),
+            Err(e) if e.is_retryable() => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("loop ran at least once"))
 }
 
 /// One `result` response, decoded.
@@ -96,7 +216,43 @@ impl Client {
     ///
     /// Propagates the connect failure.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, None)
+    }
+
+    /// Connects with an I/O timeout applied to connect, reads, and
+    /// writes — a wedged or vanished server surfaces as a retryable
+    /// `TimedOut`/`WouldBlock` error instead of a hang.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        io_timeout: Option<Duration>,
+    ) -> io::Result<Client> {
+        let stream = match io_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(t) => {
+                let mut last = None;
+                let mut stream = None;
+                for a in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&a, t) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                stream.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidInput, "no address to connect to")
+                    })
+                })?
+            }
+        };
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
@@ -113,13 +269,22 @@ impl Client {
         self.writer.flush()?;
         let mut reply = String::new();
         if self.reader.read_line(&mut reply)? == 0 {
-            return Err(ClientError::Protocol(
-                "server closed the connection".to_string(),
-            ));
+            // EOF mid-request: the server (or a chaos fault) dropped the
+            // connection. Classified as I/O, not protocol, so it is
+            // retryable.
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-request",
+            )));
         }
         let reply =
             Envelope::parse_line(reply.trim_end()).map_err(|e| ClientError::Protocol(e.to_string()))?;
-        if reply.seq.as_deref() != Some(seq.as_str()) {
+        // A seq-less `busy` is the connection-shed envelope, written at
+        // accept time before any request was read — no seq existed to
+        // echo. Every other reply must echo ours.
+        if reply.seq.as_deref() != Some(seq.as_str())
+            && !(reply.kind == "busy" && reply.seq.is_none())
+        {
             return Err(ClientError::Protocol(format!(
                 "response seq {:?} does not match request seq {seq:?}",
                 reply.seq
@@ -239,6 +404,24 @@ impl Client {
             .collect())
     }
 
+    /// Asks the server to shut down gracefully: it acknowledges, stops
+    /// accepting, drains in-flight requests, and joins its workers.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let reply = self.round_trip(Envelope::new("shutdown"))?;
+        if reply.kind == "shutting-down" {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!(
+                "expected shutting-down, got {}",
+                reply.kind
+            )))
+        }
+    }
+
     /// Purges the server's caches; returns `(memory, disk)` entry counts.
     ///
     /// # Errors
@@ -265,4 +448,60 @@ fn field_str(env: &Envelope, name: &str) -> Option<String> {
 
 fn field_u64(env: &Envelope, name: &str) -> Option<u64> {
     env.get(name).and_then(Json::as_u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_jittered_and_capped() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base_ms: 100,
+            cap_ms: 1_000,
+            seed: 7,
+        };
+        let a: Vec<u64> = (0..8).map(|k| policy.backoff_ms(k)).collect();
+        let b: Vec<u64> = (0..8).map(|k| policy.backoff_ms(k)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        for (k, &ms) in a.iter().enumerate() {
+            let exp = (100u64 << k).min(1_000);
+            assert!(ms >= exp / 2 && ms < exp, "attempt {k}: {ms} outside [{}, {exp})", exp / 2);
+        }
+        let other = RetryPolicy { seed: 8, ..policy };
+        assert_ne!(
+            (0..8).map(|k| other.backoff_ms(k)).collect::<Vec<_>>(),
+            a,
+            "different seed, different jitter"
+        );
+    }
+
+    #[test]
+    fn huge_attempt_index_does_not_overflow() {
+        let policy = RetryPolicy::default();
+        assert!(policy.backoff_ms(u32::MAX) <= policy.cap_ms);
+    }
+
+    #[test]
+    fn retryable_classification_matches_the_protocol_contract() {
+        assert!(ClientError::Busy { queued: 1, backlog_ms: 5 }.is_retryable());
+        assert!(ClientError::Server {
+            code: "timeout".into(),
+            detail: String::new()
+        }
+        .is_retryable());
+        assert!(!ClientError::Server {
+            code: "bad-request".into(),
+            detail: String::new()
+        }
+        .is_retryable());
+        assert!(ClientError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"))
+            .is_retryable());
+        assert!(ClientError::Io(io::Error::new(io::ErrorKind::ConnectionRefused, "refused"))
+            .is_retryable());
+        assert!(!ClientError::Io(io::Error::new(io::ErrorKind::PermissionDenied, "denied"))
+            .is_retryable());
+        assert!(!ClientError::Protocol("garbled".into()).is_retryable());
+    }
 }

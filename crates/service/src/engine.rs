@@ -22,7 +22,9 @@
 //! response, never the server.
 
 use crate::cache::{staging_dir, CacheKey, CachedResult, DiskStore, LruCache};
+use crate::faults::{FaultLottery, ServiceFaults};
 use crate::stats::{Gauges, StatsInner, StatsSnapshot};
+use crate::sync::{lock, wait_timeout_recover};
 use experiments::manifest::RunStatus;
 use experiments::output::ExperimentOutput;
 use experiments::platforms::{try_config_by_name, Fidelity};
@@ -33,7 +35,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One analysis request: the tuple results are content-addressed by.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +79,19 @@ pub struct EngineConfig {
     /// Cap on the summed registry wall budgets of admitted-but-unfinished
     /// computations — backpressure in *time*, not just count.
     pub max_backlog_ms: u64,
+    /// Deadline headroom as a multiple of the experiment's registry wall
+    /// budget: a request may wait `budget × factor + slack` before it is
+    /// answered with a `timeout` error instead of blocking further.
+    pub deadline_factor: f64,
+    /// Flat slack added to every deadline, in milliseconds — keeps the
+    /// deadline meaningful for experiments with tiny budgets.
+    pub deadline_slack_ms: u64,
+    /// Optional hard ceiling on the derived deadline, in milliseconds.
+    /// Chaos tests pin this low to prove a wedged computation cannot hold
+    /// coalesced waiters hostage.
+    pub deadline_cap_ms: Option<u64>,
+    /// Fault-injection knobs for the chaos harness; disabled by default.
+    pub faults: ServiceFaults,
 }
 
 impl Default for EngineConfig {
@@ -87,6 +102,23 @@ impl Default for EngineConfig {
             workers: default_jobs(),
             queue_depth: 64,
             max_backlog_ms: 30 * 60_000,
+            deadline_factor: 2.0,
+            deadline_slack_ms: 1_000,
+            deadline_cap_ms: None,
+            faults: ServiceFaults::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The wall-clock deadline (in milliseconds from submission) granted
+    /// to a request whose experiment has the given registry budget.
+    pub fn deadline_ms(&self, budget_ms: u64) -> u64 {
+        let derived =
+            (budget_ms as f64 * self.deadline_factor) as u64 + self.deadline_slack_ms;
+        match self.deadline_cap_ms {
+            Some(cap) => derived.min(cap),
+            None => derived,
         }
     }
 }
@@ -154,35 +186,75 @@ pub enum Outcome {
     },
     /// Rejected up front: the platform spec did not resolve.
     Invalid(String),
+    /// The request's wall-clock deadline expired before a result was
+    /// available — a wedged or overloaded computation no longer blocks
+    /// the connection. Retryable: the owner (if any) still publishes its
+    /// result for future requests when it eventually finishes.
+    TimedOut {
+        /// How long this request actually waited, in milliseconds.
+        waited_ms: u64,
+        /// The deadline it was granted, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 /// The experiment body the engine schedules; injectable for tests.
 pub type ComputeFn = dyn Fn(Experiment, &str, Fidelity) -> ExperimentOutput + Send + Sync;
 
+/// Lifecycle of one coalesced computation's shared result slot.
+enum FlightState {
+    /// The owner is still computing (or waiting for a slot).
+    Pending,
+    /// The result is published; every waiter shares this `Arc`.
+    Ready(Arc<CachedResult>),
+    /// The owner gave up before computing (its deadline expired while it
+    /// waited for a worker slot); waiters must stop waiting too.
+    Abandoned,
+}
+
 struct Flight {
-    result: Mutex<Option<Arc<CachedResult>>>,
+    state: Mutex<FlightState>,
     ready: Condvar,
 }
 
 impl Flight {
     fn new() -> Self {
         Flight {
-            result: Mutex::new(None),
+            state: Mutex::new(FlightState::Pending),
             ready: Condvar::new(),
         }
     }
 
     fn publish(&self, result: Arc<CachedResult>) {
-        *self.result.lock().unwrap() = Some(result);
+        *lock(&self.state) = FlightState::Ready(result);
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> Arc<CachedResult> {
-        let mut slot = self.result.lock().unwrap();
-        while slot.is_none() {
-            slot = self.ready.wait(slot).unwrap();
+    fn abandon(&self) {
+        *lock(&self.state) = FlightState::Abandoned;
+        self.ready.notify_all();
+    }
+
+    /// Waits for the result until `deadline`; `None` means the deadline
+    /// expired or the owner abandoned the flight — either way the waiter
+    /// must answer `timeout` instead of blocking further.
+    fn wait_until(&self, deadline: Instant) -> Option<Arc<CachedResult>> {
+        let mut state = lock(&self.state);
+        loop {
+            match &*state {
+                FlightState::Ready(result) => return Some(result.clone()),
+                FlightState::Abandoned => return None,
+                FlightState::Pending => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    let (next, _timed_out) =
+                        wait_timeout_recover(&self.ready, state, deadline - now);
+                    state = next;
+                }
+            }
         }
-        slot.clone().expect("loop exits only when published")
     }
 }
 
@@ -201,6 +273,7 @@ struct Inner {
     state: Mutex<State>,
     slot_free: Condvar,
     stats: Mutex<StatsInner>,
+    lottery: Arc<FaultLottery>,
 }
 
 /// The shared, clonable serving engine. Clones are handles onto one
@@ -222,7 +295,18 @@ impl Engine {
     where
         F: Fn(Experiment, &str, Fidelity) -> ExperimentOutput + Send + Sync + 'static,
     {
-        let disk = cfg.cache_dir.as_ref().map(DiskStore::new);
+        let lottery = Arc::new(cfg.faults.lottery());
+        let disk = cfg
+            .cache_dir
+            .as_ref()
+            .map(|root| DiskStore::with_faults(root, Arc::clone(&lottery)));
+        if let Some(disk) = &disk {
+            // A killed predecessor may have left `.tmp-*`/`.staging`
+            // debris under this root; sweep it before serving.
+            if let Err(e) = disk.sweep_stale() {
+                eprintln!("roofd: stale-tmp sweep failed: {e}");
+            }
+        }
         Engine {
             inner: Arc::new(Inner {
                 state: Mutex::new(State {
@@ -236,6 +320,7 @@ impl Engine {
                 stats: Mutex::new(StatsInner::default()),
                 disk,
                 compute: Box::new(compute),
+                lottery,
                 cfg,
             }),
         }
@@ -245,16 +330,25 @@ impl Engine {
     ///
     /// Identical concurrent requests are coalesced onto one computation;
     /// distinct requests beyond the worker/queue/backlog bounds are
-    /// answered [`Outcome::Busy`] instead of queueing without limit.
+    /// answered [`Outcome::Busy`] instead of queueing without limit; and
+    /// every request carries a wall-clock deadline (derived from its
+    /// experiment's registry budget, see [`EngineConfig::deadline_ms`])
+    /// past which it is answered [`Outcome::TimedOut`] rather than
+    /// blocking on a wedged computation forever. The owner of a flight
+    /// that has already started computing runs to completion and
+    /// publishes its result — the experiment body cannot be aborted — so
+    /// a late owner answers late, but its coalesced waiters never do.
     pub fn submit(&self, req: &Request) -> Outcome {
         let start = Instant::now();
         if let Err(e) = try_config_by_name(&req.platform) {
-            self.inner.stats.lock().unwrap().invalid += 1;
+            lock(&self.inner.stats).invalid += 1;
             return Outcome::Invalid(e.to_string());
         }
         let key = req.cache_key();
         let digest = key.digest();
         let budget_ms = req.experiment.wall_budget_ms(req.fidelity);
+        let deadline_ms = self.inner.cfg.deadline_ms(budget_ms);
+        let deadline = start + Duration::from_millis(deadline_ms);
 
         enum Role {
             Hit(Arc<CachedResult>),
@@ -263,12 +357,12 @@ impl Engine {
         }
 
         let role = {
-            let mut st = self.inner.state.lock().unwrap();
+            let mut st = lock(&self.inner.state);
             if let Some(result) = st.cache.get(&digest) {
-                self.inner.stats.lock().unwrap().mem_hits += 1;
+                lock(&self.inner.stats).mem_hits += 1;
                 Role::Hit(result)
             } else if let Some(flight) = st.inflight.get(&digest) {
-                self.inner.stats.lock().unwrap().coalesced += 1;
+                lock(&self.inner.stats).coalesced += 1;
                 Role::Waiter(flight.clone())
             } else {
                 // Bounded admission: total admitted work may not exceed
@@ -281,7 +375,7 @@ impl Engine {
                 let over_backlog = st.backlog_ms > 0
                     && st.backlog_ms + budget_ms > self.inner.cfg.max_backlog_ms;
                 if over_queue || over_backlog {
-                    self.inner.stats.lock().unwrap().busy += 1;
+                    lock(&self.inner.stats).busy += 1;
                     return Outcome::Busy {
                         queued: st.queued,
                         backlog_ms: st.backlog_ms,
@@ -297,15 +391,23 @@ impl Engine {
 
         let (result, source) = match role {
             Role::Hit(result) => (result, Source::Mem),
-            Role::Waiter(flight) => (flight.wait(), Source::Coalesced),
-            Role::Owner(flight) => self.run_owned(req, &key, &digest, budget_ms, &flight),
+            Role::Waiter(flight) => match flight.wait_until(deadline) {
+                Some(result) => (result, Source::Coalesced),
+                None => return self.timed_out(start, deadline_ms),
+            },
+            Role::Owner(flight) => {
+                match self.run_owned(req, &key, &digest, budget_ms, deadline, &flight) {
+                    Some(pair) => pair,
+                    None => return self.timed_out(start, deadline_ms),
+                }
+            }
         };
 
         let elapsed_ms = start.elapsed().as_millis() as u64;
         let over_budget = matches!(source, Source::Computed | Source::Coalesced)
             && result.compute_ms.is_some_and(|ms| ms > budget_ms);
         {
-            let mut stats = self.inner.stats.lock().unwrap();
+            let mut stats = lock(&self.inner.stats);
             stats.record_latency(elapsed_ms);
             if over_budget && source == Source::Computed {
                 stats.over_budget += 1;
@@ -320,20 +422,50 @@ impl Engine {
         })
     }
 
-    /// The owner path: wait for a worker slot, probe the disk tier, and
-    /// compute on a miss; then publish to cache, flight, and disk.
+    /// Counts and builds a deadline-expiry outcome.
+    fn timed_out(&self, start: Instant, deadline_ms: u64) -> Outcome {
+        lock(&self.inner.stats).timeouts += 1;
+        Outcome::TimedOut {
+            waited_ms: start.elapsed().as_millis() as u64,
+            deadline_ms,
+        }
+    }
+
+    /// Counts one connection shed by the server's concurrency gate.
+    pub(crate) fn note_shed(&self) {
+        lock(&self.inner.stats).shed += 1;
+    }
+
+    /// The owner path: wait for a worker slot (bounded by the request's
+    /// deadline), probe the disk tier, and compute on a miss; then
+    /// publish to cache, flight, and disk. Returns `None` when the
+    /// deadline expired before a slot freed — the flight is abandoned and
+    /// all admission accounting rolled back, so a saturated engine sheds
+    /// the request cleanly instead of wedging it in the queue.
     fn run_owned(
         &self,
         req: &Request,
         key: &CacheKey,
         digest: &str,
         budget_ms: u64,
+        deadline: Instant,
         flight: &Arc<Flight>,
-    ) -> (Arc<CachedResult>, Source) {
+    ) -> Option<(Arc<CachedResult>, Source)> {
         {
-            let mut st = self.inner.state.lock().unwrap();
+            let mut st = lock(&self.inner.state);
             while st.running >= self.inner.cfg.workers.max(1) {
-                st = self.inner.slot_free.wait(st).unwrap();
+                let now = Instant::now();
+                if now >= deadline {
+                    st.queued -= 1;
+                    st.backlog_ms -= budget_ms;
+                    st.inflight.remove(digest);
+                    drop(st);
+                    flight.abandon();
+                    return None;
+                }
+                let (next, _timed_out) =
+                    wait_timeout_recover(&self.inner.slot_free, st, deadline - now);
+                st = next;
             }
             st.queued -= 1;
             st.running += 1;
@@ -341,11 +473,11 @@ impl Engine {
 
         let (result, source) = match self.inner.disk.as_ref().and_then(|d| d.load(key)) {
             Some(loaded) => {
-                self.inner.stats.lock().unwrap().disk_hits += 1;
+                lock(&self.inner.stats).disk_hits += 1;
                 (Arc::new(loaded), Source::Disk)
             }
             None => {
-                self.inner.stats.lock().unwrap().misses += 1;
+                lock(&self.inner.stats).misses += 1;
                 let computed = Arc::new(self.compute(req, digest));
                 if computed.cacheable() {
                     if let Some(disk) = &self.inner.disk {
@@ -359,10 +491,10 @@ impl Engine {
         };
 
         {
-            let mut st = self.inner.state.lock().unwrap();
+            let mut st = lock(&self.inner.state);
             if result.cacheable() {
                 let evicted = st.cache.insert(digest.to_string(), result.clone());
-                self.inner.stats.lock().unwrap().evictions += evicted as u64;
+                lock(&self.inner.stats).evictions += evicted as u64;
             }
             st.inflight.remove(digest);
             st.running -= 1;
@@ -370,12 +502,15 @@ impl Engine {
         }
         self.inner.slot_free.notify_all();
         flight.publish(result.clone());
-        (result, source)
+        Some((result, source))
     }
 
     /// Runs the request as a single-experiment sweep into a staging
     /// directory and packages the normalized artifact tree.
     fn compute(&self, req: &Request, digest: &str) -> CachedResult {
+        // The wedged-engine chaos knob: stall here so deadline handling
+        // can be exercised without a genuinely slow experiment.
+        self.inner.lottery.delay_compute();
         let staging = staging_dir(
             self.inner.disk.as_ref().map(DiskStore::root),
             digest,
@@ -419,22 +554,24 @@ impl Engine {
     /// Snapshot of the counters and gauges.
     pub fn stats(&self) -> StatsSnapshot {
         let gauges = {
-            let st = self.inner.state.lock().unwrap();
+            let st = lock(&self.inner.state);
             Gauges {
                 in_flight: st.inflight.len(),
                 queued: st.queued,
                 backlog_ms: st.backlog_ms,
                 entries: st.cache.len(),
                 bytes: st.cache.bytes(),
+                quarantined: self.inner.disk.as_ref().map_or(0, DiskStore::quarantined),
+                swept_tmp: self.inner.disk.as_ref().map_or(0, DiskStore::swept_tmp),
             }
         };
-        self.inner.stats.lock().unwrap().snapshot(gauges)
+        lock(&self.inner.stats).snapshot(gauges)
     }
 
     /// Drops every cached result from memory and disk so stale caches
     /// cannot mask code changes. Returns `(memory, disk)` entry counts.
     pub fn purge(&self) -> (usize, usize) {
-        let mem = self.inner.state.lock().unwrap().cache.purge();
+        let mem = lock(&self.inner.state).cache.purge();
         let disk = match &self.inner.disk {
             Some(d) => d.purge().unwrap_or_else(|e| {
                 eprintln!("roofd: disk purge failed: {e}");

@@ -17,9 +17,16 @@
 //! * enforces backpressure with a bounded queue and the per-experiment
 //!   wall budgets from the experiment registry;
 //! * reports hits, misses, coalescing, evictions, and latency
-//!   percentiles ([`stats`]).
+//!   percentiles ([`stats`]);
+//! * survives hostile clients and dirty disks: per-socket timeouts, a
+//!   line-length cap, a concurrency gate, request deadlines,
+//!   checksummed cache entries with quarantine, and poison-recovering
+//!   locks ([`server`], [`engine`], [`cache`], [`sync`]) — every
+//!   failure mode drivable on demand through the [`faults`] chaos
+//!   knobs, mirroring `simx86`'s measurement-layer fault injection.
 //!
-//! The companion binary `roofctl` is a thin CLI over [`client`].
+//! The companion binary `roofctl` is a thin CLI over [`client`], with
+//! seeded-backoff retries for transient failures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,9 +34,11 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod faults;
 pub mod protocol;
 pub mod server;
 pub mod stats;
+pub mod sync;
 
 /// The default on-disk cache directory, relative to the working
 /// directory — kept out of version control (see `.gitignore`).

@@ -2,13 +2,16 @@
 //! envelopes out, independent of the TCP plumbing so it can be tested
 //! without sockets.
 //!
-//! Request kinds: `run`, `stats`, `purge`, `ping`. Response kinds:
-//! `result`, `stats`, `purged`, `pong`, `busy`, `error`. Every response
-//! echoes the request's `seq` so clients can pipeline. A malformed or
-//! invalid request produces an `error` envelope, never a dropped
-//! connection — a faulted platform spec (`snb+drift=…`) is not even an
-//! error: the experiment runs, degrades, and the response carries the
-//! integrity report.
+//! Request kinds: `run`, `stats`, `purge`, `ping`, `shutdown`. Response
+//! kinds: `result`, `stats`, `purged`, `pong`, `shutting-down`, `busy`,
+//! `error`. Every response echoes the request's `seq` so clients can
+//! pipeline (the one exception: a connection shed by the concurrency
+//! gate gets a seq-less `busy`, written before any request was read). A
+//! malformed or invalid request produces an `error` envelope, never a
+//! dropped connection — a faulted platform spec (`snb+drift=…`) is not
+//! even an error: the experiment runs, degrades, and the response
+//! carries the integrity report. A request whose deadline expires gets
+//! an `error` with code `timeout` and is safe to retry.
 
 use crate::engine::{Done, Engine, Outcome, Request};
 use crate::stats::StatsSnapshot;
@@ -26,6 +29,12 @@ pub mod error_code {
     pub const INVALID_PLATFORM: &str = "invalid-platform";
     /// The request's kind is not a command this server speaks.
     pub const UNKNOWN_COMMAND: &str = "unknown-command";
+    /// The request's wall-clock deadline expired before a result was
+    /// available; retryable.
+    pub const TIMEOUT: &str = "timeout";
+    /// The request line exceeded the server's line-length cap; the
+    /// connection is closed after this error is written.
+    pub const LINE_TOO_LONG: &str = "line-too-long";
 }
 
 /// Builds an `error` response envelope.
@@ -139,6 +148,10 @@ pub fn stats_envelope(seq: Option<&str>, s: &StatsSnapshot) -> Envelope {
         .field("evictions", Json::num(s.evictions as f64))
         .field("over_budget", Json::num(s.over_budget as f64))
         .field("completed", Json::num(s.completed as f64))
+        .field("timeouts", Json::num(s.timeouts as f64))
+        .field("shed", Json::num(s.shed as f64))
+        .field("quarantined", Json::num(s.quarantined as f64))
+        .field("swept_tmp", Json::num(s.swept_tmp as f64))
         .field("in_flight", Json::num(s.in_flight as f64))
         .field("queued", Json::num(s.queued as f64))
         .field("backlog_ms", Json::num(s.backlog_ms as f64))
@@ -149,17 +162,35 @@ pub fn stats_envelope(seq: Option<&str>, s: &StatsSnapshot) -> Envelope {
         .field("p99_ms", Json::num(s.p99_ms as f64))
 }
 
+/// One dispatched request's reply plus its control-flow consequence for
+/// the connection loop.
+pub struct Dispatch {
+    /// The response envelope to write back.
+    pub reply: Envelope,
+    /// True when the request asked the server to shut down gracefully
+    /// (stop accepting, drain in-flight work, join workers).
+    pub shutdown: bool,
+}
+
 /// Serves one request line: parse, dispatch to the engine, render the
 /// response envelope. Never panics on client input; every failure mode
 /// maps to an `error` (or `busy`) envelope so the connection survives.
-pub fn dispatch_line(engine: &Engine, line: &str) -> Envelope {
+/// The transport inspects [`Dispatch::shutdown`] to honor the `shutdown`
+/// command.
+pub fn dispatch(engine: &Engine, line: &str) -> Dispatch {
     let env = match Envelope::parse_line(line) {
         Ok(env) => env,
-        Err(e) => return error_envelope(None, error_code::BAD_REQUEST, e.to_string()),
+        Err(e) => {
+            return Dispatch {
+                reply: error_envelope(None, error_code::BAD_REQUEST, e.to_string()),
+                shutdown: false,
+            }
+        }
     };
     let seq = env.seq.clone();
     let seq = seq.as_deref();
-    match env.kind.as_str() {
+    let mut shutdown = false;
+    let reply = match env.kind.as_str() {
         "ping" => {
             let mut pong = Envelope::new("pong");
             if let Some(seq) = seq {
@@ -177,12 +208,17 @@ pub fn dispatch_line(engine: &Engine, line: &str) -> Envelope {
             env.field("memory_entries", Json::num(mem as f64))
                 .field("disk_entries", Json::num(disk as f64))
         }
-        "run" => {
-            let req = match parse_run_request(&env) {
-                Ok(req) => req,
-                Err(error) => return *error,
-            };
-            match engine.submit(&req) {
+        "shutdown" => {
+            shutdown = true;
+            let mut env = Envelope::new("shutting-down");
+            if let Some(seq) = seq {
+                env = env.seq(seq);
+            }
+            env
+        }
+        "run" => match parse_run_request(&env) {
+            Err(error) => *error,
+            Ok(req) => match engine.submit(&req) {
                 Outcome::Done(done) => result_envelope(seq, &req, &done),
                 Outcome::Busy { queued, backlog_ms } => {
                     let mut env = Envelope::new("busy");
@@ -195,14 +231,34 @@ pub fn dispatch_line(engine: &Engine, line: &str) -> Envelope {
                 Outcome::Invalid(detail) => {
                     error_envelope(seq, error_code::INVALID_PLATFORM, detail)
                 }
-            }
-        }
+                Outcome::TimedOut {
+                    waited_ms,
+                    deadline_ms,
+                } => error_envelope(
+                    seq,
+                    error_code::TIMEOUT,
+                    format!(
+                        "request deadline of {deadline_ms} ms expired after \
+                         waiting {waited_ms} ms; retry later"
+                    ),
+                )
+                .field("waited_ms", Json::num(waited_ms as f64))
+                .field("deadline_ms", Json::num(deadline_ms as f64)),
+            },
+        },
         other => error_envelope(
             seq,
             error_code::UNKNOWN_COMMAND,
-            format!("unknown command `{other}` (expected run, stats, purge, or ping)"),
+            format!("unknown command `{other}` (expected run, stats, purge, ping, or shutdown)"),
         ),
-    }
+    };
+    Dispatch { reply, shutdown }
+}
+
+/// [`dispatch`] without the control-flow signal — the original entry
+/// point, kept for tests and callers that never honor `shutdown`.
+pub fn dispatch_line(engine: &Engine, line: &str) -> Envelope {
+    dispatch(engine, line).reply
 }
 
 #[cfg(test)]
@@ -301,5 +357,31 @@ mod tests {
         );
         let reply = dispatch_line(&engine, r#"{"v":1,"kind":"ping"}"#);
         assert_eq!(reply.kind, "pong");
+    }
+
+    #[test]
+    fn shutdown_command_acks_and_raises_the_flag() {
+        let engine = test_engine();
+        let d = dispatch(&engine, r#"{"v":1,"kind":"shutdown","seq":"s9"}"#);
+        assert!(d.shutdown);
+        assert_eq!(d.reply.kind, "shutting-down");
+        assert_eq!(d.reply.seq.as_deref(), Some("s9"));
+        // Every other command leaves the flag down.
+        assert!(!dispatch(&engine, r#"{"v":1,"kind":"ping"}"#).shutdown);
+        assert!(!dispatch(&engine, "garbage").shutdown);
+    }
+
+    #[test]
+    fn clean_path_resilience_counters_are_pinned_to_zero() {
+        // Regression pin for the hardening PR: ordinary traffic must not
+        // tick the timeout/shed/quarantine counters — any nonzero here
+        // means the fast path grew a failure mode.
+        let engine = test_engine();
+        dispatch_line(&engine, r#"{"v":1,"kind":"run","experiment":"E1"}"#);
+        dispatch_line(&engine, r#"{"v":1,"kind":"run","experiment":"E1"}"#);
+        let stats = dispatch_line(&engine, r#"{"v":1,"kind":"stats"}"#);
+        for field in ["timeouts", "shed", "quarantined", "swept_tmp"] {
+            assert_eq!(stats.get(field).unwrap().as_u64(), Some(0), "{field}");
+        }
     }
 }

@@ -1,17 +1,97 @@
 //! The TCP front end of `roofd`: accept loop, one thread per
-//! connection, JSON-lines framing.
+//! connection, JSON-lines framing — hardened against hostile peers.
 //!
 //! All protocol behaviour lives in [`crate::protocol`]; this module only
 //! moves lines between sockets and the engine. A connection stays open
 //! across errors — a malformed request, an unknown experiment, or a
 //! faulted platform spec each produce a response envelope, and the next
-//! line on the same connection is served normally.
+//! line on the same connection is served normally. The hardening on top
+//! of that:
+//!
+//! * **read/write timeouts** — a peer that connects and then dribbles
+//!   (or sends nothing) is closed once [`ServerConfig::read_timeout`]
+//!   passes without a *completed* request line; the idle clock resets
+//!   per line, not per byte, so a slow-loris drip cannot hold a socket
+//!   open indefinitely;
+//! * **line-length cap** — a newline-less stream is answered with a
+//!   `line-too-long` error envelope and closed at
+//!   [`ServerConfig::max_line_bytes`], instead of buffering without
+//!   bound;
+//! * **connection gate** — at most [`ServerConfig::max_connections`]
+//!   concurrent connections; excess peers get a seq-less `busy`
+//!   envelope and are closed, counted in the `shed` stat, instead of
+//!   spawning threads forever;
+//! * **graceful shutdown** — the `shutdown` protocol command (or
+//!   [`ShutdownHandle::trigger`]) stops the accept loop, lets every
+//!   in-flight request finish, and joins the workers. (The server is
+//!   std-only and installs no signal handler: a SIGTERM is an abrupt
+//!   stop; use `roofctl shutdown` for a clean one.)
 
 use crate::engine::Engine;
-use crate::protocol::dispatch_line;
-use std::io::{self, BufRead, BufReader, Write};
+use crate::faults::{FaultLottery, ServiceFaults};
+use crate::protocol::{dispatch, error_code, error_envelope};
+use roofline_core::json::{Envelope, Json};
+use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
+
+/// Transport-level hardening knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// A connection is closed after this long without a completed
+    /// request line (slow-loris defense; the clock resets per line).
+    pub read_timeout: Duration,
+    /// Socket write timeout — a peer that stops draining its receive
+    /// buffer cannot wedge a worker mid-response.
+    pub write_timeout: Duration,
+    /// Longest accepted request line; beyond it the connection gets a
+    /// `line-too-long` error and is closed.
+    pub max_line_bytes: usize,
+    /// Concurrent-connection cap; excess peers are shed with a `busy`
+    /// envelope.
+    pub max_connections: usize,
+    /// Fault-injection knobs (mid-request disconnect) for the chaos
+    /// harness; disabled by default.
+    pub faults: ServiceFaults,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(30),
+            max_line_bytes: 1 << 20,
+            max_connections: 256,
+            faults: ServiceFaults::default(),
+        }
+    }
+}
+
+/// How often a blocked read wakes to re-check the idle deadline and the
+/// shutdown flag. Short enough that shutdown and accept-loop latency are
+/// sub-second; long enough to stay out of the way.
+const POLL_QUANTUM: Duration = Duration::from_millis(100);
+
+/// A handle that asks a running [`Server::serve`] loop to shut down
+/// gracefully: stop accepting, drain in-flight requests, join workers.
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Requests shutdown; idempotent.
+    pub fn trigger(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been requested (by this handle or by a
+    /// `shutdown` protocol command).
+    pub fn is_triggered(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
 
 /// A bound, not-yet-serving server: the listener exists (so the port is
 /// known and clients can be pointed at it) but the accept loop has not
@@ -19,18 +99,39 @@ use std::thread;
 pub struct Server {
     listener: TcpListener,
     engine: Engine,
+    cfg: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    lottery: Arc<FaultLottery>,
 }
 
 impl Server {
-    /// Binds to `addr` (use port 0 to let the OS pick a free port).
+    /// Binds to `addr` (use port 0 to let the OS pick a free port) with
+    /// default hardening knobs.
     ///
     /// # Errors
     ///
     /// Propagates the bind failure.
     pub fn bind(addr: impl ToSocketAddrs, engine: Engine) -> io::Result<Server> {
+        Server::bind_with(addr, engine, ServerConfig::default())
+    }
+
+    /// Binds with explicit hardening knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        engine: Engine,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        let lottery = Arc::new(cfg.faults.lottery());
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             engine,
+            cfg,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            lottery,
         })
     }
 
@@ -43,29 +144,72 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serves forever: accepts connections and spawns one serving thread
-    /// each. Accept errors are transient (a client can abort between
+    /// A handle that can stop this server's [`Server::serve`] loop from
+    /// another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shutdown))
+    }
+
+    /// Serves until shutdown: accepts connections (shedding beyond the
+    /// concurrency cap), spawns one serving thread each, and on shutdown
+    /// stops accepting, drains in-flight requests, and joins every
+    /// worker. Accept errors are transient (a client can abort between
     /// `accept` starting and finishing) and are logged, not fatal.
-    pub fn serve(self) -> ! {
-        loop {
+    ///
+    /// # Errors
+    ///
+    /// Propagates only listener-setup failures; per-connection errors
+    /// are contained to their connection.
+    pub fn serve(self) -> io::Result<()> {
+        // Non-blocking accept so the loop can observe the shutdown flag
+        // without a wedging `accept()` call in the way.
+        self.listener.set_nonblocking(true)?;
+        let active = Arc::new(AtomicUsize::new(0));
+        let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            workers.retain(|w| !w.is_finished());
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    if active.load(Ordering::SeqCst) >= self.cfg.max_connections.max(1) {
+                        self.engine.note_shed();
+                        shed(stream, &self.cfg);
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::SeqCst);
                     let engine = self.engine.clone();
-                    thread::spawn(move || {
-                        if let Err(e) = serve_connection(stream, &engine) {
+                    let cfg = self.cfg.clone();
+                    let shutdown = Arc::clone(&self.shutdown);
+                    let lottery = Arc::clone(&self.lottery);
+                    let active = Arc::clone(&active);
+                    workers.push(thread::spawn(move || {
+                        if let Err(e) =
+                            serve_connection(stream, &engine, &cfg, &shutdown, &lottery)
+                        {
                             // A vanished client is normal; log and move on.
                             eprintln!("roofd: connection ended: {e}");
                         }
-                    });
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(25));
                 }
                 Err(e) => eprintln!("roofd: accept failed: {e}"),
             }
         }
+        // Drain: no new connections; workers notice the flag at their
+        // next poll quantum and finish their in-flight request first.
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
     }
 
     /// Accepts and serves exactly `n` connections, then returns — the
     /// deterministic variant the e2e tests use so the server thread can
-    /// be joined instead of killed.
+    /// be joined instead of killed. Connections get the same hardened
+    /// per-connection handling as [`Server::serve`], but no shed gate:
+    /// tests rely on every accepted connection being served.
     ///
     /// # Errors
     ///
@@ -76,7 +220,12 @@ impl Server {
         for _ in 0..n {
             let (stream, _peer) = self.listener.accept()?;
             let engine = self.engine.clone();
-            workers.push(thread::spawn(move || serve_connection(stream, &engine)));
+            let cfg = self.cfg.clone();
+            let shutdown = Arc::clone(&self.shutdown);
+            let lottery = Arc::clone(&self.lottery);
+            workers.push(thread::spawn(move || {
+                serve_connection(stream, &engine, &cfg, &shutdown, &lottery)
+            }));
         }
         for worker in workers {
             let _ = worker.join();
@@ -85,20 +234,91 @@ impl Server {
     }
 }
 
+/// Sheds one over-cap connection: writes a seq-less `busy` envelope
+/// (there is no request to echo a seq from — the peer was refused before
+/// its first line was read) and drops the socket.
+fn shed(mut stream: TcpStream, cfg: &ServerConfig) {
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let env = Envelope::new("busy")
+        .field("reason", Json::str("connections"))
+        .field("queued", Json::num(0.0))
+        .field("backlog_ms", Json::num(0.0));
+    let _ = stream.write_all(env.to_line().as_bytes());
+    let _ = stream.write_all(b"\n");
+}
+
 /// Serves one connection to completion: one response line per request
-/// line, until the client closes its half.
-fn serve_connection(stream: TcpStream, engine: &Engine) -> io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+/// line, until the client closes its half, a timeout or cap trips, or
+/// the server shuts down.
+fn serve_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    cfg: &ServerConfig,
+    shutdown: &AtomicBool,
+    lottery: &FaultLottery,
+) -> io::Result<()> {
+    // On some platforms an accepted socket inherits the listener's
+    // non-blocking flag; reads below rely on blocking-with-timeout.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(POLL_QUANTUM.min(cfg.read_timeout)))?;
+    stream.set_write_timeout(Some(cfg.write_timeout))?;
+    let mut reader = stream.try_clone()?;
     let mut writer = stream;
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // The slow-loris clock: reset only when a complete line is served,
+    // so dribbling one byte per poll cannot extend a connection's life.
+    let mut idle_deadline = Instant::now() + cfg.read_timeout;
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes[..pos]);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let d = dispatch(engine, line);
+            if lottery.disconnect() {
+                // Chaos: the peer sees its connection die after the
+                // request was read but before the response is written.
+                return Ok(());
+            }
+            writer.write_all(d.reply.to_line().as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            if d.shutdown {
+                shutdown.store(true, Ordering::SeqCst);
+                return Ok(());
+            }
+            idle_deadline = Instant::now() + cfg.read_timeout;
         }
-        let reply = dispatch_line(engine, &line);
-        writer.write_all(reply.to_line().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        if buf.len() > cfg.max_line_bytes {
+            let env = error_envelope(
+                None,
+                error_code::LINE_TOO_LONG,
+                format!(
+                    "request line exceeds {} bytes without a newline",
+                    cfg.max_line_bytes
+                ),
+            );
+            writer.write_all(env.to_line().as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            return Ok(());
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client closed its half
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) || Instant::now() >= idle_deadline {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
-    Ok(())
 }

@@ -17,6 +17,8 @@ pub(crate) struct StatsInner {
     pub evictions: u64,
     pub over_budget: u64,
     pub completed: u64,
+    pub timeouts: u64,
+    pub shed: u64,
     latencies: Vec<u64>,
     next_slot: usize,
 }
@@ -56,6 +58,10 @@ impl StatsInner {
             evictions: self.evictions,
             over_budget: self.over_budget,
             completed: self.completed,
+            timeouts: self.timeouts,
+            shed: self.shed,
+            quarantined: gauges.quarantined,
+            swept_tmp: gauges.swept_tmp,
             in_flight: gauges.in_flight,
             queued: gauges.queued,
             backlog_ms: gauges.backlog_ms,
@@ -77,6 +83,8 @@ pub(crate) struct Gauges {
     pub backlog_ms: u64,
     pub entries: usize,
     pub bytes: usize,
+    pub quarantined: u64,
+    pub swept_tmp: u64,
 }
 
 /// One frozen view of the service counters — the payload of the `stats`
@@ -102,6 +110,19 @@ pub struct StatsSnapshot {
     pub over_budget: u64,
     /// Requests answered with a result (any source).
     pub completed: u64,
+    /// Requests whose wall-clock deadline expired before a result was
+    /// available — answered with a `timeout` error envelope instead of
+    /// blocking the connection.
+    pub timeouts: u64,
+    /// Connections shed at accept time by the max-concurrent-connections
+    /// gate (answered with a `busy` envelope, then closed).
+    pub shed: u64,
+    /// Disk-cache entries that failed checksum verification and were
+    /// moved to quarantine instead of being served.
+    pub quarantined: u64,
+    /// Stale staging/tmp directories swept at startup — debris of a
+    /// previously killed process.
+    pub swept_tmp: u64,
     /// Computations currently running or queued (coalesced waiters share
     /// their owner's flight and are not counted separately).
     pub in_flight: usize,

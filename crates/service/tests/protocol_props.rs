@@ -1,0 +1,165 @@
+//! Hostile-input properties for the protocol layer: whatever bytes a
+//! client puts on the wire, `dispatch_line` must never panic and must
+//! always answer with a single well-formed envelope — parseable by the
+//! same framing code, correct `seq` echo, a machine-readable error code
+//! on rejection — and the engine must remain fully serviceable
+//! afterwards. These run against an injected stub compute body, so the
+//! properties exercise parsing and dispatch, not the simulator.
+
+use experiments::output::ExperimentOutput;
+use experiments::platforms::Fidelity;
+use experiments::registry::Experiment;
+use proptest::prelude::*;
+use roofline_core::json::{Envelope, Json};
+use roofline_service::engine::{Engine, EngineConfig};
+use roofline_service::protocol::dispatch_line;
+
+fn stub_engine() -> Engine {
+    Engine::with_compute(EngineConfig::default(), |e, platform, fidelity| {
+        let mut out = ExperimentOutput::new(e.id(), e.title());
+        out.finding("cell", format!("{}@{platform}/{}", e.id(), fidelity.label()));
+        out
+    })
+}
+
+/// A canonical valid request, used as the seed for truncation and as
+/// the liveness probe between garbage lines.
+fn valid_run_line(seq: &str) -> String {
+    Envelope::new("run")
+        .seq(seq)
+        .field("experiment", Json::str(Experiment::E1.id()))
+        .field("platform", Json::str("snb"))
+        .field("fidelity", Json::str(Fidelity::Quick.label()))
+        .to_line()
+}
+
+/// The invariant every reply must satisfy: it re-parses under the same
+/// framing code, and error replies carry a machine-readable code.
+fn assert_well_formed(context: &str, reply: &Envelope) {
+    let line = reply.to_line();
+    let reparsed = Envelope::parse_line(&line)
+        .unwrap_or_else(|e| panic!("{context}: reply does not re-parse: {e}\nline: {line}"));
+    assert_eq!(&reparsed, reply, "{context}: reply round-trip changed it");
+    if reply.kind == "error" {
+        assert!(
+            reply.get("code").and_then(Json::as_str).is_some(),
+            "{context}: error reply lacks a string `code`: {line}"
+        );
+    }
+}
+
+/// The engine must still answer a ping after whatever just happened.
+fn assert_serviceable(engine: &Engine) {
+    let pong = dispatch_line(engine, r#"{"v":1,"kind":"ping","seq":"probe"}"#);
+    assert_eq!(pong.kind, "pong", "engine wedged: {:?}", pong);
+    assert_eq!(pong.seq.as_deref(), Some("probe"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes — including NULs, control characters, and invalid
+    /// UTF-8 sequences mangled by the server's lossy decode — never
+    /// panic and always produce one well-formed reply.
+    #[test]
+    fn arbitrary_bytes_never_panic_and_always_get_an_envelope(
+        bytes in proptest::collection::vec(0u8..255, 0usize..400),
+    ) {
+        let engine = stub_engine();
+        // The server frames on `\n` and lossy-decodes, so model that.
+        let line = String::from_utf8_lossy(&bytes).replace('\n', " ");
+        let reply = dispatch_line(&engine, line.trim());
+        assert_well_formed("arbitrary bytes", &reply);
+        assert_serviceable(&engine);
+    }
+
+    /// Every proper prefix of a valid request is rejected with an error
+    /// envelope; only the complete line yields a result.
+    #[test]
+    fn truncated_requests_error_cleanly(cut in 0usize..512) {
+        let engine = stub_engine();
+        let line = valid_run_line("t0");
+        let cut = cut.min(line.len());
+        let reply = dispatch_line(&engine, &line[..cut]);
+        assert_well_formed("truncated request", &reply);
+        if cut == line.len() {
+            assert_eq!(reply.kind, "result");
+            assert_eq!(reply.seq.as_deref(), Some("t0"));
+        } else {
+            assert_eq!(reply.kind, "error", "prefix of len {cut} not rejected");
+        }
+        assert_serviceable(&engine);
+    }
+
+    /// Oversized or junk-valued fields (multi-kilobyte experiment names,
+    /// absurd fidelities, wrong value types) are rejected with the seq
+    /// echoed, never panicked on and never silently coerced.
+    #[test]
+    fn oversized_and_junk_fields_are_rejected_with_seq_echo(
+        len in 1usize..8192,
+        which_idx in 0usize..3,
+    ) {
+        let engine = stub_engine();
+        let which = ["experiment", "platform", "fidelity"][which_idx];
+        let junk = "Z".repeat(len);
+        let mut env = Envelope::new("run").seq("big");
+        for field in ["experiment", "platform", "fidelity"] {
+            let value = if field == which {
+                Json::str(&junk)
+            } else {
+                match field {
+                    "experiment" => Json::str("E1"),
+                    "platform" => Json::str("snb"),
+                    _ => Json::str("quick"),
+                }
+            };
+            env = env.field(field, value);
+        }
+        let reply = dispatch_line(&engine, &env.to_line());
+        assert_well_formed("oversized field", &reply);
+        assert_eq!(reply.kind, "error", "junk {which} of len {len} accepted");
+        assert_eq!(reply.seq.as_deref(), Some("big"), "seq must be echoed on rejection");
+        assert_serviceable(&engine);
+    }
+
+    /// Garbage interleaved with valid traffic on one engine: every
+    /// valid request still succeeds, every garbage line gets exactly an
+    /// error envelope, and nothing the garbage did perturbs dispatch of
+    /// the requests around it.
+    #[test]
+    fn garbage_between_valid_requests_does_not_perturb_them(
+        picks in proptest::collection::vec(0usize..5, 1usize..24),
+    ) {
+        let engine = stub_engine();
+        for (i, &pick) in picks.iter().enumerate() {
+            let seq = format!("s{i}");
+            match pick {
+                0 => {
+                    let reply = dispatch_line(&engine, &valid_run_line(&seq));
+                    assert_eq!(reply.kind, "result", "valid run failed after garbage");
+                    assert_eq!(reply.seq.as_deref(), Some(seq.as_str()));
+                }
+                1 => {
+                    let reply = dispatch_line(&engine, "");
+                    assert_eq!(reply.kind, "error");
+                }
+                2 => {
+                    let reply = dispatch_line(&engine, "{\"v\":1,\"kind\":\"run\"");
+                    assert_eq!(reply.kind, "error");
+                }
+                3 => {
+                    let reply =
+                        dispatch_line(&engine, "\u{0}\u{1}\u{2} not json at all \u{fffd}");
+                    assert_eq!(reply.kind, "error");
+                }
+                _ => {
+                    let line = format!("{{\"v\":1,\"kind\":\"nope\",\"seq\":\"{seq}\"}}");
+                    let reply = dispatch_line(&engine, &line);
+                    assert_eq!(reply.kind, "error");
+                    assert_eq!(reply.seq.as_deref(), Some(seq.as_str()));
+                }
+            }
+        }
+        assert_serviceable(&engine);
+    }
+}

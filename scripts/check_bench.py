@@ -62,8 +62,9 @@ def main() -> int:
         f"quick sweep: baseline {base_ms} ms, candidate {cand_ms} ms "
         f"({change:+.1f}%, limit +{max_regress:.0f}%)"
     )
-    for micro in candidate.get("memsys", []):
-        print(f"  {micro.get('id', '?'):<24} {micro.get('mops_per_s', 0):>10} Mops/s")
+    for section in ("memsys", "service"):
+        for micro in candidate.get(section, []):
+            print(f"  {micro.get('id', '?'):<32} {micro.get('mops_per_s', 0):>10} Mops/s")
 
     if change > max_regress:
         print(
