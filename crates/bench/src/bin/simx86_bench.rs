@@ -105,13 +105,40 @@ fn main() -> ExitCode {
     }
 
     let json = harness::render_json(&micro, &service, &sweeps, PRE_PR_FULL_MS, PRE_PR_QUICK_MS);
-    match std::fs::File::create(&args.out).and_then(|mut f| f.write_all(json.as_bytes())) {
+    if let Err(e) =
+        std::fs::File::create(&args.out).and_then(|mut f| f.write_all(json.as_bytes()))
+    {
+        eprintln!("failed to write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", args.out);
+
+    // Every run also appends one dated line to the sibling history log, so
+    // the perf trajectory across PRs survives the snapshot being
+    // regenerated in place.
+    let history = match args.out.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.history.jsonl"),
+        None => format!("{}.history.jsonl", args.out),
+    };
+    let line = harness::render_history_line(
+        &micro,
+        &service,
+        &sweeps,
+        &harness::utc_date_today(),
+        args.scale,
+    );
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history)
+        .and_then(|mut f| f.write_all(line.as_bytes()))
+    {
         Ok(()) => {
-            eprintln!("wrote {}", args.out);
+            eprintln!("appended {history}");
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("failed to write {}: {e}", args.out);
+            eprintln!("failed to append {history}: {e}");
             ExitCode::FAILURE
         }
     }

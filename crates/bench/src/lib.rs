@@ -36,7 +36,8 @@ pub mod harness {
     use experiments::registry::Experiment;
     use experiments::sweep::{run_sweep, SweepConfig};
     use simx86::config::sandy_bridge;
-    use simx86::isa::{Precision, Reg, VecWidth};
+    use simx86::isa::{FpOp, Precision, Reg, VecWidth};
+    use simx86::prelude::PatOp;
     use simx86::Machine;
 
     const W: VecWidth = VecWidth::Y256;
@@ -84,9 +85,13 @@ pub mod harness {
         time_machine("l1_hit_stream", |m| {
             let buf = m.alloc(4096);
             m.run(0, |cpu| {
-                for i in 0..accesses {
-                    cpu.load(Reg::new(0), buf.at((i * 32) % 4096), W, P);
+                // One `load_run` per page pass: the same address sequence
+                // as the scalar loop, batched 128 accesses at a time.
+                let per_pass = 4096 / 32;
+                for _ in 0..accesses / per_pass {
+                    cpu.load_run(Reg::new(0), buf.at(0), 32, W, P, per_pass);
                 }
+                cpu.load_run(Reg::new(0), buf.at(0), 32, W, P, accesses % per_pass);
             });
             accesses
         })
@@ -98,9 +103,7 @@ pub mod harness {
         time_machine("dram_stream", |m| {
             let buf = m.alloc(accesses * 32);
             m.run(0, |cpu| {
-                for i in 0..accesses {
-                    cpu.load(Reg::new(0), buf.at(i * 32), W, P);
-                }
+                cpu.load_run(Reg::new(0), buf.at(0), 32, W, P, accesses);
             });
             accesses
         })
@@ -112,9 +115,7 @@ pub mod harness {
             m.set_prefetch(false, false);
             let buf = m.alloc(accesses * 32);
             m.run(0, |cpu| {
-                for i in 0..accesses {
-                    cpu.load(Reg::new(0), buf.at(i * 32), W, P);
-                }
+                cpu.load_run(Reg::new(0), buf.at(0), 32, W, P, accesses);
             });
             accesses
         })
@@ -125,9 +126,7 @@ pub mod harness {
         time_machine("store_stream", |m| {
             let buf = m.alloc(accesses * 32);
             m.run(0, |cpu| {
-                for i in 0..accesses {
-                    cpu.store(buf.at(i * 32), Reg::new(8), W, P);
-                }
+                cpu.store_run(Reg::new(8), buf.at(0), 32, W, P, accesses);
             });
             accesses
         })
@@ -146,7 +145,20 @@ pub mod harness {
     pub fn bench_fp_ports(instrs: u64) -> MicroResult {
         time_machine("fp_ports", |m| {
             m.run(0, |cpu| {
-                for i in 0..instrs {
+                // The scalar loop's 8-instruction period (alternating
+                // add/mul over rotating destinations) as one pattern; the
+                // steady-state jump retires almost the whole run closed
+                // form.
+                let pat: Vec<PatOp> = (0..8u8)
+                    .map(|i| PatOp::Fp {
+                        op: if i % 2 == 0 { FpOp::Add } else { FpOp::Mul },
+                        dst: Reg::new(i),
+                        a: Reg::new(14),
+                        b: Reg::new(15),
+                    })
+                    .collect();
+                cpu.run_pattern(&pat, W, P, instrs / 8);
+                for i in (instrs / 8) * 8..instrs {
                     let d = Reg::new((i % 8) as u8);
                     if i % 2 == 0 {
                         cpu.fadd(d, Reg::new(14), Reg::new(15), W, P);
@@ -317,6 +329,62 @@ pub mod harness {
         s
     }
 
+    /// One dated line for `BENCH_simx86.history.jsonl`: the same
+    /// measurements as the main document, flattened to a single
+    /// schema-versioned object so successive runs append cheaply and
+    /// later format changes can coexist in one file.
+    pub fn render_history_line(
+        micro: &[MicroResult],
+        service: &[MicroResult],
+        sweeps: &[SweepResult],
+        date: &str,
+        scale: u64,
+    ) -> String {
+        let mut s = format!("{{\"schema\": 1, \"date\": \"{date}\", \"scale\": {scale}, \"micro\": {{");
+        for (i, r) in micro.iter().chain(service).enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {:.2}", r.id, r.mops_per_s));
+        }
+        s.push_str("}, \"sweep_wall_ms\": {");
+        for (i, r) in sweeps.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {}", r.fidelity, r.wall_ms));
+        }
+        s.push_str("}}\n");
+        s
+    }
+
+    /// Proleptic-Gregorian date for a day count since 1970-01-01
+    /// (days-to-civil conversion; exact for any non-negative day count).
+    fn civil_from_days(days: u64) -> String {
+        let z = days + 719_468;
+        let era = z / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = doy - (153 * mp + 2) / 5 + 1;
+        let (y, m) = if mp < 10 {
+            (yoe + era * 400, mp + 3)
+        } else {
+            (yoe + era * 400 + 1, mp - 9)
+        };
+        format!("{y:04}-{m:02}-{d:02}")
+    }
+
+    /// Today's UTC date, `YYYY-MM-DD`, without a calendar dependency.
+    pub fn utc_date_today() -> String {
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        civil_from_days(secs / 86_400)
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -327,6 +395,40 @@ pub mod harness {
                 assert!(r.mops_per_s > 0.0, "{} reported no rate", r.id);
                 assert!(r.ops > 0);
             }
+        }
+
+        #[test]
+        fn civil_dates_match_the_calendar() {
+            assert_eq!(civil_from_days(0), "1970-01-01");
+            assert_eq!(civil_from_days(20_000), "2024-10-04");
+            assert_eq!(civil_from_days(20_662), "2026-07-28");
+            assert_eq!(utc_date_today().len(), 10);
+        }
+
+        #[test]
+        fn history_line_is_one_dated_json_object() {
+            let micro = vec![MicroResult {
+                id: "dram_stream",
+                mops_per_s: 14.75,
+                ops: 300_000,
+            }];
+            let service = vec![MicroResult {
+                id: "service_cached_hit",
+                mops_per_s: 1.75,
+                ops: 30_000,
+            }];
+            let sweeps = vec![SweepResult {
+                fidelity: "quick",
+                wall_ms: 8_000,
+                experiments: 18,
+            }];
+            let line = render_history_line(&micro, &service, &sweeps, "2026-08-08", 200_000);
+            assert!(line.ends_with("}\n"));
+            assert_eq!(line.lines().count(), 1);
+            assert!(line.contains("\"schema\": 1"));
+            assert!(line.contains("\"date\": \"2026-08-08\""));
+            assert!(line.contains("\"dram_stream\": 14.75, \"service_cached_hit\": 1.75"));
+            assert!(line.contains("\"sweep_wall_ms\": {\"quick\": 8000}"));
         }
 
         #[test]

@@ -3,7 +3,8 @@
 
 use crate::util::{chunk_range, r};
 use crate::Kernel;
-use simx86::isa::{Precision, VecWidth};
+use simx86::cpu::PatOp;
+use simx86::isa::{FpOp, Precision, VecWidth};
 use simx86::{Buffer, Cpu, Machine};
 
 const P: Precision = Precision::F64;
@@ -157,23 +158,24 @@ impl Kernel for Daxpy {
 
     fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
         let range = chunk_range(self.n, chunk, nchunks);
-        let mut i = range.start;
-        // r15 holds alpha (kept resident, no reload).
-        while i + 4 <= range.end {
-            cpu.load(r(0), self.x.f64_at(i), W4, P);
-            cpu.load(r(1), self.y.f64_at(i), W4, P);
-            cpu.fmul(r(2), r(0), r(15), W4, P);
-            cpu.fadd(r(3), r(1), r(2), W4, P);
-            cpu.store(self.y.f64_at(i), r(3), W4, P);
-            i += 4;
+        if range.start >= range.end {
+            return;
         }
-        while i < range.end {
-            cpu.load(r(0), self.x.f64_at(i), WS, P);
-            cpu.load(r(1), self.y.f64_at(i), WS, P);
-            cpu.fmul(r(2), r(0), r(15), WS, P);
-            cpu.fadd(r(3), r(1), r(2), WS, P);
-            cpu.store(self.y.f64_at(i), r(3), WS, P);
-            i += 1;
+        let groups = (range.end - range.start) / 4;
+        // r15 holds alpha (kept resident, no reload).
+        let pat = |i: u64, stride: u64| {
+            [
+                PatOp::Load { dst: r(0), base: self.x.f64_at(i), stride },
+                PatOp::Load { dst: r(1), base: self.y.f64_at(i), stride },
+                PatOp::Fp { op: FpOp::Mul, dst: r(2), a: r(0), b: r(15) },
+                PatOp::Fp { op: FpOp::Add, dst: r(3), a: r(1), b: r(2) },
+                PatOp::Store { src: r(3), base: self.y.f64_at(i), stride },
+            ]
+        };
+        cpu.run_pattern(&pat(range.start, 32), W4, P, groups);
+        let tail = range.start + groups * 4;
+        if tail < range.end {
+            cpu.run_pattern(&pat(tail, 8), WS, P, range.end - tail);
         }
     }
 }
@@ -232,30 +234,52 @@ impl Kernel for Ddot {
         // cross-chunk combine is negligible and omitted (the same choice a
         // parallel BLAS makes, with the final combine on one thread).
         let range = chunk_range(self.n, chunk, nchunks);
-        let mut i = range.start;
+        if range.start >= range.end {
+            return;
+        }
+        let groups = (range.end - range.start) / 4;
+        // Four rotating accumulators: one pattern iteration covers four
+        // vector groups, so the accumulator index is fixed per slot.
+        if groups >= 4 {
+            let mut super_pat = Vec::with_capacity(16);
+            for q in 0..4u64 {
+                super_pat.push(PatOp::Load {
+                    dst: r(4),
+                    base: self.x.f64_at(range.start + 4 * q),
+                    stride: 128,
+                });
+                super_pat.push(PatOp::Load {
+                    dst: r(5),
+                    base: self.y.f64_at(range.start + 4 * q),
+                    stride: 128,
+                });
+                super_pat.push(PatOp::Fp { op: FpOp::Mul, dst: r(6), a: r(4), b: r(5) });
+                super_pat.push(PatOp::Fp { op: FpOp::Add, dst: r(q as u8), a: r(q as u8), b: r(6) });
+            }
+            cpu.run_pattern(&super_pat, W4, P, groups / 4);
+        }
+        let mut i = range.start + (groups / 4) * 16;
         let mut acc = 0u8;
-        let mut vectorized = false;
         while i + 4 <= range.end {
             cpu.load(r(4), self.x.f64_at(i), W4, P);
             cpu.load(r(5), self.y.f64_at(i), W4, P);
             cpu.fmul(r(6), r(4), r(5), W4, P);
             cpu.fadd(r(acc), r(acc), r(6), W4, P);
             acc = (acc + 1) % 4;
-            vectorized = true;
             i += 4;
         }
-        if vectorized && nchunks == 1 {
-            emit_reduction(cpu);
-        } else if vectorized {
+        if groups > 0 {
             // Parallel chunks still pay their local reduction.
             emit_reduction(cpu);
         }
-        while i < range.end {
-            cpu.load(r(4), self.x.f64_at(i), WS, P);
-            cpu.load(r(5), self.y.f64_at(i), WS, P);
-            cpu.fmul(r(6), r(4), r(5), WS, P);
-            cpu.fadd(r(7), r(7), r(6), WS, P);
-            i += 1;
+        if i < range.end {
+            let tail = [
+                PatOp::Load { dst: r(4), base: self.x.f64_at(i), stride: 8 },
+                PatOp::Load { dst: r(5), base: self.y.f64_at(i), stride: 8 },
+                PatOp::Fp { op: FpOp::Mul, dst: r(6), a: r(4), b: r(5) },
+                PatOp::Fp { op: FpOp::Add, dst: r(7), a: r(7), b: r(6) },
+            ];
+            cpu.run_pattern(&tail, WS, P, range.end - i);
         }
     }
 }
@@ -309,18 +333,21 @@ impl Kernel for Dscal {
 
     fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
         let range = chunk_range(self.n, chunk, nchunks);
-        let mut i = range.start;
-        while i + 4 <= range.end {
-            cpu.load(r(0), self.x.f64_at(i), W4, P);
-            cpu.fmul(r(1), r(0), r(15), W4, P);
-            cpu.store(self.x.f64_at(i), r(1), W4, P);
-            i += 4;
+        if range.start >= range.end {
+            return;
         }
-        while i < range.end {
-            cpu.load(r(0), self.x.f64_at(i), WS, P);
-            cpu.fmul(r(1), r(0), r(15), WS, P);
-            cpu.store(self.x.f64_at(i), r(1), WS, P);
-            i += 1;
+        let groups = (range.end - range.start) / 4;
+        let pat = |i: u64, stride: u64| {
+            [
+                PatOp::Load { dst: r(0), base: self.x.f64_at(i), stride },
+                PatOp::Fp { op: FpOp::Mul, dst: r(1), a: r(0), b: r(15) },
+                PatOp::Store { src: r(1), base: self.x.f64_at(i), stride },
+            ]
+        };
+        cpu.run_pattern(&pat(range.start, 32), W4, P, groups);
+        let tail = range.start + groups * 4;
+        if tail < range.end {
+            cpu.run_pattern(&pat(tail, 8), WS, P, range.end - tail);
         }
     }
 }
@@ -384,20 +411,29 @@ impl Kernel for Dcopy {
 
     fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
         let range = chunk_range(self.n, chunk, nchunks);
-        let mut i = range.start;
-        while i + 4 <= range.end {
-            cpu.load(r(0), self.x.f64_at(i), W4, P);
-            if self.nt {
-                cpu.store_nt(self.y.f64_at(i), r(0), W4, P);
-            } else {
-                cpu.store(self.y.f64_at(i), r(0), W4, P);
-            }
-            i += 4;
+        if range.start >= range.end {
+            return;
         }
-        while i < range.end {
-            cpu.load(r(0), self.x.f64_at(i), WS, P);
-            cpu.store(self.y.f64_at(i), r(0), WS, P);
-            i += 1;
+        let groups = (range.end - range.start) / 4;
+        let store = |base: u64, stride: u64, nt: bool| {
+            if nt {
+                PatOp::StoreNt { src: r(0), base, stride }
+            } else {
+                PatOp::Store { src: r(0), base, stride }
+            }
+        };
+        let vec_pat = [
+            PatOp::Load { dst: r(0), base: self.x.f64_at(range.start), stride: 32 },
+            store(self.y.f64_at(range.start), 32, self.nt),
+        ];
+        cpu.run_pattern(&vec_pat, W4, P, groups);
+        let tail = range.start + groups * 4;
+        if tail < range.end {
+            let tail_pat = [
+                PatOp::Load { dst: r(0), base: self.x.f64_at(tail), stride: 8 },
+                store(self.y.f64_at(tail), 8, false),
+            ];
+            cpu.run_pattern(&tail_pat, WS, P, range.end - tail);
         }
     }
 }
@@ -463,26 +499,28 @@ impl Kernel for Triad {
 
     fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
         let range = chunk_range(self.n, chunk, nchunks);
-        let mut i = range.start;
-        while i + 4 <= range.end {
-            cpu.load(r(0), self.b.f64_at(i), W4, P);
-            cpu.load(r(1), self.c.f64_at(i), W4, P);
-            cpu.fmul(r(2), r(1), r(15), W4, P);
-            cpu.fadd(r(3), r(0), r(2), W4, P);
-            if self.nt {
-                cpu.store_nt(self.a.f64_at(i), r(3), W4, P);
-            } else {
-                cpu.store(self.a.f64_at(i), r(3), W4, P);
-            }
-            i += 4;
+        if range.start >= range.end {
+            return;
         }
-        while i < range.end {
-            cpu.load(r(0), self.b.f64_at(i), WS, P);
-            cpu.load(r(1), self.c.f64_at(i), WS, P);
-            cpu.fmul(r(2), r(1), r(15), WS, P);
-            cpu.fadd(r(3), r(0), r(2), WS, P);
-            cpu.store(self.a.f64_at(i), r(3), WS, P);
-            i += 1;
+        let groups = (range.end - range.start) / 4;
+        let pat = |i: u64, stride: u64, nt: bool| {
+            let store = if nt {
+                PatOp::StoreNt { src: r(3), base: self.a.f64_at(i), stride }
+            } else {
+                PatOp::Store { src: r(3), base: self.a.f64_at(i), stride }
+            };
+            [
+                PatOp::Load { dst: r(0), base: self.b.f64_at(i), stride },
+                PatOp::Load { dst: r(1), base: self.c.f64_at(i), stride },
+                PatOp::Fp { op: FpOp::Mul, dst: r(2), a: r(1), b: r(15) },
+                PatOp::Fp { op: FpOp::Add, dst: r(3), a: r(0), b: r(2) },
+                store,
+            ]
+        };
+        cpu.run_pattern(&pat(range.start, 32, self.nt), W4, P, groups);
+        let tail = range.start + groups * 4;
+        if tail < range.end {
+            cpu.run_pattern(&pat(tail, 8, false), WS, P, range.end - tail);
         }
     }
 }
@@ -536,23 +574,40 @@ impl Kernel for Dsum {
 
     fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
         let range = chunk_range(self.n, chunk, nchunks);
-        let mut i = range.start;
+        if range.start >= range.end {
+            return;
+        }
+        let groups = (range.end - range.start) / 4;
+        // Four rotating accumulators, unrolled into one pattern iteration.
+        if groups >= 4 {
+            let mut super_pat = Vec::with_capacity(8);
+            for q in 0..4u64 {
+                super_pat.push(PatOp::Load {
+                    dst: r(4),
+                    base: self.x.f64_at(range.start + 4 * q),
+                    stride: 128,
+                });
+                super_pat.push(PatOp::Fp { op: FpOp::Add, dst: r(q as u8), a: r(q as u8), b: r(4) });
+            }
+            cpu.run_pattern(&super_pat, W4, P, groups / 4);
+        }
+        let mut i = range.start + (groups / 4) * 16;
         let mut acc = 0u8;
-        let mut vectorized = false;
         while i + 4 <= range.end {
             cpu.load(r(4), self.x.f64_at(i), W4, P);
             cpu.fadd(r(acc), r(acc), r(4), W4, P);
             acc = (acc + 1) % 4;
-            vectorized = true;
             i += 4;
         }
-        if vectorized {
+        if groups > 0 {
             emit_reduction(cpu);
         }
-        while i < range.end {
-            cpu.load(r(4), self.x.f64_at(i), WS, P);
-            cpu.fadd(r(7), r(7), r(4), WS, P);
-            i += 1;
+        if i < range.end {
+            let tail = [
+                PatOp::Load { dst: r(4), base: self.x.f64_at(i), stride: 8 },
+                PatOp::Fp { op: FpOp::Add, dst: r(7), a: r(7), b: r(4) },
+            ];
+            cpu.run_pattern(&tail, WS, P, range.end - i);
         }
     }
 }
@@ -611,22 +666,23 @@ impl Kernel for Saxpy {
     fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
         const PF: Precision = Precision::F32;
         let range = chunk_range(self.n, chunk, nchunks);
-        let mut i = range.start;
-        while i + 8 <= range.end {
-            cpu.load(r(0), self.x.f32_at(i), W4, PF);
-            cpu.load(r(1), self.y.f32_at(i), W4, PF);
-            cpu.fmul(r(2), r(0), r(15), W4, PF);
-            cpu.fadd(r(3), r(1), r(2), W4, PF);
-            cpu.store(self.y.f32_at(i), r(3), W4, PF);
-            i += 8;
+        if range.start >= range.end {
+            return;
         }
-        while i < range.end {
-            cpu.load(r(0), self.x.f32_at(i), WS, PF);
-            cpu.load(r(1), self.y.f32_at(i), WS, PF);
-            cpu.fmul(r(2), r(0), r(15), WS, PF);
-            cpu.fadd(r(3), r(1), r(2), WS, PF);
-            cpu.store(self.y.f32_at(i), r(3), WS, PF);
-            i += 1;
+        let groups = (range.end - range.start) / 8;
+        let pat = |i: u64, stride: u64| {
+            [
+                PatOp::Load { dst: r(0), base: self.x.f32_at(i), stride },
+                PatOp::Load { dst: r(1), base: self.y.f32_at(i), stride },
+                PatOp::Fp { op: FpOp::Mul, dst: r(2), a: r(0), b: r(15) },
+                PatOp::Fp { op: FpOp::Add, dst: r(3), a: r(1), b: r(2) },
+                PatOp::Store { src: r(3), base: self.y.f32_at(i), stride },
+            ]
+        };
+        cpu.run_pattern(&pat(range.start, 32), W4, PF, groups);
+        let tail = range.start + groups * 8;
+        if tail < range.end {
+            cpu.run_pattern(&pat(tail, 4), WS, PF, range.end - tail);
         }
     }
 }

@@ -2,7 +2,8 @@
 
 use crate::util::{chunk_range, r};
 use crate::Kernel;
-use simx86::isa::{Precision, VecWidth};
+use simx86::cpu::PatOp;
+use simx86::isa::{FpOp, Precision, VecWidth};
 use simx86::{Buffer, Cpu, Machine};
 
 const P: Precision = Precision::F64;
@@ -109,9 +110,34 @@ impl Kernel for Dgemv {
         let rows = chunk_range(self.m, chunk, nchunks);
         for i in rows {
             let row_base = i * self.n;
-            let mut j = 0;
-            let mut acc = 0u8;
             let nv = self.n / 4;
+            // Four rotating accumulators, unrolled into one pattern
+            // iteration of four vector groups (the ddot shape).
+            if nv >= 4 {
+                let mut super_pat = Vec::with_capacity(16);
+                for q in 0..4u64 {
+                    super_pat.push(PatOp::Load {
+                        dst: r(4),
+                        base: self.a.f64_at(row_base + 4 * q),
+                        stride: 128,
+                    });
+                    super_pat.push(PatOp::Load {
+                        dst: r(5),
+                        base: self.x.f64_at(4 * q),
+                        stride: 128,
+                    });
+                    super_pat.push(PatOp::Fp { op: FpOp::Mul, dst: r(6), a: r(4), b: r(5) });
+                    super_pat.push(PatOp::Fp {
+                        op: FpOp::Add,
+                        dst: r(q as u8),
+                        a: r(q as u8),
+                        b: r(6),
+                    });
+                }
+                cpu.run_pattern(&super_pat, W4, P, nv / 4);
+            }
+            let mut j = (nv / 4) * 16;
+            let mut acc = 0u8;
             while j + 4 <= self.n {
                 cpu.load(r(4), self.a.f64_at(row_base + j), W4, P);
                 cpu.load(r(5), self.x.f64_at(j), W4, P);
@@ -128,12 +154,14 @@ impl Kernel for Dgemv {
                 cpu.fadd(r(0), r(0), r(0), VecWidth::X128, P);
                 cpu.fadd(r(0), r(0), r(0), WS, P);
             }
-            while j < self.n {
-                cpu.load(r(4), self.a.f64_at(row_base + j), WS, P);
-                cpu.load(r(5), self.x.f64_at(j), WS, P);
-                cpu.fmul(r(6), r(4), r(5), WS, P);
-                cpu.fadd(r(0), r(0), r(6), WS, P);
-                j += 1;
+            if j < self.n {
+                let tail = [
+                    PatOp::Load { dst: r(4), base: self.a.f64_at(row_base + j), stride: 8 },
+                    PatOp::Load { dst: r(5), base: self.x.f64_at(j), stride: 8 },
+                    PatOp::Fp { op: FpOp::Mul, dst: r(6), a: r(4), b: r(5) },
+                    PatOp::Fp { op: FpOp::Add, dst: r(0), a: r(0), b: r(6) },
+                ];
+                cpu.run_pattern(&tail, WS, P, self.n - j);
             }
             // y[i] += acc.
             cpu.load(r(7), self.y.f64_at(i), WS, P);

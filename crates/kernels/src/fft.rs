@@ -7,7 +7,8 @@
 
 use crate::util::r;
 use crate::Kernel;
-use simx86::isa::{Precision, VecWidth};
+use simx86::cpu::PatOp;
+use simx86::isa::{FpOp, Precision, VecWidth};
 use simx86::{Buffer, Cpu, Machine};
 
 const P: Precision = Precision::F64;
@@ -120,32 +121,52 @@ impl Fft {
         self.n.trailing_zeros() as u64
     }
 
-    /// Emits one butterfly (or four, when `w` is [`VecWidth::Y256`]).
-    /// `ta`/`tb` are the element indices of the butterfly top/bottom;
-    /// `tw` is the twiddle index.
-    fn butterfly(&self, cpu: &mut Cpu<'_>, ta: u64, tb: u64, tw: u64, w: VecWidth) {
-        cpu.load(r(0), self.tw_re.f64_at(tw), w, P);
-        cpu.load(r(1), self.tw_im.f64_at(tw), w, P);
-        cpu.load(r(2), self.re.f64_at(tb), w, P);
-        cpu.load(r(3), self.im.f64_at(tb), w, P);
-        cpu.load(r(4), self.re.f64_at(ta), w, P);
-        cpu.load(r(5), self.im.f64_at(ta), w, P);
-        // t = x[b] * w (complex).
-        cpu.fmul(r(6), r(2), r(0), w, P);
-        cpu.fmul(r(8), r(3), r(1), w, P);
-        cpu.fadd(r(6), r(6), r(8), w, P); // t_re = re*wre - im*wim
-        cpu.fmul(r(7), r(2), r(1), w, P);
-        cpu.fmul(r(9), r(3), r(0), w, P);
-        cpu.fadd(r(7), r(7), r(9), w, P); // t_im
-        // Butterfly combine.
-        cpu.fadd(r(10), r(4), r(6), w, P); // x[a] + t
-        cpu.fadd(r(11), r(5), r(7), w, P);
-        cpu.fadd(r(12), r(4), r(6), w, P); // x[a] - t
-        cpu.fadd(r(13), r(5), r(7), w, P);
-        cpu.store(self.re.f64_at(ta), r(10), w, P);
-        cpu.store(self.im.f64_at(ta), r(11), w, P);
-        cpu.store(self.re.f64_at(tb), r(12), w, P);
-        cpu.store(self.im.f64_at(tb), r(13), w, P);
+    /// Emits a strided run of butterflies (four per iteration when `w` is
+    /// [`VecWidth::Y256`]). `ta`/`tb` are the element indices of the first
+    /// butterfly's top/bottom; `tw` is its twiddle index; all six streams
+    /// advance by `stride` bytes per iteration.
+    #[allow(clippy::too_many_arguments)]
+    fn butterfly_run(
+        &self,
+        cpu: &mut Cpu<'_>,
+        ta: u64,
+        tb: u64,
+        tw: u64,
+        w: VecWidth,
+        stride: u64,
+        iters: u64,
+    ) {
+        let fp = |op: FpOp, dst: u8, a: u8, b: u8| PatOp::Fp {
+            op,
+            dst: r(dst),
+            a: r(a),
+            b: r(b),
+        };
+        let pat = [
+            PatOp::Load { dst: r(0), base: self.tw_re.f64_at(tw), stride },
+            PatOp::Load { dst: r(1), base: self.tw_im.f64_at(tw), stride },
+            PatOp::Load { dst: r(2), base: self.re.f64_at(tb), stride },
+            PatOp::Load { dst: r(3), base: self.im.f64_at(tb), stride },
+            PatOp::Load { dst: r(4), base: self.re.f64_at(ta), stride },
+            PatOp::Load { dst: r(5), base: self.im.f64_at(ta), stride },
+            // t = x[b] * w (complex).
+            fp(FpOp::Mul, 6, 2, 0),
+            fp(FpOp::Mul, 8, 3, 1),
+            fp(FpOp::Add, 6, 6, 8), // t_re = re*wre - im*wim
+            fp(FpOp::Mul, 7, 2, 1),
+            fp(FpOp::Mul, 9, 3, 0),
+            fp(FpOp::Add, 7, 7, 9), // t_im
+            // Butterfly combine.
+            fp(FpOp::Add, 10, 4, 6), // x[a] + t
+            fp(FpOp::Add, 11, 5, 7),
+            fp(FpOp::Add, 12, 4, 6), // x[a] - t
+            fp(FpOp::Add, 13, 5, 7),
+            PatOp::Store { src: r(10), base: self.re.f64_at(ta), stride },
+            PatOp::Store { src: r(11), base: self.im.f64_at(ta), stride },
+            PatOp::Store { src: r(12), base: self.re.f64_at(tb), stride },
+            PatOp::Store { src: r(13), base: self.im.f64_at(tb), stride },
+        ];
+        cpu.run_pattern(&pat, w, P, iters);
     }
 }
 
@@ -192,20 +213,20 @@ impl Kernel for Fft {
             while start < n {
                 let mut j = 0;
                 if self.vectorized && half >= 4 {
-                    while j + 4 <= half {
-                        self.butterfly(
-                            cpu,
-                            start + j,
-                            start + j + half,
-                            tw_base + j,
-                            W4,
-                        );
-                        j += 4;
-                    }
+                    let vec_iters = half / 4;
+                    self.butterfly_run(cpu, start, start + half, tw_base, W4, 32, vec_iters);
+                    j = vec_iters * 4;
                 }
-                while j < half {
-                    self.butterfly(cpu, start + j, start + j + half, tw_base + j, WS);
-                    j += 1;
+                if j < half {
+                    self.butterfly_run(
+                        cpu,
+                        start + j,
+                        start + j + half,
+                        tw_base + j,
+                        WS,
+                        8,
+                        half - j,
+                    );
                 }
                 start += len;
             }

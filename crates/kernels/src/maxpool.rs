@@ -10,7 +10,8 @@
 
 use crate::util::{chunk_range, r};
 use crate::Kernel;
-use simx86::isa::{Precision, VecWidth};
+use simx86::cpu::PatOp;
+use simx86::isa::{FpOp, Precision, VecWidth};
 use simx86::{Buffer, Cpu, Machine};
 
 const P: Precision = Precision::F64;
@@ -86,15 +87,31 @@ impl Kernel for MaxPool1d {
 
     fn emit_chunk(&self, cpu: &mut Cpu<'_>, chunk: u64, nchunks: u64) {
         let outs = chunk_range(self.n / 4, chunk, nchunks);
-        for o in outs {
-            let base = o * 4;
-            cpu.load(r(0), self.x.f64_at(base), WS, P);
-            for t in 1..4 {
-                cpu.load(r(1), self.x.f64_at(base + t), WS, P);
-                cpu.fmax(r(0), r(0), r(1), WS, P);
-            }
-            cpu.store(self.out.f64_at(o), r(0), WS, P);
+        if outs.start >= outs.end {
+            return;
         }
+        // One pattern iteration per pooling window: the input streams
+        // advance a whole window (32 bytes) per iteration, the output one
+        // element.
+        let mut pat = vec![PatOp::Load {
+            dst: r(0),
+            base: self.x.f64_at(outs.start * 4),
+            stride: 32,
+        }];
+        for t in 1..4 {
+            pat.push(PatOp::Load {
+                dst: r(1),
+                base: self.x.f64_at(outs.start * 4 + t),
+                stride: 32,
+            });
+            pat.push(PatOp::Fp { op: FpOp::MinMax, dst: r(0), a: r(0), b: r(1) });
+        }
+        pat.push(PatOp::Store {
+            src: r(0),
+            base: self.out.f64_at(outs.start),
+            stride: 8,
+        });
+        cpu.run_pattern(&pat, WS, P, outs.end - outs.start);
     }
 }
 

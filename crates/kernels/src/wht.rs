@@ -3,7 +3,8 @@
 
 use crate::util::r;
 use crate::Kernel;
-use simx86::isa::{Precision, VecWidth};
+use simx86::cpu::PatOp;
+use simx86::isa::{FpOp, Precision, VecWidth};
 use simx86::{Buffer, Cpu, Machine};
 
 const P: Precision = Precision::F64;
@@ -57,13 +58,18 @@ impl Wht {
         }
     }
 
-    fn butterfly(&self, cpu: &mut Cpu<'_>, a: u64, b: u64, w: VecWidth) {
-        cpu.load(r(0), self.x.f64_at(a), w, P);
-        cpu.load(r(1), self.x.f64_at(b), w, P);
-        cpu.fadd(r(2), r(0), r(1), w, P);
-        cpu.fadd(r(3), r(0), r(1), w, P); // subtraction counts as add
-        cpu.store(self.x.f64_at(a), r(2), w, P);
-        cpu.store(self.x.f64_at(b), r(3), w, P);
+    /// A strided run of butterflies starting at elements `(a, b)`: the
+    /// whole inner `j` loop of one (stage, block) pair as one pattern.
+    fn butterfly_run(&self, cpu: &mut Cpu<'_>, a: u64, b: u64, w: VecWidth, stride: u64, iters: u64) {
+        let pat = [
+            PatOp::Load { dst: r(0), base: self.x.f64_at(a), stride },
+            PatOp::Load { dst: r(1), base: self.x.f64_at(b), stride },
+            PatOp::Fp { op: FpOp::Add, dst: r(2), a: r(0), b: r(1) },
+            PatOp::Fp { op: FpOp::Add, dst: r(3), a: r(0), b: r(1) }, // subtraction counts as add
+            PatOp::Store { src: r(2), base: self.x.f64_at(a), stride },
+            PatOp::Store { src: r(3), base: self.x.f64_at(b), stride },
+        ];
+        cpu.run_pattern(&pat, w, P, iters);
     }
 }
 
@@ -107,14 +113,12 @@ impl Kernel for Wht {
             while start < n {
                 let mut j = 0;
                 if self.vectorized && half >= 4 {
-                    while j + 4 <= half {
-                        self.butterfly(cpu, start + j, start + j + half, W4);
-                        j += 4;
-                    }
+                    let vec_iters = half / 4;
+                    self.butterfly_run(cpu, start, start + half, W4, 32, vec_iters);
+                    j = vec_iters * 4;
                 }
-                while j < half {
-                    self.butterfly(cpu, start + j, start + j + half, WS);
-                    j += 1;
+                if j < half {
+                    self.butterfly_run(cpu, start + j, start + j + half, WS, 8, half - j);
                 }
                 start += len;
             }

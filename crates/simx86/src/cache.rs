@@ -117,9 +117,99 @@ impl Cache {
         false
     }
 
+    /// `n` consecutive hits to a resident line, folded into one update.
+    ///
+    /// Observationally equivalent to calling [`Self::access`]`(line, write)`
+    /// `n` times when the line is resident and nothing else touches the
+    /// cache in between: the tick advances by `n`, the line's stamp lands on
+    /// the final tick, dirtiness accumulates with OR, the hit counter grows
+    /// by `n`, and the MRU hint ends on this line's way — exactly the state
+    /// the per-access loop leaves behind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident (the batched caller must have
+    /// proved residency, e.g. via the L1 hint list).
+    pub fn access_repeat(&mut self, line: u64, write: bool, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.tick += n;
+        let set = self.set_of(line);
+        let slot = self
+            .probe(set, line)
+            .expect("access_repeat requires a resident line");
+        self.stamp[slot] = self.tick;
+        if write {
+            self.dirty[slot] = true;
+        }
+        self.stats.hits += n;
+        self.mru_way[set] = (slot - set * self.ways) as u32;
+    }
+
     /// Checks residency without touching LRU or stats.
     pub fn contains(&self, line: u64) -> bool {
         self.probe(self.set_of(line), line).is_some()
+    }
+
+    /// [`Self::access`] that, on a miss, also reports the slot a
+    /// subsequent fill of `line` would evict — the miss probe walks the
+    /// whole set anyway, so the victim comes for free. The slot stays
+    /// valid until this cache's next mutating operation; redeem it with
+    /// [`Self::fill_at`].
+    pub fn access_or_victim(&mut self, line: u64, write: bool) -> Result<(), usize> {
+        self.tick += 1;
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        let hint = base + self.mru_way[set] as usize;
+        if self.tags[hint] == line {
+            self.stamp[hint] = self.tick;
+            if write {
+                self.dirty[hint] = true;
+            }
+            self.stats.hits += 1;
+            return Ok(());
+        }
+        let mut invalid = None;
+        let mut lru = usize::MAX;
+        let mut oldest = u64::MAX;
+        for slot in base..base + self.ways {
+            let tag = self.tags[slot];
+            if tag == line {
+                self.stamp[slot] = self.tick;
+                if write {
+                    self.dirty[slot] = true;
+                }
+                self.stats.hits += 1;
+                self.mru_way[set] = (slot - base) as u32;
+                return Ok(());
+            }
+            if tag == INVALID_TAG {
+                if invalid.is_none() {
+                    invalid = Some(slot);
+                }
+            } else if self.stamp[slot] < oldest {
+                oldest = self.stamp[slot];
+                lru = slot;
+            }
+        }
+        self.stats.misses += 1;
+        let victim = invalid.unwrap_or(lru);
+        debug_assert!(victim != usize::MAX, "cache set has at least one way");
+        Err(victim)
+    }
+
+    /// Installs `line` in `victim`, previously obtained from
+    /// [`Self::access_or_victim`] with no intervening operation on this
+    /// cache. Identical state evolution to [`Self::fill_absent`]: the
+    /// stamps have not changed since the probe, so the victim choice is
+    /// the one `fill_absent`'s scan would make.
+    pub fn fill_at(&mut self, victim: usize, line: u64, dirty: bool, prefetch: bool) -> Option<Writeback> {
+        debug_assert!(!self.contains(line), "fill_at requires an absent line");
+        self.tick += 1;
+        let set = self.set_of(line);
+        debug_assert_eq!(victim / self.ways, set, "victim slot from another set");
+        self.install(set, victim, line, dirty, prefetch)
     }
 
     /// Installs a line (after a miss was serviced), evicting the LRU way.
@@ -130,8 +220,31 @@ impl Cache {
     pub fn fill(&mut self, line: u64, dirty: bool, prefetch: bool) -> Option<Writeback> {
         self.tick += 1;
         let set = self.set_of(line);
-        // If already present (e.g. raced by a prefetch), just update state.
-        if let Some(slot) = self.probe(set, line) {
+        // One walk over the set decides everything: whether the line is
+        // already present (e.g. raced by a prefetch), the first invalid
+        // way, and the LRU victim. Strict `<` keeps the first-minimal
+        // way, matching `Iterator::min_by_key`; an invalid way always
+        // beats a valid one, matching the old early-break scan.
+        let mut found = None;
+        let mut invalid = None;
+        let mut lru = usize::MAX;
+        let mut oldest = u64::MAX;
+        for slot in self.slot_range(set) {
+            let tag = self.tags[slot];
+            if tag == line {
+                found = Some(slot);
+                break;
+            }
+            if tag == INVALID_TAG {
+                if invalid.is_none() {
+                    invalid = Some(slot);
+                }
+            } else if self.stamp[slot] < oldest {
+                oldest = self.stamp[slot];
+                lru = slot;
+            }
+        }
+        if let Some(slot) = found {
             self.stamp[slot] = self.tick;
             if dirty {
                 self.dirty[slot] = true;
@@ -139,21 +252,77 @@ impl Cache {
             self.mru_way[set] = (slot - set * self.ways) as u32;
             return None;
         }
-        // Prefer an invalid way; otherwise evict the oldest stamp. Strict
-        // `<` keeps the first-minimal way, matching `Iterator::min_by_key`.
-        let mut victim = None;
+        let victim = invalid.unwrap_or(lru);
+        debug_assert!(victim != usize::MAX, "cache set has at least one way");
+        self.install(set, victim, line, dirty, prefetch)
+    }
+
+    /// [`Self::fill`] for a line the caller has just proven absent (by a
+    /// failed `access` or `contains` with no intervening operation): the
+    /// presence scan is skipped, so the victim search can stop at the
+    /// first invalid way. Identical state evolution to `fill` in that
+    /// case — `fill`'s merged scan would have found no matching tag and
+    /// chosen the same first-invalid or first-minimal-stamp victim.
+    pub fn fill_absent(&mut self, line: u64, dirty: bool, prefetch: bool) -> Option<Writeback> {
+        debug_assert!(!self.contains(line), "fill_absent requires an absent line");
+        self.tick += 1;
+        let set = self.set_of(line);
+        let mut victim = usize::MAX;
         let mut oldest = u64::MAX;
         for slot in self.slot_range(set) {
             if self.tags[slot] == INVALID_TAG {
-                victim = Some(slot);
+                victim = slot;
                 break;
             }
             if self.stamp[slot] < oldest {
                 oldest = self.stamp[slot];
-                victim = Some(slot);
+                victim = slot;
             }
         }
-        let victim = victim.expect("cache set has at least one way");
+        debug_assert!(victim != usize::MAX, "cache set has at least one way");
+        self.install(set, victim, line, dirty, prefetch)
+    }
+
+    /// One-scan combination of `contains` and [`Self::fill_absent`] for
+    /// the prefetch path: if `line` is already present, *nothing* changes
+    /// (no tick, no LRU refresh — exactly like a `contains` probe) and
+    /// `None` is returned; otherwise the line is installed as by
+    /// `fill_absent` and `Some(writeback)` is returned. The single walk
+    /// tracks presence and the victim together, so the caller avoids the
+    /// separate `contains` scan.
+    pub fn fill_if_absent(
+        &mut self,
+        line: u64,
+        dirty: bool,
+        prefetch: bool,
+    ) -> Option<Option<Writeback>> {
+        let set = self.set_of(line);
+        let mut invalid = None;
+        let mut lru = usize::MAX;
+        let mut oldest = u64::MAX;
+        for slot in self.slot_range(set) {
+            let tag = self.tags[slot];
+            if tag == line {
+                return None;
+            }
+            if tag == INVALID_TAG {
+                if invalid.is_none() {
+                    invalid = Some(slot);
+                }
+            } else if self.stamp[slot] < oldest {
+                oldest = self.stamp[slot];
+                lru = slot;
+            }
+        }
+        self.tick += 1;
+        let victim = invalid.unwrap_or(lru);
+        debug_assert!(victim != usize::MAX, "cache set has at least one way");
+        Some(self.install(set, victim, line, dirty, prefetch))
+    }
+
+    /// Shared tail of the fill paths: evict `victim`, install `line`.
+    #[inline]
+    fn install(&mut self, set: usize, victim: usize, line: u64, dirty: bool, prefetch: bool) -> Option<Writeback> {
         let wb = if self.tags[victim] != INVALID_TAG && self.dirty[victim] {
             self.stats.writebacks += 1;
             Some(Writeback {

@@ -25,6 +25,19 @@ use crate::isa::{FpOp, Precision, Reg, VecWidth};
 use crate::memsys::{AccessKind, MemSystem};
 use crate::pmu::{CoreCounters, CoreEvent};
 
+mod runs;
+
+pub use runs::PatOp;
+
+/// Port-class indices into [`CoreState`]'s slot trackers (used by the
+/// batched-run machinery to record and replay per-class issue schedules).
+pub(crate) const CLASS_ADD: usize = 0;
+pub(crate) const CLASS_MUL: usize = 1;
+pub(crate) const CLASS_FMA: usize = 2;
+pub(crate) const CLASS_LOAD: usize = 3;
+pub(crate) const CLASS_STORE: usize = 4;
+pub(crate) const NCLASS: usize = 5;
+
 /// Mutable per-core state that persists across run slices.
 #[derive(Debug, Clone)]
 pub struct CoreState {
@@ -88,6 +101,15 @@ struct PortSlots {
 /// longest latency, in practice a few hundred cycles).
 const SLOT_WINDOW: usize = 4096;
 
+/// `x.ceil() as u64` for non-negative `x` below 2^63, without the libm
+/// call the baseline x86-64 target lowers `f64::ceil` to. Sits on the
+/// issue-slot critical path.
+#[inline(always)]
+fn ceil_u64(x: f64) -> u64 {
+    let t = x as u64;
+    t + ((t as f64) < x) as u64
+}
+
 impl PortSlots {
     fn new(ports: u32) -> Self {
         Self {
@@ -129,7 +151,7 @@ impl PortSlots {
     /// holding the slot's port for `occupy` cycles (1 for pipelined ops,
     /// the full latency for unpipelined divides). Returns the start cycle.
     fn issue(&mut self, ready: f64, occupy: f64) -> f64 {
-        let mut c = ready.max(0.0).ceil() as u64;
+        let mut c = ceil_u64(ready.max(0.0));
         if c < self.base {
             c = self.base;
         }
@@ -148,15 +170,17 @@ impl PortSlots {
         // Pipelined ops (`occupy <= 1`) are the overwhelming majority;
         // skipping the ceil/max/convert chain for them shortens the
         // serial dependency path this function sits on.
-        let span = if occupy <= 1.0 {
-            1
-        } else {
-            occupy.ceil() as u64
-        };
+        let span = if occupy <= 1.0 { 1 } else { ceil_u64(occupy) };
         loop {
             if c + span >= self.base + SLOT_WINDOW as u64 {
-                let needed = c + span - (self.base + SLOT_WINDOW as u64) + SLOT_WINDOW as u64 / 4;
-                self.advance(needed);
+                // Quantized slide: always a multiple of W/4, computed in
+                // one step. This makes the post-scan base a pure function
+                // of the largest cycle the scan visits — the batched-run
+                // replay (cpu/runs.rs) reconstructs it from recorded issue
+                // starts alone, with no dependence on scan internals.
+                let quantum = SLOT_WINDOW as u64 / 4;
+                let excess = c + span + 1 - (self.base + SLOT_WINDOW as u64);
+                self.advance(excess.div_ceil(quantum) * quantum);
                 if c < self.base {
                     c = self.base;
                 }
@@ -230,6 +254,17 @@ impl CoreState {
         self.front.max(self.horizon)
     }
 
+    /// The slot tracker of one port class, by index.
+    fn class_ports_mut(&mut self, class: usize) -> &mut PortSlots {
+        match class {
+            CLASS_ADD => &mut self.add_ports,
+            CLASS_MUL => &mut self.mul_ports,
+            CLASS_FMA => &mut self.fma_ports,
+            CLASS_LOAD => &mut self.load_ports,
+            _ => &mut self.store_ports,
+        }
+    }
+
     /// Moves batched retirement events into the PMU bank. Called at the
     /// end of every run region, before anything can observe the counters.
     pub(crate) fn flush_pending(&mut self) {
@@ -263,6 +298,10 @@ pub struct Cpu<'m> {
     pub(crate) tsc_per_cc: f64,
     /// Cap on in-flight L1 misses.
     pub(crate) fill_cap: usize,
+    /// Whether batched-run fast paths may run. Cleared when a fault config
+    /// is armed: the batch paths are bit-exact against the per-instruction
+    /// oracle, but fault experiments pin the oracle itself.
+    pub(crate) batch: bool,
 }
 
 impl<'m> Cpu<'m> {
@@ -324,7 +363,52 @@ impl<'m> Cpu<'m> {
             .fold(0.0, f64::max)
     }
 
-    fn fp_exec(&mut self, op: FpOp, dst: Reg, srcs: &[Reg], width: VecWidth, prec: Precision) {
+    /// Latency, port occupancy, and port class of one FP operation on this
+    /// configuration (shared by the per-instruction path and the batched-run
+    /// planner, which must agree on the mapping by construction).
+    fn fp_timing(&self, op: FpOp) -> (f64, f64, usize) {
+        let has_fma = self.cfg.fp.has_fma;
+        match op {
+            FpOp::Add | FpOp::MinMax => {
+                if has_fma {
+                    (self.cfg.fp.add_latency, 1.0, CLASS_FMA)
+                } else {
+                    (self.cfg.fp.add_latency, 1.0, CLASS_ADD)
+                }
+            }
+            FpOp::Mul => {
+                if has_fma {
+                    (self.cfg.fp.mul_latency, 1.0, CLASS_FMA)
+                } else {
+                    (self.cfg.fp.mul_latency, 1.0, CLASS_MUL)
+                }
+            }
+            FpOp::Fma => {
+                assert!(has_fma, "FMA not available on {}", self.cfg.name);
+                (self.cfg.fp.fma_latency, 1.0, CLASS_FMA)
+            }
+            FpOp::Div => {
+                let lat = self.cfg.fp.div_latency;
+                if has_fma {
+                    (lat, lat, CLASS_FMA)
+                } else {
+                    (lat, lat, CLASS_MUL)
+                }
+            }
+        }
+    }
+
+    /// Executes one FP instruction; returns its port class, issue cycle,
+    /// and completion cycle (consumed by the batched-run recorder; the
+    /// public wrappers ignore them).
+    fn fp_exec(
+        &mut self,
+        op: FpOp,
+        dst: Reg,
+        srcs: &[Reg],
+        width: VecWidth,
+        prec: Precision,
+    ) -> (usize, f64, f64) {
         assert!(
             width <= self.cfg.fp.max_width,
             "width {width} unsupported on {}",
@@ -332,50 +416,13 @@ impl<'m> Cpu<'m> {
         );
         let disp = self.dispatch();
         let ready = self.srcs_ready(srcs).max(disp);
-        let (latency, occupy, ports): (f64, f64, &mut PortSlots) = match op {
-            FpOp::Add => {
-                if self.cfg.fp.has_fma {
-                    (self.cfg.fp.add_latency, 1.0, &mut self.state.fma_ports)
-                } else {
-                    (self.cfg.fp.add_latency, 1.0, &mut self.state.add_ports)
-                }
-            }
-            FpOp::Mul => {
-                if self.cfg.fp.has_fma {
-                    (self.cfg.fp.mul_latency, 1.0, &mut self.state.fma_ports)
-                } else {
-                    (self.cfg.fp.mul_latency, 1.0, &mut self.state.mul_ports)
-                }
-            }
-            FpOp::Fma => {
-                assert!(
-                    self.cfg.fp.has_fma,
-                    "FMA not available on {}",
-                    self.cfg.name
-                );
-                (self.cfg.fp.fma_latency, 1.0, &mut self.state.fma_ports)
-            }
-            FpOp::Div => {
-                let lat = self.cfg.fp.div_latency;
-                if self.cfg.fp.has_fma {
-                    (lat, lat, &mut self.state.fma_ports)
-                } else {
-                    (lat, lat, &mut self.state.mul_ports)
-                }
-            }
-            FpOp::MinMax => {
-                if self.cfg.fp.has_fma {
-                    (self.cfg.fp.add_latency, 1.0, &mut self.state.fma_ports)
-                } else {
-                    (self.cfg.fp.add_latency, 1.0, &mut self.state.add_ports)
-                }
-            }
-        };
-        let start = ports.issue(ready, occupy);
+        let (latency, occupy, class) = self.fp_timing(op);
+        let start = self.state.class_ports_mut(class).issue(ready, occupy);
         let done = start + latency;
         self.state.reg_ready[dst.index()] = done;
         self.state.counters.count_fp(op, width, prec);
         self.retire(done);
+        (class, start, done)
     }
 
     /// Vector/scalar FP addition: `dst = a + b`.
@@ -419,11 +466,69 @@ impl<'m> Cpu<'m> {
 
     /// Models `n` instructions of scalar overhead (address arithmetic,
     /// loop control) that occupy the front end but no modelled port.
+    ///
+    /// Pure front-end arithmetic: each instruction dispatches and retires
+    /// at its own dispatch cycle, so after the reorder window has drained
+    /// every completion the run inherited, the remaining instructions
+    /// advance `front` by exactly `issue_step` each and refill the window
+    /// with an arithmetic progression — computed in closed form. The
+    /// per-instruction loop below is the oracle for the drain phase and
+    /// for configurations where the closed form is not bit-exact
+    /// (non-power-of-two issue widths, turbo-tainted fronts).
     pub fn overhead(&mut self, n: u64) {
-        for _ in 0..n {
+        let cap = self.cfg.rob_size as usize;
+        // Phase 1 (oracle loop): while completions pushed by *earlier*
+        // instructions remain in the window, a dispatch may pop one and
+        // bump the front — run those per-instruction. After `(cap -
+        // len0) + len0 = cap` instructions at most, every inherited entry
+        // has been popped and only overhead completions (all <= front,
+        // which is monotone) remain: pops can never bump again.
+        let drain = (n as usize).min(cap.max(self.state.rob.len()));
+        for _ in 0..drain {
             let disp = self.dispatch();
             self.retire(disp);
         }
+        let rest = n - drain as u64;
+        if rest == 0 {
+            return;
+        }
+        // Closed form is bit-exact only when `front` is a dyadic rational
+        // on the issue grid and stays well below 2^53: then `front +
+        // issue_step` repeated `rest` times equals `(scaled + i) /
+        // issue_width` at every step.
+        let iw = self.cfg.issue_width as u64;
+        let iwf = iw as f64;
+        let scaled = self.state.front * iwf;
+        let exact = iw.is_power_of_two()
+            && scaled.fract() == 0.0
+            && scaled + (rest as f64) < 9.0e15;
+        if !exact {
+            for _ in 0..rest {
+                let disp = self.dispatch();
+                self.retire(disp);
+            }
+            return;
+        }
+        // `rob.len() == cap` here: phase 1 ran at least `cap` instructions
+        // (otherwise rest == 0), and pushes keep the window at capacity.
+        debug_assert_eq!(self.state.rob.len(), cap);
+        let capu = cap as u64;
+        if rest >= capu {
+            self.state.rob.clear();
+            for i in (rest - capu + 1)..=rest {
+                self.state.rob.push_back((scaled + i as f64) / iwf);
+            }
+        } else {
+            for i in 1..=rest {
+                self.state.rob.pop_front();
+                self.state.rob.push_back((scaled + i as f64) / iwf);
+            }
+        }
+        self.state.front = (scaled + rest as f64) / iwf;
+        if self.state.front > self.state.horizon {
+            self.state.horizon = self.state.front;
+        }
+        self.state.pending_instr += rest;
     }
 
     /// Admission control for line-fill buffers: returns the TSC time at
@@ -453,29 +558,67 @@ impl<'m> Cpu<'m> {
             AccessKind::Store | AccessKind::StoreNt => &mut self.state.store_ports,
         };
         let start_cc = ports.issue(disp, 1.0);
-        let mut start_tsc = self.cc_to_tsc(start_cc);
+        let start_tsc = self.cc_to_tsc(start_cc);
 
-        // Only L1 misses consume fill buffers; NT stores always do (they
-        // occupy write-combining buffers, modelled with the same cap).
-        let will_miss = match kind {
-            AccessKind::StoreNt => true,
-            _ => !self.mem.l1_contains(self.core_id, addr),
+        let first = self.mem.line_of(addr);
+        let last = self.mem.line_of(addr + bytes - 1);
+        let complete_at = if first == last && kind != AccessKind::StoreNt {
+            // Single-line demand access: hit/miss decided by one L1 probe.
+            // The probe's L1 update is clock-independent, and the
+            // fill-buffer admission below only touches `state.fill`, so
+            // probing before the admission stall is unobservable (the same
+            // commutation the batched fused loop relies on).
+            match self.mem.l1_try_hit(
+                self.core_id,
+                first,
+                kind == AccessKind::Store,
+                start_tsc,
+            ) {
+                Ok(done) => done,
+                Err(victim) => {
+                    // Only L1 misses consume fill buffers.
+                    let admitted = self.fill_admit(start_tsc);
+                    let res = self.mem.l1_miss_line(
+                        self.core_id,
+                        first,
+                        kind,
+                        admitted,
+                        &mut self.state.counters,
+                        victim,
+                    );
+                    if res.l1_miss {
+                        self.state.fill.push(res.complete_at);
+                    }
+                    res.complete_at
+                }
+            }
+        } else {
+            // Line-crossing or NT access: the general walk. NT stores
+            // always consume fill buffers (they occupy write-combining
+            // buffers, modelled with the same cap); line-crossers keep the
+            // historical first-line residency test.
+            let will_miss = match kind {
+                AccessKind::StoreNt => true,
+                _ => !self.mem.l1_contains(self.core_id, addr),
+            };
+            let mut start = start_tsc;
+            if will_miss {
+                start = self.fill_admit(start);
+            }
+            let res = self.mem.access(
+                self.core_id,
+                addr,
+                bytes,
+                kind,
+                start,
+                &mut self.state.counters,
+            );
+            if res.l1_miss {
+                self.state.fill.push(res.complete_at);
+            }
+            res.complete_at
         };
-        if will_miss {
-            start_tsc = self.fill_admit(start_tsc);
-        }
-        let res = self.mem.access(
-            self.core_id,
-            addr,
-            bytes,
-            kind,
-            start_tsc,
-            &mut self.state.counters,
-        );
-        if res.l1_miss {
-            self.state.fill.push(res.complete_at);
-        }
-        let done_cc = self.tsc_to_cc(res.complete_at);
+        let done_cc = self.tsc_to_cc(complete_at);
         if let Some(dst) = dst {
             self.state.reg_ready[dst.index()] = done_cc;
         }
@@ -514,6 +657,15 @@ impl<'m> Cpu<'m> {
     /// The core's current position on the TSC timeline.
     pub fn now_tsc(&self) -> f64 {
         self.cc_to_tsc(self.state.front)
+    }
+
+    /// The core-cycle timestamp at which `r`'s value becomes available.
+    ///
+    /// Diagnostic probe: the batch-vs-oracle property suite uses it to pin
+    /// batched register-ready times to the per-instruction path bit for
+    /// bit.
+    pub fn reg_ready_cycle(&self, r: Reg) -> f64 {
+        self.state.reg_ready[r.index()]
     }
 }
 

@@ -1,0 +1,937 @@
+//! Batched-run execution: retire homogeneous instruction runs in closed
+//! form.
+//!
+//! The paper's kernels are long unrolled streams of identical instruction
+//! groups. Simulating them one instruction at a time walks a serial f64
+//! dependency chain through [`Cpu::dispatch`] and `PortSlots::issue` for
+//! every instruction; this module collapses homogeneous *runs* instead:
+//!
+//! * **FP-only patterns** reach a steady state where every machine
+//!   component (front end, reorder window, register ready times, port
+//!   occupancy) advances by a fixed integer cycle shift `Δ` per
+//!   super-iteration. The engine executes a warm-up per-instruction,
+//!   *detects* the steady state by comparing two consecutive
+//!   super-iteration snapshots, and then jumps the remaining `k`
+//!   super-iterations in closed form: scalars shift by `k·Δ`, the PMU bank
+//!   advances by `k` times the per-super event delta, and the port windows
+//!   are reconstructed by replaying only the final window's worth of issue
+//!   slots (plus an exact simulation of the window-advance triggers).
+//! * **Memory patterns** (any mix of strided loads/stores and FP ops,
+//!   minus NT stores) keep per-instruction front-end/port timing but
+//!   collapse consecutive same-line L1 hits into one deferred
+//!   [`Cache::access_repeat`](crate::cache::Cache::access_repeat) update,
+//!   and replace the full `MemSystem::access` dispatch with a single L1
+//!   probe that decides hit/miss and carries the victim way to the fill.
+//!
+//! Everything falls back to the per-instruction path — the oracle — at run
+//! boundaries, on cache-line crossings, for divides (unpipelined port
+//! occupancy breaks the shift argument), on non-power-of-two issue widths
+//! (the front-end grid is no longer dyadic, so closed-form shifts are not
+//! bit-exact), and whenever a fault config is armed. The proptest oracle
+//! suite pins batch results (cycles, ready times, every PMU counter) to the
+//! per-instruction loop bit for bit.
+
+use crate::isa::{FpOp, Precision, Reg, VecWidth};
+use crate::memsys::AccessKind;
+use crate::pmu::fp_event;
+
+use super::{
+    Cpu, PortSlots, CLASS_LOAD, CLASS_STORE, NCLASS, SLOT_WINDOW,
+};
+
+/// Sentinel line address that can never occur (see `memsys::NO_LINE`).
+const NO_LINE: u64 = u64::MAX;
+
+/// One instruction of a homogeneous run pattern.
+///
+/// A pattern is a short instruction group repeated `iters` times by
+/// [`Cpu::run_pattern`]; iteration `j` of a memory op touches
+/// `base + j * stride`. All ops in a pattern share one vector width and
+/// precision (emit separate runs for mixed-width code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatOp {
+    /// An FP arithmetic instruction (`Fma` reads `dst` as an accumulator,
+    /// like [`Cpu::fma`]).
+    Fp {
+        /// Operation class.
+        op: FpOp,
+        /// Destination register.
+        dst: Reg,
+        /// First source.
+        a: Reg,
+        /// Second source.
+        b: Reg,
+    },
+    /// A load from `base + j * stride` into `dst`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Address at iteration 0.
+        base: u64,
+        /// Address advance per iteration (bytes).
+        stride: u64,
+    },
+    /// A store to `base + j * stride`.
+    Store {
+        /// Source register (stores do not stall on it, like [`Cpu::store`]).
+        src: Reg,
+        /// Address at iteration 0.
+        base: u64,
+        /// Address advance per iteration (bytes).
+        stride: u64,
+    },
+    /// A non-temporal store to `base + j * stride`.
+    StoreNt {
+        /// Source register.
+        src: Reg,
+        /// Address at iteration 0.
+        base: u64,
+        /// Address advance per iteration (bytes).
+        stride: u64,
+    },
+}
+
+/// Snapshot of the FP-relevant core state at a super-iteration boundary.
+struct FpSnap {
+    front: f64,
+    reg: [f64; Reg::COUNT],
+    rob: Vec<f64>,
+    /// `(class, slots)` for every port class the pattern uses.
+    ports: Vec<(usize, PortSlots)>,
+}
+
+/// A verified steady state: the per-super shift and which registers ride it.
+struct FpJump {
+    delta: u64,
+    shifting: [bool; Reg::COUNT],
+}
+
+impl<'m> Cpu<'m> {
+    /// Executes `iters` repetitions of `ops`, bit-identical to the
+    /// per-instruction loop
+    /// `for j in 0..iters { for op in ops { /* emit op at j */ } }`
+    /// over the public single-instruction methods, but in closed form where
+    /// the pattern permits (see the module docs for the fast paths and
+    /// fallback conditions).
+    pub fn run_pattern(&mut self, ops: &[PatOp], width: VecWidth, prec: Precision, iters: u64) {
+        if ops.is_empty() || iters == 0 {
+            return;
+        }
+        let mut mem_ops = 0usize;
+        let mut has_div = false;
+        let mut has_nt = false;
+        for op in ops {
+            match op {
+                PatOp::Fp { op, .. } => has_div |= *op == FpOp::Div,
+                PatOp::Load { .. } | PatOp::Store { .. } => mem_ops += 1,
+                PatOp::StoreNt { .. } => {
+                    mem_ops += 1;
+                    has_nt = true;
+                }
+            }
+        }
+        if !self.batch {
+            self.run_slow(ops, width, prec, 0, iters);
+        } else if mem_ops == 0 {
+            if has_div {
+                self.run_slow(ops, width, prec, 0, iters);
+            } else {
+                self.run_fp(ops, width, prec, iters);
+            }
+        } else if !has_nt {
+            self.run_mem_fused(ops, width, prec, iters);
+        } else {
+            self.run_slow(ops, width, prec, 0, iters);
+        }
+    }
+
+    /// A run of `n` FP instructions of one op rotating over `dsts`
+    /// accumulators (sources `a`, `b` throughout; `Fma` additionally reads
+    /// each `dst`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dsts` is empty.
+    pub fn fp_run(
+        &mut self,
+        op: FpOp,
+        dsts: &[Reg],
+        a: Reg,
+        b: Reg,
+        width: VecWidth,
+        prec: Precision,
+        n: u64,
+    ) {
+        assert!(!dsts.is_empty(), "fp_run needs at least one accumulator");
+        let pat: Vec<PatOp> = dsts
+            .iter()
+            .map(|&dst| PatOp::Fp { op, dst, a, b })
+            .collect();
+        let l = dsts.len() as u64;
+        self.run_pattern(&pat, width, prec, n / l);
+        for op in pat.iter().take((n % l) as usize) {
+            self.exec_pat_op(op, width, prec, 0);
+        }
+    }
+
+    /// A run of `n` loads into `dst` from the strided address range
+    /// `base, base + stride, ...`.
+    pub fn load_run(
+        &mut self,
+        dst: Reg,
+        base: u64,
+        stride: u64,
+        width: VecWidth,
+        prec: Precision,
+        n: u64,
+    ) {
+        self.run_pattern(&[PatOp::Load { dst, base, stride }], width, prec, n);
+    }
+
+    /// A run of `n` stores of `src` over the strided address range.
+    pub fn store_run(
+        &mut self,
+        src: Reg,
+        base: u64,
+        stride: u64,
+        width: VecWidth,
+        prec: Precision,
+        n: u64,
+    ) {
+        self.run_pattern(&[PatOp::Store { src, base, stride }], width, prec, n);
+    }
+
+    /// A run of `n` non-temporal stores of `src` over the strided range.
+    pub fn store_nt_run(
+        &mut self,
+        src: Reg,
+        base: u64,
+        stride: u64,
+        width: VecWidth,
+        prec: Precision,
+        n: u64,
+    ) {
+        self.run_pattern(&[PatOp::StoreNt { src, base, stride }], width, prec, n);
+    }
+
+    /// One pattern op through the ordinary per-instruction machinery.
+    fn exec_pat_op(&mut self, op: &PatOp, width: VecWidth, prec: Precision, j: u64) {
+        match *op {
+            PatOp::Fp { op, dst, a, b } => {
+                if op == FpOp::Fma {
+                    self.fp_exec(op, dst, &[dst, a, b], width, prec);
+                } else {
+                    self.fp_exec(op, dst, &[a, b], width, prec);
+                }
+            }
+            PatOp::Load { dst, base, stride } => self.load(dst, base + j * stride, width, prec),
+            PatOp::Store { src, base, stride } => self.store(base + j * stride, src, width, prec),
+            PatOp::StoreNt { src, base, stride } => {
+                self.store_nt(base + j * stride, src, width, prec)
+            }
+        }
+    }
+
+    /// The oracle: iterations `[from, to)` per-instruction.
+    fn run_slow(&mut self, ops: &[PatOp], width: VecWidth, prec: Precision, from: u64, to: u64) {
+        for j in from..to {
+            for op in ops {
+                self.exec_pat_op(op, width, prec, j);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Single-stream memory patterns
+    // ------------------------------------------------------------------
+
+    /// Fused loop for patterns without NT stores: per-op front-end/port
+    /// timing, with consecutive same-line L1 hits deferred into one
+    /// `access_repeat` and the hit/miss decision folded into a single L1
+    /// probe (`l1_try_hit`) instead of a residency check plus a second
+    /// lookup. All cache-touching ops of the run flow through `fused_mem`
+    /// in program order, and a deferred run is settled the moment any
+    /// other line is touched, so deferral only ever coalesces consecutive
+    /// program-order accesses to one resident line — the exact
+    /// tick/stamp/stats sequence of the per-instruction loop is preserved
+    /// (`dirty |= write` accumulates across a mixed load/store run).
+    fn run_mem_fused(&mut self, ops: &[PatOp], width: VecWidth, prec: Precision, iters: u64) {
+        let bytes = width.bytes(prec);
+        let mut pend_line = NO_LINE;
+        let mut pend_write = false;
+        let mut pend_n: u64 = 0;
+        for j in 0..iters {
+            for op in ops {
+                match *op {
+                    PatOp::Fp { .. } => self.exec_pat_op(op, width, prec, j),
+                    PatOp::Load { dst, base, stride } => self.fused_mem(
+                        AccessKind::Load,
+                        Some(dst),
+                        base + j * stride,
+                        bytes,
+                        &mut pend_line,
+                        &mut pend_write,
+                        &mut pend_n,
+                    ),
+                    PatOp::Store { src, base, stride } => {
+                        let _ready = self.state.reg_ready[src.index()];
+                        self.fused_mem(
+                            AccessKind::Store,
+                            None,
+                            base + j * stride,
+                            bytes,
+                            &mut pend_line,
+                            &mut pend_write,
+                            &mut pend_n,
+                        )
+                    }
+                    PatOp::StoreNt { .. } => unreachable!("NT excluded by run_pattern"),
+                }
+            }
+        }
+        if pend_n > 0 {
+            self.mem
+                .l1_hit_line_repeat(self.core_id, pend_line, pend_write, pend_n);
+        }
+    }
+
+    /// One access of the fused loop's single memory op.
+    #[allow(clippy::too_many_arguments)]
+    fn fused_mem(
+        &mut self,
+        kind: AccessKind,
+        dst: Option<Reg>,
+        addr: u64,
+        bytes: u64,
+        pend_line: &mut u64,
+        pend_write: &mut bool,
+        pend_n: &mut u64,
+    ) {
+        let first = self.mem.line_of(addr);
+        let last = self.mem.line_of(addr + bytes - 1);
+        let write = kind == AccessKind::Store;
+        let class = if kind == AccessKind::Load {
+            CLASS_LOAD
+        } else {
+            CLASS_STORE
+        };
+        if first == last && first == *pend_line {
+            // Same line as this op's previous access, which hit: the line
+            // is still resident and in the hint's MRU slot, so the slow
+            // path would take `access`'s fast path — one `Cache::access`
+            // plus a no-op hint touch. Defer the cache update, keep the
+            // timing identical.
+            let disp = self.dispatch();
+            let start_cc = self.state.class_ports_mut(class).issue(disp, 1.0);
+            let start_tsc = self.cc_to_tsc(start_cc);
+            let done_cc = self.tsc_to_cc(start_tsc + self.mem.l1_latency());
+            if let Some(dst) = dst {
+                self.state.reg_ready[dst.index()] = done_cc;
+            }
+            match kind {
+                AccessKind::Load => self.state.pending_loads += 1,
+                _ => self.state.pending_stores += 1,
+            }
+            // A store joining a deferred run of loads must still dirty the
+            // line at settle time (`dirty |= write` commutes across the
+            // run, so accumulating the flag is exact).
+            *pend_write |= write;
+            *pend_n += 1;
+            self.retire(done_cc);
+            return;
+        }
+        // Line changed (or the access crosses a line): settle the deferred
+        // hits first, preserving cache-op order.
+        if *pend_n > 0 {
+            self.mem
+                .l1_hit_line_repeat(self.core_id, *pend_line, *pend_write, *pend_n);
+        }
+        *pend_line = NO_LINE;
+        *pend_n = 0;
+        if first != last {
+            self.mem_exec(kind, dst, addr, bytes);
+            return;
+        }
+        let disp = self.dispatch();
+        let start_cc = self.state.class_ports_mut(class).issue(disp, 1.0);
+        let start_tsc = self.cc_to_tsc(start_cc);
+        let complete_at = match self.mem.l1_try_hit(self.core_id, first, write, start_tsc) {
+            Ok(done) => {
+                *pend_line = first;
+                *pend_write = write;
+                done
+            }
+            Err(victim) => {
+                let admitted = self.fill_admit(start_tsc);
+                let res = self.mem.l1_miss_line(
+                    self.core_id,
+                    first,
+                    kind,
+                    admitted,
+                    &mut self.state.counters,
+                    victim,
+                );
+                if res.l1_miss {
+                    self.state.fill.push(res.complete_at);
+                }
+                res.complete_at
+            }
+        };
+        let done_cc = self.tsc_to_cc(complete_at);
+        if let Some(dst) = dst {
+            self.state.reg_ready[dst.index()] = done_cc;
+        }
+        match kind {
+            AccessKind::Load => self.state.pending_loads += 1,
+            _ => self.state.pending_stores += 1,
+        }
+        self.retire(done_cc);
+    }
+
+    // ------------------------------------------------------------------
+    // FP-only patterns: steady-state detection + closed-form jump
+    // ------------------------------------------------------------------
+
+    fn run_fp(&mut self, ops: &[PatOp], width: VecWidth, prec: Precision, iters: u64) {
+        let iw = self.cfg.issue_width as u64;
+        let l = ops.len() as u64;
+        if !iw.is_power_of_two() {
+            self.run_slow(ops, width, prec, 0, iters);
+            return;
+        }
+        // Super-iteration: the smallest pattern multiple whose instruction
+        // count is a whole number of issue groups, so `front` returns to
+        // the integer grid at every boundary.
+        let m = iw / gcd(l, iw);
+        let warm = self.cfg.rob_size as u64 / l + 1 + 2 * m;
+        if iters < warm + 16 * m + 16 {
+            self.run_slow(ops, width, prec, 0, iters);
+            return;
+        }
+        self.run_slow(ops, width, prec, 0, warm);
+        let mut executed = warm;
+        // Steady states with a period longer than one super-iteration (a
+        // latency chain whose phase pattern repeats every few supers) are
+        // caught by escalating the template length.
+        'mult: for mult in [1u64, 2, 4] {
+            let period = mult * m;
+            for _ in 0..3 {
+                if executed + 2 * period > iters {
+                    break 'mult;
+                }
+                let a = self.fp_snap(ops);
+                let (events, maxd) =
+                    self.run_recorded(ops, width, prec, executed, executed + period);
+                executed += period;
+                let b = self.fp_snap(ops);
+                let k = (iters - executed) / period;
+                if k == 0 {
+                    break 'mult;
+                }
+                if let Some(jump) = self.fp_detect(&a, &b, &events, k) {
+                    if self.fp_apply(&jump, &events, maxd, ops, width, prec, period, k) {
+                        executed += k * period;
+                        break 'mult;
+                    }
+                }
+            }
+        }
+        self.run_slow(ops, width, prec, executed, iters);
+    }
+
+    /// Runs iterations `[from, to)` per-instruction, recording every issue
+    /// cycle per port class (program order) and the max completion time.
+    fn run_recorded(
+        &mut self,
+        ops: &[PatOp],
+        width: VecWidth,
+        prec: Precision,
+        from: u64,
+        to: u64,
+    ) -> ([Vec<u64>; NCLASS], f64) {
+        let mut events: [Vec<u64>; NCLASS] = Default::default();
+        let mut maxd = f64::NEG_INFINITY;
+        for _ in from..to {
+            for op in ops {
+                let PatOp::Fp { op, dst, a, b } = *op else {
+                    unreachable!("run_recorded is FP-only")
+                };
+                let (class, start, done) = if op == FpOp::Fma {
+                    self.fp_exec(op, dst, &[dst, a, b], width, prec)
+                } else {
+                    self.fp_exec(op, dst, &[a, b], width, prec)
+                };
+                events[class].push(start as u64);
+                if done > maxd {
+                    maxd = done;
+                }
+            }
+        }
+        (events, maxd)
+    }
+
+    fn fp_snap(&mut self, ops: &[PatOp]) -> FpSnap {
+        let mut classes: Vec<usize> = Vec::with_capacity(3);
+        for op in ops {
+            let PatOp::Fp { op, .. } = op else {
+                unreachable!()
+            };
+            let (_, _, class) = self.fp_timing(*op);
+            if !classes.contains(&class) {
+                classes.push(class);
+            }
+        }
+        FpSnap {
+            front: self.state.front,
+            reg: self.state.reg_ready,
+            rob: self.state.rob.iter().copied().collect(),
+            ports: classes
+                .into_iter()
+                .map(|c| (c, self.state.class_ports_mut(c).clone()))
+                .collect(),
+        }
+    }
+
+    /// Verifies that `b` is exactly `a` shifted by an integer cycle count on
+    /// every component a future instruction can observe — the condition
+    /// under which the next `k` super-iterations are the recorded one
+    /// shifted by multiples of `Δ`.
+    fn fp_detect(
+        &self,
+        a: &FpSnap,
+        b: &FpSnap,
+        events: &[Vec<u64>; NCLASS],
+        k: u64,
+    ) -> Option<FpJump> {
+        let iwf = self.cfg.issue_width as f64;
+        let df = b.front - a.front;
+        if !(df > 0.0) || df.fract() != 0.0 {
+            return None;
+        }
+        let delta = df as u64;
+        // Everything the jump adds must stay exactly representable on the
+        // 1/issue_width grid: magnitudes up to front + k·Δ plus a window of
+        // slack, scaled by the width, must sit below 2^53.
+        let bound = (b.front + (k as f64 + 2.0) * df + 2.0 * SLOT_WINDOW as f64) * iwf;
+        if !bound.is_finite() || bound >= 9.0e15 {
+            return None;
+        }
+        let dyadic = |x: f64| (x * iwf).fract() == 0.0;
+        if !dyadic(b.front) {
+            return None;
+        }
+        let mut shifting = [false; Reg::COUNT];
+        for i in 0..Reg::COUNT {
+            let (ra, rb) = (a.reg[i], b.reg[i]);
+            if rb == ra + df && dyadic(rb) {
+                shifting[i] = true;
+            } else if !(rb == ra && ra <= a.front) {
+                // A constant register must also never win a readiness max
+                // again: `ra <= front` keeps it dominated by dispatch.
+                return None;
+            }
+        }
+        if a.rob.len() != b.rob.len() {
+            return None;
+        }
+        for (&ea, &eb) in a.rob.iter().zip(&b.rob) {
+            if eb != ea + df || !dyadic(eb) {
+                return None;
+            }
+        }
+        let lo = a.front as u64;
+        for ((ca, pa), (cb, pb)) in a.ports.iter().zip(&b.ports) {
+            debug_assert_eq!(ca, cb);
+            if events[*ca].is_empty() || pa.base != pb.base || pa.base as f64 > a.front {
+                return None;
+            }
+            if !occupancy_shifted(pa, pb, delta, lo) {
+                return None;
+            }
+        }
+        Some(FpJump { delta, shifting })
+    }
+
+    /// Applies a verified jump of `k` super-iterations of `period`
+    /// pattern iterations each. Returns `false` (state untouched) if the
+    /// class's issue spread is too wide to rule out the window-base clamp
+    /// engaging mid-replay.
+    #[allow(clippy::too_many_arguments)]
+    fn fp_apply(
+        &mut self,
+        jump: &FpJump,
+        events: &[Vec<u64>; NCLASS],
+        maxd: f64,
+        ops: &[PatOp],
+        width: VecWidth,
+        prec: Precision,
+        period: u64,
+        k: u64,
+    ) -> bool {
+        let delta = jump.delta;
+        // Phase 1 (pure): final base per used class. The quantized advance
+        // policy in `PortSlots::issue` makes the post-scan base a pure
+        // function of the largest cycle any scan has visited, so the base
+        // after all `k` supers is one `slide_base` at the last super's max
+        // start. Soundness of replaying recorded starts verbatim needs
+        // every replayed start to sit at or above the base current at its
+        // own scan; the worst case (the class base just slid for `t_max`
+        // in the same super) reduces to a spread bound on the template.
+        let w = SLOT_WINDOW as u64;
+        let mut finals: Vec<(usize, u64)> = Vec::new();
+        for (c, tr) in events.iter().enumerate() {
+            if tr.is_empty() {
+                continue;
+            }
+            let t_max = *tr.iter().max().expect("nonempty");
+            let t_min = *tr.iter().min().expect("nonempty");
+            if t_max - t_min > w - w / 4 - 2 {
+                return false;
+            }
+            let base0 = self.state.class_ports_mut(c).base;
+            finals.push((c, slide_base(base0, t_max + k * delta)));
+        }
+        // Phase 2: shift the scalar state.
+        let kd = (k * delta) as f64;
+        self.state.front += kd;
+        for i in 0..Reg::COUNT {
+            if jump.shifting[i] {
+                self.state.reg_ready[i] += kd;
+            }
+        }
+        for e in self.state.rob.iter_mut() {
+            *e += kd;
+        }
+        if maxd + kd > self.state.horizon {
+            self.state.horizon = maxd + kd;
+        }
+        for op in ops {
+            let PatOp::Fp { op, .. } = op else {
+                unreachable!()
+            };
+            if let Some((ev, inc)) = fp_event(*op, width, prec) {
+                self.state.counters.add(ev, inc * period * k);
+            }
+        }
+        self.state.pending_instr += ops.len() as u64 * period * k;
+        // Phase 3: rebuild each used port window — slide to the final base
+        // (bulk-zeroing composes exactly like the incremental advances),
+        // then re-add the shifted issues that land at or above it. Only the
+        // final window's worth of issues can, so this is O(window), not
+        // O(k).
+        for (c, fb) in finals {
+            let tr = &events[c];
+            let p = self.state.class_ports_mut(c);
+            let shift = fb - p.base;
+            if shift > 0 {
+                p.advance(shift);
+            }
+            for &t in tr {
+                let j0 = if t >= fb {
+                    1
+                } else {
+                    (fb - t).div_ceil(delta).max(1)
+                };
+                for j in j0..=k {
+                    let cyc = t + j * delta;
+                    let idx = (p.head + (cyc - p.base) as usize) % SLOT_WINDOW;
+                    debug_assert!(p.used[idx] < p.ports, "over-subscribed slot in replay");
+                    p.used[idx] += 1;
+                }
+            }
+            // The verified-full memo may describe cycles that predate the
+            // jump; reset to the (trivially sound) empty interval.
+            p.full_start = 0;
+            p.full_end = 0;
+        }
+        true
+    }
+}
+
+/// Occupancy of `pb` must equal `pa` shifted forward by `delta` on every
+/// cycle at or above `lo` (the floor of the earlier front — no later scan
+/// can probe below it). Cells whose shifted image would fall outside the
+/// window must be empty, since the image cannot be represented.
+fn occupancy_shifted(pa: &PortSlots, pb: &PortSlots, delta: u64, lo: u64) -> bool {
+    let w = SLOT_WINDOW as u64;
+    let base = pa.base;
+    let top = base + w;
+    for y in lo.max(base)..top {
+        let ua = pa.used[(pa.head + (y - base) as usize) % SLOT_WINDOW];
+        let yb = y + delta;
+        if yb >= top {
+            if ua != 0 {
+                return false;
+            }
+        } else if ua != pb.used[(pb.head + (yb - base) as usize) % SLOT_WINDOW] {
+            return false;
+        }
+    }
+    true
+}
+
+/// The window base after a (span-1) scan whose largest visited cycle is
+/// `s`: the smallest point on the `base0 + j·(W/4)` grid whose window
+/// still covers `s + 1`. Mirrors the quantized advance in
+/// `PortSlots::issue` exactly; sequential application over many scans
+/// collapses to one application at the overall maximum, because the grid
+/// is preserved and the constraint is monotone in `s`.
+fn slide_base(base0: u64, s: u64) -> u64 {
+    let w = SLOT_WINDOW as u64;
+    if s + 1 < base0 + w {
+        return base0;
+    }
+    let q = w / 4;
+    base0 + (s + 2 - (base0 + w)).div_ceil(q) * q
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{haswell, sandy_bridge, test_machine};
+    use crate::machine::Machine;
+    use crate::pmu::CoreEvent;
+
+    const W: VecWidth = VecWidth::Y256;
+    const P: Precision = Precision::F64;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    /// Run the same logical program twice — once through the batch API,
+    /// once through the per-instruction oracle — on two fresh machines and
+    /// demand bit-identical PMU banks, TSC, and cache statistics.
+    fn assert_oracle<FB, FO>(mk: fn() -> Machine, batch: FB, oracle: FO)
+    where
+        FB: FnOnce(&mut Machine),
+        FO: FnOnce(&mut Machine),
+    {
+        let mut mb = mk();
+        let mut mo = mk();
+        batch(&mut mb);
+        oracle(&mut mo);
+        for core in 0..mb.config().cores.min(2) {
+            assert_eq!(
+                mb.core_counters(core),
+                mo.core_counters(core),
+                "core {core} counters diverge"
+            );
+            assert_eq!(
+                mb.cache_stats(core),
+                mo.cache_stats(core),
+                "core {core} cache stats diverge"
+            );
+        }
+        assert_eq!(mb.uncore(), mo.uncore(), "uncore counters diverge");
+        assert_eq!(mb.tsc().to_bits(), mo.tsc().to_bits(), "TSC diverges");
+    }
+
+    #[test]
+    fn fp_run_matches_oracle_add_mul_mix() {
+        let n = 100_000u64;
+        let pat: Vec<PatOp> = (0..8u8)
+            .map(|i| PatOp::Fp {
+                op: if i % 2 == 0 { FpOp::Add } else { FpOp::Mul },
+                dst: r(i),
+                a: r(14),
+                b: r(15),
+            })
+            .collect();
+        let pat2 = pat.clone();
+        assert_oracle(
+            || Machine::new(sandy_bridge()),
+            move |m| m.run(0, |cpu| cpu.run_pattern(&pat, W, P, n)),
+            move |m| {
+                m.run(0, |cpu| {
+                    for j in 0..n {
+                        for op in &pat2 {
+                            cpu.exec_pat_op(op, W, P, j);
+                        }
+                    }
+                })
+            },
+        );
+    }
+
+    #[test]
+    fn fp_run_matches_oracle_fma_chain_haswell() {
+        let n = 50_000u64;
+        assert_oracle(
+            || Machine::new(haswell()),
+            move |m| {
+                m.run(0, |cpu| {
+                    cpu.fp_run(FpOp::Fma, &[r(0), r(1), r(2)], r(8), r(9), W, P, n)
+                })
+            },
+            move |m| {
+                m.run(0, |cpu| {
+                    for j in 0..n {
+                        cpu.fma(r((j % 3) as u8), r(8), r(9), W, P);
+                    }
+                })
+            },
+        );
+    }
+
+    #[test]
+    fn fp_run_matches_oracle_latency_chain() {
+        // Single dependency chain: period is longer than one super.
+        let n = 40_000u64;
+        assert_oracle(
+            || Machine::new(sandy_bridge()),
+            move |m| m.run(0, |cpu| cpu.fp_run(FpOp::Add, &[r(0)], r(0), r(1), W, P, n)),
+            move |m| {
+                m.run(0, |cpu| {
+                    for _ in 0..n {
+                        cpu.fadd(r(0), r(0), r(1), W, P);
+                    }
+                })
+            },
+        );
+    }
+
+    #[test]
+    fn load_run_matches_oracle_streaming() {
+        let lines = 4_000u64;
+        let run = |m: &mut Machine, batched: bool| {
+            let buf = m.alloc(lines * 64);
+            m.run(0, |cpu| {
+                if batched {
+                    cpu.load_run(r(0), buf.base(), 32, W, P, lines * 2);
+                } else {
+                    for i in 0..lines * 2 {
+                        cpu.load(r(0), buf.base() + i * 32, W, P);
+                    }
+                }
+            });
+        };
+        assert_oracle(
+            || Machine::new(test_machine()),
+            move |m| run(m, true),
+            move |m| run(m, false),
+        );
+    }
+
+    #[test]
+    fn store_run_matches_oracle() {
+        let lines = 2_000u64;
+        let run = |m: &mut Machine, batched: bool| {
+            let buf = m.alloc(lines * 64);
+            m.run(0, |cpu| {
+                if batched {
+                    cpu.store_run(r(1), buf.base(), 8, VecWidth::Scalar, P, lines * 8);
+                } else {
+                    for i in 0..lines * 8 {
+                        cpu.store(buf.base() + i * 8, r(1), VecWidth::Scalar, P);
+                    }
+                }
+            });
+        };
+        assert_oracle(
+            || Machine::new(test_machine()),
+            move |m| run(m, true),
+            move |m| run(m, false),
+        );
+    }
+
+    #[test]
+    fn mixed_mem_fp_pattern_matches_oracle() {
+        // daxpy-ish single-load pattern: load + fma per iteration.
+        let n = 30_000u64;
+        let run = |m: &mut Machine, batched: bool| {
+            let buf = m.alloc(n * 8 + 64);
+            m.run(0, |cpu| {
+                if batched {
+                    let pat = [
+                        PatOp::Load {
+                            dst: r(0),
+                            base: buf.base(),
+                            stride: 8,
+                        },
+                        PatOp::Fp {
+                            op: FpOp::Fma,
+                            dst: r(1),
+                            a: r(0),
+                            b: r(2),
+                        },
+                    ];
+                    cpu.run_pattern(&pat, VecWidth::Scalar, P, n);
+                } else {
+                    for j in 0..n {
+                        cpu.load(r(0), buf.base() + j * 8, VecWidth::Scalar, P);
+                        cpu.fma(r(1), r(0), r(2), VecWidth::Scalar, P);
+                    }
+                }
+            });
+        };
+        assert_oracle(
+            || Machine::new(haswell()),
+            move |m| run(m, true),
+            move |m| run(m, false),
+        );
+    }
+
+    #[test]
+    fn fp_ports_run_is_materially_faster() {
+        // Not a wall-clock benchmark — just pin that the jump engages: the
+        // batched run must simulate 800k instructions with the same result
+        // as the oracle (covered above); here we sanity-check counters.
+        let mut m = Machine::new(sandy_bridge());
+        let n = 800_000u64;
+        m.run(0, |cpu| {
+            cpu.fp_run(FpOp::Add, &[r(0), r(1), r(2), r(3)], r(8), r(9), W, P, n)
+        });
+        assert_eq!(m.core_counters(0).get(CoreEvent::InstRetired), n);
+        assert_eq!(m.core_counters(0).get(CoreEvent::FpPacked256Double), n);
+        let cycles = m.core_counters(0).get(CoreEvent::ClkUnhalted);
+        // One add port: ~1 instr/cycle.
+        assert!((cycles as f64 / n as f64 - 1.0).abs() < 0.05);
+    }
+
+    /// The closed-form jump must make run length irrelevant: a billion
+    /// instructions in well under a second, or the detection regressed to
+    /// the fallback. Ignored by default (it is a perf probe, not a
+    /// correctness test); run with `--ignored` when touching the jump.
+    #[test]
+    #[ignore]
+    fn jump_engages_at_scale() {
+        let mut m = Machine::new(haswell());
+        let n = 1_000_000_000u64;
+        let t0 = std::time::Instant::now();
+        m.run(0, |cpu| {
+            cpu.fp_run(FpOp::Fma, &[r(0), r(1), r(2), r(3), r(4)], r(8), r(9), W, P, n)
+        });
+        assert_eq!(m.core_counters(0).get(CoreEvent::InstRetired), n);
+        assert_eq!(m.core_counters(0).get(CoreEvent::FpPacked256Double), 2 * n);
+        assert!(
+            t0.elapsed().as_millis() < 500,
+            "steady-state jump did not engage: {:?} for {n} instructions",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn divide_pattern_falls_back() {
+        let n = 500u64;
+        assert_oracle(
+            || Machine::new(sandy_bridge()),
+            move |m| m.run(0, |cpu| cpu.fp_run(FpOp::Div, &[r(0)], r(8), r(9), W, P, n)),
+            move |m| {
+                m.run(0, |cpu| {
+                    for _ in 0..n {
+                        cpu.fdiv(r(0), r(8), r(9), W, P);
+                    }
+                })
+            },
+        );
+    }
+}

@@ -64,7 +64,7 @@ pub use machine::{Buffer, Machine, SlicedFn, ThreadProgram};
 /// Commonly used items.
 pub mod prelude {
     pub use crate::config::{self, MachineConfig};
-    pub use crate::cpu::Cpu;
+    pub use crate::cpu::{Cpu, PatOp};
     pub use crate::fault::{FaultConfig, FaultInjector};
     pub use crate::isa::{FpOp, Precision, Reg, VecWidth};
     pub use crate::machine::{Buffer, Machine, SlicedFn, ThreadProgram};

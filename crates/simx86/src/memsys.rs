@@ -355,6 +355,66 @@ impl MemSystem {
         result
     }
 
+    /// L1 hit latency (TSC cycles), for the batched single-line fast path.
+    pub(crate) fn l1_latency(&self) -> f64 {
+        self.l1_lat
+    }
+
+    /// Single-line demand access that probes the L1 exactly once. On a hit
+    /// the state change equals [`Self::access`]'s for a resident line
+    /// (`Cache::access` + `hint_touch`, whichever path `access` would have
+    /// taken) and the completion time is returned. On a miss the L1 has
+    /// already recorded it (tick + miss counter, exactly `access_line`'s
+    /// first step — `Cache::access` reads no clock, so performing it
+    /// before the caller's fill-buffer admission stall is unobservable)
+    /// and the caller must finish the access with [`Self::l1_miss_line`].
+    /// On a miss, `Err` carries the L1 victim slot the probe identified
+    /// (see `Cache::access_or_victim`), which [`Self::l1_miss_line`]
+    /// redeems — the caller must not touch this core's L1 in between.
+    pub(crate) fn l1_try_hit(
+        &mut self,
+        core: usize,
+        line: u64,
+        write: bool,
+        now: f64,
+    ) -> Result<f64, usize> {
+        match self.l1[core].access_or_victim(line, write) {
+            Ok(()) => {
+                self.hint_touch(core, line);
+                Ok(now + self.l1_lat)
+            }
+            Err(victim) => Err(victim),
+        }
+    }
+
+    /// `n` further same-line hits after an initial [`Self::l1_hit_line`].
+    /// The first hit left `line` in the hint's MRU slot, so the per-access
+    /// `hint_touch` calls would all be no-ops; only the L1's own
+    /// tick/stamp/stats evolution remains, folded by `Cache::access_repeat`.
+    pub(crate) fn l1_hit_line_repeat(&mut self, core: usize, line: u64, write: bool, n: u64) {
+        debug_assert_eq!(self.l1_hint[core * HINT_STRIDE], line);
+        self.l1[core].access_repeat(line, write, n);
+    }
+
+    /// Completes a single-line demand access whose L1 probe
+    /// ([`Self::l1_try_hit`]) missed: the below-L1 hierarchy walk of
+    /// `access_line`, then the hint-list update [`Self::access`] performs.
+    /// `kind` must be `Load` or `Store` (NT stores never take this path).
+    pub(crate) fn l1_miss_line(
+        &mut self,
+        core: usize,
+        line: u64,
+        kind: AccessKind,
+        now: f64,
+        counters: &mut CoreCounters,
+        l1_victim: usize,
+    ) -> AccessResult {
+        debug_assert!(kind != AccessKind::StoreNt);
+        let res = self.miss_walk(core, line, kind == AccessKind::Store, now, counters, l1_victim);
+        self.hint_touch(core, line);
+        res
+    }
+
     /// Promotes `line` to the MRU slot of `core`'s L1 hint list,
     /// inserting it (and dropping the LRU entry) if absent.
     #[inline]
@@ -386,13 +446,28 @@ impl MemSystem {
         let write = kind == AccessKind::Store;
 
         // L1.
-        if self.l1[core].access(line, write) {
-            return AccessResult {
+        match self.l1[core].access_or_victim(line, write) {
+            Ok(()) => AccessResult {
                 complete_at: now + self.l1_lat,
                 l1_miss: false,
-            };
+            },
+            Err(victim) => self.miss_walk(core, line, write, now, counters, victim),
         }
+    }
 
+    /// The below-L1 part of a demand access: prefetcher training, L2, L3,
+    /// DRAM, and the resulting fills. The L1 probe (a recorded miss) has
+    /// already happened and identified `l1_victim`; nothing below touches
+    /// this core's L1 until the final fill redeems it.
+    fn miss_walk(
+        &mut self,
+        core: usize,
+        line: u64,
+        write: bool,
+        now: f64,
+        counters: &mut CoreCounters,
+        l1_victim: usize,
+    ) -> AccessResult {
         // The L1-miss stream trains the L2 stream prefetcher. The scratch
         // buffer is taken out of `self` for the duration so steady-state
         // streaming performs no allocation.
@@ -405,7 +480,7 @@ impl MemSystem {
 
         // L2.
         if self.l2[core].access(line, false) {
-            self.fill_l1(core, line, write, now);
+            self.fill_l1(core, line, write, now, l1_victim);
             return AccessResult {
                 complete_at: now + self.l2_lat,
                 l1_miss: true,
@@ -421,7 +496,7 @@ impl MemSystem {
         let socket = self.socket_of(core);
         if self.l3[socket].access(line, false) {
             self.fill_l2(core, line, now);
-            self.fill_l1(core, line, write, now);
+            self.fill_l1(core, line, write, now, l1_victim);
             return AccessResult {
                 complete_at: now + self.l3_lat,
                 l1_miss: true,
@@ -434,7 +509,7 @@ impl MemSystem {
         let data_at = self.dram_read(socket, line, now + self.l3_lat);
         self.fill_l3(socket, line, now);
         self.fill_l2(core, line, now);
-        self.fill_l1(core, line, write, now);
+        self.fill_l1(core, line, write, now, l1_victim);
         AccessResult {
             complete_at: data_at,
             l1_miss: true,
@@ -472,21 +547,28 @@ impl MemSystem {
     /// later demand misses — which is the first-order effect of interest.
     fn prefetch_line(&mut self, core: usize, line: u64, now: f64) {
         let socket = self.socket_of(core);
-        if self.l2[core].contains(line) || self.l3[socket].contains(line) {
+        if self.l2[core].contains(line) {
             return;
         }
+        // Probe and (if absent) install in L3 with one set walk. The DRAM
+        // read is charged after the install decision instead of before it;
+        // the IMC timeline and counters are commutative within this call,
+        // so the final state matches the probe-then-read-then-fill order.
+        let Some(wb) = self.l3[socket].fill_if_absent(line, false, true) else {
+            return;
+        };
         let _ = self.dram_read(socket, line, now);
-        if let Some(wb) = self.l3[socket].fill(line, false, true) {
+        if let Some(wb) = wb {
             let _ = self.dram_write(socket, wb.line, now);
         }
-        if let Some(wb) = self.l2[core].fill(line, false, true) {
+        if let Some(wb) = self.l2[core].fill_absent(line, false, true) {
             self.fill_l3_writeback(socket, wb.line, now);
         }
     }
 
-    fn fill_l1(&mut self, core: usize, line: u64, dirty: bool, now: f64) {
+    fn fill_l1(&mut self, core: usize, line: u64, dirty: bool, now: f64, victim: usize) {
         let socket = self.socket_of(core);
-        if let Some(wb) = self.l1[core].fill(line, dirty, false) {
+        if let Some(wb) = self.l1[core].fill_at(victim, line, dirty, false) {
             // Dirty L1 victim lands in L2 (updating dirtiness there).
             if let Some(wb2) = self.l2[core].fill(wb.line, true, false) {
                 self.fill_l3_writeback(socket, wb2.line, now);
@@ -496,13 +578,13 @@ impl MemSystem {
 
     fn fill_l2(&mut self, core: usize, line: u64, now: f64) {
         let socket = self.socket_of(core);
-        if let Some(wb) = self.l2[core].fill(line, false, false) {
+        if let Some(wb) = self.l2[core].fill_absent(line, false, false) {
             self.fill_l3_writeback(socket, wb.line, now);
         }
     }
 
     fn fill_l3(&mut self, socket: usize, line: u64, now: f64) {
-        if let Some(wb) = self.l3[socket].fill(line, false, false) {
+        if let Some(wb) = self.l3[socket].fill_absent(line, false, false) {
             let _ = self.dram_write(socket, wb.line, now);
         }
     }

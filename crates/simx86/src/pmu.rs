@@ -158,23 +158,9 @@ impl CoreCounters {
     /// Min/max/compare instructions do not increment any FP event — the
     /// documented blind spot of the method.
     pub(crate) fn count_fp(&mut self, op: FpOp, width: VecWidth, prec: Precision) {
-        let increments = match op {
-            FpOp::MinMax => 0,
-            FpOp::Fma => 2,
-            _ => 1,
-        };
-        if increments == 0 {
-            return;
+        if let Some((ev, increments)) = fp_event(op, width, prec) {
+            self.add(ev, increments);
         }
-        let ev = match (width, prec) {
-            (VecWidth::Scalar, Precision::F64) => CoreEvent::FpScalarDouble,
-            (VecWidth::X128, Precision::F64) => CoreEvent::FpPacked128Double,
-            (VecWidth::Y256, Precision::F64) => CoreEvent::FpPacked256Double,
-            (VecWidth::Scalar, Precision::F32) => CoreEvent::FpScalarSingle,
-            (VecWidth::X128, Precision::F32) => CoreEvent::FpPacked128Single,
-            (VecWidth::Y256, Precision::F32) => CoreEvent::FpPacked256Single,
-        };
-        self.add(ev, increments);
     }
 
     /// Width-weighted flop count for a precision, the paper's formula:
@@ -210,6 +196,28 @@ impl CoreCounters {
         }
         out
     }
+}
+
+/// The PMU event and increment one FP instruction retirement produces, or
+/// `None` for the uncounted classes (min/max — the methodology blind spot).
+/// `CoreCounters::count_fp` applies this per instruction; the batched-run
+/// path multiplies the increment by the run length instead, so both paths
+/// move the same counter by construction.
+pub(crate) fn fp_event(op: FpOp, width: VecWidth, prec: Precision) -> Option<(CoreEvent, u64)> {
+    let increments = match op {
+        FpOp::MinMax => return None,
+        FpOp::Fma => 2,
+        _ => 1,
+    };
+    let ev = match (width, prec) {
+        (VecWidth::Scalar, Precision::F64) => CoreEvent::FpScalarDouble,
+        (VecWidth::X128, Precision::F64) => CoreEvent::FpPacked128Double,
+        (VecWidth::Y256, Precision::F64) => CoreEvent::FpPacked256Double,
+        (VecWidth::Scalar, Precision::F32) => CoreEvent::FpScalarSingle,
+        (VecWidth::X128, Precision::F32) => CoreEvent::FpPacked128Single,
+        (VecWidth::Y256, Precision::F32) => CoreEvent::FpPacked256Single,
+    };
+    Some((ev, increments))
 }
 
 /// The machine-wide uncore counter bank.

@@ -11,11 +11,15 @@ import unittest
 SCRIPT = pathlib.Path(__file__).resolve().parent / "check_bench.py"
 
 
-def doc(quick_ms):
+def doc(quick_ms, fp_ports=1000.0, dram_stream=12.0):
     return {
         "schema": 1,
         "name": "BENCH_simx86",
-        "memsys": [{"id": "l1_hit_stream", "mops_per_s": 25.0, "ops": 1000}],
+        "memsys": [
+            {"id": "l1_hit_stream", "mops_per_s": 25.0, "ops": 1000},
+            {"id": "fp_ports", "mops_per_s": fp_ports, "ops": 1000},
+            {"id": "dram_stream", "mops_per_s": dram_stream, "ops": 1000},
+        ],
         "sweeps": [
             {"fidelity": "quick", "jobs": 1, "wall_ms": quick_ms, "experiments": 18}
         ],
@@ -67,6 +71,43 @@ class CheckBenchTest(unittest.TestCase):
         self.assertEqual(code, 0)
         code, _, _ = run_on(doc(10000), doc(10600), "--max-regress", "5")
         self.assertEqual(code, 1)
+
+    def test_new_benchmark_id_warns_but_passes(self):
+        candidate = doc(10000)
+        candidate["memsys"].append(
+            {"id": "brand_new_bench", "mops_per_s": 5.0, "ops": 100}
+        )
+        code, out, _ = run_on(doc(10000), candidate)
+        self.assertEqual(code, 0)
+        self.assertIn("warning: new benchmark id 'brand_new_bench'", out)
+        self.assertIn("(new)", out)
+
+    def test_removed_benchmark_id_warns_but_passes(self):
+        baseline = doc(10000)
+        baseline["memsys"].append(
+            {"id": "retired_bench", "mops_per_s": 5.0, "ops": 100}
+        )
+        code, out, _ = run_on(baseline, doc(10000))
+        self.assertEqual(code, 0)
+        self.assertIn("warning: benchmark id 'retired_bench' removed", out)
+
+    def test_gated_micro_regression_fails(self):
+        code, _, err = run_on(doc(10000), doc(10000, fp_ports=700.0))
+        self.assertEqual(code, 1)
+        self.assertIn("fp_ports regressed", err)
+        code, _, err = run_on(doc(10000), doc(10000, dram_stream=8.0))
+        self.assertEqual(code, 1)
+        self.assertIn("dram_stream regressed", err)
+
+    def test_gated_micro_within_tolerance_passes(self):
+        code, _, _ = run_on(doc(10000), doc(10000, fp_ports=800.0, dram_stream=9.5))
+        self.assertEqual(code, 0)
+
+    def test_ungated_micro_regression_passes(self):
+        candidate = doc(10000)
+        candidate["memsys"][0]["mops_per_s"] = 1.0  # l1_hit_stream, info only
+        code, _, _ = run_on(doc(10000), candidate)
+        self.assertEqual(code, 0)
 
     def test_missing_quick_sweep_is_usage_error(self):
         bad = doc(10000)

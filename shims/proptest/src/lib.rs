@@ -82,8 +82,9 @@ pub mod test_runner {
 
 pub mod strategy {
     use crate::test_runner::Rng;
+    use std::fmt;
     use std::marker::PhantomData;
-    use std::ops::Range;
+    use std::ops::{Range, RangeInclusive};
     use std::rc::Rc;
 
     /// A value generator. Unlike the real crate there is no value tree and
@@ -135,6 +136,34 @@ pub mod strategy {
     }
 
     int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! int_range_inclusive_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start() <= self.end(), "empty strategy range");
+                    let span = (*self.end() - *self.start()) as u64 + 1;
+                    *self.start() + (rng.next_u64() % span) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_inclusive_strategy!(u8, u16, u32, u64, usize);
+
+    /// The constant strategy: always yields a clone of its value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
 
     impl Strategy for Range<f64> {
         type Value = f64;
@@ -270,7 +299,7 @@ pub mod collection {
 }
 
 pub mod prelude {
-    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
