@@ -84,7 +84,10 @@ fn main() -> ExitCode {
         eprintln!("  {:<32} {:>10.2} Mops/s  ({} ops)", r.id, r.mops_per_s, r.ops);
     }
 
-    eprintln!("simx86-bench: quick sweep (18 experiments, serial, no artifacts)");
+    eprintln!(
+        "simx86-bench: quick sweep ({} experiments, serial, no artifacts)",
+        experiments::registry::Experiment::ALL.len()
+    );
     let mut sweeps = vec![harness::bench_sweep(Fidelity::Quick)];
     eprintln!(
         "  quick: {} ms ({:.2}x vs pre-PR {} ms)",

@@ -25,6 +25,9 @@ pub enum Error {
     /// A measured `(W, Q, T)` triple failed a sanity check and cannot be
     /// turned into a roofline point (non-finite or non-positive runtime).
     InvalidMeasurement(String),
+    /// A hierarchical measurement referenced a memory level with no
+    /// matching bandwidth roof in the platform roofline.
+    UnknownRoof(String),
 }
 
 impl fmt::Display for Error {
@@ -39,6 +42,9 @@ impl fmt::Display for Error {
             }
             Error::Parse(msg) => write!(f, "could not parse roofline text: {msg}"),
             Error::InvalidMeasurement(msg) => write!(f, "invalid measurement: {msg}"),
+            Error::UnknownRoof(name) => {
+                write!(f, "no bandwidth roof named `{name}` for that memory level")
+            }
         }
     }
 }
@@ -59,6 +65,7 @@ mod tests {
             Error::BadAxisRange { lo: 1.0, hi: 0.5 }.to_string(),
             Error::Parse("x".into()).to_string(),
             Error::InvalidMeasurement("x".into()).to_string(),
+            Error::UnknownRoof("x".into()).to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

@@ -1,0 +1,452 @@
+//! Hierarchical and time-based roofline formulations.
+//!
+//! The classic roofline compresses all memory traffic into one byte count
+//! `Q` measured at a single level (the ISPASS'14 methodology uses DRAM).
+//! Two refinements make the *hierarchy* visible:
+//!
+//! * **Hierarchical roofline** — measure a byte count `Q_l` at every level
+//!   (L1↔core, L1↔L2, L2↔L3, L3↔DRAM), giving one operational intensity
+//!   `I_l = W / Q_l` per level. Plot the same kernel once per level against
+//!   that level's bandwidth roof: the level whose point sits closest to its
+//!   roof is the bottleneck.
+//! * **Time-based roofline** — convert each byte count into a *lower-bound
+//!   transfer time* `t_l = Q_l / beta_l` and the work into a lower-bound
+//!   compute time `t_c = W / pi`, then express each as a fraction of the
+//!   measured runtime `T`. The largest fraction names the bottleneck
+//!   directly, without reading a log-log chart; fractions summing well
+//!   below 1 reveal latency- or overhead-bound kernels the classic model
+//!   cannot distinguish.
+//!
+//! Both formulations are pure arithmetic over `(W, {Q_l}, T)` plus the
+//! platform's measured ceilings and per-level bandwidths — no new machine
+//! state. The per-level byte counts come from the simulator's hierarchical
+//! PMU bank, whose conservation laws (every L1 miss is an L2 access, LLC
+//! misses plus prefetch fills are the only DRAM reads, …) are pinned by
+//! `simx86`'s property suite, so `Q_l` here is trustworthy by construction.
+
+use crate::model::Roofline;
+use crate::point::KernelPoint;
+use crate::units::{Bytes, Flops, GBytesPerSec, GFlopsPerSec, Intensity, Seconds};
+use crate::Error;
+
+/// Byte traffic measured at one memory-hierarchy boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelTraffic {
+    name: String,
+    bytes: Bytes,
+}
+
+impl LevelTraffic {
+    /// The level's display name (must match a roof name for time analysis).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bytes moved across this boundary.
+    pub fn bytes(&self) -> Bytes {
+        self.bytes
+    }
+}
+
+/// A kernel measurement carrying per-level traffic: work `W`, runtime `T`,
+/// and one byte count `Q_l` per memory level.
+///
+/// Level names are kept in insertion order (outermost-first or
+/// innermost-first, the caller's choice) and must be unique; they are the
+/// join key against the [`Roofline`]'s bandwidth roofs when computing a
+/// [`TimeBreakdown`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierMeasurement {
+    name: String,
+    work: Flops,
+    runtime: Seconds,
+    levels: Vec<LevelTraffic>,
+}
+
+impl HierMeasurement {
+    /// Starts a hierarchical measurement for a kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidMeasurement`] if the runtime is not positive.
+    pub fn new(
+        name: impl Into<String>,
+        work: Flops,
+        runtime: Seconds,
+    ) -> Result<Self, Error> {
+        if runtime.get() <= 0.0 {
+            return Err(Error::InvalidMeasurement(format!(
+                "runtime must be positive, got {} s",
+                runtime.get()
+            )));
+        }
+        Ok(Self {
+            name: name.into(),
+            work,
+            runtime,
+            levels: Vec::new(),
+        })
+    }
+
+    /// Adds the byte count for one level.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DuplicateName`] if the level was already added.
+    pub fn level(mut self, name: impl Into<String>, bytes: Bytes) -> Result<Self, Error> {
+        let name = name.into();
+        if self.levels.iter().any(|l| l.name == name) {
+            return Err(Error::DuplicateName(name));
+        }
+        self.levels.push(LevelTraffic { name, bytes });
+        Ok(self)
+    }
+
+    /// The kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The work count `W`.
+    pub fn work(&self) -> Flops {
+        self.work
+    }
+
+    /// The measured runtime `T`.
+    pub fn runtime(&self) -> Seconds {
+        self.runtime
+    }
+
+    /// All per-level traffic entries in insertion order.
+    pub fn levels(&self) -> &[LevelTraffic] {
+        &self.levels
+    }
+
+    /// The kernel's performance `W / T` — identical for every level.
+    pub fn performance(&self) -> GFlopsPerSec {
+        GFlopsPerSec::new(self.work.get() as f64 / self.runtime.get() / 1e9)
+    }
+
+    /// Operational intensity at one level, `I_l = W / Q_l`, or `None` if
+    /// the level is unknown or moved zero bytes (infinite intensity).
+    pub fn level_intensity(&self, name: &str) -> Option<Intensity> {
+        let l = self.levels.iter().find(|l| l.name == name)?;
+        if l.bytes.get() == 0 {
+            return None;
+        }
+        Some(Intensity::new(
+            self.work.get() as f64 / l.bytes.get() as f64,
+        ))
+    }
+
+    /// Attained bandwidth at one level, `Q_l / T`, or `None` if unknown.
+    pub fn attained_bandwidth(&self, name: &str) -> Option<GBytesPerSec> {
+        let l = self.levels.iter().find(|l| l.name == name)?;
+        Some(GBytesPerSec::new(
+            l.bytes.get() as f64 / self.runtime.get() / 1e9,
+        ))
+    }
+
+    /// One plottable point per level, named `kernel@level` — the
+    /// hierarchical roofline's point cloud. Levels with zero traffic are
+    /// skipped (their intensity is unbounded; they impose no constraint).
+    pub fn points(&self) -> Vec<KernelPoint> {
+        let perf = self.performance();
+        self.levels
+            .iter()
+            .filter(|l| l.bytes.get() > 0)
+            .map(|l| {
+                KernelPoint::new(
+                    format!("{}@{}", self.name, l.name),
+                    Intensity::new(self.work.get() as f64 / l.bytes.get() as f64),
+                    perf,
+                )
+            })
+            .collect()
+    }
+}
+
+/// One term of a time-based roofline breakdown: a lower-bound time and its
+/// share of the measured runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeShare {
+    label: String,
+    time: Seconds,
+    share: f64,
+}
+
+impl TimeShare {
+    /// The term's label — `"compute"` or a level name.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The lower-bound time for this term.
+    pub fn time(&self) -> Seconds {
+        self.time
+    }
+
+    /// The term's fraction of the measured runtime (may exceed 1 only by
+    /// measurement noise; a share near 1 means this term binds).
+    pub fn share(&self) -> f64 {
+        self.share
+    }
+}
+
+/// The time-based roofline: every term's lower-bound time as a share of
+/// the measured runtime. The first term is always compute; the rest follow
+/// the measurement's level order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeBreakdown {
+    name: String,
+    runtime: Seconds,
+    terms: Vec<TimeShare>,
+}
+
+impl TimeBreakdown {
+    /// Computes the breakdown of a hierarchical measurement against a
+    /// platform roofline. Every level of the measurement must have a
+    /// bandwidth roof of the same name; compute time uses the top ceiling.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownRoof`] if a level has no matching roof.
+    pub fn from_measurement(m: &HierMeasurement, roofline: &Roofline) -> Result<Self, Error> {
+        let runtime = m.runtime().get();
+        let mut terms = Vec::with_capacity(1 + m.levels().len());
+
+        let t_c = m.work().get() as f64 / (roofline.peak_compute().get() * 1e9);
+        terms.push(TimeShare {
+            label: "compute".to_string(),
+            time: Seconds::new(t_c),
+            share: t_c / runtime,
+        });
+
+        for l in m.levels() {
+            let roof = roofline
+                .roof(l.name())
+                .ok_or_else(|| Error::UnknownRoof(l.name().to_string()))?;
+            let t_l = l.bytes().get() as f64 / (roof.bandwidth().get() * 1e9);
+            terms.push(TimeShare {
+                label: l.name().to_string(),
+                time: Seconds::new(t_l),
+                share: t_l / runtime,
+            });
+        }
+
+        Ok(Self {
+            name: m.name().to_string(),
+            runtime: m.runtime(),
+            terms,
+        })
+    }
+
+    /// The kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The measured runtime the shares are relative to.
+    pub fn runtime(&self) -> Seconds {
+        self.runtime
+    }
+
+    /// All terms: compute first, then levels in measurement order.
+    pub fn terms(&self) -> &[TimeShare] {
+        &self.terms
+    }
+
+    /// The term with the largest runtime share — the predicted bottleneck.
+    pub fn dominant(&self) -> &TimeShare {
+        self.terms
+            .iter()
+            .max_by(|a, b| {
+                a.share
+                    .partial_cmp(&b.share)
+                    .expect("shares are finite")
+            })
+            .expect("breakdown always has a compute term")
+    }
+
+    /// True when the dominant term is a memory level rather than compute.
+    pub fn memory_dominated(&self) -> bool {
+        self.dominant().label() != "compute"
+    }
+
+    /// The unexplained fraction of the runtime: `1 - max_share`. Large
+    /// values mean no single resource is saturated — the kernel is bound
+    /// by latency, dependencies, or overhead the roofline cannot see.
+    pub fn slack(&self) -> f64 {
+        (1.0 - self.dominant().share()).max(0.0)
+    }
+
+    /// Renders the breakdown as a fixed-width ASCII bar chart, one row per
+    /// term, shares scaled so a full bar is 100 % of the runtime.
+    pub fn render_bars(&self, bar_width: usize) -> String {
+        let bar_width = bar_width.max(10);
+        let label_w = self
+            .terms
+            .iter()
+            .map(|t| t.label.len())
+            .max()
+            .unwrap_or(0)
+            .max("compute".len());
+        let mut out = format!(
+            "{}: time-based roofline (runtime {:.3e} s, slack {:.1}%)\n",
+            self.name,
+            self.runtime.get(),
+            self.slack() * 100.0
+        );
+        for t in &self.terms {
+            let filled = ((t.share.min(1.0)) * bar_width as f64).round() as usize;
+            out.push_str(&format!(
+                "  {:label_w$}  [{}{}] {:5.1}%\n",
+                t.label,
+                "#".repeat(filled),
+                " ".repeat(bar_width - filled),
+                t.share * 100.0,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BandwidthRoof, Ceiling};
+    use crate::units::{FlopsPerCycle, Hertz};
+
+    /// 1 GHz, 10 flops/cycle → pi = 10 GF/s; L1 100 GB/s, L2 40 GB/s,
+    /// DRAM 5 GB/s.
+    fn platform() -> Roofline {
+        Roofline::builder("hier-test")
+            .frequency(Hertz::from_ghz(1.0))
+            .ceiling(Ceiling::new("peak", FlopsPerCycle::new(10.0)))
+            .roof(BandwidthRoof::new("L1", GBytesPerSec::new(100.0)))
+            .roof(BandwidthRoof::new("L2", GBytesPerSec::new(40.0)))
+            .roof(BandwidthRoof::new("DRAM", GBytesPerSec::new(5.0)))
+            .build()
+            .unwrap()
+    }
+
+    /// 1e9 flops in 0.5 s; 10 GB at L1, 4 GB at L2, 1 GB at DRAM.
+    fn measurement() -> HierMeasurement {
+        HierMeasurement::new("k", Flops::new(1_000_000_000), Seconds::new(0.5))
+            .unwrap()
+            .level("L1", Bytes::new(10_000_000_000))
+            .unwrap()
+            .level("L2", Bytes::new(4_000_000_000))
+            .unwrap()
+            .level("DRAM", Bytes::new(1_000_000_000))
+            .unwrap()
+    }
+
+    #[test]
+    fn per_level_intensity_and_bandwidth() {
+        let m = measurement();
+        assert!((m.level_intensity("L1").unwrap().get() - 0.1).abs() < 1e-12);
+        assert!((m.level_intensity("DRAM").unwrap().get() - 1.0).abs() < 1e-12);
+        // 10 GB / 0.5 s = 20 GB/s attained at L1.
+        assert!((m.attained_bandwidth("L1").unwrap().get() - 20.0).abs() < 1e-9);
+        assert!(m.level_intensity("L4").is_none());
+    }
+
+    #[test]
+    fn points_carry_same_performance_at_each_level() {
+        let m = measurement();
+        let pts = m.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].name(), "k@L1");
+        assert_eq!(pts[2].name(), "k@DRAM");
+        for p in &pts {
+            // 1e9 flops / 0.5 s = 2 GF/s.
+            assert!((p.performance().get() - 2.0).abs() < 1e-12);
+        }
+        // Intensity rises toward DRAM as traffic filters down the levels.
+        assert!(pts[0].intensity().get() < pts[2].intensity().get());
+    }
+
+    #[test]
+    fn zero_traffic_levels_are_skipped() {
+        let m = HierMeasurement::new("z", Flops::new(100), Seconds::new(1.0))
+            .unwrap()
+            .level("L1", Bytes::new(64))
+            .unwrap()
+            .level("DRAM", Bytes::new(0))
+            .unwrap();
+        assert_eq!(m.points().len(), 1);
+        assert!(m.level_intensity("DRAM").is_none());
+        assert_eq!(m.attained_bandwidth("DRAM").unwrap().get(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_level_rejected() {
+        let e = HierMeasurement::new("k", Flops::new(1), Seconds::new(1.0))
+            .unwrap()
+            .level("L1", Bytes::new(1))
+            .unwrap()
+            .level("L1", Bytes::new(2))
+            .unwrap_err();
+        assert_eq!(e, Error::DuplicateName("L1".to_string()));
+    }
+
+    #[test]
+    fn non_positive_runtime_rejected() {
+        let e = HierMeasurement::new("k", Flops::new(1), Seconds::new(0.0)).unwrap_err();
+        assert!(matches!(e, Error::InvalidMeasurement(_)));
+    }
+
+    #[test]
+    fn time_breakdown_shares_are_exact() {
+        // t_c = 1e9 / 10e9 = 0.1 s           → share 0.2
+        // t_L1 = 10e9 / 100e9 = 0.1 s        → share 0.2
+        // t_L2 = 4e9 / 40e9 = 0.1 s          → share 0.2
+        // t_DRAM = 1e9 / 5e9 = 0.2 s         → share 0.4  (dominant)
+        let b = TimeBreakdown::from_measurement(&measurement(), &platform()).unwrap();
+        assert_eq!(b.terms().len(), 4);
+        assert_eq!(b.terms()[0].label(), "compute");
+        assert!((b.terms()[0].share() - 0.2).abs() < 1e-12);
+        assert!((b.terms()[3].share() - 0.4).abs() < 1e-12);
+        assert_eq!(b.dominant().label(), "DRAM");
+        assert!(b.memory_dominated());
+        assert!((b.slack() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_dominated_kernel_detected() {
+        let m = HierMeasurement::new("gemm", Flops::new(9_000_000_000), Seconds::new(1.0))
+            .unwrap()
+            .level("DRAM", Bytes::new(1_000_000_000))
+            .unwrap();
+        let b = TimeBreakdown::from_measurement(&m, &platform()).unwrap();
+        assert_eq!(b.dominant().label(), "compute");
+        assert!(!b.memory_dominated());
+        assert!((b.dominant().share() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_roof_is_an_error() {
+        let m = HierMeasurement::new("k", Flops::new(1), Seconds::new(1.0))
+            .unwrap()
+            .level("L9", Bytes::new(64))
+            .unwrap();
+        let e = TimeBreakdown::from_measurement(&m, &platform()).unwrap_err();
+        assert_eq!(e, Error::UnknownRoof("L9".to_string()));
+    }
+
+    #[test]
+    fn bars_render_every_term_and_clamp() {
+        let b = TimeBreakdown::from_measurement(&measurement(), &platform()).unwrap();
+        let s = b.render_bars(20);
+        assert!(s.contains("compute"));
+        assert!(s.contains("DRAM"));
+        assert!(s.contains("40.0%"));
+        assert!(s.contains("slack 60.0%"));
+        // Every bar line fits the fixed width.
+        for line in s.lines().skip(1) {
+            assert!(line.contains('['));
+            assert!(line.contains(']'));
+        }
+    }
+}

@@ -31,6 +31,9 @@
 //!   methodology produces) and [`KernelPoint`] (its position on the plot).
 //! * [`series`] — [`Trajectory`]: a kernel swept over problem size, the
 //!   paper's preferred way of plotting.
+//! * [`hier`] — [`HierMeasurement`] and [`TimeBreakdown`]: the hierarchical
+//!   (per-memory-level intensity) and time-based (per-level runtime share)
+//!   roofline formulations.
 //! * [`plot`] — log-log renderers to ASCII (for terminals) and SVG (for
 //!   papers).
 //! * [`json`] — a dependency-free JSON value/parser and the JSON-lines
@@ -63,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hier;
 pub mod json;
 pub mod model;
 pub mod plot;
@@ -74,12 +78,14 @@ pub mod units;
 mod error;
 
 pub use error::Error;
+pub use hier::{HierMeasurement, LevelTraffic, TimeBreakdown, TimeShare};
 pub use model::{BandwidthRoof, Bound, Ceiling, RidgePoint, Roofline, RooflineBuilder};
 pub use point::{Efficiency, KernelPoint, Measurement};
 pub use series::{Trajectory, TrajectoryPoint};
 
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
+    pub use crate::hier::{HierMeasurement, LevelTraffic, TimeBreakdown, TimeShare};
     pub use crate::model::{BandwidthRoof, Bound, Ceiling, RidgePoint, Roofline};
     pub use crate::point::{Efficiency, KernelPoint, Measurement};
     pub use crate::series::{Trajectory, TrajectoryPoint};

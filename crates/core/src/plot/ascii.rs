@@ -154,6 +154,30 @@ pub fn render_ascii(spec: &PlotSpec, width: usize, height: usize) -> Result<Stri
         let names: Vec<_> = spec.points().iter().map(|p| p.name()).collect();
         out.push_str(&format!("  *: {}\n", names.join(", ")));
     }
+
+    // Hierarchical mode: name every ceiling and roof and locate each roof's
+    // ridge against the top ceiling, so the stacked envelope is readable
+    // without the SVG.
+    if spec.ridges_labelled() {
+        let roofline = spec.roofline();
+        let freq = roofline.frequency();
+        for c in roofline.ceilings() {
+            out.push_str(&format!(
+                "  ceiling {}: {:.2} GF/s\n",
+                c.name(),
+                c.absolute(freq).get()
+            ));
+        }
+        let pi = roofline.peak_compute().get();
+        for r in roofline.roofs() {
+            out.push_str(&format!(
+                "  roof {}: {:.2} GB/s, ridge @ {:.3} flops/B\n",
+                r.name(),
+                r.bandwidth().get(),
+                pi / r.bandwidth().get()
+            ));
+        }
+    }
     Ok(out)
 }
 
@@ -265,6 +289,51 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn tiny_canvas_rejected() {
         let _ = AsciiCanvas::new(4, 4);
+    }
+
+    /// Hand-computed 3-level hierarchy at 1 GHz: pi = 8 GF/s, roofs
+    /// L1 = 80, L2 = 16, DRAM = 4 GB/s → ridges 0.1, 0.5, 2.0 flops/B.
+    fn hier_spec() -> PlotSpec {
+        let r = Roofline::builder("hier")
+            .frequency(Hertz::from_ghz(1.0))
+            .ceiling(Ceiling::new("FMA", FlopsPerCycle::new(8.0)))
+            .ceiling(Ceiling::new("scalar", FlopsPerCycle::new(2.0)))
+            .roof(BandwidthRoof::new("DRAM", GBytesPerSec::new(4.0)))
+            .roof(BandwidthRoof::new("L1", GBytesPerSec::new(80.0)))
+            .roof(BandwidthRoof::new("L2", GBytesPerSec::new(16.0)))
+            .build()
+            .unwrap();
+        PlotSpec::new("hier figure", r)
+    }
+
+    #[test]
+    fn hier_legend_names_every_ceiling_and_roof_with_ridges() {
+        let s = render_ascii(&hier_spec().label_ridges(), 76, 24).unwrap();
+        assert!(s.contains("ceiling FMA: 8.00 GF/s"), "{s}");
+        assert!(s.contains("ceiling scalar: 2.00 GF/s"), "{s}");
+        assert!(s.contains("roof L1: 80.00 GB/s, ridge @ 0.100 flops/B"), "{s}");
+        assert!(s.contains("roof L2: 16.00 GB/s, ridge @ 0.500 flops/B"), "{s}");
+        assert!(s.contains("roof DRAM: 4.00 GB/s, ridge @ 2.000 flops/B"), "{s}");
+    }
+
+    #[test]
+    fn hier_legend_order_follows_sorted_stacks() {
+        // Ceilings descend by height, roofs by slope — regardless of the
+        // order they were added to the builder.
+        let s = render_ascii(&hier_spec().label_ridges(), 76, 24).unwrap();
+        let pos = |needle: &str| s.find(needle).unwrap_or_else(|| panic!("missing {needle}"));
+        assert!(pos("ceiling FMA") < pos("ceiling scalar"));
+        assert!(pos("roof L1") < pos("roof L2"));
+        assert!(pos("roof L2") < pos("roof DRAM"));
+    }
+
+    #[test]
+    fn classic_render_has_no_ridge_legend() {
+        // The labels are opt-in so historical golden figures stay
+        // byte-identical.
+        let s = render_ascii(&hier_spec(), 76, 24).unwrap();
+        assert!(!s.contains("ridge @"), "{s}");
+        assert!(!s.contains("ceiling FMA"), "{s}");
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub struct PlotSpec {
     title: String,
     x_range: Option<(f64, f64)>,
     y_range: Option<(f64, f64)>,
+    label_ridges: bool,
 }
 
 impl PlotSpec {
@@ -44,6 +45,7 @@ impl PlotSpec {
             title: title.into(),
             x_range: None,
             y_range: None,
+            label_ridges: false,
         }
     }
 
@@ -69,6 +71,20 @@ impl PlotSpec {
     pub fn y_range(mut self, lo: f64, hi: f64) -> Self {
         self.y_range = Some((lo, hi));
         self
+    }
+
+    /// Labels every top-ceiling ridge point (one per bandwidth roof) in
+    /// both renderers — the hierarchical-roofline presentation, where each
+    /// memory level's roof gets a named, located ridge. Off by default so
+    /// classic single-roof figures keep their exact historical output.
+    pub fn label_ridges(mut self) -> Self {
+        self.label_ridges = true;
+        self
+    }
+
+    /// Whether ridge labeling was requested.
+    pub fn ridges_labelled(&self) -> bool {
+        self.label_ridges
     }
 
     /// The figure title.

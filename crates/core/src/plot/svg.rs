@@ -127,6 +127,7 @@ pub fn render_svg(spec: &PlotSpec, width: u32, height: u32) -> Result<String, Er
     }
     for r in spec.roofline().roofs().iter().skip(1) {
         let mut pts = String::new();
+        let mut label_at: Option<(f64, f64)> = None;
         for i in 0..=64 {
             let t = i as f64 / 64.0;
             let x = xs.denormalize(t);
@@ -136,10 +137,48 @@ pub fn render_svg(spec: &PlotSpec, width: u32, height: u32) -> Result<String, Er
             }
             let (px, py) = to_px(x, y);
             pts.push_str(&format!("{px:.1},{py:.1} "));
+            if label_at.is_none() && y < spec.roofline().peak_compute().get() {
+                label_at = Some((px, py));
+            }
         }
         svg.push_str(&format!(
             r##"<polyline points="{pts}" fill="none" stroke="#555555" stroke-dasharray="2 3"/>"##
         ));
+        if spec.ridges_labelled() {
+            if let Some((px, py)) = label_at {
+                svg.push_str(&format!(
+                    r##"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="10" fill="#555555">{}</text>"##,
+                    px + 4.0,
+                    py - 4.0,
+                    xml_escape(r.name())
+                ));
+            }
+        }
+    }
+
+    // Hierarchical mode: mark and name each roof's ridge against the top
+    // ceiling — the per-level knees of the stacked envelope.
+    if spec.ridges_labelled() {
+        let pi = spec.roofline().peak_compute().get();
+        for r in spec.roofline().roofs() {
+            let ridge_i = pi / r.bandwidth().get();
+            if ridge_i < xs.lo() || ridge_i > xs.hi() || pi < ys.lo() || pi > ys.hi() {
+                continue;
+            }
+            let (px, py) = to_px(ridge_i, pi);
+            svg.push_str(&format!(
+                r##"<rect x="{:.1}" y="{:.1}" width="6" height="6" fill="none" stroke="#000000" transform="rotate(45 {px:.1} {py:.1})"/>"##,
+                px - 3.0,
+                py - 3.0
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="10" text-anchor="middle">{} ridge {}</text>"#,
+                px,
+                py - 8.0,
+                xml_escape(r.name()),
+                format_tick(ridge_i)
+            ));
+        }
     }
 
     // Standalone points.
@@ -261,5 +300,70 @@ mod tests {
     #[test]
     fn xml_escape_covers_quotes() {
         assert_eq!(xml_escape(r#"x"y"#), "x&quot;y");
+    }
+
+    /// Hand-computed 3-level hierarchy at 1 GHz: pi = 8 GF/s, roofs
+    /// L1 = 80, L2 = 16, DRAM = 4 GB/s → ridges 0.1, 0.5, 2.0 flops/B.
+    /// Fixed axis ranges make the pixel mapping exactly computable.
+    fn hier_spec() -> PlotSpec {
+        let r = Roofline::builder("hier")
+            .frequency(Hertz::from_ghz(1.0))
+            .ceiling(Ceiling::new("FMA", FlopsPerCycle::new(8.0)))
+            .ceiling(Ceiling::new("scalar", FlopsPerCycle::new(2.0)))
+            .roof(BandwidthRoof::new("DRAM", GBytesPerSec::new(4.0)))
+            .roof(BandwidthRoof::new("L1", GBytesPerSec::new(80.0)))
+            .roof(BandwidthRoof::new("L2", GBytesPerSec::new(16.0)))
+            .build()
+            .unwrap();
+        PlotSpec::new("hier fig", r)
+            .x_range(0.01, 100.0)
+            .y_range(0.01, 16.0)
+            .label_ridges()
+    }
+
+    #[test]
+    fn hier_svg_labels_each_roof_ridge() {
+        let s = render_svg(&hier_spec(), 800, 500).unwrap();
+        assert!(s.contains("L1 ridge 0.1"), "{s}");
+        assert!(s.contains("L2 ridge 0.500"), "{s}");
+        assert!(s.contains("DRAM ridge 2.0"), "{s}");
+        // Lower roofs carry their level names along the diagonals.
+        assert!(s.contains(">L2</text>"), "{s}");
+        assert!(s.contains(">DRAM</text>"), "{s}");
+    }
+
+    #[test]
+    fn hier_svg_ridge_marker_at_exact_coordinates() {
+        // Replicate the pixel mapping: x spans 4 decades over
+        // plot_w = 800 - 70 - 160 = 570 px, y spans log10(0.01)..log10(16)
+        // over plot_h = 500 - 40 - 50 = 410 px. The DRAM ridge sits at
+        // (2.0 flops/B, 8 GF/s).
+        let plot_w = 800.0 - MARGIN_L - MARGIN_R;
+        let plot_h = 500.0 - MARGIN_T - MARGIN_B;
+        let tx = (2.0f64.log10() - 0.01f64.log10()) / (100.0f64.log10() - 0.01f64.log10());
+        let ty = (8.0f64.log10() - 0.01f64.log10()) / (16.0f64.log10() - 0.01f64.log10());
+        let px = MARGIN_L + tx * plot_w;
+        let py = MARGIN_T + (1.0 - ty) * plot_h;
+        let s = render_svg(&hier_spec(), 800, 500).unwrap();
+        let marker = format!(
+            r#"rotate(45 {px:.1} {py:.1})"#,
+        );
+        assert!(s.contains(&marker), "expected marker {marker} in {s}");
+        let label = format!(r#"<text x="{px:.1}" y="{:.1}""#, py - 8.0);
+        assert!(s.contains(&label), "expected label anchor {label}");
+    }
+
+    #[test]
+    fn hier_svg_text_is_stable_across_renders() {
+        let a = render_svg(&hier_spec(), 800, 500).unwrap();
+        let b = render_svg(&hier_spec(), 800, 500).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn classic_svg_has_no_ridge_markers() {
+        let s = render_svg(&spec(), 800, 500).unwrap();
+        assert!(!s.contains("ridge"), "{s}");
+        assert!(!s.contains("rotate(45"), "{s}");
     }
 }

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod extensions;
+pub mod hier_modes;
 pub mod manifest;
 pub mod multithread;
 pub mod output;

@@ -1,4 +1,4 @@
-//! The experiment registry: ids E1–E16, metadata, and the dispatcher.
+//! The experiment registry: ids E1–E19, metadata, and the dispatcher.
 
 use crate::output::ExperimentOutput;
 use crate::platforms::Fidelity;
@@ -27,11 +27,12 @@ pub enum Experiment {
     E16,
     E17,
     E18,
+    E19,
 }
 
 impl Experiment {
     /// All experiments in presentation order.
-    pub const ALL: [Experiment; 18] = [
+    pub const ALL: [Experiment; 19] = [
         Experiment::E1,
         Experiment::E2,
         Experiment::E3,
@@ -50,6 +51,7 @@ impl Experiment {
         Experiment::E16,
         Experiment::E17,
         Experiment::E18,
+        Experiment::E19,
     ];
 
     /// The id string (`"E7"`).
@@ -73,6 +75,7 @@ impl Experiment {
             Experiment::E16 => "E16",
             Experiment::E17 => "E17",
             Experiment::E18 => "E18",
+            Experiment::E19 => "E19",
         }
     }
 
@@ -97,6 +100,7 @@ impl Experiment {
             Experiment::E16 => "full roofline summary",
             Experiment::E17 => "two-socket NUMA execution (extension)",
             Experiment::E18 => "cache-aware roofline with SpMV (extension)",
+            Experiment::E19 => "hierarchical + time-based roofline modes (extension)",
         }
     }
 
@@ -112,7 +116,7 @@ impl Experiment {
         let quick = match self {
             Experiment::E4 => 120_000,
             Experiment::E6 => 60_000,
-            Experiment::E15 | Experiment::E18 => 30_000,
+            Experiment::E15 | Experiment::E18 | Experiment::E19 => 30_000,
             Experiment::E3 => 20_000,
             _ => 15_000,
         };
@@ -146,6 +150,7 @@ impl Experiment {
             Experiment::E16 => "headline roofline plot",
             Experiment::E17 => "extension: multi-socket / NUMA discipline (numactl)",
             Experiment::E18 => "extension: hierarchical roofline (post-paper tooling)",
+            Experiment::E19 => "extension: hierarchical + time-based rooflines (Yang et al. / Wang et al. modes)",
         }
     }
 }
@@ -184,7 +189,7 @@ pub struct ParseExperimentError(String);
 
 impl fmt::Display for ParseExperimentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown experiment id `{}` (expected E1..E18)", self.0)
+        write!(f, "unknown experiment id `{}` (expected E1..E19)", self.0)
     }
 }
 
@@ -223,6 +228,7 @@ pub fn run_experiment(e: Experiment, platform: &str, fidelity: Fidelity) -> Expe
         Experiment::E16 => crate::summary::run_e16(platform, fidelity),
         Experiment::E17 => crate::extensions::run_e17(fidelity),
         Experiment::E18 => crate::extensions::run_e18(platform, fidelity),
+        Experiment::E19 => crate::hier_modes::run_e19(platform, fidelity),
     }
 }
 
@@ -251,7 +257,7 @@ mod tests {
     #[test]
     fn unknown_id_is_error() {
         let err = "E99".parse::<Experiment>().unwrap_err();
-        assert!("E19".parse::<Experiment>().is_err());
+        assert!("E20".parse::<Experiment>().is_err());
         assert!(err.to_string().contains("E99"));
     }
 

@@ -1,0 +1,122 @@
+//! End-to-end test of the hierarchical experiment (E19) through roofd.
+//!
+//! The engine is generic over the experiment registry, so the
+//! hierarchical + time-based roofline modes must flow through the
+//! service untouched: a cold request computes, duplicates coalesce onto
+//! the in-flight computation, a later request hits the memory cache,
+//! and every response body — tables with per-level intensities, the
+//! ridge-labelled SVG, the time-based breakdown — is byte-identical to
+//! the serial `repro` artifact tree.
+
+use experiments::platforms::Fidelity;
+use experiments::registry::Experiment;
+use experiments::snapshot::{diff_trees, read_tree};
+use experiments::sweep::run_one;
+use roofline_service::client::Client;
+use roofline_service::engine::{Engine, EngineConfig};
+use roofline_service::server::Server;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("roofd-hier-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The serial reference tree for E19 the way `repro -e E19 -o <dir>`
+/// would produce it, normalized by the same snapshot rules the service
+/// applies.
+fn serial_reference() -> BTreeMap<String, String> {
+    let dir = temp_dir("ref");
+    run_one(Experiment::E19, "snb", Fidelity::Quick, &dir).expect("reference run");
+    let tree = read_tree(&dir).expect("reference tree");
+    let _ = fs::remove_dir_all(&dir);
+    tree
+}
+
+#[test]
+fn hierarchical_experiment_misses_coalesces_hits_and_matches_serial_repro() {
+    let cache_dir = temp_dir("cache");
+    let cfg = EngineConfig {
+        cache_dir: Some(cache_dir.clone()),
+        workers: 2,
+        ..EngineConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Engine::new(cfg)).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    // 4 concurrent clients + 1 follow-up + 1 control connection.
+    let server = std::thread::spawn(move || server.serve_n(6));
+
+    // Cold cache, 4 identical hierarchical requests at once: exactly one
+    // computes, the rest coalesce onto it (or hit memory if they land
+    // after it completes).
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client
+                    .run(Experiment::E19, "snb", Fidelity::Quick)
+                    .expect("run")
+            })
+        })
+        .collect();
+    let replies: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+    let reference = serial_reference();
+    for reply in &replies {
+        assert_eq!(reply.status, "pass", "E19 failed: {:?}", reply.detail);
+        let diffs = diff_trees("serial repro", &reference, "service", &reply.artifacts);
+        assert!(
+            diffs.is_empty(),
+            "E19 response differs from serial repro:\n{}",
+            diffs.join("\n")
+        );
+    }
+    // The hierarchical artifacts made the round trip: the report carries
+    // all three mode tables and the figure carries the ridge labels.
+    let report = replies[0]
+        .artifacts
+        .iter()
+        .find(|(path, _)| path.ends_with("report.txt"))
+        .map(|(_, body)| body)
+        .expect("report artifact");
+    assert!(report.contains("per-level operational intensity"));
+    assert!(report.contains("time-based roofline"));
+    assert!(report.contains("ridge @"));
+
+    // A later request on a fresh connection is a clean memory hit,
+    // byte-identical to the computed response.
+    let after = {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .run(Experiment::E19, "snb", Fidelity::Quick)
+            .expect("run")
+    };
+    assert!(after.cache_hit, "follow-up request must hit the cache");
+    assert_eq!(after.source, "mem");
+    assert_eq!(
+        diff_trees("computed", &replies[0].artifacts, "hit", &after.artifacts),
+        Vec::<String>::new()
+    );
+
+    // Clean path: one computation, every duplicate answered without a
+    // second run, nothing stuck in flight.
+    let mut control = Client::connect(addr).expect("control connect");
+    let stats: BTreeMap<String, u64> = control.stats().expect("stats").into_iter().collect();
+    assert_eq!(stats["misses"], 1, "stats: {stats:?}");
+    assert_eq!(stats["completed"], 5);
+    assert_eq!(
+        stats["coalesced"] + stats["mem_hits"] + stats["disk_hits"],
+        4,
+        "stats: {stats:?}"
+    );
+    assert_eq!(stats["in_flight"], 0);
+    assert_eq!(stats["busy"], 0);
+    assert_eq!(stats["entries"], 1);
+
+    drop(control);
+    server.join().unwrap().expect("server");
+    let _ = fs::remove_dir_all(&cache_dir);
+}

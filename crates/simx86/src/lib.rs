@@ -68,5 +68,8 @@ pub mod prelude {
     pub use crate::fault::{FaultConfig, FaultInjector};
     pub use crate::isa::{FpOp, Precision, Reg, VecWidth};
     pub use crate::machine::{Buffer, Machine, SlicedFn, ThreadProgram};
-    pub use crate::pmu::{CoreCounters, CoreEvent, UncoreCounters, UncoreEvent};
+    pub use crate::pmu::{
+        CoreCounters, CoreEvent, HierCounters, LevelCounters, MemLevel, UncoreCounters,
+        UncoreEvent,
+    };
 }

@@ -241,6 +241,14 @@ impl Machine {
         self.mem.uncore()
     }
 
+    /// Machine-wide hierarchical traffic bank: per-level hits, misses,
+    /// fills, writebacks, and the DRAM-port events, summed over all cores
+    /// and sockets. Monotone like every counter bank — measure with
+    /// [`crate::pmu::HierCounters::since`] deltas.
+    pub fn hier_counters(&self) -> crate::pmu::HierCounters {
+        self.mem.hier_counters()
+    }
+
     /// Total prefetch requests issued so far (diagnostic).
     pub fn prefetches_issued(&self) -> u64 {
         self.mem.prefetches_issued()

@@ -7,8 +7,37 @@
 
 use crate::cache::{Cache, CacheStats};
 use crate::config::MachineConfig;
-use crate::pmu::{CoreCounters, CoreEvent, UncoreCounters};
+use crate::pmu::{CoreCounters, CoreEvent, HierCounters, LevelCounters, UncoreCounters};
 use crate::prefetch::StreamPrefetcher;
+
+/// Inter-level line-transfer counters, incremented at the boundary-crossing
+/// sites of the hierarchy walk (fills, writebacks, NT stores, flushes) —
+/// all off the L1-hit fast path. Deliberately independent of the per-cache
+/// [`CacheStats`]: the traffic-conservation property suite pins the two
+/// bookkeeping systems against each other.
+#[derive(Debug, Clone, Copy, Default)]
+struct HierTraffic {
+    /// Lines installed into an L1 (one per L1 demand miss).
+    l1_fills: u64,
+    /// Dirty L1 victims pushed down into their L2.
+    l1_writebacks: u64,
+    /// Lines installed into an L2 on a demand miss.
+    l2_demand_fills: u64,
+    /// Lines installed into an L2 by the prefetcher.
+    l2_prefetch_fills: u64,
+    /// Dirty L2 victims pushed down into their socket's L3.
+    l2_writebacks: u64,
+    /// Lines installed into an L3 on a demand miss.
+    l3_demand_fills: u64,
+    /// Lines installed into an L3 by the prefetcher.
+    l3_prefetch_fills: u64,
+    /// Dirty L3 victims written to DRAM.
+    l3_writebacks: u64,
+    /// Write-combined NT-store lines sent straight to DRAM.
+    nt_lines: u64,
+    /// Dirty lines written to DRAM by `flush_all`.
+    flush_writebacks: u64,
+}
 
 /// The kind of memory access a core performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +147,8 @@ pub struct MemSystem {
     hint_ways: usize,
     /// Scratch buffer for prefetcher output, reused across misses.
     pf_buf: Vec<u64>,
+    /// Inter-level transfer counters (see [`HierTraffic`]).
+    traffic: HierTraffic,
 }
 
 impl MemSystem {
@@ -151,6 +182,7 @@ impl MemSystem {
             l1_hint: vec![NO_LINE; cfg.cores * HINT_STRIDE],
             hint_ways: HINT_STRIDE.min(cfg.l1.ways as usize),
             pf_buf: Vec::new(),
+            traffic: HierTraffic::default(),
         }
     }
 
@@ -287,6 +319,7 @@ impl MemSystem {
         }
         for line in dirty_lines {
             let home = self.node_of_line(line);
+            self.traffic.flush_writebacks += 1;
             t = t.max(self.dram_write(home, line, t));
         }
         self.wc_open_line.iter_mut().for_each(|w| *w = None);
@@ -533,6 +566,7 @@ impl MemSystem {
         for l3 in &mut self.l3 {
             l3.invalidate(line);
         }
+        self.traffic.nt_lines += 1;
         let done = self.dram_write(self.socket_of(core), line, now);
         AccessResult {
             complete_at: done,
@@ -557,10 +591,13 @@ impl MemSystem {
         let Some(wb) = self.l3[socket].fill_if_absent(line, false, true) else {
             return;
         };
+        self.traffic.l3_prefetch_fills += 1;
         let _ = self.dram_read(socket, line, now);
         if let Some(wb) = wb {
+            self.traffic.l3_writebacks += 1;
             let _ = self.dram_write(socket, wb.line, now);
         }
+        self.traffic.l2_prefetch_fills += 1;
         if let Some(wb) = self.l2[core].fill_absent(line, false, true) {
             self.fill_l3_writeback(socket, wb.line, now);
         }
@@ -568,8 +605,10 @@ impl MemSystem {
 
     fn fill_l1(&mut self, core: usize, line: u64, dirty: bool, now: f64, victim: usize) {
         let socket = self.socket_of(core);
+        self.traffic.l1_fills += 1;
         if let Some(wb) = self.l1[core].fill_at(victim, line, dirty, false) {
             // Dirty L1 victim lands in L2 (updating dirtiness there).
+            self.traffic.l1_writebacks += 1;
             if let Some(wb2) = self.l2[core].fill(wb.line, true, false) {
                 self.fill_l3_writeback(socket, wb2.line, now);
             }
@@ -578,13 +617,16 @@ impl MemSystem {
 
     fn fill_l2(&mut self, core: usize, line: u64, now: f64) {
         let socket = self.socket_of(core);
+        self.traffic.l2_demand_fills += 1;
         if let Some(wb) = self.l2[core].fill_absent(line, false, false) {
             self.fill_l3_writeback(socket, wb.line, now);
         }
     }
 
     fn fill_l3(&mut self, socket: usize, line: u64, now: f64) {
+        self.traffic.l3_demand_fills += 1;
         if let Some(wb) = self.l3[socket].fill_absent(line, false, false) {
+            self.traffic.l3_writebacks += 1;
             let _ = self.dram_write(socket, wb.line, now);
         }
     }
@@ -592,8 +634,57 @@ impl MemSystem {
     /// A dirty line evicted from a private cache is installed dirty in its
     /// socket's L3.
     fn fill_l3_writeback(&mut self, socket: usize, line: u64, now: f64) {
+        self.traffic.l2_writebacks += 1;
         if let Some(wb) = self.l3[socket].fill(line, true, false) {
+            self.traffic.l3_writebacks += 1;
             let _ = self.dram_write(socket, wb.line, now);
+        }
+    }
+
+    /// Assembles the machine-wide hierarchical traffic bank: demand
+    /// hits/misses and prefetch fills summed from the per-cache statistics,
+    /// transfer counts from the [`HierTraffic`] sites, DRAM lines from the
+    /// uncore bank.
+    pub fn hier_counters(&self) -> HierCounters {
+        let sum = |caches: &[Cache]| {
+            caches.iter().fold(CacheStats::default(), |mut acc, c| {
+                let s = c.stats();
+                acc.hits += s.hits;
+                acc.misses += s.misses;
+                acc.writebacks += s.writebacks;
+                acc.prefetch_fills += s.prefetch_fills;
+                acc
+            })
+        };
+        let (l1, l2, l3) = (sum(&self.l1), sum(&self.l2), sum(&self.l3));
+        let t = &self.traffic;
+        HierCounters {
+            l1: LevelCounters {
+                hits: l1.hits,
+                misses: l1.misses,
+                demand_fills: t.l1_fills,
+                prefetch_fills: l1.prefetch_fills,
+                writebacks: t.l1_writebacks,
+            },
+            l2: LevelCounters {
+                hits: l2.hits,
+                misses: l2.misses,
+                demand_fills: t.l2_demand_fills,
+                prefetch_fills: t.l2_prefetch_fills,
+                writebacks: t.l2_writebacks,
+            },
+            l3: LevelCounters {
+                hits: l3.hits,
+                misses: l3.misses,
+                demand_fills: t.l3_demand_fills,
+                prefetch_fills: t.l3_prefetch_fills,
+                writebacks: t.l3_writebacks,
+            },
+            nt_lines: t.nt_lines,
+            flush_writebacks: t.flush_writebacks,
+            dram_reads: self.uncore.get(crate::pmu::UncoreEvent::ImcDramDataReads),
+            dram_writes: self.uncore.get(crate::pmu::UncoreEvent::ImcDramDataWrites),
+            line_bytes: 1 << self.line_shift,
         }
     }
 }

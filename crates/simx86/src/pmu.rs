@@ -284,6 +284,202 @@ impl UncoreCounters {
     }
 }
 
+/// A level of the memory hierarchy, named from the core outwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemLevel {
+    /// Per-core L1 data cache.
+    L1,
+    /// Per-core private L2.
+    L2,
+    /// Socket-shared last-level cache.
+    L3,
+    /// DRAM behind the integrated memory controller.
+    Dram,
+}
+
+impl MemLevel {
+    /// All levels, core-side first.
+    pub const ALL: [MemLevel; 4] = [MemLevel::L1, MemLevel::L2, MemLevel::L3, MemLevel::Dram];
+
+    /// Display label (`"L1"`, ..., `"DRAM"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            MemLevel::L1 => "L1",
+            MemLevel::L2 => "L2",
+            MemLevel::L3 => "L3",
+            MemLevel::Dram => "DRAM",
+        }
+    }
+}
+
+/// The per-level slice of the hierarchical traffic bank: one cache level's
+/// demand behaviour plus the line transfers crossing its fill port.
+///
+/// `hits`/`misses`/`prefetch_fills` come from the cache's own statistics;
+/// `demand_fills`/`writebacks` are counted independently at the transfer
+/// sites in the memory system. The two views are redundant on purpose —
+/// the traffic-conservation property suite pins them against each other
+/// (e.g. every L1 miss produces exactly one L1 demand fill).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelCounters {
+    /// Demand accesses that hit this level.
+    pub hits: u64,
+    /// Demand accesses that missed this level.
+    pub misses: u64,
+    /// Lines installed into this level on behalf of a demand miss.
+    pub demand_fills: u64,
+    /// Lines installed into this level by the prefetchers.
+    pub prefetch_fills: u64,
+    /// Dirty lines evicted from this level to the level below.
+    pub writebacks: u64,
+}
+
+impl LevelCounters {
+    /// Demand accesses that reached this level (`hits + misses`).
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Total lines installed (`demand_fills + prefetch_fills`).
+    pub fn fills(&self) -> u64 {
+        self.demand_fills + self.prefetch_fills
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, delta: &LevelCounters) -> LevelCounters {
+        LevelCounters {
+            hits: self.hits + delta.hits,
+            misses: self.misses + delta.misses,
+            demand_fills: self.demand_fills + delta.demand_fills,
+            prefetch_fills: self.prefetch_fills + delta.prefetch_fills,
+            writebacks: self.writebacks + delta.writebacks,
+        }
+    }
+
+    fn since(&self, earlier: &LevelCounters, what: &str) -> LevelCounters {
+        let sub = |now: u64, before: u64| {
+            now.checked_sub(before)
+                .unwrap_or_else(|| panic!("{what} snapshots out of order"))
+        };
+        LevelCounters {
+            hits: sub(self.hits, earlier.hits),
+            misses: sub(self.misses, earlier.misses),
+            demand_fills: sub(self.demand_fills, earlier.demand_fills),
+            prefetch_fills: sub(self.prefetch_fills, earlier.prefetch_fills),
+            writebacks: sub(self.writebacks, earlier.writebacks),
+        }
+    }
+}
+
+/// The machine-wide hierarchical traffic bank: per-level counters for
+/// L1/L2/L3 plus the DRAM-port events that bypass the cache statistics
+/// (non-temporal store lines and flush writebacks), and the IMC line
+/// counters mirrored for convenience.
+///
+/// Like every other counter bank, values only ever increase and
+/// measurement code works with [`HierCounters::since`] deltas. Per-level
+/// byte volumes are derived at line granularity by
+/// [`HierCounters::level_bytes`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierCounters {
+    /// L1 counters, summed over all cores.
+    pub l1: LevelCounters,
+    /// L2 counters, summed over all cores.
+    pub l2: LevelCounters,
+    /// L3 counters, summed over all sockets.
+    pub l3: LevelCounters,
+    /// Write-combined lines sent straight to DRAM by non-temporal stores
+    /// (they bypass every cache level and its statistics).
+    pub nt_lines: u64,
+    /// Dirty lines written to DRAM by explicit hierarchy flushes
+    /// (`Cache::flush` does not touch cache statistics, so these are only
+    /// visible here and at the IMC).
+    pub flush_writebacks: u64,
+    /// Lines read from DRAM (all sockets — equals the uncore read bank).
+    pub dram_reads: u64,
+    /// Lines written to DRAM (all sockets — equals the uncore write bank).
+    pub dram_writes: u64,
+    /// Cache-line size in bytes, for byte-volume derivation.
+    pub line_bytes: u64,
+}
+
+impl HierCounters {
+    /// The per-level slice for a cache level.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`MemLevel::Dram`], which has no cache-style counters;
+    /// use the `dram_*` fields directly.
+    pub fn level(&self, level: MemLevel) -> &LevelCounters {
+        match level {
+            MemLevel::L1 => &self.l1,
+            MemLevel::L2 => &self.l2,
+            MemLevel::L3 => &self.l3,
+            MemLevel::Dram => panic!("DRAM has no cache-level counters"),
+        }
+    }
+
+    /// Bytes moved across the *top* of a level — between it and the next
+    /// level toward the core — at line granularity:
+    ///
+    /// * `L1`: core↔L1 demand accesses (`(hits + misses) × line`);
+    /// * `L2`: L1↔L2 transfers (L1 fills plus L1 writebacks);
+    /// * `L3`: L2↔L3 transfers (L2 demand + prefetch fills plus L2
+    ///   writebacks);
+    /// * `Dram`: L3↔DRAM transfers (IMC reads plus writes, which include
+    ///   NT-store and flush traffic).
+    pub fn level_bytes(&self, level: MemLevel) -> u64 {
+        let lines = match level {
+            MemLevel::L1 => self.l1.accesses(),
+            MemLevel::L2 => self.l1.fills() + self.l1.writebacks,
+            MemLevel::L3 => self.l2.fills() + self.l2.writebacks,
+            MemLevel::Dram => self.dram_reads + self.dram_writes,
+        };
+        lines * self.line_bytes
+    }
+
+    /// Component-wise sum (delta aggregation across repetitions).
+    pub fn plus(&self, delta: &HierCounters) -> HierCounters {
+        HierCounters {
+            l1: self.l1.plus(&delta.l1),
+            l2: self.l2.plus(&delta.l2),
+            l3: self.l3.plus(&delta.l3),
+            nt_lines: self.nt_lines + delta.nt_lines,
+            flush_writebacks: self.flush_writebacks + delta.flush_writebacks,
+            dram_reads: self.dram_reads + delta.dram_reads,
+            dram_writes: self.dram_writes + delta.dram_writes,
+            line_bytes: self.line_bytes.max(delta.line_bytes),
+        }
+    }
+
+    /// Difference since an earlier snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if snapshots are out of order (any counter decreased) or the
+    /// two snapshots disagree on the line size.
+    pub fn since(&self, earlier: &HierCounters) -> HierCounters {
+        assert_eq!(
+            self.line_bytes, earlier.line_bytes,
+            "hier snapshots from different machines"
+        );
+        let sub = |now: u64, before: u64| {
+            now.checked_sub(before)
+                .expect("hier counter snapshots out of order")
+        };
+        HierCounters {
+            l1: self.l1.since(&earlier.l1, "hier L1"),
+            l2: self.l2.since(&earlier.l2, "hier L2"),
+            l3: self.l3.since(&earlier.l3, "hier L3"),
+            nt_lines: sub(self.nt_lines, earlier.nt_lines),
+            flush_writebacks: sub(self.flush_writebacks, earlier.flush_writebacks),
+            dram_reads: sub(self.dram_reads, earlier.dram_reads),
+            dram_writes: sub(self.dram_writes, earlier.dram_writes),
+            line_bytes: self.line_bytes,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,6 +584,82 @@ mod tests {
         let d = u.since(&snap);
         assert_eq!(d.get(UncoreEvent::ImcDramDataReads), 2);
         assert_eq!(d.get(UncoreEvent::ImcDramDataWrites), 4);
+    }
+
+    fn sample_hier() -> HierCounters {
+        HierCounters {
+            l1: LevelCounters {
+                hits: 90,
+                misses: 10,
+                demand_fills: 10,
+                prefetch_fills: 0,
+                writebacks: 4,
+            },
+            l2: LevelCounters {
+                hits: 6,
+                misses: 4,
+                demand_fills: 4,
+                prefetch_fills: 2,
+                writebacks: 3,
+            },
+            l3: LevelCounters {
+                hits: 1,
+                misses: 3,
+                demand_fills: 3,
+                prefetch_fills: 2,
+                writebacks: 1,
+            },
+            nt_lines: 5,
+            flush_writebacks: 2,
+            dram_reads: 5,
+            dram_writes: 8,
+            line_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn hier_level_bytes_follow_transfer_definitions() {
+        let h = sample_hier();
+        assert_eq!(h.level_bytes(MemLevel::L1), (90 + 10) * 64);
+        assert_eq!(h.level_bytes(MemLevel::L2), (10 + 4) * 64);
+        assert_eq!(h.level_bytes(MemLevel::L3), (4 + 2 + 3) * 64);
+        assert_eq!(h.level_bytes(MemLevel::Dram), (5 + 8) * 64);
+    }
+
+    #[test]
+    fn hier_snapshot_delta_per_level() {
+        let snap = sample_hier();
+        let mut later = snap;
+        later.l1.hits += 7;
+        later.l2.writebacks += 1;
+        later.nt_lines += 2;
+        later.dram_writes += 3;
+        let d = later.since(&snap);
+        assert_eq!(d.l1.hits, 7);
+        assert_eq!(d.l1.misses, 0);
+        assert_eq!(d.l2.writebacks, 1);
+        assert_eq!(d.nt_lines, 2);
+        assert_eq!(d.dram_writes, 3);
+        assert_eq!(d.line_bytes, 64);
+        assert_eq!(snap.plus(&d), later);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn hier_out_of_order_snapshots_panic() {
+        let later = sample_hier();
+        let mut earlier = HierCounters::default();
+        earlier.line_bytes = 64;
+        let _ = earlier.since(&later);
+    }
+
+    #[test]
+    fn level_accessor_and_labels() {
+        let h = sample_hier();
+        assert_eq!(h.level(MemLevel::L2).accesses(), 10);
+        assert_eq!(h.level(MemLevel::L3).fills(), 5);
+        let labels: Vec<_> = MemLevel::ALL.iter().map(|l| l.label()).collect();
+        assert_eq!(labels, ["L1", "L2", "L3", "DRAM"]);
     }
 
     #[test]

@@ -156,6 +156,7 @@ struct Observed {
     now: u64,
     core: CoreCounters,
     uncore: UncoreCounters,
+    hier: HierCounters,
     cache_lines: Vec<String>,
     reg_ready: Vec<u64>,
 }
@@ -164,8 +165,12 @@ fn observe(m: &mut Machine, reg_ready: Vec<u64>, now: u64) -> Observed {
     Observed {
         tsc: m.tsc().to_bits(),
         now,
-        core: m.core_counters(0).clone(),
-        uncore: m.uncore().clone(),
+        core: m.core_counters(0),
+        uncore: m.uncore(),
+        // The full hierarchical bank (per-level fills, writebacks, NT and
+        // flush lines) must be bit-identical too, not just the legacy
+        // core/uncore/cache views.
+        hier: m.hier_counters(),
         cache_lines: format!("{:?}", m.cache_stats(0)).lines().map(String::from).collect(),
         reg_ready,
     }

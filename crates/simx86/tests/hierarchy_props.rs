@@ -1,0 +1,385 @@
+//! Property suite for per-level traffic conservation.
+//!
+//! The hierarchical bank ([`HierCounters`]) is assembled from two
+//! independent bookkeeping systems: the per-cache demand statistics
+//! (`CacheStats`, maintained inside `Cache::access`/`install`) and the
+//! explicit transfer counters incremented at the fill/writeback/NT/flush
+//! sites of the memory system. Random strided load/store/NT-store streams
+//! across cores must leave the two systems agreeing on every conservation
+//! law of the hierarchy:
+//!
+//! * every L1 miss produces exactly one L1 demand fill and exactly one L2
+//!   access; every L2 miss one L2 fill and one L3 access; every L3 miss
+//!   one L3 fill and one core LLC-miss event;
+//! * IMC reads equal L3 demand fills plus L3 prefetch fills;
+//! * IMC writes equal L3 writebacks plus NT-store lines plus flush
+//!   writebacks;
+//! * writeback counts match the caches' own dirty-eviction statistics,
+//!   and a flush never writes back more lines than the hierarchy holds.
+//!
+//! Run at both fidelities: the tiny `test_machine` (fast, tight caches →
+//! lots of evictions) and the full two-socket Sandy Bridge model (big
+//! caches, NUMA routing, per-socket L3s).
+
+use proptest::prelude::*;
+use simx86::cache::CacheStats;
+use simx86::config::{self, MachineConfig};
+use simx86::prelude::*;
+
+/// One strided access run by one core.
+#[derive(Debug, Clone, Copy)]
+struct StreamD {
+    /// 0 load, 1 store, 2 non-temporal store.
+    kind: u8,
+    /// 0 scalar (8 B), 1 x128 (16 B), 2 y256 (32 B).
+    width: u8,
+    /// Starting byte offset into the core's region.
+    start: u64,
+    /// Byte stride between accesses (0 = same address, 40/56 force
+    /// line-crossing accesses for the wide widths).
+    stride: u64,
+    /// Number of accesses.
+    count: u64,
+}
+
+fn stream_strategy() -> impl Strategy<Value = StreamD> {
+    (
+        0u8..3,
+        0u8..3,
+        0u64..4096,
+        prop_oneof![
+            Just(0u64),
+            Just(8),
+            Just(24),
+            Just(40),
+            Just(56),
+            Just(64),
+            Just(192),
+            Just(1024),
+        ],
+        1u64..96,
+    )
+        .prop_map(|(kind, width, start, stride, count)| StreamD {
+            kind,
+            width,
+            start,
+            stride,
+            count,
+        })
+}
+
+fn width_of(sel: u8) -> VecWidth {
+    match sel {
+        0 => VecWidth::Scalar,
+        1 => VecWidth::X128,
+        _ => VecWidth::Y256,
+    }
+}
+
+/// Sums the cache statistics of every L1, L2, and (per-socket) L3.
+fn stats_sums(m: &Machine) -> (CacheStats, CacheStats, CacheStats) {
+    let cfg = m.config().clone();
+    let add = |acc: &mut CacheStats, s: CacheStats| {
+        acc.hits += s.hits;
+        acc.misses += s.misses;
+        acc.writebacks += s.writebacks;
+        acc.prefetch_fills += s.prefetch_fills;
+    };
+    let mut l1 = CacheStats::default();
+    let mut l2 = CacheStats::default();
+    let mut l3 = CacheStats::default();
+    for core in 0..cfg.cores {
+        let (s1, s2, _) = m.cache_stats(core);
+        add(&mut l1, s1);
+        add(&mut l2, s2);
+    }
+    for socket in 0..cfg.sockets {
+        let (_, _, s3) = m.cache_stats(socket * cfg.cores_per_socket());
+        add(&mut l3, s3);
+    }
+    (l1, l2, l3)
+}
+
+/// Asserts every conservation law on the machine's cumulative counters.
+fn assert_conserved(m: &Machine, ctx: &str) {
+    let h = m.hier_counters();
+    let (l1, l2, l3) = stats_sums(m);
+    let cfg = m.config().clone();
+    let llc_misses: u64 = (0..cfg.cores)
+        .map(|c| m.core_counters(c).get(CoreEvent::LlcMiss))
+        .sum();
+
+    // The bank's demand view is the cache statistics.
+    assert_eq!(h.l1.hits, l1.hits, "{ctx}: L1 hits");
+    assert_eq!(h.l1.misses, l1.misses, "{ctx}: L1 misses");
+    assert_eq!(h.l2.hits, l2.hits, "{ctx}: L2 hits");
+    assert_eq!(h.l2.misses, l2.misses, "{ctx}: L2 misses");
+    assert_eq!(h.l3.hits, l3.hits, "{ctx}: L3 hits");
+    assert_eq!(h.l3.misses, l3.misses, "{ctx}: L3 misses");
+
+    // Fill conservation: every miss at a level is filled at that level,
+    // and walks on to exactly one access of the next level.
+    assert_eq!(h.l1.demand_fills, h.l1.misses, "{ctx}: L1 miss→fill");
+    assert_eq!(h.l2.accesses(), h.l1.misses, "{ctx}: L1 miss→L2 access");
+    assert_eq!(h.l2.demand_fills, h.l2.misses, "{ctx}: L2 miss→fill");
+    assert_eq!(h.l3.accesses(), h.l2.misses, "{ctx}: L2 miss→L3 access");
+    assert_eq!(h.l3.demand_fills, h.l3.misses, "{ctx}: L3 miss→fill");
+    assert_eq!(h.l3.misses, llc_misses, "{ctx}: L3 miss→LLC-miss event");
+
+    // Writeback conservation: the explicit transfer counters agree with
+    // the caches' own dirty-eviction statistics.
+    assert_eq!(h.l1.writebacks, l1.writebacks, "{ctx}: L1 writebacks");
+    assert_eq!(h.l2.writebacks, l2.writebacks, "{ctx}: L2 writebacks");
+    assert_eq!(h.l3.writebacks, l3.writebacks, "{ctx}: L3 writebacks");
+    assert_eq!(
+        h.l2.prefetch_fills, l2.prefetch_fills,
+        "{ctx}: L2 prefetch fills"
+    );
+    assert_eq!(
+        h.l3.prefetch_fills, l3.prefetch_fills,
+        "{ctx}: L3 prefetch fills"
+    );
+    // Prefetches never fill L1 in this model.
+    assert_eq!(h.l1.prefetch_fills, 0, "{ctx}: L1 prefetch fills");
+
+    // IMC conservation: LLC misses + prefetch fills are the only DRAM
+    // reads; L3 writebacks, NT lines, and flush writebacks the only
+    // writes. This pins the uncore bank (an independent counter at the
+    // memory controller) against the transfer sites.
+    let u = m.uncore();
+    assert_eq!(
+        u.get(UncoreEvent::ImcDramDataReads),
+        h.l3.demand_fills + h.l3.prefetch_fills,
+        "{ctx}: IMC reads"
+    );
+    assert_eq!(
+        u.get(UncoreEvent::ImcDramDataWrites),
+        h.l3.writebacks + h.nt_lines + h.flush_writebacks,
+        "{ctx}: IMC writes"
+    );
+    assert_eq!(h.dram_reads, u.get(UncoreEvent::ImcDramDataReads), "{ctx}");
+    assert_eq!(h.dram_writes, u.get(UncoreEvent::ImcDramDataWrites), "{ctx}");
+
+    // Byte volumes are the transfer counts at line granularity.
+    let line = cfg.line_bytes();
+    assert_eq!(h.line_bytes, line, "{ctx}: line size");
+    assert_eq!(
+        h.level_bytes(MemLevel::L2),
+        (h.l1.fills() + h.l1.writebacks) * line,
+        "{ctx}: L1↔L2 bytes"
+    );
+    assert_eq!(
+        h.level_bytes(MemLevel::Dram),
+        (h.dram_reads + h.dram_writes) * line,
+        "{ctx}: DRAM bytes"
+    );
+}
+
+/// Total line capacity of the hierarchy — the bound on one flush's
+/// writeback volume (a flush can only write back lines that were resident
+/// and dirty).
+fn capacity_lines(cfg: &MachineConfig) -> u64 {
+    let line = cfg.line_bytes();
+    (cfg.l1.size_bytes / line) * cfg.cores as u64
+        + (cfg.l2.size_bytes / line) * cfg.cores as u64
+        + (cfg.l3.size_bytes / line) * cfg.sockets as u64
+}
+
+/// Runs the generated streams (each on its core, round-robin), checking
+/// conservation after the run and again after a full hierarchy flush.
+fn run_case(
+    mut cfg_machine: Machine,
+    streams: &[StreamD],
+    prefetch: (bool, bool),
+    flush_between: bool,
+    ctx: &str,
+) {
+    let m = &mut cfg_machine;
+    m.set_prefetch(prefetch.0, prefetch.1);
+    let cores = m.config().cores;
+    let span = 4096 * 64u64;
+    let bufs: Vec<Buffer> = (0..cores).map(|_| m.alloc(span + 2048 * 64)).collect();
+
+    for (i, s) in streams.iter().enumerate() {
+        let core = i % cores;
+        let base = bufs[core].base();
+        let width = width_of(s.width);
+        m.run(core, |cpu| {
+            for j in 0..s.count {
+                let addr = base + (s.start + j * s.stride) % span;
+                match s.kind {
+                    0 => cpu.load(Reg::new(0), addr, width, Precision::F64),
+                    1 => cpu.store(addr, Reg::new(1), width, Precision::F64),
+                    _ => cpu.store_nt(addr, Reg::new(1), width, Precision::F64),
+                }
+            }
+        });
+        if flush_between && i == streams.len() / 2 {
+            let before = m.hier_counters();
+            m.flush_caches();
+            let d = m.hier_counters().since(&before);
+            assert!(
+                d.flush_writebacks <= capacity_lines(&m.config().clone()),
+                "{ctx}: flush wrote back more lines than the hierarchy holds"
+            );
+            assert_conserved(m, &format!("{ctx} (after mid-run flush)"));
+        }
+    }
+    assert_conserved(m, ctx);
+
+    // A final flush drains every dirty line; conservation must survive it
+    // and its volume is bounded by the hierarchy's capacity.
+    let before = m.hier_counters();
+    m.flush_caches();
+    let d = m.hier_counters().since(&before);
+    assert!(
+        d.flush_writebacks <= capacity_lines(&m.config().clone()),
+        "{ctx}: final flush exceeded dirty-line capacity"
+    );
+    assert_conserved(m, &format!("{ctx} (after final flush)"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Quick fidelity: the tiny test machine, whose 2-way caches evict
+    /// constantly — the hardest case for writeback conservation.
+    #[test]
+    fn traffic_is_conserved_on_test_machine(
+        streams in proptest::collection::vec(stream_strategy(), 1..8),
+        stream_pf in any::<bool>(),
+        adjacent_pf in any::<bool>(),
+        flush_between in any::<bool>(),
+    ) {
+        run_case(
+            Machine::new(config::test_machine()),
+            &streams,
+            (stream_pf, adjacent_pf),
+            flush_between,
+            "test_machine",
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Full fidelity: the two-socket Sandy Bridge model — per-socket L3s
+    /// and IMCs, NUMA routing, realistic cache sizes.
+    #[test]
+    fn traffic_is_conserved_on_two_socket_snb(
+        streams in proptest::collection::vec(stream_strategy(), 1..10),
+        stream_pf in any::<bool>(),
+        adjacent_pf in any::<bool>(),
+    ) {
+        run_case(
+            Machine::new(config::sandy_bridge_2s()),
+            &streams,
+            (stream_pf, adjacent_pf),
+            false,
+            "snb-2s",
+        );
+    }
+}
+
+/// Deterministic spot checks of the invariants' *values* (not just their
+/// mutual consistency) on hand-built access sequences.
+mod exact {
+    use super::*;
+
+    #[test]
+    fn single_cold_load_moves_one_line_through_every_level() {
+        let mut m = Machine::new(config::test_machine());
+        m.set_prefetch(false, false);
+        let buf = m.alloc(4096);
+        m.run(0, |cpu| {
+            cpu.load(Reg::new(0), buf.base(), VecWidth::Scalar, Precision::F64)
+        });
+        let h = m.hier_counters();
+        assert_eq!(h.l1.misses, 1);
+        assert_eq!(h.l1.demand_fills, 1);
+        assert_eq!(h.l2.accesses(), 1);
+        assert_eq!(h.l2.demand_fills, 1);
+        assert_eq!(h.l3.accesses(), 1);
+        assert_eq!(h.l3.demand_fills, 1);
+        assert_eq!(h.dram_reads, 1);
+        assert_eq!(h.dram_writes, 0);
+        assert_eq!(h.level_bytes(MemLevel::L1), 64);
+        assert_eq!(h.level_bytes(MemLevel::L2), 64);
+        assert_eq!(h.level_bytes(MemLevel::L3), 64);
+        assert_eq!(h.level_bytes(MemLevel::Dram), 64);
+        assert_conserved(&m, "single cold load");
+    }
+
+    #[test]
+    fn repeated_hits_accumulate_only_l1_bytes() {
+        let mut m = Machine::new(config::test_machine());
+        m.set_prefetch(false, false);
+        let buf = m.alloc(4096);
+        m.run(0, |cpu| {
+            for _ in 0..100 {
+                cpu.load(Reg::new(0), buf.base(), VecWidth::Scalar, Precision::F64);
+            }
+        });
+        let h = m.hier_counters();
+        assert_eq!(h.l1.hits, 99);
+        assert_eq!(h.level_bytes(MemLevel::L1), 100 * 64);
+        assert_eq!(h.level_bytes(MemLevel::L2), 64);
+        assert_conserved(&m, "repeated hits");
+    }
+
+    #[test]
+    fn dirty_store_flushes_as_one_writeback_line() {
+        let mut m = Machine::new(config::test_machine());
+        m.set_prefetch(false, false);
+        let buf = m.alloc(4096);
+        m.run(0, |cpu| {
+            cpu.store(buf.base(), Reg::new(1), VecWidth::Scalar, Precision::F64)
+        });
+        let before = m.hier_counters();
+        assert_eq!(before.dram_writes, 0);
+        m.flush_caches();
+        let d = m.hier_counters().since(&before);
+        assert_eq!(d.flush_writebacks, 1);
+        assert_eq!(d.dram_writes, 1);
+        assert_conserved(&m, "dirty store + flush");
+    }
+
+    #[test]
+    fn nt_store_lines_count_at_dram_only() {
+        let mut m = Machine::new(config::test_machine());
+        m.set_prefetch(false, false);
+        let buf = m.alloc(4096);
+        m.run(0, |cpu| {
+            for i in 0..4u64 {
+                cpu.store_nt(buf.base() + i * 64, Reg::new(1), VecWidth::Scalar, Precision::F64);
+            }
+        });
+        let h = m.hier_counters();
+        assert_eq!(h.nt_lines, 4);
+        assert_eq!(h.dram_writes, 4);
+        assert_eq!(h.dram_reads, 0);
+        assert_eq!(h.l1.accesses(), 0, "NT stores bypass the hierarchy");
+        assert_conserved(&m, "nt stores");
+    }
+
+    #[test]
+    fn prefetched_lines_are_reads_without_llc_misses() {
+        let mut m = Machine::new(config::test_machine());
+        m.set_prefetch(true, true);
+        let buf = m.alloc(64 * 64);
+        m.run(0, |cpu| {
+            for i in 0..32u64 {
+                cpu.load(Reg::new(0), buf.base() + i * 64, VecWidth::Scalar, Precision::F64);
+            }
+        });
+        let h = m.hier_counters();
+        assert!(h.l3.prefetch_fills > 0, "prefetcher must have fired");
+        assert_eq!(h.dram_reads, h.l3.demand_fills + h.l3.prefetch_fills);
+        assert!(
+            h.dram_reads > m.core_counters(0).get(CoreEvent::LlcMiss),
+            "prefetch traffic is invisible to the LLC-miss event"
+        );
+        assert_conserved(&m, "prefetch stream");
+    }
+}

@@ -14,7 +14,7 @@
 //! | [`simx86`] | the simulated multicore x86 substrate: OoO-lite cores, caches, prefetchers, memory controller, PMU, turbo |
 //! | [`perfmon`] | the paper's measurement methodology: counter snapshots, overhead subtraction, cold/warm protocols, peak microbenchmarks |
 //! | [`kernels`] | the evaluated kernels (BLAS 1–3, FFT, WHT, stencil, maxpool), native + emitted forms |
-//! | [`experiments`] | the registry reproducing every table/figure (E1–E16) plus the `repro` binary |
+//! | [`experiments`] | the registry reproducing every table/figure (E1–E19, extensions included) plus the `repro` binary |
 //!
 //! ## Quickstart
 //!

@@ -1,4 +1,4 @@
-//! The determinism contract, end to end: a full 18-experiment sweep at
+//! The determinism contract, end to end: a full 19-experiment sweep at
 //! quick fidelity run serially (`--jobs 1`) and in parallel (`--jobs 4`)
 //! must produce byte-identical artifact trees — every CSV, SVG and report,
 //! and the manifest modulo its timing/scheduling fields.

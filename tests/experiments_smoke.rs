@@ -52,9 +52,9 @@ fn artifacts_round_trip_to_disk() {
 
 #[test]
 fn experiment_index_matches_design_doc() {
-    // DESIGN.md promises E1..E16 plus the E17/E18 extensions; the
+    // DESIGN.md promises E1..E16 plus the E17/E18/E19 extensions; the
     // registry must provide exactly those.
     let ids: Vec<&str> = Experiment::ALL.iter().map(|e| e.id()).collect();
-    let expected: Vec<String> = (1..=18).map(|i| format!("E{i}")).collect();
+    let expected: Vec<String> = (1..=19).map(|i| format!("E{i}")).collect();
     assert_eq!(ids, expected.iter().map(String::as_str).collect::<Vec<_>>());
 }

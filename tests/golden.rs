@@ -78,3 +78,8 @@ fn golden_e12_dgemm_case_study() {
 fn golden_e16_roofline_summary() {
     golden_case("E16");
 }
+
+#[test]
+fn golden_e19_hierarchical_modes() {
+    golden_case("E19");
+}
