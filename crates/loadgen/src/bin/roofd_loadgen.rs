@@ -1,0 +1,394 @@
+//! `roofd_loadgen` — drives a seeded zipf workload against roofd
+//! fleets and writes the `BENCH_roofd.json` report.
+//!
+//! ```text
+//! roofd_loadgen [--nodes 1,3 | --addrs HOST:PORT,...]
+//!               [--clients N] [--requests N] [--seed N] [--zipf-s F]
+//!               [--tenants tok:name,... | anon] [--quota-rate F]
+//!               [--quota-burst F] [--fleet-seed N] [--peer-timeout-ms N]
+//!               [--out FILE] [--assert-peer-hits] [--assert-fairness F]
+//! ```
+//!
+//! Two modes:
+//!
+//! * **spawn** (default, `--nodes 1,3`): for each listed fleet size the
+//!   generator binds that many in-process roofd nodes on ephemeral
+//!   ports — wired into a consistent-hash fleet when the size is > 1,
+//!   with every `--tenants` token registered at weight 1 — drives the
+//!   workload, snapshots each node's counters, and shuts the fleet
+//!   down. Self-contained: this is how the committed bench document is
+//!   regenerated.
+//! * **external** (`--addrs`): drives an already-running fleet and
+//!   reports it as one entry; tokens must match the servers' file.
+//!
+//! `--assert-peer-hits` fails (exit 1) if no multi-node fleet answered
+//! any request via a cache-peer fetch; `--assert-fairness F` fails if
+//! any fleet's max/min served ratio across tenant lanes exceeds `F`.
+//! CI's service-fleet job runs with both.
+
+use roofline_loadgen::{run_workload, Report, TenantSpec, WorkloadConfig};
+use roofline_service::auth::{AuthConfig, QuotaConfig};
+use roofline_service::engine::{Engine, EngineConfig};
+use roofline_service::fleet::FleetConfig;
+use roofline_service::server::{Server, ServerConfig};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::thread;
+
+struct Args {
+    node_counts: Vec<usize>,
+    addrs: Option<Vec<String>>,
+    clients: usize,
+    requests: usize,
+    seed: u64,
+    zipf_s: f64,
+    tenants: Vec<TenantSpec>,
+    quota_rate: f64,
+    quota_burst: f64,
+    fleet_seed: u64,
+    peer_timeout_ms: u64,
+    out: Option<String>,
+    assert_peer_hits: bool,
+    assert_fairness: Option<f64>,
+}
+
+fn parse_tenants(spec: &str) -> Result<Vec<TenantSpec>, String> {
+    let mut tenants = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if part == "anon" {
+            tenants.push(TenantSpec {
+                token: None,
+                name: "anon".to_string(),
+            });
+            continue;
+        }
+        let (token, name) = part
+            .split_once(':')
+            .ok_or(format!("tenant `{part}` is not `token:name` (or `anon`)"))?;
+        if token.is_empty() || name.is_empty() {
+            return Err(format!("tenant `{part}` has an empty token or name"));
+        }
+        tenants.push(TenantSpec {
+            token: Some(token.to_string()),
+            name: name.to_string(),
+        });
+    }
+    if tenants.is_empty() {
+        return Err("--tenants needs at least one lane".to_string());
+    }
+    Ok(tenants)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        node_counts: vec![1, 3],
+        addrs: None,
+        clients: 12,
+        requests: 40,
+        seed: 42,
+        zipf_s: 1.1,
+        tenants: parse_tenants("tok-a:team-a,tok-b:team-b").expect("default tenants"),
+        quota_rate: 200.0,
+        quota_burst: 400.0,
+        fleet_seed: 42,
+        // Short on purpose: under full benchmark load the owner of a
+        // hot digest is often busy, and a peer fetch that falls back
+        // to local compute after 2 s beats one that stalls for the
+        // service default of 30 s — the p99 would otherwise measure
+        // the timeout, not the fleet.
+        peer_timeout_ms: 2_000,
+        out: None,
+        assert_peer_hits: false,
+        assert_fairness: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--nodes" => {
+                let v = value("--nodes")?;
+                args.node_counts = v
+                    .split(',')
+                    .map(|n| {
+                        n.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or(format!("--nodes needs positive integers, got `{v}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--addrs" => {
+                args.addrs = Some(
+                    value("--addrs")?
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                );
+            }
+            "--clients" => {
+                let v = value("--clients")?;
+                args.clients = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(format!("--clients needs a positive integer, got `{v}`"))?;
+            }
+            "--requests" => {
+                let v = value("--requests")?;
+                args.requests = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(format!("--requests needs a positive integer, got `{v}`"))?;
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed needs an integer, got `{v}`"))?;
+            }
+            "--zipf-s" => {
+                let v = value("--zipf-s")?;
+                args.zipf_s = v
+                    .parse()
+                    .ok()
+                    .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                    .ok_or(format!("--zipf-s needs a non-negative number, got `{v}`"))?;
+            }
+            "--tenants" => args.tenants = parse_tenants(&value("--tenants")?)?,
+            "--quota-rate" => {
+                let v = value("--quota-rate")?;
+                args.quota_rate = v
+                    .parse()
+                    .ok()
+                    .filter(|r: &f64| r.is_finite() && *r >= 0.0)
+                    .ok_or(format!("--quota-rate needs a non-negative number, got `{v}`"))?;
+            }
+            "--quota-burst" => {
+                let v = value("--quota-burst")?;
+                args.quota_burst = v
+                    .parse()
+                    .ok()
+                    .filter(|b: &f64| b.is_finite() && *b > 0.0)
+                    .ok_or(format!("--quota-burst needs a positive number, got `{v}`"))?;
+            }
+            "--fleet-seed" => {
+                let v = value("--fleet-seed")?;
+                args.fleet_seed = v
+                    .parse()
+                    .map_err(|_| format!("--fleet-seed needs an integer, got `{v}`"))?;
+            }
+            "--peer-timeout-ms" => {
+                let v = value("--peer-timeout-ms")?;
+                args.peer_timeout_ms = v
+                    .parse()
+                    .ok()
+                    .filter(|&ms| ms > 0)
+                    .ok_or(format!("--peer-timeout-ms needs a positive integer, got `{v}`"))?;
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--assert-peer-hits" => args.assert_peer_hits = true,
+            "--assert-fairness" => {
+                let v = value("--assert-fairness")?;
+                args.assert_fairness = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|f: &f64| f.is_finite() && *f >= 1.0)
+                        .ok_or(format!("--assert-fairness needs a number ≥ 1, got `{v}`"))?,
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: roofd_loadgen [--nodes 1,3 | --addrs HOST:PORT,...]\n\
+                     \x20                    [--clients N] [--requests N] [--seed N]\n\
+                     \x20                    [--zipf-s F] [--tenants tok:name,...|anon]\n\
+                     \x20                    [--quota-rate F] [--quota-burst F]\n\
+                     \x20                    [--fleet-seed N] [--peer-timeout-ms N]\n\
+                     \x20                    [--out FILE] [--assert-peer-hits]\n\
+                     \x20                    [--assert-fairness F]\n\
+                     defaults: --nodes 1,3 --clients 12 --requests 40 --seed 42\n\
+                     \x20         --zipf-s 1.1 --tenants tok-a:team-a,tok-b:team-b\n\
+                     \x20         --quota-rate 200 --quota-burst 400 --peer-timeout-ms 2000"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// One spawned fleet: addresses, shutdown handles, serve threads.
+struct SpawnedFleet {
+    addrs: Vec<String>,
+    handles: Vec<roofline_service::server::ShutdownHandle>,
+    threads: Vec<thread::JoinHandle<std::io::Result<()>>>,
+}
+
+fn spawn_fleet(args: &Args, n: usize) -> Result<SpawnedFleet, String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("could not bind a fleet listener: {e}"))?;
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().map(|a| a.to_string()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("could not read a bound address: {e}"))?;
+
+    let mut auth = AuthConfig::default();
+    for t in &args.tenants {
+        if let Some(token) = &t.token {
+            auth = auth.with_token(token, &t.name, 1.0);
+        }
+    }
+    auth.anon_weight = roofline_service::auth::DEFAULT_ANON_WEIGHT;
+    auth.quota = Some(QuotaConfig {
+        rate_per_s: args.quota_rate,
+        burst: args.quota_burst,
+    });
+
+    let mut handles = Vec::new();
+    let mut threads = Vec::new();
+    for (listener, addr) in listeners.into_iter().zip(&addrs) {
+        let cfg = EngineConfig {
+            cache_dir: None,
+            auth: auth.clone(),
+            fleet: (n > 1).then(|| {
+                let mut fleet = FleetConfig::new(addr.clone(), addrs.clone(), args.fleet_seed);
+                fleet.io_timeout = std::time::Duration::from_millis(args.peer_timeout_ms);
+                fleet
+            }),
+            ..EngineConfig::default()
+        };
+        let server = Server::from_listener(listener, Engine::new(cfg), ServerConfig::default());
+        handles.push(server.shutdown_handle());
+        threads.push(thread::spawn(move || server.serve()));
+    }
+    Ok(SpawnedFleet {
+        addrs,
+        handles,
+        threads,
+    })
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    let workload = |addrs: Vec<String>| {
+        let mut cfg = WorkloadConfig::new(addrs, args.seed);
+        cfg.clients = args.clients;
+        cfg.requests_per_client = args.requests;
+        cfg.zipf_s = args.zipf_s;
+        cfg.tenants = args.tenants.clone();
+        run_workload(&cfg)
+    };
+
+    let mut fleets = Vec::new();
+    match &args.addrs {
+        Some(addrs) => {
+            eprintln!(
+                "loadgen: driving external fleet of {} node(s): {}",
+                addrs.len(),
+                addrs.join(", ")
+            );
+            fleets.push(workload(addrs.clone()));
+        }
+        None => {
+            for &n in &args.node_counts {
+                eprintln!("loadgen: spawning in-process fleet of {n} node(s)");
+                let fleet = spawn_fleet(args, n)?;
+                fleets.push(workload(fleet.addrs.clone()));
+                for handle in &fleet.handles {
+                    handle.trigger();
+                }
+                for t in fleet.threads {
+                    let _ = t.join();
+                }
+            }
+        }
+    }
+
+    let report = Report {
+        seed: args.seed,
+        zipf_s: args.zipf_s,
+        fleets,
+    };
+    for f in &report.fleets {
+        eprintln!(
+            "loadgen: {} node(s): served {}/{} (quota {}, errors {}), \
+             p50 {} ms, p99 {} ms, peer-hit share {:.3}, fairness {:.2}",
+            f.nodes,
+            f.served,
+            f.requests,
+            f.quota_rejected,
+            f.errors,
+            f.p50_ms,
+            f.p99_ms,
+            f.peer_hit_share,
+            f.fairness_ratio,
+        );
+    }
+
+    let text = report.render();
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .map_err(|e| format!("could not write {path}: {e}"))?;
+            eprintln!("loadgen: wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+
+    let mut failures = Vec::new();
+    if args.assert_peer_hits {
+        let peer_hits: u64 = report
+            .fleets
+            .iter()
+            .filter(|f| f.nodes > 1)
+            .flat_map(|f| f.per_node.iter().map(|n| n.peer_hits))
+            .sum();
+        if peer_hits == 0 {
+            failures.push("no multi-node fleet answered any request via a peer fetch".to_string());
+        }
+    }
+    if let Some(bound) = args.assert_fairness {
+        for f in &report.fleets {
+            // NaN/∞ must fail the bound, so compare in the failing
+            // direction rather than negating `<=`.
+            if f.fairness_ratio > bound || f.fairness_ratio.is_nan() {
+                failures.push(format!(
+                    "{}-node fleet fairness ratio {:.2} exceeds the {bound:.2} bound",
+                    f.nodes, f.fairness_ratio
+                ));
+            }
+        }
+    }
+    for f in &report.fleets {
+        if f.errors > 0 {
+            failures.push(format!(
+                "{}-node fleet lost {} request(s) to non-quota errors",
+                f.nodes, f.errors
+            ));
+        }
+    }
+    for failure in &failures {
+        eprintln!("error: {failure}");
+    }
+    Ok(if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match parse_args().and_then(|args| run(&args)) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,8 +1,8 @@
 //! `roofctl` — command-line client for the `roofd` service.
 //!
 //! ```text
-//! roofctl [--addr HOST:PORT] [--retries N] [--retry-base-ms N]
-//!         [--retry-seed N] [--timeout-ms N] <command>
+//! roofctl [--addr HOST:PORT] [--token TOKEN] [--retries N]
+//!         [--retry-base-ms N] [--retry-seed N] [--timeout-ms N] <command>
 //!
 //! commands:
 //!   run -e <E1..E18> [-p SPEC] [-f quick|full] [--out DIR]   request one analysis
@@ -22,14 +22,20 @@
 //! touches the wire.
 //!
 //! `--retries N` retries `run` up to N extra times on transient
-//! failures (`busy` backpressure, `timeout` deadlines, connection
-//! resets) with seeded jittered exponential backoff — deterministic for
-//! a given `--retry-seed`, so scripted sweeps stay reproducible.
-//! `--timeout-ms` bounds each attempt's connect/read/write.
+//! failures (`busy` backpressure, `timeout` deadlines, `quota`
+//! rejections, connection resets) with seeded jittered exponential
+//! backoff — deterministic for a given `--retry-seed`, so scripted
+//! sweeps stay reproducible. `--timeout-ms` bounds each attempt's
+//! connect/read/write.
+//!
+//! `--token TOKEN` authenticates the connection against the server's
+//! token file; the request is then accounted to that tenant's
+//! fair-share quota instead of the anonymous allowance. `stats` prints
+//! the per-tenant block as `tenant.<name>.<counter>=<value>` lines.
 
 use experiments::platforms::{platform_names, try_config_by_name, Fidelity};
 use experiments::registry::{registry_table, Experiment};
-use roofline_service::client::{run_with_retries, Client, RetryPolicy};
+use roofline_service::client::{run_with_retries_opt, Client, RetryPolicy, RunOpts};
 use roofline_service::DEFAULT_ADDR;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -54,6 +60,7 @@ enum Command {
 struct Args {
     addr: String,
     command: Command,
+    token: Option<String>,
     retries: u32,
     retry_base_ms: u64,
     retry_seed: u64,
@@ -76,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
     let mut fidelity = Fidelity::Quick;
     let mut out_dir = None;
 
+    let mut token = None;
     let mut retries = 0u32;
     let mut retry_base_ms = 100u64;
     let mut retry_seed = 0x5eedu64;
@@ -86,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match arg.as_str() {
             "--addr" | "-a" => addr = value("--addr")?,
+            "--token" | "-t" => token = Some(value("--token")?),
             "run" | "list" | "stats" | "purge" | "ping" | "shutdown" if command.is_none() => {
                 command = Some(arg);
             }
@@ -127,13 +136,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: roofctl [--addr HOST:PORT] [--retries N] [--retry-base-ms N]\n\
-                     \x20              [--retry-seed N] [--timeout-ms N]\n\
+                    "usage: roofctl [--addr HOST:PORT] [--token TOKEN] [--retries N]\n\
+                     \x20              [--retry-base-ms N] [--retry-seed N] [--timeout-ms N]\n\
                      \x20              <run|list|stats|purge|ping|shutdown>\n\
                      \x20 run -e E1..E18 [-p SPEC] [-f quick|full] [--out DIR]\n\
                      \x20 list [-f quick|full]\n\
                      default address: {DEFAULT_ADDR}\n\
-                     --retries N retries run on busy/timeout/disconnect with seeded\n\
+                     --token TOKEN authenticates as that token's tenant (fair-share quotas)\n\
+                     --retries N retries run on busy/timeout/quota/disconnect with seeded\n\
                      \x20           jittered exponential backoff (default 0: fail fast)"
                 );
                 std::process::exit(0);
@@ -171,6 +181,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         addr,
         command,
+        token,
         retries,
         retry_base_ms,
         retry_seed,
@@ -186,9 +197,14 @@ fn run(args: Args) -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
-    let connect = |addr: &str| {
-        Client::connect_with(addr, args.timeout)
-            .map_err(|e| format!("could not connect to roofd at {addr}: {e}"))
+    let connect = |addr: &str| -> Result<Client, String> {
+        let mut client = Client::connect_with(addr, args.timeout)
+            .map_err(|e| format!("could not connect to roofd at {addr}: {e}"))?;
+        if let Some(token) = &args.token {
+            let (tenant, _weight) = client.auth(token).map_err(|e| e.to_string())?;
+            eprintln!("authenticated as tenant {tenant}");
+        }
+        Ok(client)
     };
     match args.command {
         Command::List { .. } => unreachable!("handled offline above"),
@@ -198,8 +214,22 @@ fn run(args: Args) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         Command::Stats => {
-            for (name, v) in connect(&args.addr)?.stats().map_err(|e| e.to_string())? {
-                println!("{name}={v}");
+            let reply = connect(&args.addr)?.stats_raw().map_err(|e| e.to_string())?;
+            for (name, v) in &reply.fields {
+                if let Some(v) = v.as_u64() {
+                    println!("{name}={v}");
+                }
+            }
+            if let Some(tenants) = reply.get("tenants").and_then(|t| t.as_obj()) {
+                for (tenant, counters) in tenants {
+                    if let Some(counters) = counters.as_obj() {
+                        for (name, v) in counters {
+                            if let Some(v) = v.as_u64() {
+                                println!("tenant.{tenant}.{name}={v}");
+                            }
+                        }
+                    }
+                }
             }
             Ok(ExitCode::SUCCESS)
         }
@@ -225,15 +255,15 @@ fn run(args: Args) -> Result<ExitCode, String> {
                 cap_ms: 5_000,
                 seed: args.retry_seed,
             };
-            let reply = run_with_retries(
-                args.addr.as_str(),
+            let opts = RunOpts {
                 experiment,
-                &platform,
+                platform: platform.clone(),
                 fidelity,
-                &policy,
-                args.timeout,
-            )
-            .map_err(|e| e.to_string())?;
+                peer: false,
+                token: args.token.clone(),
+            };
+            let reply = run_with_retries_opt(args.addr.as_str(), &opts, &policy, args.timeout)
+                .map_err(|e| e.to_string())?;
             let mut summary = format!(
                 "{} status={} cache={} source={} elapsed_ms={} budget_ms={}",
                 experiment.id(),

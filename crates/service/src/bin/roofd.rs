@@ -6,6 +6,10 @@
 //!       [--max-backlog-min N] [--connections N]
 //!       [--read-timeout-ms N] [--write-timeout-ms N] [--max-line-kb N]
 //!       [--max-connections N] [--deadline-cap-ms N] [--chaos SPEC]
+//!       [--tokens FILE] [--quota-rate N] [--quota-burst N]
+//!       [--anon-weight F]
+//!       [--peers A,B,C] [--self-addr HOST:PORT] [--fleet-seed N]
+//!       [--peer-timeout-ms N]
 //! ```
 //!
 //! Speaks the JSON-lines protocol on TCP: one request envelope per line,
@@ -23,6 +27,19 @@
 //! the command line. Never arm chaos on a server whose cache you care
 //! about.
 //!
+//! `--tokens FILE` arms token authentication and fair-share quotas: the
+//! file maps bearer tokens to tenant names and weights (`token tenant
+//! [weight]` per line, `#` comments). Authenticated connections get
+//! their tenant's weighted token bucket and backlog slice;
+//! unauthenticated ones share a narrow anonymous allowance
+//! (`--anon-weight`, default 0.25). `--quota-rate`/`--quota-burst` tune
+//! the per-weight bucket (default 50 req/s, burst 100).
+//!
+//! `--peers A,B,C` joins a fleet: the listed nodes (this one included,
+//! as `--self-addr`, default `--addr`) agree via rendezvous hashing —
+//! same `--fleet-seed` everywhere — on one owner per content digest,
+//! and a non-owner fetches from the owner before computing locally.
+//!
 //! The server stops gracefully on a `shutdown` protocol command
 //! (`roofctl shutdown`): it stops accepting, drains in-flight requests,
 //! and exits 0. There is no signal handler — SIGTERM is an abrupt stop,
@@ -31,8 +48,10 @@
 //! Prints `roofd listening on <addr>` on stdout once the socket is
 //! bound — scripts wait for that line before connecting.
 
+use roofline_service::auth::AuthConfig;
 use roofline_service::engine::{Engine, EngineConfig};
 use roofline_service::faults::ServiceFaults;
+use roofline_service::fleet::FleetConfig;
 use roofline_service::server::{Server, ServerConfig};
 use roofline_service::{DEFAULT_ADDR, DEFAULT_CACHE_DIR};
 use std::path::PathBuf;
@@ -55,6 +74,13 @@ fn parse_args() -> Result<Args, String> {
     let mut server_cfg = ServerConfig::default();
     let mut connections = None;
     let mut chaos = ServiceFaults::from_env()?;
+    let mut peers: Option<Vec<String>> = None;
+    let mut self_addr: Option<String> = None;
+    let mut fleet_seed = 0u64;
+    let mut peer_timeout = Duration::from_secs(30);
+    let mut quota_rate: Option<f64> = None;
+    let mut quota_burst: Option<f64> = None;
+    let mut anon_weight: Option<f64> = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -136,6 +162,62 @@ fn parse_args() -> Result<Args, String> {
                 cfg.deadline_cap_ms = Some(ms);
             }
             "--chaos" => chaos = Some(ServiceFaults::parse(&value("--chaos")?)?),
+            "--tokens" => {
+                cfg.auth = AuthConfig::from_file(&PathBuf::from(value("--tokens")?))?;
+            }
+            "--quota-rate" => {
+                let v = value("--quota-rate")?;
+                quota_rate = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&r: &f64| r.is_finite() && r >= 0.0)
+                        .ok_or(format!("--quota-rate needs a non-negative number, got `{v}`"))?,
+                );
+            }
+            "--quota-burst" => {
+                let v = value("--quota-burst")?;
+                quota_burst = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&b: &f64| b.is_finite() && b > 0.0)
+                        .ok_or(format!("--quota-burst needs a positive number, got `{v}`"))?,
+                );
+            }
+            "--anon-weight" => {
+                let v = value("--anon-weight")?;
+                anon_weight = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&w: &f64| w.is_finite() && w > 0.0)
+                        .ok_or(format!("--anon-weight needs a positive number, got `{v}`"))?,
+                );
+            }
+            "--peers" => {
+                peers = Some(
+                    value("--peers")?
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                );
+            }
+            "--self-addr" => self_addr = Some(value("--self-addr")?),
+            "--fleet-seed" => {
+                let v = value("--fleet-seed")?;
+                fleet_seed = v
+                    .parse()
+                    .map_err(|_| format!("--fleet-seed needs an integer, got `{v}`"))?;
+            }
+            "--peer-timeout-ms" => {
+                let v = value("--peer-timeout-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(format!("--peer-timeout-ms needs a positive integer, got `{v}`"))?;
+                peer_timeout = Duration::from_millis(ms);
+            }
             "--connections" => {
                 let v = value("--connections")?;
                 connections = Some(
@@ -157,7 +239,11 @@ fn parse_args() -> Result<Args, String> {
                      \x20         --max-line-kb 1024, --max-connections 256\n\
                      --connections N serves exactly N connections then exits (for scripts)\n\
                      --chaos SPEC arms fault injection (class name or key=value pairs);\n\
-                     \x20           the ROOFD_CHAOS env var is equivalent"
+                     \x20           the ROOFD_CHAOS env var is equivalent\n\
+                     --tokens FILE arms auth + fair-share quotas (token tenant [weight] per line)\n\
+                     \x20  quota knobs: --quota-rate 50 --quota-burst 100 --anon-weight 0.25\n\
+                     --peers A,B,C joins a consistent-hash fleet (--self-addr defaults to --addr;\n\
+                     \x20  all nodes must share --fleet-seed); --peer-timeout-ms bounds peer fetches"
                 );
                 std::process::exit(0);
             }
@@ -168,6 +254,36 @@ fn parse_args() -> Result<Args, String> {
         eprintln!("roofd: CHAOS ARMED: {chaos:?}");
         cfg.faults = chaos.clone();
         server_cfg.faults = chaos;
+    }
+    if quota_rate.is_some() || quota_burst.is_some() || anon_weight.is_some() {
+        let mut quota = cfg.auth.quota.clone().unwrap_or_default();
+        if let Some(r) = quota_rate {
+            quota.rate_per_s = r;
+        }
+        if let Some(b) = quota_burst {
+            quota.burst = b;
+        }
+        cfg.auth.quota = Some(quota);
+        if let Some(w) = anon_weight {
+            cfg.auth.anon_weight = w;
+        } else if cfg.auth.anon_weight <= 0.0 {
+            cfg.auth.anon_weight = roofline_service::auth::DEFAULT_ANON_WEIGHT;
+        }
+    }
+    if let Some(peers) = peers {
+        if peers.len() < 2 {
+            return Err("--peers needs at least two comma-separated addresses".to_string());
+        }
+        let self_addr = self_addr.unwrap_or_else(|| addr.clone());
+        if !peers.contains(&self_addr) {
+            return Err(format!(
+                "--self-addr {self_addr} does not appear in --peers {}",
+                peers.join(",")
+            ));
+        }
+        let mut fleet = FleetConfig::new(self_addr, peers, fleet_seed);
+        fleet.io_timeout = peer_timeout;
+        cfg.fleet = Some(fleet);
     }
     Ok(Args {
         addr,

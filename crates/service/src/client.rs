@@ -59,14 +59,16 @@ impl fmt::Display for ClientError {
 impl ClientError {
     /// True when the failure is transient and the request is safe to
     /// retry on a fresh connection: server backpressure (`busy`), an
-    /// expired request deadline (`timeout`), and the socket-level
-    /// failures a mid-request disconnect or restart produces. Requests
-    /// are idempotent (results are pure functions of the request tuple),
-    /// so retrying can never double-apply anything.
+    /// expired request deadline (`timeout`), a fair-share quota
+    /// rejection (`quota` — the bucket refills continuously, so backing
+    /// off *is* the fix), and the socket-level failures a mid-request
+    /// disconnect or restart produces. Requests are idempotent (results
+    /// are pure functions of the request tuple), so retrying can never
+    /// double-apply anything.
     pub fn is_retryable(&self) -> bool {
         match self {
             ClientError::Busy { .. } => true,
-            ClientError::Server { code, .. } => code == "timeout",
+            ClientError::Server { code, .. } => code == "timeout" || code == "quota",
             ClientError::Io(e) => matches!(
                 e.kind(),
                 io::ErrorKind::ConnectionReset
@@ -139,6 +141,39 @@ impl RetryPolicy {
     }
 }
 
+/// Everything one `run` request can carry — the full-options form of
+/// the `(experiment, platform, fidelity)` tuple used by the fleet's
+/// peer fetches and the load generator.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Which experiment to run.
+    pub experiment: Experiment,
+    /// Platform spec, optional fault suffix included.
+    pub platform: String,
+    /// Problem-size fidelity.
+    pub fidelity: Fidelity,
+    /// Marks a fleet-internal cache-peer fetch: the server serves it
+    /// locally (never forwards again) and exempts it from quota
+    /// charging — the ingress node already charged the tenant.
+    pub peer: bool,
+    /// Bearer token to authenticate with before running; `None` runs
+    /// as the anonymous tenant.
+    pub token: Option<String>,
+}
+
+impl RunOpts {
+    /// Plain client options: no peer flag, no token.
+    pub fn new(experiment: Experiment, platform: &str, fidelity: Fidelity) -> RunOpts {
+        RunOpts {
+            experiment,
+            platform: platform.to_string(),
+            fidelity,
+            peer: false,
+            token: None,
+        }
+    }
+}
+
 /// Runs one request with retries: each attempt opens a fresh connection
 /// (a mid-request disconnect leaves the old one useless), and retryable
 /// failures back off per `policy`. `io_timeout` bounds each attempt's
@@ -156,6 +191,27 @@ pub fn run_with_retries(
     policy: &RetryPolicy,
     io_timeout: Option<Duration>,
 ) -> Result<RunReply, ClientError> {
+    run_with_retries_opt(
+        addr,
+        &RunOpts::new(experiment, platform, fidelity),
+        policy,
+        io_timeout,
+    )
+}
+
+/// [`run_with_retries`] with the full request options (peer flag, bearer
+/// token). Each attempt authenticates anew on its fresh connection.
+///
+/// # Errors
+///
+/// The last attempt's error, once `policy.attempts` are exhausted or a
+/// non-retryable error (bad request, protocol violation) occurs.
+pub fn run_with_retries_opt(
+    addr: impl ToSocketAddrs,
+    opts: &RunOpts,
+    policy: &RetryPolicy,
+    io_timeout: Option<Duration>,
+) -> Result<RunReply, ClientError> {
     let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
     let mut last = None;
     for attempt in 0..policy.attempts.max(1) {
@@ -164,7 +220,12 @@ pub fn run_with_retries(
         }
         let result = Client::connect_with(&addrs[..], io_timeout)
             .map_err(ClientError::from)
-            .and_then(|mut client| client.run(experiment, platform, fidelity));
+            .and_then(|mut client| {
+                if let Some(token) = &opts.token {
+                    client.auth(token)?;
+                }
+                client.run_opt(opts)
+            });
         match result {
             Ok(reply) => return Ok(reply),
             Err(e) if e.is_retryable() => last = Some(e),
@@ -253,6 +314,9 @@ impl Client {
         };
         stream.set_read_timeout(io_timeout)?;
         stream.set_write_timeout(io_timeout)?;
+        // Request lines are tiny and latency-bound; Nagle batching only
+        // adds delayed-ACK stalls to every round trip.
+        let _ = stream.set_nodelay(true);
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
@@ -320,6 +384,30 @@ impl Client {
         }
     }
 
+    /// Authenticates this connection with a bearer token; every
+    /// subsequent request is accounted to the returned tenant. Returns
+    /// `(tenant, weight)`.
+    ///
+    /// # Errors
+    ///
+    /// An unknown token is a `Server` error with code `unauthorized`
+    /// (the connection survives, as the anonymous tenant).
+    pub fn auth(&mut self, token: &str) -> Result<(String, f64), ClientError> {
+        let env = Envelope::new("auth").field("token", Json::str(token));
+        let reply = self.round_trip(env)?;
+        if reply.kind != "authed" {
+            return Err(ClientError::Protocol(format!(
+                "expected authed, got {}",
+                reply.kind
+            )));
+        }
+        Ok((
+            field_str(&reply, "tenant")
+                .ok_or_else(|| ClientError::Protocol("authed lacks a tenant".to_string()))?,
+            reply.get("weight").and_then(Json::as_f64).unwrap_or(1.0),
+        ))
+    }
+
     /// Requests one analysis and blocks until the result arrives.
     ///
     /// # Errors
@@ -333,10 +421,25 @@ impl Client {
         platform: &str,
         fidelity: Fidelity,
     ) -> Result<RunReply, ClientError> {
-        let env = Envelope::new("run")
-            .field("experiment", Json::str(experiment.id()))
-            .field("platform", Json::str(platform))
-            .field("fidelity", Json::str(fidelity.label()));
+        self.run_opt(&RunOpts::new(experiment, platform, fidelity))
+    }
+
+    /// [`Client::run`] with the full request options. The `token` field
+    /// is ignored here — authenticate the connection once with
+    /// [`Client::auth`] instead (the per-attempt helper
+    /// [`run_with_retries_opt`] does both).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn run_opt(&mut self, opts: &RunOpts) -> Result<RunReply, ClientError> {
+        let mut env = Envelope::new("run")
+            .field("experiment", Json::str(opts.experiment.id()))
+            .field("platform", Json::str(&opts.platform))
+            .field("fidelity", Json::str(opts.fidelity.label()));
+        if opts.peer {
+            env = env.field("peer", Json::Bool(true));
+        }
         let reply = self.round_trip(env)?;
         if reply.kind != "result" {
             return Err(ClientError::Protocol(format!(
@@ -384,12 +487,29 @@ impl Client {
     }
 
     /// Fetches the server's counters as `(name, value)` pairs, in the
-    /// server's reporting order.
+    /// server's reporting order. Nested fields (the per-tenant block)
+    /// are skipped; use [`Client::stats_raw`] for the full envelope.
     ///
     /// # Errors
     ///
     /// See [`ClientError`].
     pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
+        let reply = self.stats_raw()?;
+        Ok(reply
+            .fields
+            .iter()
+            .filter_map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+            .collect())
+    }
+
+    /// Fetches the full `stats` envelope, per-tenant block included —
+    /// what the load generator reads per-node hit rates and per-tenant
+    /// counters out of.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn stats_raw(&mut self) -> Result<Envelope, ClientError> {
         let reply = self.round_trip(Envelope::new("stats"))?;
         if reply.kind != "stats" {
             return Err(ClientError::Protocol(format!(
@@ -397,11 +517,7 @@ impl Client {
                 reply.kind
             )));
         }
-        Ok(reply
-            .fields
-            .iter()
-            .filter_map(|(k, v)| Some((k.clone(), v.as_u64()?)))
-            .collect())
+        Ok(reply)
     }
 
     /// Asks the server to shut down gracefully: it acknowledges, stops
@@ -475,6 +591,45 @@ mod tests {
             a,
             "different seed, different jitter"
         );
+    }
+
+    #[test]
+    fn backoff_sequence_is_pinned_for_a_fixed_seed() {
+        // The jitter stream is part of the reproducibility contract
+        // (scripted sweeps and fleet peer fetches rely on it), so the
+        // exact draws for the default seed are pinned — any change to
+        // the xorshift mixing or the bucketing is a deliberate,
+        // test-visible decision, not drift.
+        let policy = RetryPolicy {
+            attempts: 6,
+            base_ms: 100,
+            cap_ms: 5_000,
+            seed: 0x5eed,
+        };
+        let seq: Vec<u64> = (0..6).map(|k| policy.backoff_ms(k)).collect();
+        assert_eq!(seq, [53, 103, 300, 661, 1013, 1721]);
+        let policy = RetryPolicy {
+            attempts: 6,
+            base_ms: 100,
+            cap_ms: 1_000,
+            seed: 7,
+        };
+        let seq: Vec<u64> = (0..6).map(|k| policy.backoff_ms(k)).collect();
+        assert_eq!(seq, [89, 135, 344, 441, 745, 693]);
+    }
+
+    #[test]
+    fn quota_rejections_are_retryable() {
+        assert!(ClientError::Server {
+            code: "quota".into(),
+            detail: "tenant `team-a` is over its fair-share quota".into()
+        }
+        .is_retryable());
+        assert!(!ClientError::Server {
+            code: "unauthorized".into(),
+            detail: String::new()
+        }
+        .is_retryable());
     }
 
     #[test]

@@ -21,8 +21,10 @@
 //! canonical manifest), so a crash in an experiment body degrades one
 //! response, never the server.
 
+use crate::auth::{AuthConfig, TokenBucket, ANON_TENANT};
 use crate::cache::{staging_dir, CacheKey, CachedResult, DiskStore, LruCache};
 use crate::faults::{FaultLottery, ServiceFaults};
+use crate::fleet::{Fleet, FleetConfig};
 use crate::stats::{Gauges, StatsInner, StatsSnapshot};
 use crate::sync::{lock, wait_timeout_recover};
 use experiments::manifest::RunStatus;
@@ -92,6 +94,12 @@ pub struct EngineConfig {
     pub deadline_cap_ms: Option<u64>,
     /// Fault-injection knobs for the chaos harness; disabled by default.
     pub faults: ServiceFaults,
+    /// Client identity + fair-share quotas ([`crate::auth`]); the
+    /// default is fully open (no tokens, no quotas).
+    pub auth: AuthConfig,
+    /// Fleet topology for consistent-hash cache sharing
+    /// ([`crate::fleet`]); `None` runs a standalone node.
+    pub fleet: Option<FleetConfig>,
 }
 
 impl Default for EngineConfig {
@@ -106,6 +114,8 @@ impl Default for EngineConfig {
             deadline_slack_ms: 1_000,
             deadline_cap_ms: None,
             faults: ServiceFaults::default(),
+            auth: AuthConfig::default(),
+            fleet: None,
         }
     }
 }
@@ -134,6 +144,8 @@ pub enum Source {
     Mem,
     /// Served from the on-disk store.
     Disk,
+    /// Fetched from the fleet peer that owns this digest.
+    Peer,
 }
 
 impl Source {
@@ -144,6 +156,7 @@ impl Source {
             Source::Coalesced => "coalesced",
             Source::Mem => "mem",
             Source::Disk => "disk",
+            Source::Peer => "peer",
         }
     }
 
@@ -196,6 +209,36 @@ pub enum Outcome {
         /// The deadline it was granted, in milliseconds.
         deadline_ms: u64,
     },
+    /// Rejected by the requesting tenant's fair-share quota (token
+    /// bucket or outstanding-wall-budget cap). Retryable: the bucket
+    /// refills continuously and admitted work drains.
+    Quota {
+        /// The tenant whose quota rejected the request.
+        tenant: String,
+        /// Hint: how long until admission is plausible, in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+/// Per-request identity and provenance, carried alongside the request
+/// tuple by [`Engine::submit_with`].
+#[derive(Debug, Clone)]
+pub struct SubmitOpts<'a> {
+    /// The tenant this request is accounted to (see [`crate::auth`]).
+    pub tenant: &'a str,
+    /// True for fleet-internal cache-peer fetches: served locally (no
+    /// further forwarding) and exempt from quota charging — the ingress
+    /// node already charged the originating tenant.
+    pub peer: bool,
+}
+
+impl Default for SubmitOpts<'_> {
+    fn default() -> Self {
+        SubmitOpts {
+            tenant: ANON_TENANT,
+            peer: false,
+        }
+    }
 }
 
 /// The experiment body the engine schedules; injectable for tests.
@@ -258,17 +301,46 @@ impl Flight {
     }
 }
 
+/// One tenant's admission state: its refilling token bucket and the
+/// summed wall budgets of its admitted-but-unfinished computations.
+struct TenantAdmission {
+    bucket: TokenBucket,
+    outstanding_ms: u64,
+    cap_ms: u64,
+}
+
 struct State {
     cache: LruCache,
     inflight: HashMap<String, Arc<Flight>>,
     running: usize,
     queued: usize,
     backlog_ms: u64,
+    tenants: HashMap<String, TenantAdmission>,
+}
+
+impl State {
+    /// This tenant's admission state, created on first touch (bucket
+    /// full, nothing outstanding) from the auth config's weights.
+    fn admission(&mut self, auth: &AuthConfig, max_backlog_ms: u64, tenant: &str) -> &mut TenantAdmission {
+        if !self.tenants.contains_key(tenant) {
+            let quota = auth.quota.as_ref().expect("admission needs quotas enabled");
+            self.tenants.insert(
+                tenant.to_string(),
+                TenantAdmission {
+                    bucket: TokenBucket::new(quota, auth.weight_of(tenant), Instant::now()),
+                    outstanding_ms: 0,
+                    cap_ms: auth.backlog_cap_ms(tenant, max_backlog_ms),
+                },
+            );
+        }
+        self.tenants.get_mut(tenant).expect("just inserted")
+    }
 }
 
 struct Inner {
     cfg: EngineConfig,
     disk: Option<DiskStore>,
+    fleet: Option<Fleet>,
     compute: Box<ComputeFn>,
     state: Mutex<State>,
     slot_free: Condvar,
@@ -307,6 +379,7 @@ impl Engine {
                 eprintln!("roofd: stale-tmp sweep failed: {e}");
             }
         }
+        let fleet = cfg.fleet.clone().map(Fleet::new);
         Engine {
             inner: Arc::new(Inner {
                 state: Mutex::new(State {
@@ -315,15 +388,28 @@ impl Engine {
                     running: 0,
                     queued: 0,
                     backlog_ms: 0,
+                    tenants: HashMap::new(),
                 }),
                 slot_free: Condvar::new(),
                 stats: Mutex::new(StatsInner::default()),
                 disk,
+                fleet,
                 compute: Box::new(compute),
                 lottery,
                 cfg,
             }),
         }
+    }
+
+    /// Resolves a bearer token against the static token file; `None`
+    /// for an unknown token (the connection stays anonymous). Returns
+    /// `(tenant, weight)`.
+    pub fn authenticate(&self, token: &str) -> Option<(String, f64)> {
+        self.inner
+            .cfg
+            .auth
+            .authenticate(token)
+            .map(|t| (t.name.clone(), t.weight))
     }
 
     /// Serves one request, blocking until it is answered or rejected.
@@ -339,6 +425,14 @@ impl Engine {
     /// publishes its result — the experiment body cannot be aborted — so
     /// a late owner answers late, but its coalesced waiters never do.
     pub fn submit(&self, req: &Request) -> Outcome {
+        self.submit_with(req, &SubmitOpts::default())
+    }
+
+    /// [`Engine::submit`] with explicit identity and provenance: the
+    /// request is accounted to `opts.tenant` (fair-share quotas, served
+    /// counters), and `opts.peer` marks a fleet-internal fetch that must
+    /// be served locally and is exempt from quota charging.
+    pub fn submit_with(&self, req: &Request, opts: &SubmitOpts<'_>) -> Outcome {
         let start = Instant::now();
         if let Err(e) = try_config_by_name(&req.platform) {
             lock(&self.inner.stats).invalid += 1;
@@ -349,6 +443,7 @@ impl Engine {
         let budget_ms = req.experiment.wall_budget_ms(req.fidelity);
         let deadline_ms = self.inner.cfg.deadline_ms(budget_ms);
         let deadline = start + Duration::from_millis(deadline_ms);
+        let quotas = self.inner.cfg.auth.quotas_enabled() && !opts.peer;
 
         enum Role {
             Hit(Arc<CachedResult>),
@@ -358,6 +453,18 @@ impl Engine {
 
         let role = {
             let mut st = lock(&self.inner.state);
+            // The rate-limit dimension: every request (hit or miss)
+            // drains one token from its tenant's weighted bucket, so a
+            // flooding tenant degrades to its fair share before it can
+            // saturate the global queue bounds below.
+            if quotas {
+                let admission =
+                    st.admission(&self.inner.cfg.auth, self.inner.cfg.max_backlog_ms, opts.tenant);
+                if let Err(retry_after_ms) = admission.bucket.try_take(Instant::now()) {
+                    drop(st);
+                    return self.quota_rejected(opts.tenant, retry_after_ms);
+                }
+            }
             if let Some(result) = st.cache.get(&digest) {
                 lock(&self.inner.stats).mem_hits += 1;
                 Role::Hit(result)
@@ -381,6 +488,25 @@ impl Engine {
                         backlog_ms: st.backlog_ms,
                     };
                 }
+                // The wall-budget dimension: a tenant's admitted-but-
+                // unfinished computations may not exceed its weighted
+                // slice of the global backlog cap. Same idle-tenant
+                // exception as the global bound.
+                if quotas {
+                    let admission = st.admission(
+                        &self.inner.cfg.auth,
+                        self.inner.cfg.max_backlog_ms,
+                        opts.tenant,
+                    );
+                    if admission.outstanding_ms > 0
+                        && admission.outstanding_ms + budget_ms > admission.cap_ms
+                    {
+                        drop(st);
+                        let retry_after_ms = (budget_ms / 2).clamp(100, 60_000);
+                        return self.quota_rejected(opts.tenant, retry_after_ms);
+                    }
+                    admission.outstanding_ms += budget_ms;
+                }
                 let flight = Arc::new(Flight::new());
                 st.inflight.insert(digest.clone(), flight.clone());
                 st.queued += 1;
@@ -396,7 +522,8 @@ impl Engine {
                 None => return self.timed_out(start, deadline_ms),
             },
             Role::Owner(flight) => {
-                match self.run_owned(req, &key, &digest, budget_ms, deadline, &flight) {
+                match self.run_owned(req, opts, quotas, &key, &digest, budget_ms, deadline, &flight)
+                {
                     Some(pair) => pair,
                     None => return self.timed_out(start, deadline_ms),
                 }
@@ -409,6 +536,7 @@ impl Engine {
         {
             let mut stats = lock(&self.inner.stats);
             stats.record_latency(elapsed_ms);
+            stats.tenant(opts.tenant).served += 1;
             if over_budget && source == Source::Computed {
                 stats.over_budget += 1;
             }
@@ -431,6 +559,17 @@ impl Engine {
         }
     }
 
+    /// Counts and builds a quota-rejection outcome.
+    fn quota_rejected(&self, tenant: &str, retry_after_ms: u64) -> Outcome {
+        let mut stats = lock(&self.inner.stats);
+        stats.quota_rejections += 1;
+        stats.tenant(tenant).quota_rejections += 1;
+        Outcome::Quota {
+            tenant: tenant.to_string(),
+            retry_after_ms,
+        }
+    }
+
     /// Counts one connection shed by the server's concurrency gate.
     pub(crate) fn note_shed(&self) {
         lock(&self.inner.stats).shed += 1;
@@ -442,9 +581,12 @@ impl Engine {
     /// deadline expired before a slot freed — the flight is abandoned and
     /// all admission accounting rolled back, so a saturated engine sheds
     /// the request cleanly instead of wedging it in the queue.
+    #[allow(clippy::too_many_arguments)]
     fn run_owned(
         &self,
         req: &Request,
+        opts: &SubmitOpts<'_>,
+        quotas: bool,
         key: &CacheKey,
         digest: &str,
         budget_ms: u64,
@@ -458,6 +600,14 @@ impl Engine {
                 if now >= deadline {
                     st.queued -= 1;
                     st.backlog_ms -= budget_ms;
+                    if quotas {
+                        st.admission(
+                            &self.inner.cfg.auth,
+                            self.inner.cfg.max_backlog_ms,
+                            opts.tenant,
+                        )
+                        .outstanding_ms -= budget_ms;
+                    }
                     st.inflight.remove(digest);
                     drop(st);
                     flight.abandon();
@@ -476,18 +626,39 @@ impl Engine {
                 lock(&self.inner.stats).disk_hits += 1;
                 (Arc::new(loaded), Source::Disk)
             }
-            None => {
-                lock(&self.inner.stats).misses += 1;
-                let computed = Arc::new(self.compute(req, digest));
-                if computed.cacheable() {
-                    if let Some(disk) = &self.inner.disk {
-                        if let Err(e) = disk.store(key, &computed) {
-                            eprintln!("roofd: could not spill {} to disk: {e}", key.canonical());
+            None => match self.peer_fetch(req, opts, digest) {
+                Some(fetched) => {
+                    let fetched = Arc::new(fetched);
+                    // Spill like a computation: a peer-served result is
+                    // as durable as a local one.
+                    if fetched.cacheable() {
+                        if let Some(disk) = &self.inner.disk {
+                            if let Err(e) = disk.store(key, &fetched) {
+                                eprintln!(
+                                    "roofd: could not spill {} to disk: {e}",
+                                    key.canonical()
+                                );
+                            }
                         }
                     }
+                    (fetched, Source::Peer)
                 }
-                (computed, Source::Computed)
-            }
+                None => {
+                    lock(&self.inner.stats).misses += 1;
+                    let computed = Arc::new(self.compute(req, digest));
+                    if computed.cacheable() {
+                        if let Some(disk) = &self.inner.disk {
+                            if let Err(e) = disk.store(key, &computed) {
+                                eprintln!(
+                                    "roofd: could not spill {} to disk: {e}",
+                                    key.canonical()
+                                );
+                            }
+                        }
+                    }
+                    (computed, Source::Computed)
+                }
+            },
         };
 
         {
@@ -499,10 +670,42 @@ impl Engine {
             st.inflight.remove(digest);
             st.running -= 1;
             st.backlog_ms -= budget_ms;
+            if quotas {
+                st.admission(&self.inner.cfg.auth, self.inner.cfg.max_backlog_ms, opts.tenant)
+                    .outstanding_ms -= budget_ms;
+            }
         }
         self.inner.slot_free.notify_all();
         flight.publish(result.clone());
         Some((result, source))
+    }
+
+    /// Attempts a cache-peer fetch: when a fleet is configured, this node
+    /// is not the digest's owner, and the request did not itself arrive
+    /// from a peer (no forwarding chains), ask the owner. `None` means
+    /// "compute locally" — standalone node, owned digest, or a fetch
+    /// failure (counted as a peer miss).
+    fn peer_fetch(&self, req: &Request, opts: &SubmitOpts<'_>, digest: &str) -> Option<CachedResult> {
+        if opts.peer {
+            return None;
+        }
+        let fleet = self.inner.fleet.as_ref()?;
+        let owner = fleet.remote_owner(digest)?.to_string();
+        match fleet.fetch(&owner, req) {
+            Ok(result) => {
+                let mut stats = lock(&self.inner.stats);
+                stats.peer_hits += 1;
+                stats.tenant(opts.tenant).peer_hits += 1;
+                Some(result)
+            }
+            Err(e) => {
+                eprintln!("roofd: peer fetch from {owner} failed, computing locally: {e}");
+                let mut stats = lock(&self.inner.stats);
+                stats.peer_misses += 1;
+                stats.tenant(opts.tenant).peer_misses += 1;
+                None
+            }
+        }
     }
 
     /// Runs the request as a single-experiment sweep into a staging

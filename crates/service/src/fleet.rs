@@ -1,0 +1,234 @@
+//! Horizontal cache sharing: N roofd nodes agree on one *owner* per
+//! content-address digest and fetch from it before computing locally.
+//!
+//! The fleet is deliberately static and coordination-free: every node is
+//! started with the same peer list and the same seed, and ownership is
+//! decided by **rendezvous (highest-random-weight) hashing** — for a
+//! digest `d`, each peer `p` gets a score `mix(seed, d, p)` and the
+//! highest score owns `d`. That gives, with no shared state at all:
+//!
+//! * exactly one owner per digest on every node (ties broken by peer
+//!   name, so even a score collision cannot split ownership);
+//! * stability under peer-list *reordering* — scores never look at list
+//!   positions;
+//! * minimal disruption when a node leaves: only the digests the dead
+//!   node owned move (≈ 1/N of the keyspace), everything else keeps its
+//!   owner — the property the fleet proptests pin.
+//!
+//! A node that is not the owner of a requested digest does a
+//! **cache-peer fetch**: one `run` request to the owner (marked
+//! `peer:true` so the owner serves it locally even if its own peer list
+//! disagrees — forwarding never chains) through [`crate::client`] with
+//! its retrying policy, falling back to local compute when the owner is
+//! down or slow. Peer requests are exempt from quota charging: the
+//! ingress node already charged the originating tenant.
+
+use crate::cache::{status_from_str, CachedResult};
+use crate::client::{run_with_retries_opt, ClientError, RetryPolicy, RunOpts};
+use crate::engine::Request;
+use std::time::Duration;
+
+/// Static fleet topology + fetch tuning, carried on
+/// [`crate::engine::EngineConfig`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// This node's own address as it appears in [`FleetConfig::peers`].
+    pub self_addr: String,
+    /// Every node of the fleet, this node included. Order is
+    /// irrelevant; duplicates are ignored.
+    pub peers: Vec<String>,
+    /// Shared hash seed; all nodes must agree or ownership splits.
+    pub seed: u64,
+    /// Retry policy for peer fetches (attempts, seeded backoff).
+    pub retry: RetryPolicy,
+    /// Per-attempt connect/read/write bound for peer fetches — a dead
+    /// owner must cost bounded time before the local-compute fallback.
+    pub io_timeout: Duration,
+}
+
+impl FleetConfig {
+    /// A config with default fetch tuning: 2 attempts, short backoff,
+    /// 30 s I/O bound (enough for a heavy experiment served from the
+    /// owner's cache or computed there once).
+    pub fn new(self_addr: impl Into<String>, peers: Vec<String>, seed: u64) -> FleetConfig {
+        FleetConfig {
+            self_addr: self_addr.into(),
+            peers,
+            seed,
+            retry: RetryPolicy {
+                attempts: 2,
+                base_ms: 50,
+                cap_ms: 1_000,
+                seed,
+            },
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One 64-bit rendezvous score. FNV-1a over the canonical
+/// `seed:digest:peer` string, finished with a splitmix64-style avalanche
+/// so single-character peer-name differences decorrelate.
+pub fn rendezvous_score(seed: u64, digest: &str, peer: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&seed.to_le_bytes());
+    eat(digest.as_bytes());
+    eat(&[0xff]); // domain separator: ("ab","c") ≠ ("a","bc")
+    eat(peer.as_bytes());
+    // splitmix64 finalizer.
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The owner of `digest` among `peers`: highest rendezvous score, ties
+/// broken by peer name. `None` only for an empty peer list. Duplicate
+/// entries cannot change the answer (same name, same score).
+pub fn owner_of<'a>(peers: &'a [String], seed: u64, digest: &str) -> Option<&'a str> {
+    peers
+        .iter()
+        .map(|p| (rendezvous_score(seed, digest, p), p.as_str()))
+        .max()
+        .map(|(_, p)| p)
+}
+
+/// The runtime side of [`FleetConfig`]: ownership decisions and peer
+/// fetches.
+#[derive(Debug)]
+pub struct Fleet {
+    cfg: FleetConfig,
+}
+
+impl Fleet {
+    /// Builds the fleet handle.
+    pub fn new(cfg: FleetConfig) -> Fleet {
+        Fleet { cfg }
+    }
+
+    /// The configuration this fleet was built from.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// The owner of `digest`, whoever it is.
+    pub fn owner(&self, digest: &str) -> Option<&str> {
+        owner_of(&self.cfg.peers, self.cfg.seed, digest)
+    }
+
+    /// The owner of `digest` when it is *another* node — `None` means
+    /// this node owns the digest (or the peer list is empty) and must
+    /// compute locally.
+    pub fn remote_owner(&self, digest: &str) -> Option<&str> {
+        self.owner(digest).filter(|&o| o != self.cfg.self_addr)
+    }
+
+    /// Fetches the result for `req` from the owning peer. The request is
+    /// marked `peer:true` so the owner serves it locally (no forwarding
+    /// chains, no quota charge) — see the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the last fetch attempt failed with; the caller falls
+    /// back to local compute.
+    pub fn fetch(&self, owner: &str, req: &Request) -> Result<CachedResult, ClientError> {
+        let reply = run_with_retries_opt(
+            owner,
+            &RunOpts {
+                experiment: req.experiment,
+                platform: req.platform.clone(),
+                fidelity: req.fidelity,
+                peer: true,
+                token: None,
+            },
+            &self.cfg.retry,
+            Some(self.cfg.io_timeout),
+        )?;
+        let status = status_from_str(&reply.status).ok_or_else(|| {
+            ClientError::Protocol(format!("peer returned unknown status `{}`", reply.status))
+        })?;
+        Ok(CachedResult {
+            status,
+            error: reply.error,
+            detail: reply.detail,
+            integrity: reply.integrity,
+            // Compute time belongs to the owner, not this node; a
+            // peer-served result reports none, like a disk hit.
+            compute_ms: None,
+            tree: reply.artifacts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peers(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn every_node_agrees_on_one_owner() {
+        let list = peers(&["10.0.0.1:47130", "10.0.0.2:47130", "10.0.0.3:47130"]);
+        for digest in ["00ff", "cafebabe", "0123456789abcdef"] {
+            let owner = owner_of(&list, 7, digest).expect("owner");
+            // Reordering the list cannot change the answer.
+            let mut rev = list.clone();
+            rev.reverse();
+            assert_eq!(owner_of(&rev, 7, digest), Some(owner), "{digest}");
+        }
+    }
+
+    #[test]
+    fn seed_changes_reshuffle_ownership() {
+        let list = peers(&["a", "b", "c", "d", "e", "f", "g", "h"]);
+        let digests: Vec<String> = (0..256).map(|i| format!("{i:016x}")).collect();
+        let moved = digests
+            .iter()
+            .filter(|d| owner_of(&list, 1, d) != owner_of(&list, 2, d))
+            .count();
+        assert!(moved > 0, "two seeds must not agree on every digest");
+    }
+
+    #[test]
+    fn ownership_spreads_across_peers() {
+        let list = peers(&["node-a", "node-b", "node-c"]);
+        let mut counts = [0usize; 3];
+        for i in 0..300 {
+            let owner = owner_of(&list, 42, &format!("{i:016x}")).unwrap();
+            counts[list.iter().position(|p| p == owner).unwrap()] += 1;
+        }
+        for (peer, &n) in list.iter().zip(&counts) {
+            assert!(
+                n > 50,
+                "peer {peer} owns {n}/300 — rendezvous spread collapsed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn remote_owner_excludes_self() {
+        let cfg = FleetConfig::new("b", peers(&["a", "b", "c"]), 9);
+        let fleet = Fleet::new(cfg);
+        for i in 0..64 {
+            let digest = format!("{i:016x}");
+            match fleet.remote_owner(&digest) {
+                Some(owner) => assert_ne!(owner, "b"),
+                None => assert_eq!(fleet.owner(&digest), Some("b")),
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_fleet_always_computes_locally() {
+        let fleet = Fleet::new(FleetConfig::new("only", peers(&["only"]), 3));
+        assert_eq!(fleet.remote_owner("deadbeef"), None);
+    }
+}

@@ -23,7 +23,11 @@
 //!   checksummed cache entries with quarantine, and poison-recovering
 //!   locks ([`server`], [`engine`], [`cache`], [`sync`]) — every
 //!   failure mode drivable on demand through the [`faults`] chaos
-//!   knobs, mirroring `simx86`'s measurement-layer fault injection.
+//!   knobs, mirroring `simx86`'s measurement-layer fault injection;
+//! * scales out as a **fleet**: token-based client identity with
+//!   per-tenant fair-share quotas ([`auth`]) and coordination-free
+//!   consistent-hash cache sharding with cache-peer fetches
+//!   ([`fleet`]).
 //!
 //! The companion binary `roofctl` is a thin CLI over [`client`], with
 //! seeded-backoff retries for transient failures.
@@ -31,10 +35,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod auth;
 pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod faults;
+pub mod fleet;
 pub mod protocol;
 pub mod server;
 pub mod stats;

@@ -2,18 +2,25 @@
 //! envelopes out, independent of the TCP plumbing so it can be tested
 //! without sockets.
 //!
-//! Request kinds: `run`, `stats`, `purge`, `ping`, `shutdown`. Response
-//! kinds: `result`, `stats`, `purged`, `pong`, `shutting-down`, `busy`,
-//! `error`. Every response echoes the request's `seq` so clients can
-//! pipeline (the one exception: a connection shed by the concurrency
-//! gate gets a seq-less `busy`, written before any request was read). A
-//! malformed or invalid request produces an `error` envelope, never a
-//! dropped connection — a faulted platform spec (`snb+drift=…`) is not
-//! even an error: the experiment runs, degrades, and the response
-//! carries the integrity report. A request whose deadline expires gets
-//! an `error` with code `timeout` and is safe to retry.
+//! Request kinds: `run`, `stats`, `purge`, `ping`, `auth`, `shutdown`.
+//! Response kinds: `result`, `stats`, `purged`, `pong`, `authed`,
+//! `shutting-down`, `busy`, `error`. Every response echoes the request's
+//! `seq` so clients can pipeline (the one exception: a connection shed
+//! by the concurrency gate gets a seq-less `busy`, written before any
+//! request was read). A malformed or invalid request produces an `error`
+//! envelope, never a dropped connection — a faulted platform spec
+//! (`snb+drift=…`) is not even an error: the experiment runs, degrades,
+//! and the response carries the integrity report. A request whose
+//! deadline expires gets an `error` with code `timeout` and is safe to
+//! retry, as is a fair-share rejection (code `quota`, with a
+//! `retry_after_ms` hint).
+//!
+//! Identity is per-connection: `auth` with a known bearer token binds
+//! the [`Session`] to a tenant, and every later `run` on that
+//! connection is accounted to it; an unknown token leaves the session
+//! anonymous (error code `unauthorized`, connection survives).
 
-use crate::engine::{Done, Engine, Outcome, Request};
+use crate::engine::{Done, Engine, Outcome, Request, SubmitOpts};
 use crate::stats::StatsSnapshot;
 use experiments::platforms::Fidelity;
 use experiments::registry::Experiment;
@@ -35,6 +42,30 @@ pub mod error_code {
     /// The request line exceeded the server's line-length cap; the
     /// connection is closed after this error is written.
     pub const LINE_TOO_LONG: &str = "line-too-long";
+    /// The `auth` token was not in the server's token file; the
+    /// connection survives as the anonymous tenant.
+    pub const UNAUTHORIZED: &str = "unauthorized";
+    /// The requesting tenant is over its fair-share quota (token bucket
+    /// or outstanding-wall-budget cap); retryable after the envelope's
+    /// `retry_after_ms` hint.
+    pub const QUOTA: &str = "quota";
+}
+
+/// Per-connection protocol state: who this connection's requests are
+/// accounted to. Fresh connections are anonymous until a successful
+/// `auth`.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// The tenant bound to this connection.
+    pub tenant: String,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session {
+            tenant: crate::auth::ANON_TENANT.to_string(),
+        }
+    }
 }
 
 /// Builds an `error` response envelope.
@@ -157,9 +188,34 @@ pub fn stats_envelope(seq: Option<&str>, s: &StatsSnapshot) -> Envelope {
         .field("backlog_ms", Json::num(s.backlog_ms as f64))
         .field("entries", Json::num(s.entries as f64))
         .field("bytes", Json::num(s.bytes as f64))
+        .field("quota_rejections", Json::num(s.quota_rejections as f64))
+        .field("peer_hits", Json::num(s.peer_hits as f64))
+        .field("peer_misses", Json::num(s.peer_misses as f64))
         .field("p50_ms", Json::num(s.p50_ms as f64))
         .field("p90_ms", Json::num(s.p90_ms as f64))
         .field("p99_ms", Json::num(s.p99_ms as f64))
+        .field(
+            "tenants",
+            Json::Obj(
+                s.tenants
+                    .iter()
+                    .map(|(name, t)| {
+                        (
+                            name.clone(),
+                            Json::Obj(vec![
+                                ("served".to_string(), Json::num(t.served as f64)),
+                                (
+                                    "quota_rejections".to_string(),
+                                    Json::num(t.quota_rejections as f64),
+                                ),
+                                ("peer_hits".to_string(), Json::num(t.peer_hits as f64)),
+                                ("peer_misses".to_string(), Json::num(t.peer_misses as f64)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        )
 }
 
 /// One dispatched request's reply plus its control-flow consequence for
@@ -172,12 +228,12 @@ pub struct Dispatch {
     pub shutdown: bool,
 }
 
-/// Serves one request line: parse, dispatch to the engine, render the
-/// response envelope. Never panics on client input; every failure mode
-/// maps to an `error` (or `busy`) envelope so the connection survives.
-/// The transport inspects [`Dispatch::shutdown`] to honor the `shutdown`
-/// command.
-pub fn dispatch(engine: &Engine, line: &str) -> Dispatch {
+/// Serves one request line against a connection's [`Session`]: parse,
+/// dispatch to the engine, render the response envelope. Never panics on
+/// client input; every failure mode maps to an `error` (or `busy`)
+/// envelope so the connection survives. The transport inspects
+/// [`Dispatch::shutdown`] to honor the `shutdown` command.
+pub fn dispatch_session(engine: &Engine, session: &mut Session, line: &str) -> Dispatch {
     let env = match Envelope::parse_line(line) {
         Ok(env) => env,
         Err(e) => {
@@ -216,43 +272,93 @@ pub fn dispatch(engine: &Engine, line: &str) -> Dispatch {
             }
             env
         }
-        "run" => match parse_run_request(&env) {
-            Err(error) => *error,
-            Ok(req) => match engine.submit(&req) {
-                Outcome::Done(done) => result_envelope(seq, &req, &done),
-                Outcome::Busy { queued, backlog_ms } => {
-                    let mut env = Envelope::new("busy");
+        "auth" => match env.get("token").and_then(Json::as_str) {
+            None => error_envelope(
+                seq,
+                error_code::BAD_REQUEST,
+                "auth request lacks a string `token` field",
+            ),
+            Some(token) => match engine.authenticate(token) {
+                Some((tenant, weight)) => {
+                    session.tenant = tenant.clone();
+                    let mut env = Envelope::new("authed");
                     if let Some(seq) = seq {
                         env = env.seq(seq);
                     }
-                    env.field("queued", Json::num(queued as f64))
-                        .field("backlog_ms", Json::num(backlog_ms as f64))
+                    env.field("tenant", Json::str(tenant))
+                        .field("weight", Json::num(weight))
                 }
-                Outcome::Invalid(detail) => {
-                    error_envelope(seq, error_code::INVALID_PLATFORM, detail)
-                }
-                Outcome::TimedOut {
-                    waited_ms,
-                    deadline_ms,
-                } => error_envelope(
+                None => error_envelope(
                     seq,
-                    error_code::TIMEOUT,
-                    format!(
-                        "request deadline of {deadline_ms} ms expired after \
-                         waiting {waited_ms} ms; retry later"
-                    ),
-                )
-                .field("waited_ms", Json::num(waited_ms as f64))
-                .field("deadline_ms", Json::num(deadline_ms as f64)),
+                    error_code::UNAUTHORIZED,
+                    "unknown token; the connection remains anonymous",
+                ),
             },
+        },
+        "run" => match parse_run_request(&env) {
+            Err(error) => *error,
+            Ok(req) => {
+                let opts = SubmitOpts {
+                    tenant: &session.tenant,
+                    peer: env.get("peer").and_then(Json::as_bool).unwrap_or(false),
+                };
+                match engine.submit_with(&req, &opts) {
+                    Outcome::Done(done) => result_envelope(seq, &req, &done),
+                    Outcome::Busy { queued, backlog_ms } => {
+                        let mut env = Envelope::new("busy");
+                        if let Some(seq) = seq {
+                            env = env.seq(seq);
+                        }
+                        env.field("queued", Json::num(queued as f64))
+                            .field("backlog_ms", Json::num(backlog_ms as f64))
+                    }
+                    Outcome::Invalid(detail) => {
+                        error_envelope(seq, error_code::INVALID_PLATFORM, detail)
+                    }
+                    Outcome::TimedOut {
+                        waited_ms,
+                        deadline_ms,
+                    } => error_envelope(
+                        seq,
+                        error_code::TIMEOUT,
+                        format!(
+                            "request deadline of {deadline_ms} ms expired after \
+                             waiting {waited_ms} ms; retry later"
+                        ),
+                    )
+                    .field("waited_ms", Json::num(waited_ms as f64))
+                    .field("deadline_ms", Json::num(deadline_ms as f64)),
+                    Outcome::Quota {
+                        tenant,
+                        retry_after_ms,
+                    } => error_envelope(
+                        seq,
+                        error_code::QUOTA,
+                        format!(
+                            "tenant `{tenant}` is over its fair-share quota; \
+                             retry in {retry_after_ms} ms"
+                        ),
+                    )
+                    .field("tenant", Json::str(tenant))
+                    .field("retry_after_ms", Json::num(retry_after_ms as f64)),
+                }
+            }
         },
         other => error_envelope(
             seq,
             error_code::UNKNOWN_COMMAND,
-            format!("unknown command `{other}` (expected run, stats, purge, ping, or shutdown)"),
+            format!(
+                "unknown command `{other}` (expected run, stats, purge, ping, auth, or shutdown)"
+            ),
         ),
     };
     Dispatch { reply, shutdown }
+}
+
+/// [`dispatch_session`] against a fresh anonymous session — for callers
+/// that predate per-connection identity (and tests that don't need it).
+pub fn dispatch(engine: &Engine, line: &str) -> Dispatch {
+    dispatch_session(engine, &mut Session::default(), line)
 }
 
 /// [`dispatch`] without the control-flow signal — the original entry
@@ -369,6 +475,120 @@ mod tests {
         // Every other command leaves the flag down.
         assert!(!dispatch(&engine, r#"{"v":1,"kind":"ping"}"#).shutdown);
         assert!(!dispatch(&engine, "garbage").shutdown);
+    }
+
+    #[test]
+    fn auth_binds_the_session_and_quotas_reject_with_hints() {
+        use crate::auth::{AuthConfig, QuotaConfig, ANON_TENANT};
+        let mut auth = AuthConfig::default().with_token("s3cret", "team-a", 1.0);
+        auth.anon_weight = 0.25;
+        // Zero refill: the burst is the whole allowance, so rejection is
+        // deterministic on the (burst×weight + 1)-th request.
+        auth.quota = Some(QuotaConfig {
+            rate_per_s: 0.0,
+            burst: 2.0,
+        });
+        let cfg = EngineConfig {
+            auth,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::with_compute(cfg, |e, platform, fidelity| {
+            let mut out = ExperimentOutput::new(e.id(), e.title());
+            out.finding("cell", format!("{}@{platform}/{}", e.id(), fidelity.label()));
+            out
+        });
+        let mut session = Session::default();
+        let wrong = dispatch_session(
+            &engine,
+            &mut session,
+            r#"{"v":1,"kind":"auth","token":"wrong"}"#,
+        )
+        .reply;
+        assert_eq!(
+            wrong.get("code").unwrap().as_str(),
+            Some(error_code::UNAUTHORIZED)
+        );
+        assert_eq!(session.tenant, ANON_TENANT, "failed auth stays anonymous");
+        let authed = dispatch_session(
+            &engine,
+            &mut session,
+            r#"{"v":1,"kind":"auth","token":"s3cret","seq":"a1"}"#,
+        )
+        .reply;
+        assert_eq!(authed.kind, "authed");
+        assert_eq!(authed.seq.as_deref(), Some("a1"));
+        assert_eq!(authed.get("tenant").unwrap().as_str(), Some("team-a"));
+        assert_eq!(authed.get("weight").unwrap().as_f64(), Some(1.0));
+        assert_eq!(session.tenant, "team-a");
+
+        // Burst 2 × weight 1 = two requests (hits included), then quota.
+        let run = r#"{"v":1,"kind":"run","experiment":"E1"}"#;
+        for _ in 0..2 {
+            let r = dispatch_session(&engine, &mut session, run).reply;
+            assert_eq!(r.kind, "result", "{}", r.to_line());
+        }
+        let rejected = dispatch_session(&engine, &mut session, run).reply;
+        assert_eq!(rejected.kind, "error");
+        assert_eq!(
+            rejected.get("code").unwrap().as_str(),
+            Some(error_code::QUOTA)
+        );
+        assert_eq!(rejected.get("tenant").unwrap().as_str(), Some("team-a"));
+        assert_eq!(
+            rejected.get("retry_after_ms").unwrap().as_u64(),
+            Some(60_000),
+            "zero-rate bucket reports the max hint"
+        );
+
+        // The anonymous tenant has its own bucket: capacity
+        // (2 × 0.25).max(1) = 1, so one request still lands.
+        let anon = dispatch_line(&engine, run);
+        assert_eq!(anon.kind, "result", "{}", anon.to_line());
+
+        let stats = dispatch_line(&engine, r#"{"v":1,"kind":"stats"}"#);
+        assert_eq!(stats.get("quota_rejections").unwrap().as_u64(), Some(1));
+        let tenants = stats.get("tenants").expect("tenants block");
+        let team = tenants.get("team-a").expect("team-a entry");
+        assert_eq!(team.get("served").unwrap().as_u64(), Some(2));
+        assert_eq!(team.get("quota_rejections").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            tenants.get(ANON_TENANT).unwrap().get("served").unwrap().as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn peer_marked_runs_are_exempt_from_quota_charging() {
+        use crate::auth::{AuthConfig, QuotaConfig};
+        let cfg = EngineConfig {
+            auth: AuthConfig::open_with_quota(
+                QuotaConfig {
+                    rate_per_s: 0.0,
+                    burst: 1.0,
+                },
+                1.0,
+            ),
+            ..EngineConfig::default()
+        };
+        let engine = Engine::with_compute(cfg, |e, platform, fidelity| {
+            let mut out = ExperimentOutput::new(e.id(), e.title());
+            out.finding("cell", format!("{}@{platform}/{}", e.id(), fidelity.label()));
+            out
+        });
+        let run = r#"{"v":1,"kind":"run","experiment":"E1"}"#;
+        assert_eq!(dispatch_line(&engine, run).kind, "result");
+        assert_eq!(
+            dispatch_line(&engine, run).get("code").unwrap().as_str(),
+            Some(error_code::QUOTA),
+            "anonymous allowance exhausted"
+        );
+        // A fleet-internal fetch must still be served: the ingress node
+        // already charged the originating tenant.
+        let peer = dispatch_line(
+            &engine,
+            r#"{"v":1,"kind":"run","experiment":"E1","peer":true}"#,
+        );
+        assert_eq!(peer.kind, "result", "{}", peer.to_line());
     }
 
     #[test]

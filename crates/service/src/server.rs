@@ -29,7 +29,7 @@
 
 use crate::engine::Engine;
 use crate::faults::{FaultLottery, ServiceFaults};
-use crate::protocol::{dispatch, error_code, error_envelope};
+use crate::protocol::{dispatch_session, error_code, error_envelope, Session};
 use roofline_core::json::{Envelope, Json};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -125,14 +125,21 @@ impl Server {
         engine: Engine,
         cfg: ServerConfig,
     ) -> io::Result<Server> {
+        Ok(Server::from_listener(TcpListener::bind(addr)?, engine, cfg))
+    }
+
+    /// Wraps an already-bound listener — for callers that must know every
+    /// node's port *before* building the engines behind them (a fleet's
+    /// peer list names addresses the engines are configured with).
+    pub fn from_listener(listener: TcpListener, engine: Engine, cfg: ServerConfig) -> Server {
         let lottery = Arc::new(cfg.faults.lottery());
-        Ok(Server {
-            listener: TcpListener::bind(addr)?,
+        Server {
+            listener,
             engine,
             cfg,
             shutdown: Arc::new(AtomicBool::new(false)),
             lottery,
-        })
+        }
     }
 
     /// The bound address, e.g. `127.0.0.1:47130`.
@@ -262,10 +269,15 @@ fn serve_connection(
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(POLL_QUANTUM.min(cfg.read_timeout)))?;
     stream.set_write_timeout(Some(cfg.write_timeout))?;
+    // Response lines are tiny and latency-bound; without this, Nagle +
+    // delayed ACKs add ~40 ms to every request's round trip.
+    let _ = stream.set_nodelay(true);
     let mut reader = stream.try_clone()?;
     let mut writer = stream;
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    // Per-connection identity: anonymous until a successful `auth`.
+    let mut session = Session::default();
     // The slow-loris clock: reset only when a complete line is served,
     // so dribbling one byte per poll cannot extend a connection's life.
     let mut idle_deadline = Instant::now() + cfg.read_timeout;
@@ -277,7 +289,7 @@ fn serve_connection(
             if line.is_empty() {
                 continue;
             }
-            let d = dispatch(engine, line);
+            let d = dispatch_session(engine, &mut session, line);
             if lottery.disconnect() {
                 // Chaos: the peer sees its connection die after the
                 // request was read but before the response is written.

@@ -1,9 +1,28 @@
 //! Service counters and latency percentiles — what `roofctl stats`
 //! reports.
 
+use std::collections::BTreeMap;
+
 /// Cap on the retained latency samples; the ring overwrites oldest-first
 /// so percentiles always describe recent traffic.
 const LATENCY_RING: usize = 4096;
+
+/// Per-tenant counters — the fairness observables the fleet bench and
+/// the quota tests read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Requests answered with a result for this tenant (any source).
+    pub served: u64,
+    /// Requests rejected by this tenant's fair-share quota (token
+    /// bucket or outstanding-wall-budget cap) — each answered with a
+    /// retryable `quota` envelope.
+    pub quota_rejections: u64,
+    /// Requests this node answered by fetching from the owning peer on
+    /// this tenant's behalf.
+    pub peer_hits: u64,
+    /// Peer fetches that failed and fell back to local compute.
+    pub peer_misses: u64,
+}
 
 /// Mutable counter state, owned by the engine behind a mutex.
 #[derive(Debug, Default)]
@@ -19,6 +38,10 @@ pub(crate) struct StatsInner {
     pub completed: u64,
     pub timeouts: u64,
     pub shed: u64,
+    pub quota_rejections: u64,
+    pub peer_hits: u64,
+    pub peer_misses: u64,
+    pub tenants: BTreeMap<String, TenantCounters>,
     latencies: Vec<u64>,
     next_slot: usize,
 }
@@ -33,6 +56,15 @@ impl StatsInner {
             self.latencies[self.next_slot] = ms;
             self.next_slot = (self.next_slot + 1) % LATENCY_RING;
         }
+    }
+
+    /// The counters of one tenant, created zeroed on first touch.
+    pub fn tenant(&mut self, name: &str) -> &mut TenantCounters {
+        // Avoid the to_string on the hot (existing-tenant) path.
+        if !self.tenants.contains_key(name) {
+            self.tenants.insert(name.to_string(), TenantCounters::default());
+        }
+        self.tenants.get_mut(name).expect("just inserted")
     }
 
     /// Freezes the counters into a snapshot; gauges are supplied by the
@@ -60,6 +92,10 @@ impl StatsInner {
             completed: self.completed,
             timeouts: self.timeouts,
             shed: self.shed,
+            quota_rejections: self.quota_rejections,
+            peer_hits: self.peer_hits,
+            peer_misses: self.peer_misses,
+            tenants: self.tenants.clone(),
             quarantined: gauges.quarantined,
             swept_tmp: gauges.swept_tmp,
             in_flight: gauges.in_flight,
@@ -89,7 +125,7 @@ pub(crate) struct Gauges {
 
 /// One frozen view of the service counters — the payload of the `stats`
 /// command.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Requests served from the in-memory cache.
     pub mem_hits: u64,
@@ -117,6 +153,17 @@ pub struct StatsSnapshot {
     /// Connections shed at accept time by the max-concurrent-connections
     /// gate (answered with a `busy` envelope, then closed).
     pub shed: u64,
+    /// Requests rejected by a tenant's fair-share quota, all tenants
+    /// summed (per-tenant breakdown in [`StatsSnapshot::tenants`]).
+    pub quota_rejections: u64,
+    /// Requests answered by fetching the result from the owning fleet
+    /// peer instead of computing locally.
+    pub peer_hits: u64,
+    /// Peer fetches that failed (owner down, slow, or malformed) and
+    /// fell back to local compute.
+    pub peer_misses: u64,
+    /// Per-tenant counters, sorted by tenant name.
+    pub tenants: BTreeMap<String, TenantCounters>,
     /// Disk-cache entries that failed checksum verification and were
     /// moved to quarantine instead of being served.
     pub quarantined: u64,
@@ -219,6 +266,21 @@ mod tests {
             sorted[((2.0_f64 / 100.0) * LATENCY_RING as f64).ceil() as usize - 1]
         };
         assert_eq!(pct_low, 5, "sanity: 2nd percentile lands in new samples");
+    }
+
+    #[test]
+    fn tenant_counters_are_created_on_first_touch_and_snapshot_sorted() {
+        let mut s = StatsInner::default();
+        s.tenant("team-b").served += 2;
+        s.tenant("team-a").quota_rejections += 1;
+        s.tenant("team-b").peer_hits += 1;
+        let snap = s.snapshot(Gauges::default());
+        let names: Vec<&str> = snap.tenants.keys().map(String::as_str).collect();
+        assert_eq!(names, ["team-a", "team-b"], "BTreeMap order is by name");
+        assert_eq!(snap.tenants["team-a"].quota_rejections, 1);
+        assert_eq!(snap.tenants["team-b"].served, 2);
+        assert_eq!(snap.tenants["team-b"].peer_hits, 1);
+        assert_eq!(snap.tenants["team-a"].served, 0);
     }
 
     #[test]

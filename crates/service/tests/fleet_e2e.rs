@@ -1,0 +1,217 @@
+//! End-to-end test of a three-node roofd fleet.
+//!
+//! Rendezvous hashing assigns every digest exactly one owner, so the
+//! same request sent to all three nodes must compute exactly once: the
+//! owner runs the experiment, the two non-owners fetch the cached
+//! result from the owner and serve it as a peer hit. Every reply —
+//! owner-computed or peer-fetched — must be byte-identical to the
+//! serial `repro` artifact tree. A second test pins the fair-share
+//! quota behaviour: a tenant that drains its bucket gets retryable
+//! `quota` envelopes while a sibling tenant on the same node keeps
+//! being served.
+
+use experiments::platforms::Fidelity;
+use experiments::registry::Experiment;
+use experiments::snapshot::{diff_trees, read_tree};
+use experiments::sweep::run_one;
+use roofline_service::auth::{AuthConfig, QuotaConfig};
+use roofline_service::client::{Client, ClientError};
+use roofline_service::engine::{Engine, EngineConfig};
+use roofline_service::fleet::FleetConfig;
+use roofline_service::server::{Server, ServerConfig, ShutdownHandle};
+use std::collections::BTreeMap;
+use std::fs;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("roofd-fleet-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The serial reference tree for E19 the way `repro -e E19 -o <dir>`
+/// would produce it, normalized by the same snapshot rules the service
+/// applies.
+fn serial_reference() -> BTreeMap<String, String> {
+    let dir = temp_dir("ref");
+    run_one(Experiment::E19, "snb", Fidelity::Quick, &dir).expect("reference run");
+    let tree = read_tree(&dir).expect("reference tree");
+    let _ = fs::remove_dir_all(&dir);
+    tree
+}
+
+struct FleetNode {
+    addr: String,
+    shutdown: ShutdownHandle,
+    thread: JoinHandle<std::io::Result<()>>,
+}
+
+/// Spin up `n` roofd nodes that know about each other via rendezvous
+/// hashing, all sharing one auth configuration.
+fn spawn_fleet(n: usize, auth: AuthConfig, seed: u64) -> Vec<FleetNode> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").to_string())
+        .collect();
+    listeners
+        .into_iter()
+        .zip(addrs.iter())
+        .map(|(listener, addr)| {
+            let cfg = EngineConfig {
+                cache_dir: None,
+                workers: 2,
+                auth: auth.clone(),
+                fleet: (n > 1).then(|| FleetConfig::new(addr.clone(), addrs.clone(), seed)),
+                ..EngineConfig::default()
+            };
+            let server = Server::from_listener(listener, Engine::new(cfg), ServerConfig::default());
+            let shutdown = server.shutdown_handle();
+            let thread = std::thread::spawn(move || server.serve());
+            FleetNode {
+                addr: addr.clone(),
+                shutdown,
+                thread,
+            }
+        })
+        .collect()
+}
+
+fn stop_fleet(nodes: Vec<FleetNode>) {
+    for node in &nodes {
+        node.shutdown.trigger();
+    }
+    for node in nodes {
+        node.thread.join().unwrap().expect("server");
+    }
+}
+
+fn node_stats(addr: &str) -> BTreeMap<String, u64> {
+    let mut control = Client::connect(addr).expect("stats connect");
+    control.stats().expect("stats").into_iter().collect()
+}
+
+#[test]
+fn fleet_computes_once_serves_peers_and_matches_serial_repro() {
+    let nodes = spawn_fleet(3, AuthConfig::default(), 42);
+
+    // The same hierarchical request lands on all three nodes in turn.
+    // Whichever node owns the digest computes; the other two must
+    // answer via a cache-peer fetch, never a second computation.
+    let replies: Vec<_> = nodes
+        .iter()
+        .map(|node| {
+            let mut client = Client::connect(&node.addr).expect("connect");
+            client
+                .run(Experiment::E19, "snb", Fidelity::Quick)
+                .expect("run")
+        })
+        .collect();
+
+    let reference = serial_reference();
+    for reply in &replies {
+        assert_eq!(reply.status, "pass", "E19 failed: {:?}", reply.detail);
+        let diffs = diff_trees("serial repro", &reference, "service", &reply.artifacts);
+        assert!(
+            diffs.is_empty(),
+            "fleet response differs from serial repro:\n{}",
+            diffs.join("\n")
+        );
+    }
+
+    // The two non-owners each served a peer fetch. The owner's own
+    // reply is "computed" when it was contacted first, or "mem" when a
+    // peer fetch already forced the computation before its turn.
+    let sources: Vec<&str> = replies.iter().map(|r| r.source.as_str()).collect();
+    let peer_served = sources.iter().filter(|s| **s == "peer").count();
+    assert_eq!(peer_served, 2, "sources: {sources:?}");
+    assert!(
+        sources
+            .iter()
+            .all(|s| *s == "peer" || *s == "computed" || *s == "mem"),
+        "sources: {sources:?}"
+    );
+
+    // Fleet-wide ledger agrees: one miss, two peer hits, no failed
+    // peer fetches anywhere.
+    let stats: Vec<BTreeMap<String, u64>> = nodes.iter().map(|n| node_stats(&n.addr)).collect();
+    let sum = |key: &str| stats.iter().map(|s| s[key]).sum::<u64>();
+    assert_eq!(sum("misses"), 1, "stats: {stats:?}");
+    assert_eq!(sum("peer_hits"), 2, "stats: {stats:?}");
+    assert_eq!(sum("peer_misses"), 0, "stats: {stats:?}");
+    assert_eq!(sum("in_flight"), 0);
+
+    stop_fleet(nodes);
+}
+
+#[test]
+fn quota_exhaustion_is_per_tenant_and_retryable() {
+    // Zero refill, two-request burst: team-a can run twice, then must
+    // see `quota` envelopes; team-b's bucket is untouched by that.
+    let auth = AuthConfig::open_with_quota(
+        QuotaConfig {
+            rate_per_s: 0.0,
+            burst: 2.0,
+        },
+        1.0,
+    )
+    .with_token("tok-a", "team-a", 1.0)
+    .with_token("tok-b", "team-b", 1.0);
+    let nodes = spawn_fleet(1, auth, 7);
+    let addr = nodes[0].addr.clone();
+
+    let run = |token: &str| -> Result<String, ClientError> {
+        let mut client = Client::connect(&addr).expect("connect");
+        let (tenant, _weight) = client.auth(token).expect("auth");
+        client
+            .run(Experiment::E1, "snb", Fidelity::Quick)
+            .map(|reply| {
+                assert_eq!(reply.status, "pass");
+                tenant
+            })
+    };
+
+    // team-a drains its burst; cache hits are charged too, so the
+    // third request is rejected no matter how fast the first two were.
+    assert_eq!(run("tok-a").expect("first"), "team-a");
+    assert_eq!(run("tok-a").expect("second"), "team-a");
+    let rejected = run("tok-a").expect_err("third request must exceed the quota");
+    match &rejected {
+        ClientError::Server { code, detail } => {
+            assert_eq!(code, "quota");
+            assert!(detail.contains("team-a"), "detail: {detail}");
+        }
+        other => panic!("expected a quota envelope, got {other:?}"),
+    }
+    assert!(
+        rejected.is_retryable(),
+        "quota rejections must be retryable"
+    );
+
+    // team-b is a different bucket: same node, same instant, served.
+    assert_eq!(run("tok-b").expect("other tenant"), "team-b");
+
+    // The ledger pins the split: team-a served twice and rejected
+    // once, team-b served once and never rejected.
+    let mut control = Client::connect(&addr).expect("control");
+    let raw = control.stats_raw().expect("stats");
+    let tenants = raw.get("tenants").expect("tenants block");
+    let field = |tenant: &str, key: &str| -> u64 {
+        tenants
+            .get(tenant)
+            .and_then(|t| t.get(key))
+            .and_then(roofline_core::json::Json::as_u64)
+            .unwrap_or_else(|| panic!("missing tenants.{tenant}.{key}"))
+    };
+    assert_eq!(field("team-a", "served"), 2);
+    assert_eq!(field("team-a", "quota_rejections"), 1);
+    assert_eq!(field("team-b", "served"), 1);
+    assert_eq!(field("team-b", "quota_rejections"), 0);
+    drop(control);
+
+    stop_fleet(nodes);
+}

@@ -1,0 +1,165 @@
+//! Property tests for the fleet's rendezvous-hash ownership function.
+//!
+//! These pin the three guarantees the coordination-free design rests
+//! on, over arbitrary peer lists, seeds, and digests:
+//!
+//! * **exactly one owner** — every digest resolves to one peer, the
+//!   same peer on every node, even with duplicate list entries;
+//! * **order independence** — shuffling the peer list never moves a
+//!   digest, because scores ignore list positions;
+//! * **minimal disruption** — removing one node reassigns only the
+//!   digests it owned (≈ 1/N of the keyspace) and never moves a digest
+//!   whose owner survived.
+
+use proptest::prelude::*;
+use roofline_service::fleet::{owner_of, rendezvous_score};
+use std::collections::BTreeSet;
+
+/// A distinct peer list derived from a size and a name seed: host:port
+/// shaped, guaranteed unique by the running index.
+fn peers_from(count: usize, name_seed: u64) -> Vec<String> {
+    (0..count)
+        .map(|i| format!("10.0.{}.{}:{}", name_seed % 251, i, 40_000 + (name_seed % 20_000)))
+        .collect()
+}
+
+fn digests(seed: u64, n: usize) -> Vec<String> {
+    (0..n as u64)
+        .map(|i| format!("{:016x}", seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i)))
+        .collect()
+}
+
+/// A deterministic in-test shuffle (Fisher–Yates over a splitmix64
+/// stream) so reorderings are reproducible case by case.
+fn shuffle(mut items: Vec<String>, mut state: u64) -> Vec<String> {
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        items.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+    items
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_digest_has_exactly_one_owner_even_with_duplicates(
+        count in 2usize..=8,
+        name_seed in any::<u64>(),
+        seed in any::<u64>(),
+        digest_seed in any::<u64>(),
+    ) {
+        let peers = peers_from(count, name_seed);
+        // Duplicating an entry must not create a second claimant: the
+        // duplicate scores identically, so the maximum is unchanged.
+        let mut with_dupes = peers.clone();
+        with_dupes.push(peers[0].clone());
+        for digest in digests(digest_seed, 32) {
+            let owner = owner_of(&peers, seed, &digest);
+            prop_assert!(owner.is_some());
+            prop_assert!(peers.iter().any(|p| Some(p.as_str()) == owner));
+            prop_assert_eq!(owner_of(&with_dupes, seed, &digest), owner);
+        }
+    }
+
+    #[test]
+    fn ownership_is_stable_under_peer_list_reordering(
+        count in 2usize..=8,
+        name_seed in any::<u64>(),
+        seed in any::<u64>(),
+        digest_seed in any::<u64>(),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let peers = peers_from(count, name_seed);
+        let shuffled = shuffle(peers.clone(), shuffle_seed);
+        for digest in digests(digest_seed, 32) {
+            prop_assert_eq!(
+                owner_of(&peers, seed, &digest),
+                owner_of(&shuffled, seed, &digest),
+                "digest {} moved when the peer list was reordered", digest
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_node_moves_only_its_own_digests(
+        count in 2usize..=8,
+        name_seed in any::<u64>(),
+        seed in any::<u64>(),
+        digest_seed in any::<u64>(),
+        victim_pick in any::<u64>(),
+    ) {
+        let peers = peers_from(count, name_seed);
+        let victim = peers[(victim_pick % count as u64) as usize].clone();
+        let survivors: Vec<String> =
+            peers.iter().filter(|p| **p != victim).cloned().collect();
+
+        let all = digests(digest_seed, 128);
+        let mut moved = 0usize;
+        let mut victim_owned = 0usize;
+        for digest in &all {
+            let before = owner_of(&peers, seed, digest).unwrap().to_string();
+            let after = owner_of(&survivors, seed, digest).unwrap().to_string();
+            if before == victim {
+                // Orphaned digests must land on a survivor.
+                victim_owned += 1;
+                moved += 1;
+                prop_assert!(survivors.contains(&after));
+            } else {
+                // A digest whose owner survived must not move at all.
+                prop_assert_eq!(&after, &before,
+                    "digest {} abandoned a surviving owner", digest);
+            }
+        }
+        // Exactly the victim's share moved — and with ≥ 2 peers and a
+        // healthy hash that share is strictly less than everything.
+        prop_assert_eq!(moved, victim_owned);
+        prop_assert!(moved < all.len());
+    }
+
+    #[test]
+    fn scores_are_pure_functions_of_their_inputs(
+        seed in any::<u64>(),
+        digest_seed in any::<u64>(),
+        peer_seed in any::<u64>(),
+    ) {
+        let digest = format!("{digest_seed:016x}");
+        let peer = format!("node-{:08x}", peer_seed as u32);
+        prop_assert_eq!(
+            rendezvous_score(seed, &digest, &peer),
+            rendezvous_score(seed, &digest, &peer)
+        );
+    }
+}
+
+/// Non-proptest sanity check: across many digests every peer of a
+/// five-node fleet owns a non-trivial share, so peer fetch actually
+/// distributes load instead of funnelling to one host.
+#[test]
+fn five_node_ownership_is_reasonably_balanced() {
+    let peers: Vec<String> = ["n1", "n2", "n3", "n4", "n5"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut owners: BTreeSet<String> = BTreeSet::new();
+    let mut counts = [0usize; 5];
+    for i in 0..1000u64 {
+        let digest = format!("{i:016x}");
+        let owner = owner_of(&peers, 42, &digest).unwrap().to_string();
+        counts[peers.iter().position(|p| *p == owner).unwrap()] += 1;
+        owners.insert(owner);
+    }
+    assert_eq!(owners.len(), 5);
+    for (peer, &n) in peers.iter().zip(&counts) {
+        assert!(
+            (100..=300).contains(&n),
+            "peer {peer} owns {n}/1000: {counts:?}"
+        );
+    }
+}

@@ -26,9 +26,62 @@ def doc(quick_ms, fp_ports=1000.0, dram_stream=12.0):
     }
 
 
-def run_on(baseline, candidate, *extra):
+def roofd_fleet(
+    nodes,
+    p99_ms=100,
+    served=480,
+    quota_rejected=0,
+    errors=0,
+    hits=300,
+    peer_hits=60,
+    completed=480,
+):
+    per_node = []
+    for i in range(nodes):
+        per_node.append(
+            {
+                "node": f"node{i}",
+                "completed": completed // nodes,
+                "hits": hits // nodes,
+                "misses": 5,
+                "coalesced": 10 // nodes,
+                "peer_hits": (peer_hits // nodes) if nodes > 1 else 0,
+                "peer_misses": 0,
+                "hit_rate": 0.0,
+            }
+        )
+    return {
+        "nodes": nodes,
+        "clients": 12,
+        "requests": 480,
+        "served": served,
+        "quota_rejected": quota_rejected,
+        "errors": errors,
+        "p50_ms": max(1, p99_ms // 4),
+        "p99_ms": p99_ms,
+        "peer_hit_share": 0.1 if nodes > 1 else 0.0,
+        "fairness_ratio": 1.1,
+        "per_node": per_node,
+        "tenants": [
+            {"tenant": "team-a", "served": served // 2, "quota_rejected": 0},
+            {"tenant": "team-b", "served": served - served // 2, "quota_rejected": 0},
+        ],
+    }
+
+
+def roofd_doc(fleets):
+    return {
+        "schema": 1,
+        "name": "BENCH_roofd",
+        "seed": 42,
+        "zipf_s": 1.1,
+        "fleets": fleets,
+    }
+
+
+def run_on_docs(docs, *extra):
     paths = []
-    for payload in (baseline, candidate):
+    for payload in docs:
         with tempfile.NamedTemporaryFile(
             "w", suffix=".json", delete=False
         ) as handle:
@@ -45,6 +98,10 @@ def run_on(baseline, candidate, *extra):
     finally:
         for path in paths:
             pathlib.Path(path).unlink()
+
+
+def run_on(baseline, candidate, *extra):
+    return run_on_docs((baseline, candidate), *extra)
 
 
 class CheckBenchTest(unittest.TestCase):
@@ -120,6 +177,107 @@ class CheckBenchTest(unittest.TestCase):
         code, _, err = run_on(doc(10000), doc(0))
         self.assertEqual(code, 2)
         self.assertIn("positive wall_ms", err)
+
+    def test_odd_positional_count_is_usage_error(self):
+        code, _, err = run_on_docs((doc(10000), doc(10000), doc(10000)))
+        self.assertEqual(code, 2)
+        self.assertIn("Usage:", err)
+
+
+class CheckRoofdBenchTest(unittest.TestCase):
+    def test_identical_fleet_report_passes(self):
+        base = roofd_doc([roofd_fleet(1), roofd_fleet(3)])
+        code, out, _ = run_on(base, roofd_doc([roofd_fleet(1), roofd_fleet(3)]))
+        self.assertEqual(code, 0)
+        self.assertIn("fleet[1 node]", out)
+        self.assertIn("fleet[3 nodes]", out)
+
+    def test_p99_within_limit_passes(self):
+        # limit = 100 * 1.5 + 20 = 170 ms
+        base = roofd_doc([roofd_fleet(3, p99_ms=100)])
+        code, _, _ = run_on(base, roofd_doc([roofd_fleet(3, p99_ms=170)]))
+        self.assertEqual(code, 0)
+
+    def test_p99_over_limit_fails(self):
+        base = roofd_doc([roofd_fleet(3, p99_ms=100)])
+        code, _, err = run_on(base, roofd_doc([roofd_fleet(3, p99_ms=171)]))
+        self.assertEqual(code, 1)
+        self.assertIn("p99 regressed", err)
+
+    def test_absolute_slack_protects_tiny_baselines(self):
+        # 5 ms baseline: relative headroom is 2.5 ms, but the +20 ms
+        # absolute slack keeps scheduler noise from failing the gate.
+        base = roofd_doc([roofd_fleet(1, p99_ms=5)])
+        code, _, _ = run_on(base, roofd_doc([roofd_fleet(1, p99_ms=25)]))
+        self.assertEqual(code, 0)
+
+    def test_custom_latency_tolerance(self):
+        base = roofd_doc([roofd_fleet(3, p99_ms=100)])
+        cand = roofd_doc([roofd_fleet(3, p99_ms=145)])
+        code, _, _ = run_on(base, cand, "--max-latency-regress", "20")
+        self.assertEqual(code, 1)
+        code, _, _ = run_on(base, cand, "--max-latency-regress", "40")
+        self.assertEqual(code, 0)
+
+    def test_hit_rate_drop_fails(self):
+        base = roofd_doc([roofd_fleet(3, hits=400)])
+        code, _, err = run_on(base, roofd_doc([roofd_fleet(3, hits=240)]))
+        self.assertEqual(code, 1)
+        self.assertIn("hit rate dropped", err)
+
+    def test_hit_rate_within_slack_passes(self):
+        base = roofd_doc([roofd_fleet(3, hits=300)])
+        code, _, _ = run_on(base, roofd_doc([roofd_fleet(3, hits=270)]))
+        self.assertEqual(code, 0)
+
+    def test_hard_errors_fail_even_with_matching_latency(self):
+        base = roofd_doc([roofd_fleet(1)])
+        code, _, err = run_on(base, roofd_doc([roofd_fleet(1, errors=3)]))
+        self.assertEqual(code, 1)
+        self.assertIn("hard errors", err)
+
+    def test_added_and_removed_fleet_sizes_warn_but_pass(self):
+        base = roofd_doc([roofd_fleet(1), roofd_fleet(5)])
+        cand = roofd_doc([roofd_fleet(1), roofd_fleet(3)])
+        code, out, _ = run_on(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("warning: new fleet size 3", out)
+        self.assertIn("warning: fleet size 5 removed", out)
+
+    def test_mismatched_document_names_are_usage_error(self):
+        code, _, err = run_on(doc(10000), roofd_doc([roofd_fleet(1)]))
+        self.assertEqual(code, 2)
+        self.assertIn("document mismatch", err)
+
+    def test_empty_fleet_list_is_usage_error(self):
+        code, _, err = run_on(roofd_doc([]), roofd_doc([roofd_fleet(1)]))
+        self.assertEqual(code, 2)
+        self.assertIn("no fleet entries", err)
+
+    def test_mixed_pairs_gate_both_documents(self):
+        code, out, _ = run_on_docs(
+            (
+                doc(10000),
+                doc(10000),
+                roofd_doc([roofd_fleet(3)]),
+                roofd_doc([roofd_fleet(3)]),
+            )
+        )
+        self.assertEqual(code, 0)
+        self.assertIn("quick sweep", out)
+        self.assertIn("fleet[3 nodes]", out)
+
+    def test_mixed_pairs_fail_if_either_regresses(self):
+        code, _, err = run_on_docs(
+            (
+                doc(10000),
+                doc(10000),
+                roofd_doc([roofd_fleet(3, p99_ms=100)]),
+                roofd_doc([roofd_fleet(3, p99_ms=500)]),
+            )
+        )
+        self.assertEqual(code, 1)
+        self.assertIn("p99 regressed", err)
 
 
 if __name__ == "__main__":
