@@ -258,7 +258,13 @@ fn spawn_fleet(args: &Args, n: usize) -> Result<SpawnedFleet, String> {
             cache_dir: None,
             auth: auth.clone(),
             fleet: (n > 1).then(|| {
-                let mut fleet = FleetConfig::new(addr.clone(), addrs.clone(), args.fleet_seed);
+                // The spawned nodes live and die inside this process, so
+                // the membership secret is derived, not configured —
+                // it never leaves the process and the bench numbers do
+                // not depend on it.
+                let secret = format!("loadgen-fleet-{}", args.fleet_seed);
+                let mut fleet =
+                    FleetConfig::new(addr.clone(), addrs.clone(), args.fleet_seed, secret);
                 fleet.io_timeout = std::time::Duration::from_millis(args.peer_timeout_ms);
                 fleet
             }),

@@ -286,6 +286,7 @@ pub fn run_workload(cfg: &WorkloadConfig) -> FleetReport {
                     platform: "snb".to_string(),
                     fidelity: Fidelity::Quick,
                     peer: false,
+                    fleet_token: None,
                     token: tenant.token.clone(),
                 };
                 let start = Instant::now();

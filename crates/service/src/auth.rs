@@ -43,6 +43,13 @@ use std::time::Instant;
 /// The tenant every unauthenticated connection runs as.
 pub const ANON_TENANT: &str = "anon";
 
+/// The label verified fleet-internal peer fetches are accounted under.
+/// Peer traffic is exempt from quota charging (the ingress node already
+/// charged the originating tenant), so folding it into [`ANON_TENANT`]
+/// would inflate the anonymous tenant's served counter and muddy the
+/// per-tenant fairness observables; it gets its own ledger line instead.
+pub const FLEET_TENANT: &str = "fleet";
+
 /// Default fair-share weight of the anonymous tenant — a narrow share,
 /// a quarter of a standard (weight-1) tenant.
 pub const DEFAULT_ANON_WEIGHT: f64 = 0.25;
@@ -144,9 +151,10 @@ impl AuthConfig {
             if let Some(extra) = parts.next() {
                 return Err(err(format!("unexpected trailing field `{extra}`")));
             }
-            if name == ANON_TENANT {
+            if name == ANON_TENANT || name == FLEET_TENANT {
                 return Err(err(format!(
-                    "tenant name `{ANON_TENANT}` is reserved for unauthenticated connections"
+                    "tenant name `{name}` is reserved ({ANON_TENANT}: unauthenticated \
+                     connections, {FLEET_TENANT}: fleet-internal peer fetches)"
                 )));
             }
             if tokens
@@ -327,6 +335,7 @@ mod tests {
             ("tokA t 1 extra\n", 1, "trailing field"),
             ("tokA t\ntokA u\n", 2, "duplicate token"),
             ("tokA anon 1\n", 1, "reserved"),
+            ("tokA fleet 1\n", 1, "reserved"),
         ] {
             let err = AuthConfig::parse(text).expect_err(text);
             assert_eq!(err.line, line, "{text}");

@@ -260,6 +260,7 @@ fn run(args: Args) -> Result<ExitCode, String> {
                 platform: platform.clone(),
                 fidelity,
                 peer: false,
+                fleet_token: None,
                 token: args.token.clone(),
             };
             let reply = run_with_retries_opt(args.addr.as_str(), &opts, &policy, args.timeout)

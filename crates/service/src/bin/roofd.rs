@@ -9,7 +9,7 @@
 //!       [--tokens FILE] [--quota-rate N] [--quota-burst N]
 //!       [--anon-weight F]
 //!       [--peers A,B,C] [--self-addr HOST:PORT] [--fleet-seed N]
-//!       [--peer-timeout-ms N]
+//!       [--fleet-secret S] [--peer-timeout-ms N]
 //! ```
 //!
 //! Speaks the JSON-lines protocol on TCP: one request envelope per line,
@@ -39,6 +39,13 @@
 //! as `--self-addr`, default `--addr`) agree via rendezvous hashing —
 //! same `--fleet-seed` everywhere — on one owner per content digest,
 //! and a non-owner fetches from the owner before computing locally.
+//! `--fleet-secret` (required with `--peers`, same value everywhere) is
+//! the shared membership proof: peer fetches present it, and a `run`
+//! claiming `peer:true` without it is charged to its session tenant
+//! like any other request instead of riding the fleet's quota
+//! exemption. The `ROOFD_FLEET_SECRET` environment variable is the
+//! equivalent for scripts that must keep the secret off the command
+//! line.
 //!
 //! The server stops gracefully on a `shutdown` protocol command
 //! (`roofctl shutdown`): it stops accepting, drains in-flight requests,
@@ -77,7 +84,8 @@ fn parse_args() -> Result<Args, String> {
     let mut peers: Option<Vec<String>> = None;
     let mut self_addr: Option<String> = None;
     let mut fleet_seed = 0u64;
-    let mut peer_timeout = Duration::from_secs(30);
+    let mut fleet_secret = std::env::var("ROOFD_FLEET_SECRET").ok();
+    let mut peer_timeout: Option<Duration> = None;
     let mut quota_rate: Option<f64> = None;
     let mut quota_burst: Option<f64> = None;
     let mut anon_weight: Option<f64> = None;
@@ -209,6 +217,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("--fleet-seed needs an integer, got `{v}`"))?;
             }
+            "--fleet-secret" => {
+                let v = value("--fleet-secret")?;
+                if v.is_empty() {
+                    return Err("--fleet-secret must not be empty".to_string());
+                }
+                fleet_secret = Some(v);
+            }
             "--peer-timeout-ms" => {
                 let v = value("--peer-timeout-ms")?;
                 let ms: u64 = v
@@ -216,7 +231,7 @@ fn parse_args() -> Result<Args, String> {
                     .ok()
                     .filter(|&n| n > 0)
                     .ok_or(format!("--peer-timeout-ms needs a positive integer, got `{v}`"))?;
-                peer_timeout = Duration::from_millis(ms);
+                peer_timeout = Some(Duration::from_millis(ms));
             }
             "--connections" => {
                 let v = value("--connections")?;
@@ -243,7 +258,10 @@ fn parse_args() -> Result<Args, String> {
                      --tokens FILE arms auth + fair-share quotas (token tenant [weight] per line)\n\
                      \x20  quota knobs: --quota-rate 50 --quota-burst 100 --anon-weight 0.25\n\
                      --peers A,B,C joins a consistent-hash fleet (--self-addr defaults to --addr;\n\
-                     \x20  all nodes must share --fleet-seed); --peer-timeout-ms bounds peer fetches"
+                     \x20  all nodes must share --fleet-seed and --fleet-secret, the membership\n\
+                     \x20  proof peer fetches present — ROOFD_FLEET_SECRET is the env equivalent);\n\
+                     \x20  --peer-timeout-ms bounds each peer-fetch attempt (default 5000, further\n\
+                     \x20  clamped to the requesting client's deadline)"
                 );
                 std::process::exit(0);
             }
@@ -281,8 +299,14 @@ fn parse_args() -> Result<Args, String> {
                 peers.join(",")
             ));
         }
-        let mut fleet = FleetConfig::new(self_addr, peers, fleet_seed);
-        fleet.io_timeout = peer_timeout;
+        let secret = fleet_secret.filter(|s| !s.is_empty()).ok_or(
+            "--peers needs --fleet-secret (or ROOFD_FLEET_SECRET): the shared secret \
+             that proves a peer:true request really came from the fleet",
+        )?;
+        let mut fleet = FleetConfig::new(self_addr, peers, fleet_seed, secret);
+        if let Some(t) = peer_timeout {
+            fleet.io_timeout = t;
+        }
         cfg.fleet = Some(fleet);
     }
     Ok(Args {

@@ -154,8 +154,14 @@ pub struct RunOpts {
     pub fidelity: Fidelity,
     /// Marks a fleet-internal cache-peer fetch: the server serves it
     /// locally (never forwards again) and exempts it from quota
-    /// charging — the ingress node already charged the tenant.
+    /// charging — the ingress node already charged the tenant. The
+    /// server only honors the claim when `fleet_token` proves fleet
+    /// membership; an unproven claim is charged like any other request.
     pub peer: bool,
+    /// The shared fleet secret accompanying a `peer` claim
+    /// ([`crate::fleet::FleetConfig::secret`]); `None` (or a wrong
+    /// value) leaves the request charged to the session tenant.
+    pub fleet_token: Option<String>,
     /// Bearer token to authenticate with before running; `None` runs
     /// as the anonymous tenant.
     pub token: Option<String>,
@@ -169,6 +175,7 @@ impl RunOpts {
             platform: platform.to_string(),
             fidelity,
             peer: false,
+            fleet_token: None,
             token: None,
         }
     }
@@ -212,13 +219,46 @@ pub fn run_with_retries_opt(
     policy: &RetryPolicy,
     io_timeout: Option<Duration>,
 ) -> Result<RunReply, ClientError> {
+    run_with_retries_until(addr, opts, policy, io_timeout, None)
+}
+
+/// [`run_with_retries_opt`] bounded by an overall wall-clock deadline:
+/// no attempt starts (and no backoff sleeps) past `deadline`, and each
+/// attempt's I/O timeout is clamped to the time remaining. This is what
+/// the fleet's cache-peer fetch runs on — a fetch holds a worker slot,
+/// so it must cost at most the requesting client's own deadline before
+/// the local-compute fallback, however dead the owning node is.
+///
+/// # Errors
+///
+/// The last attempt's error; an already-expired deadline fails with a
+/// retryable `TimedOut` I/O error without touching the network.
+pub fn run_with_retries_until(
+    addr: impl ToSocketAddrs,
+    opts: &RunOpts,
+    policy: &RetryPolicy,
+    io_timeout: Option<Duration>,
+    deadline: Option<std::time::Instant>,
+) -> Result<RunReply, ClientError> {
     let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
     let mut last = None;
     for attempt in 0..policy.attempts.max(1) {
         if attempt > 0 {
-            std::thread::sleep(Duration::from_millis(policy.backoff_ms(attempt - 1)));
+            let backoff = Duration::from_millis(policy.backoff_ms(attempt - 1));
+            if deadline.is_some_and(|d| std::time::Instant::now() + backoff >= d) {
+                break;
+            }
+            std::thread::sleep(backoff);
         }
-        let result = Client::connect_with(&addrs[..], io_timeout)
+        let remaining = deadline.map(|d| d.saturating_duration_since(std::time::Instant::now()));
+        if remaining.is_some_and(|r| r.is_zero()) {
+            break;
+        }
+        let attempt_timeout = match (io_timeout, remaining) {
+            (Some(t), Some(r)) => Some(t.min(r)),
+            (t, r) => t.or(r),
+        };
+        let result = Client::connect_with(&addrs[..], attempt_timeout)
             .map_err(ClientError::from)
             .and_then(|mut client| {
                 if let Some(token) = &opts.token {
@@ -232,7 +272,12 @@ pub fn run_with_retries_opt(
             Err(e) => return Err(e),
         }
     }
-    Err(last.expect("loop ran at least once"))
+    Err(last.unwrap_or_else(|| {
+        ClientError::Io(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "request deadline expired before any attempt could start",
+        ))
+    }))
 }
 
 /// One `result` response, decoded.
@@ -440,6 +485,9 @@ impl Client {
         if opts.peer {
             env = env.field("peer", Json::Bool(true));
         }
+        if let Some(fleet_token) = &opts.fleet_token {
+            env = env.field("fleet_token", Json::str(fleet_token));
+        }
         let reply = self.round_trip(env)?;
         if reply.kind != "result" {
             return Err(ClientError::Protocol(format!(
@@ -630,6 +678,33 @@ mod tests {
             detail: String::new()
         }
         .is_retryable());
+    }
+
+    #[test]
+    fn expired_deadline_short_circuits_before_any_network_attempt() {
+        use experiments::platforms::Fidelity;
+        use experiments::registry::Experiment;
+        use std::time::Instant;
+        // Port 0 is unconnectable, but the expired deadline must win
+        // before a single connect (or backoff sleep) happens.
+        let started = Instant::now();
+        let err = run_with_retries_until(
+            "127.0.0.1:0",
+            &RunOpts::new(Experiment::E1, "snb", Fidelity::Quick),
+            &RetryPolicy::default(),
+            Some(Duration::from_secs(30)),
+            Some(started),
+        )
+        .expect_err("expired deadline must fail");
+        match &err {
+            ClientError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::TimedOut),
+            other => panic!("expected a TimedOut I/O error, got {other:?}"),
+        }
+        assert!(err.is_retryable());
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline short-circuit must not sleep through the backoff schedule"
+        );
     }
 
     #[test]

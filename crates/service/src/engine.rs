@@ -21,7 +21,7 @@
 //! canonical manifest), so a crash in an experiment body degrades one
 //! response, never the server.
 
-use crate::auth::{AuthConfig, TokenBucket, ANON_TENANT};
+use crate::auth::{AuthConfig, TokenBucket, ANON_TENANT, FLEET_TENANT};
 use crate::cache::{staging_dir, CacheKey, CachedResult, DiskStore, LruCache};
 use crate::faults::{FaultLottery, ServiceFaults};
 use crate::fleet::{Fleet, FleetConfig};
@@ -226,9 +226,13 @@ pub enum Outcome {
 pub struct SubmitOpts<'a> {
     /// The tenant this request is accounted to (see [`crate::auth`]).
     pub tenant: &'a str,
-    /// True for fleet-internal cache-peer fetches: served locally (no
-    /// further forwarding) and exempt from quota charging — the ingress
-    /// node already charged the originating tenant.
+    /// True for *verified* fleet-internal cache-peer fetches: served
+    /// locally (no further forwarding), exempt from quota charging (the
+    /// ingress node already charged the originating tenant), and
+    /// accounted under the [`FLEET_TENANT`] ledger line. Callers must
+    /// only set this after [`Engine::verify_peer`] accepted the
+    /// request's fleet token — an unproven `peer` claim is an ordinary
+    /// tenant request.
     pub peer: bool,
 }
 
@@ -412,6 +416,18 @@ impl Engine {
             .map(|t| (t.name.clone(), t.weight))
     }
 
+    /// True when `fleet_token` proves fleet membership against this
+    /// node's configured fleet secret — the gate on honoring a request's
+    /// `peer` claim. Always false on a standalone node or for a missing
+    /// token, so an anonymous client cannot exempt itself from quota
+    /// charging by writing `"peer":true` into its requests.
+    pub fn verify_peer(&self, fleet_token: Option<&str>) -> bool {
+        match (&self.inner.fleet, fleet_token) {
+            (Some(fleet), Some(token)) => fleet.config().accepts_token(token),
+            _ => false,
+        }
+    }
+
     /// Serves one request, blocking until it is answered or rejected.
     ///
     /// Identical concurrent requests are coalesced onto one computation;
@@ -536,7 +552,11 @@ impl Engine {
         {
             let mut stats = lock(&self.inner.stats);
             stats.record_latency(elapsed_ms);
-            stats.tenant(opts.tenant).served += 1;
+            // Verified peer fetches get their own ledger line: folding
+            // them into the session tenant (anonymous, on owner nodes)
+            // would muddy the per-tenant fairness observables.
+            let account = if opts.peer { FLEET_TENANT } else { opts.tenant };
+            stats.tenant(account).served += 1;
             if over_budget && source == Source::Computed {
                 stats.over_budget += 1;
             }
@@ -626,7 +646,7 @@ impl Engine {
                 lock(&self.inner.stats).disk_hits += 1;
                 (Arc::new(loaded), Source::Disk)
             }
-            None => match self.peer_fetch(req, opts, digest) {
+            None => match self.peer_fetch(req, opts, digest, deadline) {
                 Some(fetched) => {
                     let fetched = Arc::new(fetched);
                     // Spill like a computation: a peer-served result is
@@ -682,16 +702,31 @@ impl Engine {
 
     /// Attempts a cache-peer fetch: when a fleet is configured, this node
     /// is not the digest's owner, and the request did not itself arrive
-    /// from a peer (no forwarding chains), ask the owner. `None` means
-    /// "compute locally" — standalone node, owned digest, or a fetch
-    /// failure (counted as a peer miss).
-    fn peer_fetch(&self, req: &Request, opts: &SubmitOpts<'_>, digest: &str) -> Option<CachedResult> {
+    /// from a peer (no forwarding chains), ask the owner. The fetch runs
+    /// with a worker slot held, so it is bounded by the request's own
+    /// deadline as well as the fleet's per-attempt I/O timeout — a dead
+    /// owner cannot pin this slot past the point where the client would
+    /// time out anyway. `None` means "compute locally" — standalone
+    /// node, owned digest, exhausted deadline, or a fetch failure
+    /// (counted as a peer miss).
+    fn peer_fetch(
+        &self,
+        req: &Request,
+        opts: &SubmitOpts<'_>,
+        digest: &str,
+        deadline: Instant,
+    ) -> Option<CachedResult> {
         if opts.peer {
             return None;
         }
         let fleet = self.inner.fleet.as_ref()?;
         let owner = fleet.remote_owner(digest)?.to_string();
-        match fleet.fetch(&owner, req) {
+        if Instant::now() >= deadline {
+            // Too late for network round trips; not a peer miss — the
+            // fetch was never attempted.
+            return None;
+        }
+        match fleet.fetch(&owner, req, deadline) {
             Ok(result) => {
                 let mut stats = lock(&self.inner.stats);
                 stats.peer_hits += 1;

@@ -20,13 +20,24 @@
 //! `peer:true` so the owner serves it locally even if its own peer list
 //! disagrees — forwarding never chains) through [`crate::client`] with
 //! its retrying policy, falling back to local compute when the owner is
-//! down or slow. Peer requests are exempt from quota charging: the
-//! ingress node already charged the originating tenant.
+//! down or slow. Two properties keep the fetch path honest:
+//!
+//! * **membership is proven, not claimed** — every node shares a fleet
+//!   [`FleetConfig::secret`], peer requests carry it as `fleet_token`,
+//!   and the owner only honors the `peer` exemption from quota charging
+//!   when the token matches ([`FleetConfig::accepts_token`]). A hostile
+//!   client writing `"peer":true` into its own requests is charged to
+//!   its session tenant like everyone else.
+//! * **a fetch costs bounded time** — each attempt is clamped to
+//!   [`FleetConfig::io_timeout`] *and* the requesting client's own
+//!   wall-clock deadline, whichever is shorter, so a dead or wedged
+//!   owner cannot pin this node's worker slot past the point where the
+//!   request would have timed out anyway.
 
 use crate::cache::{status_from_str, CachedResult};
-use crate::client::{run_with_retries_opt, ClientError, RetryPolicy, RunOpts};
+use crate::client::{run_with_retries_until, ClientError, RetryPolicy, RunOpts};
 use crate::engine::Request;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Static fleet topology + fetch tuning, carried on
 /// [`crate::engine::EngineConfig`].
@@ -39,30 +50,57 @@ pub struct FleetConfig {
     pub peers: Vec<String>,
     /// Shared hash seed; all nodes must agree or ownership splits.
     pub seed: u64,
+    /// Shared fleet secret: peer fetches present it as `fleet_token`,
+    /// and a `peer:true` claim without the matching token is charged to
+    /// the session tenant like any ordinary request. All nodes must
+    /// agree; an empty secret disables the peer exemption entirely
+    /// (fail closed — fetches still work, charged as anonymous).
+    pub secret: String,
     /// Retry policy for peer fetches (attempts, seeded backoff).
     pub retry: RetryPolicy,
     /// Per-attempt connect/read/write bound for peer fetches — a dead
     /// owner must cost bounded time before the local-compute fallback.
+    /// Clamped further to the requesting client's own deadline at fetch
+    /// time.
     pub io_timeout: Duration,
 }
 
 impl FleetConfig {
-    /// A config with default fetch tuning: 2 attempts, short backoff,
-    /// 30 s I/O bound (enough for a heavy experiment served from the
-    /// owner's cache or computed there once).
-    pub fn new(self_addr: impl Into<String>, peers: Vec<String>, seed: u64) -> FleetConfig {
+    /// A config with default fetch tuning: one attempt with a 5 s I/O
+    /// bound. A fetch holds a worker slot while it blocks, so the
+    /// default leans toward the cheap local-compute fallback; raise
+    /// `io_timeout` only when the owner's cold compute is genuinely
+    /// worth waiting out.
+    pub fn new(
+        self_addr: impl Into<String>,
+        peers: Vec<String>,
+        seed: u64,
+        secret: impl Into<String>,
+    ) -> FleetConfig {
         FleetConfig {
             self_addr: self_addr.into(),
             peers,
             seed,
+            secret: secret.into(),
             retry: RetryPolicy {
-                attempts: 2,
+                attempts: 1,
                 base_ms: 50,
                 cap_ms: 1_000,
                 seed,
             },
-            io_timeout: Duration::from_secs(30),
+            io_timeout: Duration::from_secs(5),
         }
+    }
+
+    /// True when `presented` proves fleet membership: a non-empty
+    /// shared secret compared in constant time (no early exit for a
+    /// near-miss to measure).
+    pub fn accepts_token(&self, presented: &str) -> bool {
+        let (a, b) = (self.secret.as_bytes(), presented.as_bytes());
+        if a.is_empty() || a.len() != b.len() {
+            return false;
+        }
+        a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
     }
 }
 
@@ -129,26 +167,35 @@ impl Fleet {
         self.owner(digest).filter(|&o| o != self.cfg.self_addr)
     }
 
-    /// Fetches the result for `req` from the owning peer. The request is
-    /// marked `peer:true` so the owner serves it locally (no forwarding
-    /// chains, no quota charge) — see the module docs.
+    /// Fetches the result for `req` from the owning peer, spending at
+    /// most the time until `deadline`. The request is marked `peer:true`
+    /// with the shared fleet secret as `fleet_token`, so the owner
+    /// serves it locally (no forwarding chains, no quota charge) — see
+    /// the module docs.
     ///
     /// # Errors
     ///
     /// Whatever the last fetch attempt failed with; the caller falls
     /// back to local compute.
-    pub fn fetch(&self, owner: &str, req: &Request) -> Result<CachedResult, ClientError> {
-        let reply = run_with_retries_opt(
+    pub fn fetch(
+        &self,
+        owner: &str,
+        req: &Request,
+        deadline: Instant,
+    ) -> Result<CachedResult, ClientError> {
+        let reply = run_with_retries_until(
             owner,
             &RunOpts {
                 experiment: req.experiment,
                 platform: req.platform.clone(),
                 fidelity: req.fidelity,
                 peer: true,
+                fleet_token: Some(self.cfg.secret.clone()),
                 token: None,
             },
             &self.cfg.retry,
             Some(self.cfg.io_timeout),
+            Some(deadline),
         )?;
         let status = status_from_str(&reply.status).ok_or_else(|| {
             ClientError::Protocol(format!("peer returned unknown status `{}`", reply.status))
@@ -215,7 +262,7 @@ mod tests {
 
     #[test]
     fn remote_owner_excludes_self() {
-        let cfg = FleetConfig::new("b", peers(&["a", "b", "c"]), 9);
+        let cfg = FleetConfig::new("b", peers(&["a", "b", "c"]), 9, "s3cret");
         let fleet = Fleet::new(cfg);
         for i in 0..64 {
             let digest = format!("{i:016x}");
@@ -228,7 +275,21 @@ mod tests {
 
     #[test]
     fn single_node_fleet_always_computes_locally() {
-        let fleet = Fleet::new(FleetConfig::new("only", peers(&["only"]), 3));
+        let fleet = Fleet::new(FleetConfig::new("only", peers(&["only"]), 3, "s3cret"));
         assert_eq!(fleet.remote_owner("deadbeef"), None);
+    }
+
+    #[test]
+    fn membership_requires_the_exact_nonempty_secret() {
+        let cfg = FleetConfig::new("a", peers(&["a", "b"]), 1, "s3cret");
+        assert!(cfg.accepts_token("s3cret"));
+        assert!(!cfg.accepts_token("s3creT"));
+        assert!(!cfg.accepts_token("s3cret "));
+        assert!(!cfg.accepts_token(""));
+        // An empty secret fails closed: nothing proves membership, so
+        // no client can talk its way into the quota exemption.
+        let open = FleetConfig::new("a", peers(&["a", "b"]), 1, "");
+        assert!(!open.accepts_token(""));
+        assert!(!open.accepts_token("anything"));
     }
 }

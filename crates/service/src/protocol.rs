@@ -18,7 +18,17 @@
 //! Identity is per-connection: `auth` with a known bearer token binds
 //! the [`Session`] to a tenant, and every later `run` on that
 //! connection is accounted to it; an unknown token leaves the session
-//! anonymous (error code `unauthorized`, connection survives).
+//! anonymous (error code `unauthorized`). The connection survives a
+//! failed `auth` — but only [`MAX_FAILED_AUTHS`] times, after which it
+//! is closed, so bearer tokens cannot be brute-forced at line rate over
+//! one socket.
+//!
+//! A `run` request may claim to be a fleet-internal cache-peer fetch
+//! (`peer:true`), which exempts it from quota charging; the claim is
+//! only honored when the request's `fleet_token` matches the node's
+//! configured fleet secret ([`crate::fleet::FleetConfig::secret`]).
+//! Anything less is charged to the session tenant like an ordinary
+//! request.
 
 use crate::engine::{Done, Engine, Outcome, Request, SubmitOpts};
 use crate::stats::StatsSnapshot;
@@ -51,6 +61,11 @@ pub mod error_code {
     pub const QUOTA: &str = "quota";
 }
 
+/// Failed `auth` attempts a connection survives; the next failure closes
+/// it. Reconnecting costs a TCP handshake per [`MAX_FAILED_AUTHS`]
+/// guesses, which is the throttle on brute-forcing bearer tokens.
+pub const MAX_FAILED_AUTHS: u32 = 3;
+
 /// Per-connection protocol state: who this connection's requests are
 /// accounted to. Fresh connections are anonymous until a successful
 /// `auth`.
@@ -58,12 +73,16 @@ pub mod error_code {
 pub struct Session {
     /// The tenant bound to this connection.
     pub tenant: String,
+    /// Consecutive failed `auth` attempts on this connection; at
+    /// [`MAX_FAILED_AUTHS`] the connection is closed.
+    pub failed_auths: u32,
 }
 
 impl Default for Session {
     fn default() -> Self {
         Session {
             tenant: crate::auth::ANON_TENANT.to_string(),
+            failed_auths: 0,
         }
     }
 }
@@ -226,6 +245,9 @@ pub struct Dispatch {
     /// True when the request asked the server to shut down gracefully
     /// (stop accepting, drain in-flight work, join workers).
     pub shutdown: bool,
+    /// True when this connection must be closed after the reply is
+    /// written (too many failed `auth` attempts).
+    pub close: bool,
 }
 
 /// Serves one request line against a connection's [`Session`]: parse,
@@ -240,12 +262,14 @@ pub fn dispatch_session(engine: &Engine, session: &mut Session, line: &str) -> D
             return Dispatch {
                 reply: error_envelope(None, error_code::BAD_REQUEST, e.to_string()),
                 shutdown: false,
+                close: false,
             }
         }
     };
     let seq = env.seq.clone();
     let seq = seq.as_deref();
     let mut shutdown = false;
+    let mut close = false;
     let reply = match env.kind.as_str() {
         "ping" => {
             let mut pong = Envelope::new("pong");
@@ -281,6 +305,7 @@ pub fn dispatch_session(engine: &Engine, session: &mut Session, line: &str) -> D
             Some(token) => match engine.authenticate(token) {
                 Some((tenant, weight)) => {
                     session.tenant = tenant.clone();
+                    session.failed_auths = 0;
                     let mut env = Envelope::new("authed");
                     if let Some(seq) = seq {
                         env = env.seq(seq);
@@ -288,19 +313,39 @@ pub fn dispatch_session(engine: &Engine, session: &mut Session, line: &str) -> D
                     env.field("tenant", Json::str(tenant))
                         .field("weight", Json::num(weight))
                 }
-                None => error_envelope(
-                    seq,
-                    error_code::UNAUTHORIZED,
-                    "unknown token; the connection remains anonymous",
-                ),
+                None => {
+                    session.failed_auths += 1;
+                    if session.failed_auths >= MAX_FAILED_AUTHS {
+                        close = true;
+                        error_envelope(
+                            seq,
+                            error_code::UNAUTHORIZED,
+                            format!(
+                                "unknown token; {MAX_FAILED_AUTHS} failed auth attempts, \
+                                 closing the connection"
+                            ),
+                        )
+                    } else {
+                        error_envelope(
+                            seq,
+                            error_code::UNAUTHORIZED,
+                            "unknown token; the connection remains anonymous",
+                        )
+                    }
+                }
             },
         },
         "run" => match parse_run_request(&env) {
             Err(error) => *error,
             Ok(req) => {
+                // A `peer` claim is only honored with proof of fleet
+                // membership; anyone else is charged like an ordinary
+                // tenant request.
+                let peer = env.get("peer").and_then(Json::as_bool).unwrap_or(false)
+                    && engine.verify_peer(env.get("fleet_token").and_then(Json::as_str));
                 let opts = SubmitOpts {
                     tenant: &session.tenant,
-                    peer: env.get("peer").and_then(Json::as_bool).unwrap_or(false),
+                    peer,
                 };
                 match engine.submit_with(&req, &opts) {
                     Outcome::Done(done) => result_envelope(seq, &req, &done),
@@ -352,7 +397,11 @@ pub fn dispatch_session(engine: &Engine, session: &mut Session, line: &str) -> D
             ),
         ),
     };
-    Dispatch { reply, shutdown }
+    Dispatch {
+        reply,
+        shutdown,
+        close,
+    }
 }
 
 /// [`dispatch_session`] against a fresh anonymous session — for callers
@@ -557,9 +606,12 @@ mod tests {
         );
     }
 
-    #[test]
-    fn peer_marked_runs_are_exempt_from_quota_charging() {
+    /// An engine with a drained anonymous allowance and a single-node
+    /// fleet (self-owned digests, so no network) whose secret is
+    /// `s3cret-fleet`.
+    fn quota_exhausted_fleet_engine() -> Engine {
         use crate::auth::{AuthConfig, QuotaConfig};
+        use crate::fleet::FleetConfig;
         let cfg = EngineConfig {
             auth: AuthConfig::open_with_quota(
                 QuotaConfig {
@@ -568,6 +620,12 @@ mod tests {
                 },
                 1.0,
             ),
+            fleet: Some(FleetConfig::new(
+                "here",
+                vec!["here".to_string()],
+                1,
+                "s3cret-fleet",
+            )),
             ..EngineConfig::default()
         };
         let engine = Engine::with_compute(cfg, |e, platform, fidelity| {
@@ -582,13 +640,102 @@ mod tests {
             Some(error_code::QUOTA),
             "anonymous allowance exhausted"
         );
-        // A fleet-internal fetch must still be served: the ingress node
-        // already charged the originating tenant.
+        engine
+    }
+
+    #[test]
+    fn proven_peer_runs_are_exempt_from_quota_charging() {
+        let engine = quota_exhausted_fleet_engine();
+        // A fleet-internal fetch proving membership must still be
+        // served: the ingress node already charged the originating
+        // tenant. It is accounted under the `fleet` ledger line, not
+        // the anonymous tenant.
         let peer = dispatch_line(
             &engine,
-            r#"{"v":1,"kind":"run","experiment":"E1","peer":true}"#,
+            r#"{"v":1,"kind":"run","experiment":"E1","peer":true,"fleet_token":"s3cret-fleet"}"#,
         );
         assert_eq!(peer.kind, "result", "{}", peer.to_line());
+        let stats = dispatch_line(&engine, r#"{"v":1,"kind":"stats"}"#);
+        let tenants = stats.get("tenants").expect("tenants block");
+        assert_eq!(
+            tenants
+                .get(crate::auth::FLEET_TENANT)
+                .and_then(|t| t.get("served"))
+                .and_then(Json::as_u64),
+            Some(1),
+            "peer-served requests belong to the fleet ledger line"
+        );
+        assert_eq!(
+            tenants
+                .get(crate::auth::ANON_TENANT)
+                .and_then(|t| t.get("served"))
+                .and_then(Json::as_u64),
+            Some(1),
+            "only the one pre-drain request is anon-served"
+        );
+    }
+
+    #[test]
+    fn unproven_peer_claims_are_charged_like_ordinary_requests() {
+        let engine = quota_exhausted_fleet_engine();
+        // No token, a wrong token, and a token against a fleetless
+        // engine all leave the claim unhonored: the drained anonymous
+        // bucket rejects the request.
+        for line in [
+            r#"{"v":1,"kind":"run","experiment":"E1","peer":true}"#,
+            r#"{"v":1,"kind":"run","experiment":"E1","peer":true,"fleet_token":"wrong"}"#,
+            r#"{"v":1,"kind":"run","experiment":"E1","peer":true,"fleet_token":""}"#,
+        ] {
+            let reply = dispatch_line(&engine, line);
+            assert_eq!(
+                reply.get("code").unwrap().as_str(),
+                Some(error_code::QUOTA),
+                "{line} must not bypass the quota: {}",
+                reply.to_line()
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_failed_auths_close_the_connection() {
+        use crate::auth::AuthConfig;
+        let cfg = EngineConfig {
+            auth: AuthConfig::default().with_token("s3cret", "team-a", 1.0),
+            ..EngineConfig::default()
+        };
+        let engine = Engine::with_compute(cfg, |e, _platform, _fidelity| {
+            ExperimentOutput::new(e.id(), e.title())
+        });
+        let mut session = Session::default();
+        let guess = r#"{"v":1,"kind":"auth","token":"nope"}"#;
+        for attempt in 1..MAX_FAILED_AUTHS {
+            let d = dispatch_session(&engine, &mut session, guess);
+            assert_eq!(
+                d.reply.get("code").unwrap().as_str(),
+                Some(error_code::UNAUTHORIZED)
+            );
+            assert!(!d.close, "attempt {attempt} must keep the connection open");
+        }
+        let d = dispatch_session(&engine, &mut session, guess);
+        assert_eq!(
+            d.reply.get("code").unwrap().as_str(),
+            Some(error_code::UNAUTHORIZED)
+        );
+        assert!(d.close, "attempt {MAX_FAILED_AUTHS} must close the connection");
+
+        // A successful auth resets the counter: the next wrong guess on
+        // a fresh session that authed in between starts from zero.
+        let mut session = Session::default();
+        assert!(!dispatch_session(&engine, &mut session, guess).close);
+        assert!(!dispatch_session(&engine, &mut session, guess).close);
+        let ok = dispatch_session(
+            &engine,
+            &mut session,
+            r#"{"v":1,"kind":"auth","token":"s3cret"}"#,
+        );
+        assert_eq!(ok.reply.kind, "authed");
+        assert_eq!(session.failed_auths, 0);
+        assert!(!dispatch_session(&engine, &mut session, guess).close);
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   concurrent connections; excess peers get a seq-less `busy`
 //!   envelope and are closed, counted in the `shed` stat, instead of
 //!   spawning threads forever;
+//! * **auth lockout** — a connection that keeps failing `auth` is
+//!   closed after [`crate::protocol::MAX_FAILED_AUTHS`] attempts
+//!   (the protocol layer raises [`crate::protocol::Dispatch::close`];
+//!   this layer hangs up), so bearer tokens cannot be brute-forced at
+//!   line rate over one socket;
 //! * **graceful shutdown** — the `shutdown` protocol command (or
 //!   [`ShutdownHandle::trigger`]) stops the accept loop, lets every
 //!   in-flight request finish, and joins the workers. (The server is
@@ -300,6 +305,11 @@ fn serve_connection(
             writer.flush()?;
             if d.shutdown {
                 shutdown.store(true, Ordering::SeqCst);
+                return Ok(());
+            }
+            if d.close {
+                // Too many failed auth attempts: the reply is written,
+                // the socket is done — reconnecting is the throttle.
                 return Ok(());
             }
             idle_deadline = Instant::now() + cfg.read_timeout;

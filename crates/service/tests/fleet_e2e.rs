@@ -25,6 +25,9 @@ use std::net::TcpListener;
 use std::path::PathBuf;
 use std::thread::JoinHandle;
 
+/// The shared membership secret every node of a spawned fleet agrees on.
+const FLEET_SECRET: &str = "e2e-fleet-secret";
+
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("roofd-fleet-{tag}-{}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
@@ -66,7 +69,8 @@ fn spawn_fleet(n: usize, auth: AuthConfig, seed: u64) -> Vec<FleetNode> {
                 cache_dir: None,
                 workers: 2,
                 auth: auth.clone(),
-                fleet: (n > 1).then(|| FleetConfig::new(addr.clone(), addrs.clone(), seed)),
+                fleet: (n > 1)
+                    .then(|| FleetConfig::new(addr.clone(), addrs.clone(), seed, FLEET_SECRET)),
                 ..EngineConfig::default()
             };
             let server = Server::from_listener(listener, Engine::new(cfg), ServerConfig::default());
@@ -144,6 +148,23 @@ fn fleet_computes_once_serves_peers_and_matches_serial_repro() {
     assert_eq!(sum("peer_hits"), 2, "stats: {stats:?}");
     assert_eq!(sum("peer_misses"), 0, "stats: {stats:?}");
     assert_eq!(sum("in_flight"), 0);
+
+    // The owner served the two peer fetches under the dedicated `fleet`
+    // ledger line, not the anonymous tenant: fleet-internal traffic must
+    // never muddy per-tenant fairness observables.
+    let fleet_served: u64 = nodes
+        .iter()
+        .map(|node| {
+            let mut control = Client::connect(&node.addr).expect("control connect");
+            let raw = control.stats_raw().expect("stats");
+            raw.get("tenants")
+                .and_then(|t| t.get("fleet"))
+                .and_then(|t| t.get("served"))
+                .and_then(roofline_core::json::Json::as_u64)
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(fleet_served, 2, "stats: {stats:?}");
 
     stop_fleet(nodes);
 }
