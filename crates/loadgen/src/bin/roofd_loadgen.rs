@@ -6,6 +6,7 @@
 //!               [--clients N] [--requests N] [--seed N] [--zipf-s F]
 //!               [--tenants tok:name,... | anon] [--quota-rate F]
 //!               [--quota-burst F] [--fleet-seed N] [--peer-timeout-ms N]
+//!               [--kill-node-at N] [--restart-node-at N]
 //!               [--out FILE] [--assert-peer-hits] [--assert-fairness F]
 //! ```
 //!
@@ -21,19 +22,32 @@
 //! * **external** (`--addrs`): drives an already-running fleet and
 //!   reports it as one entry; tokens must match the servers' file.
 //!
+//! **Churn** (spawn mode only): `--kill-node-at N` shuts the last node
+//! of each multi-node fleet down once `N` requests have been issued,
+//! and `--restart-node-at M` (requires the kill, `M > N`) rebinds the
+//! same address with the same configuration once `M` have been issued.
+//! Clients fail over to surviving nodes, the health prober evicts the
+//! dead node from the live views, replica fallback serves its hot
+//! digests, and the restarted node rejoins on its own — the loadgen
+//! reproduction of the CI churn gate.
+//!
 //! `--assert-peer-hits` fails (exit 1) if no multi-node fleet answered
 //! any request via a cache-peer fetch; `--assert-fairness F` fails if
-//! any fleet's max/min served ratio across tenant lanes exceeds `F`.
-//! CI's service-fleet job runs with both.
+//! any fleet's max/min served ratio across tenant lanes exceeds `F`
+//! **or** any tenant lane was starved outright (`starved` non-empty in
+//! the report). CI's service-fleet job runs with both.
 
 use roofline_loadgen::{run_workload, Report, TenantSpec, WorkloadConfig};
 use roofline_service::auth::{AuthConfig, QuotaConfig};
 use roofline_service::engine::{Engine, EngineConfig};
 use roofline_service::fleet::FleetConfig;
-use roofline_service::server::{Server, ServerConfig};
+use roofline_service::server::{Server, ServerConfig, ShutdownHandle};
 use std::net::TcpListener;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 struct Args {
     node_counts: Vec<usize>,
@@ -47,6 +61,8 @@ struct Args {
     quota_burst: f64,
     fleet_seed: u64,
     peer_timeout_ms: u64,
+    kill_node_at: Option<u64>,
+    restart_node_at: Option<u64>,
     out: Option<String>,
     assert_peer_hits: bool,
     assert_fairness: Option<f64>,
@@ -97,6 +113,8 @@ fn parse_args() -> Result<Args, String> {
         // service default of 30 s — the p99 would otherwise measure
         // the timeout, not the fleet.
         peer_timeout_ms: 2_000,
+        kill_node_at: None,
+        restart_node_at: None,
         out: None,
         assert_peer_hits: false,
         assert_fairness: None,
@@ -189,6 +207,26 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|&ms| ms > 0)
                     .ok_or(format!("--peer-timeout-ms needs a positive integer, got `{v}`"))?;
             }
+            "--kill-node-at" => {
+                let v = value("--kill-node-at")?;
+                args.kill_node_at = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or(format!("--kill-node-at needs a positive integer, got `{v}`"))?,
+                );
+            }
+            "--restart-node-at" => {
+                let v = value("--restart-node-at")?;
+                args.restart_node_at = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or(format!(
+                            "--restart-node-at needs a positive integer, got `{v}`"
+                        ))?,
+                );
+            }
             "--out" => args.out = Some(value("--out")?),
             "--assert-peer-hits" => args.assert_peer_hits = true,
             "--assert-fairness" => {
@@ -207,16 +245,54 @@ fn parse_args() -> Result<Args, String> {
                      \x20                    [--zipf-s F] [--tenants tok:name,...|anon]\n\
                      \x20                    [--quota-rate F] [--quota-burst F]\n\
                      \x20                    [--fleet-seed N] [--peer-timeout-ms N]\n\
+                     \x20                    [--kill-node-at N] [--restart-node-at N]\n\
                      \x20                    [--out FILE] [--assert-peer-hits]\n\
                      \x20                    [--assert-fairness F]\n\
                      defaults: --nodes 1,3 --clients 12 --requests 40 --seed 42\n\
                      \x20         --zipf-s 1.1 --tenants tok-a:team-a,tok-b:team-b\n\
-                     \x20         --quota-rate 200 --quota-burst 400 --peer-timeout-ms 2000"
+                     \x20         --quota-rate 200 --quota-burst 400 --peer-timeout-ms 2000\n\
+                     churn (spawn mode): --kill-node-at N shuts the last node down after\n\
+                     \x20  N issued requests; --restart-node-at M rebinds it after M"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    let total = (args.clients * args.requests) as u64;
+    match (args.kill_node_at, args.restart_node_at) {
+        (None, Some(_)) => {
+            return Err("--restart-node-at needs --kill-node-at".to_string());
+        }
+        (Some(kill), _) if args.addrs.is_some() => {
+            return Err(format!(
+                "--kill-node-at {kill} only works in spawn mode; churn an external \
+                 fleet by killing the roofd process itself"
+            ));
+        }
+        (Some(kill), restart) => {
+            // The thresholds are issued-request counts, so both must be
+            // reachable or the churn controller would wait forever.
+            if kill >= total {
+                return Err(format!(
+                    "--kill-node-at {kill} is never reached: the workload issues {total} requests"
+                ));
+            }
+            if let Some(restart) = restart {
+                if restart <= kill {
+                    return Err(format!(
+                        "--restart-node-at {restart} must be after --kill-node-at {kill}"
+                    ));
+                }
+                if restart >= total {
+                    return Err(format!(
+                        "--restart-node-at {restart} is never reached: the workload issues \
+                         {total} requests"
+                    ));
+                }
+            }
+        }
+        (None, None) => {}
     }
     Ok(args)
 }
@@ -224,8 +300,71 @@ fn parse_args() -> Result<Args, String> {
 /// One spawned fleet: addresses, shutdown handles, serve threads.
 struct SpawnedFleet {
     addrs: Vec<String>,
-    handles: Vec<roofline_service::server::ShutdownHandle>,
+    handles: Vec<ShutdownHandle>,
     threads: Vec<thread::JoinHandle<std::io::Result<()>>>,
+}
+
+/// Everything needed to boot (or re-boot, after a churn kill) one node
+/// of a spawned fleet: the same address, peers, auth, and fleet tuning
+/// every time, so a restarted node is indistinguishable from the
+/// original to its surviving peers.
+#[derive(Clone)]
+struct NodeRecipe {
+    addr: String,
+    addrs: Vec<String>,
+    auth: AuthConfig,
+    fleet_seed: u64,
+    peer_timeout_ms: u64,
+}
+
+impl NodeRecipe {
+    fn engine(&self) -> Engine {
+        let cfg = EngineConfig {
+            cache_dir: None,
+            auth: self.auth.clone(),
+            fleet: (self.addrs.len() > 1).then(|| {
+                // The spawned nodes live and die inside this process, so
+                // the membership secret is derived, not configured —
+                // it never leaves the process and the bench numbers do
+                // not depend on it.
+                let secret = format!("loadgen-fleet-{}", self.fleet_seed);
+                let mut fleet = FleetConfig::new(
+                    self.addr.clone(),
+                    self.addrs.clone(),
+                    self.fleet_seed,
+                    secret,
+                );
+                fleet.io_timeout = Duration::from_millis(self.peer_timeout_ms);
+                fleet
+            }),
+            ..EngineConfig::default()
+        };
+        Engine::new(cfg)
+    }
+
+    fn serve_on(
+        &self,
+        listener: TcpListener,
+    ) -> (ShutdownHandle, thread::JoinHandle<std::io::Result<()>>) {
+        let server = Server::from_listener(listener, self.engine(), ServerConfig::default());
+        let handle = server.shutdown_handle();
+        (handle, thread::spawn(move || server.serve()))
+    }
+}
+
+fn build_auth(args: &Args) -> AuthConfig {
+    let mut auth = AuthConfig::default();
+    for t in &args.tenants {
+        if let Some(token) = &t.token {
+            auth = auth.with_token(token, &t.name, 1.0);
+        }
+    }
+    auth.anon_weight = roofline_service::auth::DEFAULT_ANON_WEIGHT;
+    auth.quota = Some(QuotaConfig {
+        rate_per_s: args.quota_rate,
+        burst: args.quota_burst,
+    });
+    auth
 }
 
 fn spawn_fleet(args: &Args, n: usize) -> Result<SpawnedFleet, String> {
@@ -238,41 +377,21 @@ fn spawn_fleet(args: &Args, n: usize) -> Result<SpawnedFleet, String> {
         .map(|l| l.local_addr().map(|a| a.to_string()))
         .collect::<Result<_, _>>()
         .map_err(|e| format!("could not read a bound address: {e}"))?;
-
-    let mut auth = AuthConfig::default();
-    for t in &args.tenants {
-        if let Some(token) = &t.token {
-            auth = auth.with_token(token, &t.name, 1.0);
-        }
-    }
-    auth.anon_weight = roofline_service::auth::DEFAULT_ANON_WEIGHT;
-    auth.quota = Some(QuotaConfig {
-        rate_per_s: args.quota_rate,
-        burst: args.quota_burst,
-    });
+    let auth = build_auth(args);
 
     let mut handles = Vec::new();
     let mut threads = Vec::new();
     for (listener, addr) in listeners.into_iter().zip(&addrs) {
-        let cfg = EngineConfig {
-            cache_dir: None,
+        let recipe = NodeRecipe {
+            addr: addr.clone(),
+            addrs: addrs.clone(),
             auth: auth.clone(),
-            fleet: (n > 1).then(|| {
-                // The spawned nodes live and die inside this process, so
-                // the membership secret is derived, not configured —
-                // it never leaves the process and the bench numbers do
-                // not depend on it.
-                let secret = format!("loadgen-fleet-{}", args.fleet_seed);
-                let mut fleet =
-                    FleetConfig::new(addr.clone(), addrs.clone(), args.fleet_seed, secret);
-                fleet.io_timeout = std::time::Duration::from_millis(args.peer_timeout_ms);
-                fleet
-            }),
-            ..EngineConfig::default()
+            fleet_seed: args.fleet_seed,
+            peer_timeout_ms: args.peer_timeout_ms,
         };
-        let server = Server::from_listener(listener, Engine::new(cfg), ServerConfig::default());
-        handles.push(server.shutdown_handle());
-        threads.push(thread::spawn(move || server.serve()));
+        let (handle, thread) = recipe.serve_on(listener);
+        handles.push(handle);
+        threads.push(thread);
     }
     Ok(SpawnedFleet {
         addrs,
@@ -281,13 +400,72 @@ fn spawn_fleet(args: &Args, n: usize) -> Result<SpawnedFleet, String> {
     })
 }
 
+/// The churn controller: a thread that kills the victim node once the
+/// fleet has issued `kill_at` requests, and (optionally) rebinds the
+/// same address with the same recipe at `restart_at`. Returns the
+/// restarted node's handle and serve thread so the caller can shut it
+/// down with the rest of the fleet.
+fn churn_controller(
+    progress: Arc<AtomicU64>,
+    kill_at: u64,
+    restart_at: Option<u64>,
+    victim_handle: ShutdownHandle,
+    victim_thread: thread::JoinHandle<std::io::Result<()>>,
+    recipe: NodeRecipe,
+) -> thread::JoinHandle<Option<(ShutdownHandle, thread::JoinHandle<std::io::Result<()>>)>> {
+    thread::spawn(move || {
+        let wait_for = |threshold: u64| {
+            while progress.load(Ordering::Relaxed) < threshold {
+                thread::sleep(Duration::from_millis(5));
+            }
+        };
+        wait_for(kill_at);
+        eprintln!(
+            "loadgen: churn: killing {} after {kill_at} issued request(s)",
+            recipe.addr
+        );
+        victim_handle.trigger();
+        // Join before rebinding: the port must actually be released.
+        let _ = victim_thread.join();
+        let restart_at = restart_at?;
+        wait_for(restart_at);
+        // The OS can lag a moment between the accept loop exiting and
+        // the port becoming bindable again; retry briefly.
+        let mut listener = TcpListener::bind(&recipe.addr);
+        for _ in 0..50 {
+            if listener.is_ok() {
+                break;
+            }
+            thread::sleep(Duration::from_millis(20));
+            listener = TcpListener::bind(&recipe.addr);
+        }
+        match listener {
+            Ok(listener) => {
+                eprintln!(
+                    "loadgen: churn: restarting {} after {restart_at} issued request(s)",
+                    recipe.addr
+                );
+                Some(recipe.serve_on(listener))
+            }
+            Err(e) => {
+                eprintln!(
+                    "loadgen: churn: could not rebind {}: {e} — the node stays dead",
+                    recipe.addr
+                );
+                None
+            }
+        }
+    })
+}
+
 fn run(args: &Args) -> Result<ExitCode, String> {
-    let workload = |addrs: Vec<String>| {
+    let workload = |addrs: Vec<String>, progress: Option<Arc<AtomicU64>>| {
         let mut cfg = WorkloadConfig::new(addrs, args.seed);
         cfg.clients = args.clients;
         cfg.requests_per_client = args.requests;
         cfg.zipf_s = args.zipf_s;
         cfg.tenants = args.tenants.clone();
+        cfg.progress = progress;
         run_workload(&cfg)
     };
 
@@ -299,13 +477,55 @@ fn run(args: &Args) -> Result<ExitCode, String> {
                 addrs.len(),
                 addrs.join(", ")
             );
-            fleets.push(workload(addrs.clone()));
+            fleets.push(workload(addrs.clone(), None));
         }
         None => {
             for &n in &args.node_counts {
                 eprintln!("loadgen: spawning in-process fleet of {n} node(s)");
-                let fleet = spawn_fleet(args, n)?;
-                fleets.push(workload(fleet.addrs.clone()));
+                let mut fleet = spawn_fleet(args, n)?;
+
+                // Arm the churn controller: the victim is the last node,
+                // so its handle and serve thread pop off cleanly.
+                let mut controller = None;
+                match args.kill_node_at {
+                    Some(kill_at) if n > 1 => {
+                        let progress = Arc::new(AtomicU64::new(0));
+                        let victim_handle = fleet.handles.pop().expect("victim handle");
+                        let victim_thread = fleet.threads.pop().expect("victim thread");
+                        let recipe = NodeRecipe {
+                            addr: fleet.addrs[n - 1].clone(),
+                            addrs: fleet.addrs.clone(),
+                            auth: build_auth(args),
+                            fleet_seed: args.fleet_seed,
+                            peer_timeout_ms: args.peer_timeout_ms,
+                        };
+                        controller = Some(churn_controller(
+                            Arc::clone(&progress),
+                            kill_at,
+                            args.restart_node_at,
+                            victim_handle,
+                            victim_thread,
+                            recipe,
+                        ));
+                        fleets.push(workload(fleet.addrs.clone(), Some(progress)));
+                    }
+                    Some(_) => {
+                        eprintln!(
+                            "loadgen: churn skipped for the 1-node fleet (nothing to fail over to)"
+                        );
+                        fleets.push(workload(fleet.addrs.clone(), None));
+                    }
+                    None => fleets.push(workload(fleet.addrs.clone(), None)),
+                }
+
+                if let Some(controller) = controller {
+                    if let Some((handle, thread)) =
+                        controller.join().expect("churn controller panicked")
+                    {
+                        fleet.handles.push(handle);
+                        fleet.threads.push(thread);
+                    }
+                }
                 for handle in &fleet.handles {
                     handle.trigger();
                 }
@@ -324,7 +544,7 @@ fn run(args: &Args) -> Result<ExitCode, String> {
     for f in &report.fleets {
         eprintln!(
             "loadgen: {} node(s): served {}/{} (quota {}, errors {}), \
-             p50 {} ms, p99 {} ms, peer-hit share {:.3}, fairness {:.2}",
+             p50 {} ms, p99 {} ms, peer-hit share {:.3}, fairness {:.2}{}",
             f.nodes,
             f.served,
             f.requests,
@@ -334,6 +554,11 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             f.p99_ms,
             f.peer_hit_share,
             f.fairness_ratio,
+            if f.starved.is_empty() {
+                String::new()
+            } else {
+                format!(", STARVED: {}", f.starved.join(", "))
+            },
         );
     }
 
@@ -361,7 +586,16 @@ fn run(args: &Args) -> Result<ExitCode, String> {
     }
     if let Some(bound) = args.assert_fairness {
         for f in &report.fleets {
-            // NaN/∞ must fail the bound, so compare in the failing
+            // A starved lane is the loudest unfairness there is — it
+            // fails by name, not by an inflated ratio.
+            if !f.starved.is_empty() {
+                failures.push(format!(
+                    "{}-node fleet starved tenant lane(s) {}: zero requests served",
+                    f.nodes,
+                    f.starved.join(", ")
+                ));
+            }
+            // NaN must fail the bound, so compare in the failing
             // direction rather than negating `<=`.
             if f.fairness_ratio > bound || f.fairness_ratio.is_nan() {
                 failures.push(format!(

@@ -22,6 +22,7 @@
 use experiments::platforms::Fidelity;
 use experiments::registry::Experiment;
 use roofline_service::client::{run_with_retries_opt, Client, ClientError, RetryPolicy, RunOpts};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -130,6 +131,11 @@ pub struct WorkloadConfig {
     /// Retry attempts per request (transient failures back off with the
     /// client's seeded jitter).
     pub attempts: u32,
+    /// Shared issued-request counter, bumped once per request after its
+    /// outcome is settled — the churn controller in `roofd_loadgen`
+    /// keys its kill/restart thresholds off it. `None` skips the
+    /// bookkeeping.
+    pub progress: Option<Arc<AtomicU64>>,
 }
 
 impl WorkloadConfig {
@@ -148,6 +154,7 @@ impl WorkloadConfig {
             }],
             timeout: Duration::from_secs(60),
             attempts: 3,
+            progress: None,
         }
     }
 }
@@ -184,6 +191,12 @@ pub struct NodeStats {
     pub peer_hits: u64,
     /// Peer fetches that fell back to local compute.
     pub peer_misses: u64,
+    /// Fresh computes this node pushed to its replica successor.
+    pub replica_pushes: u64,
+    /// Replicas this node installed on behalf of an owner.
+    pub replica_installs: u64,
+    /// Peer fetches answered by a replica after the owner went dark.
+    pub replica_hits: u64,
     /// Quota rejections.
     pub quota_rejections: u64,
 }
@@ -220,9 +233,15 @@ pub struct FleetReport {
     pub p99_ms: u64,
     /// Share of completions answered by peer fetches, fleet-wide.
     pub peer_hit_share: f64,
-    /// max/min served ratio across tenant lanes (1.0 is perfectly
-    /// fair; the CI gate bounds it).
+    /// max/min served ratio across the tenant lanes that were served at
+    /// all (1.0 is perfectly fair; the CI gate bounds it). Always
+    /// finite: lanes served nothing are listed in `starved` instead of
+    /// collapsing the ratio to infinity.
     pub fairness_ratio: f64,
+    /// Tenant lanes served **zero** requests while a sibling lane was
+    /// served — the explicit starvation signal `--assert-fairness`
+    /// fails loudly on.
+    pub starved: Vec<String>,
     /// Per-node counters.
     pub per_node: Vec<NodeStats>,
     /// Served count per tenant lane, in lane order.
@@ -238,18 +257,31 @@ fn pct(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-/// max/min of per-tenant served counts; a tenant with zero served makes
-/// the ratio infinite (reported as a large sentinel the gate will trip).
+/// max/min of per-tenant served counts, over the lanes that were served
+/// at all. A lane with zero served is **starved** — it is reported by
+/// [`starved_tenants`] instead of collapsing the ratio to infinity, so
+/// the ratio is always finite and starvation is an explicit field
+/// rather than a `999.0` sentinel buried in a float.
 pub fn fairness_ratio(served: &[u64]) -> f64 {
-    let max = served.iter().copied().max().unwrap_or(0);
-    let min = served.iter().copied().min().unwrap_or(0);
-    if served.len() < 2 {
-        return 1.0;
+    let nonzero: Vec<u64> = served.iter().copied().filter(|&s| s > 0).collect();
+    match (nonzero.iter().max(), nonzero.iter().min()) {
+        (Some(&max), Some(&min)) if nonzero.len() >= 2 => max as f64 / min as f64,
+        _ => 1.0,
     }
-    if min == 0 {
-        return if max == 0 { 1.0 } else { f64::INFINITY };
+}
+
+/// Tenant lanes served nothing while at least one sibling lane was
+/// served. All-zero across the board is not starvation (nothing ran —
+/// the error counters carry that story), so it reports empty.
+pub fn starved_tenants(tenants: &[(String, u64, u64)]) -> Vec<String> {
+    if tenants.iter().all(|(_, served, _)| *served == 0) {
+        return Vec::new();
     }
-    max as f64 / min as f64
+    tenants
+        .iter()
+        .filter(|(_, served, _)| *served == 0)
+        .map(|(name, _, _)| name.clone())
+        .collect()
 }
 
 /// Runs the workload: spawns `clients` sessions, each issuing its zipf
@@ -267,7 +299,7 @@ pub fn run_workload(cfg: &WorkloadConfig) -> FleetReport {
         let zipf = zipf.clone();
         let mut rng = master.fork(c as u64);
         handles.push(thread::spawn(move || {
-            let addr = cfg.addrs[c % cfg.addrs.len()].clone();
+            let mut addr_idx = c % cfg.addrs.len();
             let tenant = cfg.tenants[c % cfg.tenants.len()].clone();
             let policy = RetryPolicy {
                 attempts: cfg.attempts.max(1),
@@ -290,7 +322,24 @@ pub fn run_workload(cfg: &WorkloadConfig) -> FleetReport {
                     token: tenant.token.clone(),
                 };
                 let start = Instant::now();
-                match run_with_retries_opt(addr.as_str(), &opts, &policy, Some(cfg.timeout)) {
+                let mut result =
+                    run_with_retries_opt(cfg.addrs[addr_idx].as_str(), &opts, &policy, Some(cfg.timeout));
+                // A dead pinned node must cost latency, not correctness:
+                // on a socket-level failure rotate through the other
+                // nodes and stick with the first one that answers, so a
+                // churned fleet serves every request some survivor can.
+                let mut rotations = 1;
+                while matches!(result, Err(ClientError::Io(_))) && rotations < cfg.addrs.len() {
+                    addr_idx = (addr_idx + 1) % cfg.addrs.len();
+                    result = run_with_retries_opt(
+                        cfg.addrs[addr_idx].as_str(),
+                        &opts,
+                        &policy,
+                        Some(cfg.timeout),
+                    );
+                    rotations += 1;
+                }
+                match result {
                     Ok(_) => {
                         out.served += 1;
                         out.latencies_ms
@@ -300,6 +349,9 @@ pub fn run_workload(cfg: &WorkloadConfig) -> FleetReport {
                         out.quota_rejected += 1;
                     }
                     Err(_) => out.errors += 1,
+                }
+                if let Some(progress) = &cfg.progress {
+                    progress.fetch_add(1, Ordering::Relaxed);
                 }
             }
             out
@@ -354,6 +406,7 @@ pub fn run_workload(cfg: &WorkloadConfig) -> FleetReport {
         fairness_ratio: fairness_ratio(
             &tenants.iter().map(|(_, served, _)| *served).collect::<Vec<_>>(),
         ),
+        starved: starved_tenants(&tenants),
         per_node,
         tenants,
     }
@@ -384,6 +437,9 @@ fn read_node_stats(addr: &str, label: &str, timeout: Duration) -> NodeStats {
     stats.coalesced = get("coalesced");
     stats.peer_hits = get("peer_hits");
     stats.peer_misses = get("peer_misses");
+    stats.replica_pushes = get("replica_pushes");
+    stats.replica_installs = get("replica_installs");
+    stats.replica_hits = get("replica_hits");
     stats.quota_rejections = get("quota_rejections");
     stats
 }
@@ -425,20 +481,23 @@ impl Report {
                 "      \"peer_hit_share\": {:.3},\n",
                 f.peer_hit_share
             ));
+            // The ratio is finite by construction; starvation is the
+            // explicit `starved` list, not a sentinel ratio value.
             out.push_str(&format!(
                 "      \"fairness_ratio\": {:.2},\n",
-                if f.fairness_ratio.is_finite() {
-                    f.fairness_ratio
-                } else {
-                    999.0
-                }
+                f.fairness_ratio
             ));
+            let starved: Vec<String> =
+                f.starved.iter().map(|t| format!("\"{t}\"")).collect();
+            out.push_str(&format!("      \"starved\": [{}],\n", starved.join(", ")));
             out.push_str("      \"per_node\": [\n");
             for (j, n) in f.per_node.iter().enumerate() {
                 out.push_str(&format!(
                     "        {{\"node\": \"{}\", \"completed\": {}, \"hits\": {}, \
                      \"misses\": {}, \"coalesced\": {}, \"peer_hits\": {}, \
-                     \"peer_misses\": {}, \"hit_rate\": {:.3}}}{}\n",
+                     \"peer_misses\": {}, \"replica_pushes\": {}, \
+                     \"replica_installs\": {}, \"replica_hits\": {}, \
+                     \"hit_rate\": {:.3}}}{}\n",
                     n.node,
                     n.completed,
                     n.hits,
@@ -446,6 +505,9 @@ impl Report {
                     n.coalesced,
                     n.peer_hits,
                     n.peer_misses,
+                    n.replica_pushes,
+                    n.replica_installs,
+                    n.replica_hits,
                     n.hit_rate(),
                     if j + 1 < f.per_node.len() { "," } else { "" },
                 ));
@@ -553,7 +615,31 @@ mod tests {
         assert_eq!(fairness_ratio(&[100, 50]), 2.0);
         assert_eq!(fairness_ratio(&[70]), 1.0);
         assert_eq!(fairness_ratio(&[0, 0]), 1.0);
-        assert!(fairness_ratio(&[10, 0]).is_infinite());
+        // A starved lane no longer poisons the ratio: it is excluded
+        // here and reported through `starved_tenants` instead.
+        assert_eq!(fairness_ratio(&[10, 0]), 1.0);
+        assert_eq!(fairness_ratio(&[30, 10, 0]), 3.0);
+    }
+
+    #[test]
+    fn starvation_is_an_explicit_list_not_a_ratio() {
+        let lanes = |counts: &[u64]| -> Vec<(String, u64, u64)> {
+            counts
+                .iter()
+                .enumerate()
+                .map(|(i, &served)| (format!("team-{i}"), served, 0))
+                .collect()
+        };
+        // Served lanes only: nobody starved.
+        assert!(starved_tenants(&lanes(&[5, 3])).is_empty());
+        // One lane served nothing while a sibling was served: named.
+        assert_eq!(starved_tenants(&lanes(&[5, 0])), vec!["team-1"]);
+        assert_eq!(
+            starved_tenants(&lanes(&[0, 4, 0])),
+            vec!["team-0", "team-2"]
+        );
+        // Nothing served at all is an error story, not starvation.
+        assert!(starved_tenants(&lanes(&[0, 0])).is_empty());
     }
 
     #[test]
@@ -580,6 +666,7 @@ mod tests {
                 p99_ms: 40,
                 peer_hit_share: 0.0,
                 fairness_ratio: 1.25,
+                starved: vec![],
                 per_node: vec![NodeStats {
                     node: "node0".to_string(),
                     completed: 9,
@@ -588,6 +675,9 @@ mod tests {
                     coalesced: 0,
                     peer_hits: 0,
                     peer_misses: 0,
+                    replica_pushes: 0,
+                    replica_installs: 0,
+                    replica_hits: 0,
                     quota_rejections: 1,
                 }],
                 tenants: vec![
@@ -619,30 +709,45 @@ mod tests {
     }
 
     #[test]
-    fn infinite_fairness_renders_as_the_gate_tripping_sentinel() {
+    fn starved_lanes_render_explicitly_and_the_ratio_stays_finite() {
         let report = Report {
             seed: 1,
             zipf_s: 1.0,
             fleets: vec![FleetReport {
                 nodes: 1,
                 clients: 1,
-                requests: 1,
+                requests: 2,
                 served: 1,
-                quota_rejected: 0,
+                quota_rejected: 1,
                 errors: 0,
                 p50_ms: 1,
                 p99_ms: 1,
                 peer_hit_share: 0.0,
-                fairness_ratio: f64::INFINITY,
+                fairness_ratio: fairness_ratio(&[1, 0]),
+                starved: starved_tenants(&[
+                    ("team-a".to_string(), 1, 0),
+                    ("team-b".to_string(), 0, 1),
+                ]),
                 per_node: vec![],
-                tenants: vec![],
+                tenants: vec![
+                    ("team-a".to_string(), 1, 0),
+                    ("team-b".to_string(), 0, 1),
+                ],
             }],
         };
         let doc = roofline_core::json::Json::parse(&report.render()).expect("valid JSON");
         let fleets = doc.get("fleets").and_then(|v| v.as_arr()).expect("fleets");
+        // No 999.0 sentinel: the ratio is an honest finite number and
+        // the starved lane is named where a gate (and a human) sees it.
         assert_eq!(
             fleets[0].get("fairness_ratio").and_then(|v| v.as_f64()),
-            Some(999.0)
+            Some(1.0)
         );
+        let starved = fleets[0]
+            .get("starved")
+            .and_then(|v| v.as_arr())
+            .expect("starved array");
+        assert_eq!(starved.len(), 1);
+        assert_eq!(starved[0].as_str(), Some("team-b"));
     }
 }

@@ -200,7 +200,17 @@ impl AuthConfig {
 
     /// Adds one token → tenant binding (test/bench hook; the production
     /// path is [`AuthConfig::parse`]).
+    ///
+    /// # Panics
+    ///
+    /// On a non-positive or non-finite weight — the same inputs
+    /// [`AuthConfig::parse`] rejects, enforced here too so the test hook
+    /// cannot smuggle in a tenant whose token bucket never refills.
     pub fn with_token(mut self, token: &str, tenant: &str, weight: f64) -> AuthConfig {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "tenant `{tenant}` needs a positive weight, got {weight}"
+        );
         self.tokens.insert(
             token.to_string(),
             Tenant {
@@ -243,11 +253,15 @@ impl AuthConfig {
 
     /// A tenant's slice of the engine's global backlog cap, in
     /// milliseconds: `max_backlog_ms × weight / total_weight`, floored
-    /// at one registry-scale budget so a legitimate single heavy
-    /// experiment is never unrunnable.
+    /// at one registry-scale budget (60 s) so a legitimate single heavy
+    /// experiment is never unrunnable. The floor itself is clamped to
+    /// the global cap: a sub-minute `max_backlog_ms` (tests, tightly
+    /// provisioned nodes) must not hand every tenant a slice *larger*
+    /// than the whole backlog, which would stop the per-tenant cap from
+    /// ever binding.
     pub fn backlog_cap_ms(&self, tenant: &str, max_backlog_ms: u64) -> u64 {
         let share = self.weight_of(tenant) / self.total_weight();
-        ((max_backlog_ms as f64 * share) as u64).max(60_000)
+        ((max_backlog_ms as f64 * share) as u64).max(60_000.min(max_backlog_ms))
     }
 
     /// True when any quota dimension is enforced.
@@ -268,7 +282,18 @@ pub struct TokenBucket {
 
 impl TokenBucket {
     /// A bucket for the given tenant weight under `cfg`, starting full.
+    ///
+    /// # Panics
+    ///
+    /// On a non-positive weight. A weight of exactly 0 would build a
+    /// bucket with the floored capacity of 1 and a refill rate of 0 —
+    /// one admitted request, then a permanent block behind 60 s retry
+    /// hints. Nothing legitimately wants that, so the semantics are
+    /// *reject at configuration time*: [`AuthConfig::parse`] and
+    /// [`AuthConfig::with_token`] refuse zero weights, and this
+    /// constructor backstops them.
     pub fn new(cfg: &QuotaConfig, weight: f64, now: Instant) -> TokenBucket {
+        assert!(weight > 0.0, "token bucket needs a positive weight, got {weight}");
         let capacity = (cfg.burst * weight).max(1.0);
         TokenBucket {
             tokens: capacity,
@@ -360,7 +385,30 @@ mod tests {
         assert_eq!(a, (cap as f64 * 3.0 / total) as u64);
         // The floor keeps a single heavy experiment runnable even for a
         // sliver of a share.
-        assert_eq!(cfg.backlog_cap_ms(ANON_TENANT, 1), 60_000);
+        assert_eq!(cfg.backlog_cap_ms(ANON_TENANT, 10 * 60_000), 60_000);
+    }
+
+    #[test]
+    fn sub_minute_global_caps_bound_the_backlog_floor() {
+        // Regression: the one-heavy-experiment floor used to be an
+        // unconditional 60 s, so with a sub-minute global cap every
+        // tenant's slice exceeded the whole backlog and the per-tenant
+        // cap silently stopped binding. The floor clamps to the global
+        // cap instead.
+        let cfg = AuthConfig::parse("a team-a 3\nb team-b 1\n").expect("parse");
+        for cap in [1, 500, 30_000] {
+            for tenant in ["team-a", "team-b", ANON_TENANT] {
+                let slice = cfg.backlog_cap_ms(tenant, cap);
+                assert!(
+                    slice <= cap,
+                    "{tenant}'s slice {slice} exceeds the global cap {cap}"
+                );
+            }
+        }
+        assert_eq!(cfg.backlog_cap_ms(ANON_TENANT, 1), 1);
+        assert_eq!(cfg.backlog_cap_ms(ANON_TENANT, 30_000), 30_000, "floored at the cap");
+        // At and above one minute the registry-scale floor is unchanged.
+        assert_eq!(cfg.backlog_cap_ms(ANON_TENANT, 60_000), 60_000);
     }
 
     #[test]
@@ -402,6 +450,33 @@ mod tests {
         assert!(bucket.try_take(t1).is_ok());
         assert!(bucket.try_take(t1).is_ok());
         assert!(bucket.try_take(t1).is_err());
+    }
+
+    #[test]
+    fn zero_weight_is_rejected_at_configuration_time() {
+        // A weight-0 bucket would admit one request (floored capacity 1)
+        // and then block forever (refill 0); the pinned semantics are
+        // that zero weights never reach a bucket at all.
+        for text in ["tokA t 0\n", "tokA t 0.0\n", "tokA t -0.0\n"] {
+            let err = AuthConfig::parse(text).expect_err(text);
+            assert!(
+                err.reason.contains("not a positive number"),
+                "{text}: {}",
+                err.reason
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn token_bucket_backstop_refuses_zero_weight() {
+        let _ = TokenBucket::new(&QuotaConfig::default(), 0.0, Instant::now());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn with_token_refuses_zero_weight() {
+        let _ = AuthConfig::default().with_token("tok", "team-x", 0.0);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   stats                       print the server's counters
 //!   purge                       drop the server's memory and disk caches
 //!   ping                        health check
+//!   join <HOST:PORT>            add a node to the fleet member list
+//!   leave <HOST:PORT>           remove a node from the fleet member list
+//!   drain                       stop new computes ahead of a leave
 //!   shutdown                    ask the server to stop gracefully
 //! ```
 //!
@@ -32,6 +35,14 @@
 //! token file; the request is then accounted to that tenant's
 //! fair-share quota instead of the anonymous allowance. `stats` prints
 //! the per-tenant block as `tenant.<name>.<counter>=<value>` lines.
+//!
+//! `join`, `leave`, and `drain` are the fleet-admin commands; they need
+//! `--fleet-secret` (or `ROOFD_FLEET_SECRET`), the same shared secret
+//! the nodes were started with. `join`/`leave` edit the contacted
+//! node's member list — its probes gossip the new list to the rest of
+//! the fleet — and `drain` makes the node refuse fresh computes (cache
+//! hits still serve) so it can be `leave`d and shut down without
+//! failing in-flight work.
 
 use experiments::platforms::{platform_names, try_config_by_name, Fidelity};
 use experiments::registry::{registry_table, Experiment};
@@ -54,6 +65,9 @@ enum Command {
     Stats,
     Purge,
     Ping,
+    Join { peer: String },
+    Leave { peer: String },
+    Drain,
     Shutdown,
 }
 
@@ -61,6 +75,7 @@ struct Args {
     addr: String,
     command: Command,
     token: Option<String>,
+    fleet_secret: Option<String>,
     retries: u32,
     retry_base_ms: u64,
     retry_seed: u64,
@@ -84,6 +99,8 @@ fn parse_args() -> Result<Args, String> {
     let mut out_dir = None;
 
     let mut token = None;
+    let mut fleet_secret = std::env::var("ROOFD_FLEET_SECRET").ok();
+    let mut peer_arg: Option<String> = None;
     let mut retries = 0u32;
     let mut retry_base_ms = 100u64;
     let mut retry_seed = 0x5eedu64;
@@ -95,8 +112,18 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--addr" | "-a" => addr = value("--addr")?,
             "--token" | "-t" => token = Some(value("--token")?),
-            "run" | "list" | "stats" | "purge" | "ping" | "shutdown" if command.is_none() => {
+            "run" | "list" | "stats" | "purge" | "ping" | "join" | "leave" | "drain"
+            | "shutdown"
+                if command.is_none() =>
+            {
                 command = Some(arg);
+            }
+            "--fleet-secret" => {
+                let v = value("--fleet-secret")?;
+                if v.is_empty() {
+                    return Err("--fleet-secret must not be empty".to_string());
+                }
+                fleet_secret = Some(v);
             }
             "--experiment" | "-e" => {
                 let v = value("--experiment")?;
@@ -138,15 +165,24 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: roofctl [--addr HOST:PORT] [--token TOKEN] [--retries N]\n\
                      \x20              [--retry-base-ms N] [--retry-seed N] [--timeout-ms N]\n\
-                     \x20              <run|list|stats|purge|ping|shutdown>\n\
+                     \x20              <run|list|stats|purge|ping|join|leave|drain|shutdown>\n\
                      \x20 run -e E1..E18 [-p SPEC] [-f quick|full] [--out DIR]\n\
                      \x20 list [-f quick|full]\n\
+                     \x20 join HOST:PORT / leave HOST:PORT / drain  (need --fleet-secret or\n\
+                     \x20   ROOFD_FLEET_SECRET, the secret the fleet's nodes were started with)\n\
                      default address: {DEFAULT_ADDR}\n\
                      --token TOKEN authenticates as that token's tenant (fair-share quotas)\n\
                      --retries N retries run on busy/timeout/quota/disconnect with seeded\n\
                      \x20           jittered exponential backoff (default 0: fail fast)"
                 );
                 std::process::exit(0);
+            }
+            other
+                if peer_arg.is_none()
+                    && !other.starts_with('-')
+                    && matches!(command.as_deref(), Some("join" | "leave")) =>
+            {
+                peer_arg = Some(other.to_string());
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -171,10 +207,19 @@ fn parse_args() -> Result<Args, String> {
         Some("stats") => Command::Stats,
         Some("purge") => Command::Purge,
         Some("ping") => Command::Ping,
+        Some("join") => Command::Join {
+            peer: peer_arg.ok_or("join needs a peer address, e.g. `roofctl join 10.0.0.4:47130`")?,
+        },
+        Some("leave") => Command::Leave {
+            peer: peer_arg
+                .ok_or("leave needs a peer address, e.g. `roofctl leave 10.0.0.4:47130`")?,
+        },
+        Some("drain") => Command::Drain,
         Some("shutdown") => Command::Shutdown,
         _ => {
             return Err(
-                "missing command (run, list, stats, purge, ping, or shutdown)".to_string(),
+                "missing command (run, list, stats, purge, ping, join, leave, drain, or shutdown)"
+                    .to_string(),
             )
         }
     };
@@ -182,6 +227,7 @@ fn parse_args() -> Result<Args, String> {
         addr,
         command,
         token,
+        fleet_secret,
         retries,
         retry_base_ms,
         retry_seed,
@@ -236,6 +282,38 @@ fn run(args: Args) -> Result<ExitCode, String> {
         Command::Purge => {
             let (mem, disk) = connect(&args.addr)?.purge().map_err(|e| e.to_string())?;
             println!("purged {mem} memory entries, {disk} disk entries");
+            Ok(ExitCode::SUCCESS)
+        }
+        Command::Join { ref peer } | Command::Leave { ref peer } => {
+            let secret = args.fleet_secret.as_deref().ok_or(
+                "join/leave need --fleet-secret (or ROOFD_FLEET_SECRET): the secret the \
+                 fleet's nodes were started with",
+            )?;
+            let mut client = connect(&args.addr)?;
+            let (verb, reply) = if matches!(args.command, Command::Join { .. }) {
+                ("joined", client.join(secret, peer).map_err(|e| e.to_string())?)
+            } else {
+                ("left", client.leave(secret, peer).map_err(|e| e.to_string())?)
+            };
+            println!(
+                "{peer} {verb}{} epoch={} version={} members={}",
+                if reply.changed { "" } else { " (no change)" },
+                reply.epoch,
+                reply.version,
+                reply.peers.join(",")
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Command::Drain => {
+            let secret = args.fleet_secret.as_deref().ok_or(
+                "drain needs --fleet-secret (or ROOFD_FLEET_SECRET): the secret the \
+                 fleet's nodes were started with",
+            )?;
+            connect(&args.addr)?.drain(secret).map_err(|e| e.to_string())?;
+            println!(
+                "roofd at {} is draining: cache hits still serve, new computes are refused",
+                args.addr
+            );
             Ok(ExitCode::SUCCESS)
         }
         Command::Shutdown => {

@@ -10,6 +10,7 @@
 //!       [--anon-weight F]
 //!       [--peers A,B,C] [--self-addr HOST:PORT] [--fleet-seed N]
 //!       [--fleet-secret S] [--peer-timeout-ms N]
+//!       [--probe-interval-ms N] [--probe-failures K]
 //! ```
 //!
 //! Speaks the JSON-lines protocol on TCP: one request envelope per line,
@@ -46,6 +47,15 @@
 //! exemption. The `ROOFD_FLEET_SECRET` environment variable is the
 //! equivalent for scripts that must keep the secret off the command
 //! line.
+//!
+//! `--peers` names the *initial* membership; from there the view is
+//! dynamic. Every node probes its peers each `--probe-interval-ms`
+//! (default 1000) with an authenticated ping; `--probe-failures`
+//! (default 3) consecutive failures suspect a peer out of the live view
+//! — ownership reassigns to the survivors — and a single success
+//! re-admits it. `roofctl join|leave|drain` edit membership at runtime,
+//! and each fresh compute is replicated to its digest's rendezvous
+//! successor so an owner death costs a peer hop, not a recompute.
 //!
 //! The server stops gracefully on a `shutdown` protocol command
 //! (`roofctl shutdown`): it stops accepting, drains in-flight requests,
@@ -86,6 +96,8 @@ fn parse_args() -> Result<Args, String> {
     let mut fleet_seed = 0u64;
     let mut fleet_secret = std::env::var("ROOFD_FLEET_SECRET").ok();
     let mut peer_timeout: Option<Duration> = None;
+    let mut probe_interval: Option<Duration> = None;
+    let mut probe_failures: Option<u32> = None;
     let mut quota_rate: Option<f64> = None;
     let mut quota_burst: Option<f64> = None;
     let mut anon_weight: Option<f64> = None;
@@ -233,6 +245,26 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or(format!("--peer-timeout-ms needs a positive integer, got `{v}`"))?;
                 peer_timeout = Some(Duration::from_millis(ms));
             }
+            "--probe-interval-ms" => {
+                let v = value("--probe-interval-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(format!(
+                        "--probe-interval-ms needs a positive integer, got `{v}`"
+                    ))?;
+                probe_interval = Some(Duration::from_millis(ms));
+            }
+            "--probe-failures" => {
+                let v = value("--probe-failures")?;
+                probe_failures = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or(format!("--probe-failures needs a positive integer, got `{v}`"))?,
+                );
+            }
             "--connections" => {
                 let v = value("--connections")?;
                 connections = Some(
@@ -261,7 +293,10 @@ fn parse_args() -> Result<Args, String> {
                      \x20  all nodes must share --fleet-seed and --fleet-secret, the membership\n\
                      \x20  proof peer fetches present — ROOFD_FLEET_SECRET is the env equivalent);\n\
                      \x20  --peer-timeout-ms bounds each peer-fetch attempt (default 5000, further\n\
-                     \x20  clamped to the requesting client's deadline)"
+                     \x20  clamped to the requesting client's deadline)\n\
+                     \x20  --probe-interval-ms sets the health-probe cadence (default 1000);\n\
+                     \x20  --probe-failures sets how many consecutive failed probes suspect a\n\
+                     \x20  peer out of the live view (default 3; one success re-admits)"
                 );
                 std::process::exit(0);
             }
@@ -306,6 +341,12 @@ fn parse_args() -> Result<Args, String> {
         let mut fleet = FleetConfig::new(self_addr, peers, fleet_seed, secret);
         if let Some(t) = peer_timeout {
             fleet.io_timeout = t;
+        }
+        if let Some(t) = probe_interval {
+            fleet.probe_interval = t;
+        }
+        if let Some(k) = probe_failures {
+            fleet.probe_failures = k;
         }
         cfg.fleet = Some(fleet);
     }

@@ -369,6 +369,26 @@ impl Client {
         })
     }
 
+    /// Sends one raw envelope (a fresh `seq` is stamped on) and returns
+    /// the reply when its kind matches `expected` — the building block
+    /// for fleet-internal commands whose envelopes are assembled by the
+    /// caller (e.g. `replicate`).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; an unexpected reply kind is a `Protocol`
+    /// error.
+    pub fn request(&mut self, env: Envelope, expected: &str) -> Result<Envelope, ClientError> {
+        let reply = self.round_trip(env)?;
+        if reply.kind != expected {
+            return Err(ClientError::Protocol(format!(
+                "expected {expected}, got {}",
+                reply.kind
+            )));
+        }
+        Ok(reply)
+    }
+
     fn round_trip(&mut self, env: Envelope) -> Result<Envelope, ClientError> {
         let seq = format!("c{}", self.next_seq);
         self.next_seq += 1;
@@ -586,6 +606,92 @@ impl Client {
         }
     }
 
+    /// Authenticated fleet ping: proves membership with `fleet_token`
+    /// and advertises the sender's `epoch` and address, receiving the
+    /// responder's live epoch plus its membership version and member
+    /// list (the gossip channel `join`/`leave` propagate over).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; a wrong token is a `Server` error with code
+    /// `unauthorized`.
+    pub fn fleet_ping(
+        &mut self,
+        fleet_token: &str,
+        epoch: u64,
+        from: &str,
+        version: u64,
+        members: &[String],
+    ) -> Result<FleetPong, ClientError> {
+        let env = Envelope::new("ping")
+            .field("fleet_token", Json::str(fleet_token))
+            .field("epoch", Json::num(epoch as f64))
+            .field("from", Json::str(from))
+            .field("version", Json::num(version as f64))
+            .field("members", Json::Arr(members.iter().map(Json::str).collect()));
+        let reply = self.request(env, "pong")?;
+        Ok(FleetPong {
+            epoch: field_u64(&reply, "epoch").unwrap_or(0),
+            version: field_u64(&reply, "version").unwrap_or(0),
+            members: field_str_arr(&reply, "members"),
+        })
+    }
+
+    /// Admin `join`: asks the server to admit `peer` to its fleet
+    /// member list (the health prober gossips the new list to the rest
+    /// of the fleet). Requires the fleet secret. Returns the server's
+    /// updated membership.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; a wrong secret is `unauthorized`.
+    pub fn join(&mut self, fleet_token: &str, peer: &str) -> Result<MembershipReply, ClientError> {
+        self.admin_membership("join", "joined", fleet_token, peer)
+    }
+
+    /// Admin `leave`: asks the server to remove `peer` from its fleet
+    /// member list. Requires the fleet secret. Returns the server's
+    /// updated membership.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; a wrong secret is `unauthorized`.
+    pub fn leave(&mut self, fleet_token: &str, peer: &str) -> Result<MembershipReply, ClientError> {
+        self.admin_membership("leave", "left", fleet_token, peer)
+    }
+
+    fn admin_membership(
+        &mut self,
+        kind: &str,
+        expected: &str,
+        fleet_token: &str,
+        peer: &str,
+    ) -> Result<MembershipReply, ClientError> {
+        let env = Envelope::new(kind)
+            .field("fleet_token", Json::str(fleet_token))
+            .field("peer", Json::str(peer));
+        let reply = self.request(env, expected)?;
+        Ok(MembershipReply {
+            changed: reply.get("changed").and_then(Json::as_bool).unwrap_or(false),
+            epoch: field_u64(&reply, "epoch").unwrap_or(0),
+            version: field_u64(&reply, "version").unwrap_or(0),
+            peers: field_str_arr(&reply, "peers"),
+        })
+    }
+
+    /// Admin `drain`: the server stops admitting new computations
+    /// (fresh flights answer retryable `busy`) while cache hits and
+    /// in-flight work still serve — run before `leave` to shrink the
+    /// fleet without dropping anything. Requires the fleet secret.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; a wrong secret is `unauthorized`.
+    pub fn drain(&mut self, fleet_token: &str) -> Result<(), ClientError> {
+        let env = Envelope::new("drain").field("fleet_token", Json::str(fleet_token));
+        self.request(env, "draining").map(|_| ())
+    }
+
     /// Purges the server's caches; returns `(memory, disk)` entry counts.
     ///
     /// # Errors
@@ -606,12 +712,49 @@ impl Client {
     }
 }
 
+/// What an authenticated fleet ping gets back — see
+/// [`Client::fleet_ping`].
+#[derive(Debug, Clone)]
+pub struct FleetPong {
+    /// The responder's live-view epoch.
+    pub epoch: u64,
+    /// The responder's membership version (bumped by `join`/`leave`).
+    pub version: u64,
+    /// The responder's full member list, suspects included.
+    pub members: Vec<String>,
+}
+
+/// The server's membership after a `join`/`leave` admin command.
+#[derive(Debug, Clone)]
+pub struct MembershipReply {
+    /// True when the command actually changed the member list.
+    pub changed: bool,
+    /// The live-view epoch after the command.
+    pub epoch: u64,
+    /// The membership version after the command.
+    pub version: u64,
+    /// The live peers after the command, sorted.
+    pub peers: Vec<String>,
+}
+
 fn field_str(env: &Envelope, name: &str) -> Option<String> {
     env.get(name).and_then(Json::as_str).map(str::to_string)
 }
 
 fn field_u64(env: &Envelope, name: &str) -> Option<u64> {
     env.get(name).and_then(Json::as_u64)
+}
+
+fn field_str_arr(env: &Envelope, name: &str) -> Vec<String> {
+    env.get(name)
+        .and_then(Json::as_arr)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ use experiments::sweep::{default_jobs, run_sweep_with, SweepConfig};
 use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -344,12 +345,17 @@ impl State {
 struct Inner {
     cfg: EngineConfig,
     disk: Option<DiskStore>,
-    fleet: Option<Fleet>,
+    fleet: Option<Arc<Fleet>>,
     compute: Box<ComputeFn>,
     state: Mutex<State>,
     slot_free: Condvar,
     stats: Mutex<StatsInner>,
     lottery: Arc<FaultLottery>,
+    /// Raised by the `drain` admin command: new computations are
+    /// refused with `busy` (retryable, so clients fail over) while
+    /// cache hits and already-admitted work still serve — the node
+    /// empties out and can `leave` without dropping anything.
+    draining: AtomicBool,
 }
 
 /// The shared, clonable serving engine. Clones are handles onto one
@@ -383,7 +389,7 @@ impl Engine {
                 eprintln!("roofd: stale-tmp sweep failed: {e}");
             }
         }
-        let fleet = cfg.fleet.clone().map(Fleet::new);
+        let fleet = cfg.fleet.clone().map(|f| Arc::new(Fleet::new(f)));
         Engine {
             inner: Arc::new(Inner {
                 state: Mutex::new(State {
@@ -401,8 +407,27 @@ impl Engine {
                 compute: Box::new(compute),
                 lottery,
                 cfg,
+                draining: AtomicBool::new(false),
             }),
         }
+    }
+
+    /// The fleet handle, when this node is part of one — shared with
+    /// the [`crate::fleet::HealthProber`] and the admin commands.
+    pub fn fleet(&self) -> Option<Arc<Fleet>> {
+        self.inner.fleet.clone()
+    }
+
+    /// Raises or clears the drain gate — see [`Engine::draining`].
+    pub fn set_draining(&self, draining: bool) {
+        self.inner.draining.store(draining, Ordering::Relaxed);
+    }
+
+    /// True while this node refuses new computations (`drain` admin
+    /// command): fresh flights answer `busy`, cache hits and
+    /// already-admitted work still serve.
+    pub fn draining(&self) -> bool {
+        self.inner.draining.load(Ordering::Relaxed)
     }
 
     /// Resolves a bearer token against the static token file; `None`
@@ -488,6 +513,17 @@ impl Engine {
                 lock(&self.inner.stats).coalesced += 1;
                 Role::Waiter(flight.clone())
             } else {
+                // A draining node admits nothing new: hits and
+                // coalesced joins above still serve, but a fresh flight
+                // is refused with a retryable `busy` so the client
+                // fails over while in-flight work finishes.
+                if self.draining() {
+                    lock(&self.inner.stats).busy += 1;
+                    return Outcome::Busy {
+                        queued: st.queued,
+                        backlog_ms: st.backlog_ms,
+                    };
+                }
                 // Bounded admission: total admitted work may not exceed
                 // the worker slots plus the queue allowance, and the
                 // budgeted backlog may not exceed its cap. An idle engine
@@ -697,18 +733,83 @@ impl Engine {
         }
         self.inner.slot_free.notify_all();
         flight.publish(result.clone());
+        if source == Source::Computed {
+            self.replicate_push(req, digest, &result);
+        }
         Some((result, source))
+    }
+
+    /// Best-effort replication of a fresh compute: when this node owns
+    /// `digest` in the live view, push the result to the digest's
+    /// rendezvous successor (the node that inherits ownership if this
+    /// one dies) via the authenticated `replicate` command. Synchronous
+    /// and bounded by the fleet's per-attempt I/O timeout, so tests can
+    /// assert on the replica deterministically; a failed push only
+    /// counts as a failure observation against the successor.
+    fn replicate_push(&self, req: &Request, digest: &str, result: &CachedResult) {
+        let Some(fleet) = self.inner.fleet.as_ref() else {
+            return;
+        };
+        if !result.cacheable() || !fleet.is_owner(digest) {
+            return;
+        }
+        let Some(successor) = fleet.successor(digest) else {
+            return;
+        };
+        match fleet.replicate(&successor, req, result) {
+            Ok(()) => {
+                fleet.mark_success(&successor);
+                lock(&self.inner.stats).replica_pushes += 1;
+            }
+            Err(e) => {
+                eprintln!("roofd: replica push of {digest} to {successor} failed: {e}");
+                fleet.mark_failure(&successor);
+            }
+        }
+    }
+
+    /// Installs a result pushed by the digest's owner into this node's
+    /// caches (memory, and disk when configured) — the receiving side
+    /// of `replicate`. The protocol layer gates this on a verified
+    /// fleet token. Returns false for a non-cacheable result.
+    pub fn install_replica(&self, req: &Request, result: CachedResult) -> bool {
+        if !result.cacheable() {
+            return false;
+        }
+        let key = req.cache_key();
+        let digest = key.digest();
+        let result = Arc::new(result);
+        if let Some(disk) = &self.inner.disk {
+            if let Err(e) = disk.store(&key, &result) {
+                eprintln!(
+                    "roofd: could not spill replica {} to disk: {e}",
+                    key.canonical()
+                );
+            }
+        }
+        {
+            let mut st = lock(&self.inner.state);
+            let evicted = st.cache.insert(digest, result);
+            lock(&self.inner.stats).evictions += evicted as u64;
+        }
+        lock(&self.inner.stats).replica_installs += 1;
+        true
     }
 
     /// Attempts a cache-peer fetch: when a fleet is configured, this node
     /// is not the digest's owner, and the request did not itself arrive
-    /// from a peer (no forwarding chains), ask the owner. The fetch runs
-    /// with a worker slot held, so it is bounded by the request's own
-    /// deadline as well as the fleet's per-attempt I/O timeout — a dead
-    /// owner cannot pin this slot past the point where the client would
-    /// time out anyway. `None` means "compute locally" — standalone
-    /// node, owned digest, exhausted deadline, or a fetch failure
-    /// (counted as a peer miss).
+    /// from a peer (no forwarding chains), ask the owner — and when the
+    /// owner is down, the node that inherits the digest without it (the
+    /// rendezvous successor, which holds a pushed replica of everything
+    /// the owner computed), so an owner death costs one extra hop, not a
+    /// recompute. Every fetch outcome doubles as a health observation on
+    /// the membership view. The fetch runs with a worker slot held, so
+    /// it is bounded by the request's own deadline as well as the
+    /// fleet's per-attempt I/O timeout — a dead owner cannot pin this
+    /// slot past the point where the client would time out anyway.
+    /// `None` means "compute locally" — standalone node, owned digest,
+    /// exhausted deadline, or both fetches failing (counted as a peer
+    /// miss).
     fn peer_fetch(
         &self,
         req: &Request,
@@ -720,7 +821,7 @@ impl Engine {
             return None;
         }
         let fleet = self.inner.fleet.as_ref()?;
-        let owner = fleet.remote_owner(digest)?.to_string();
+        let owner = fleet.remote_owner(digest)?;
         if Instant::now() >= deadline {
             // Too late for network round trips; not a peer miss — the
             // fetch was never attempted.
@@ -728,19 +829,46 @@ impl Engine {
         }
         match fleet.fetch(&owner, req, deadline) {
             Ok(result) => {
+                fleet.mark_success(&owner);
                 let mut stats = lock(&self.inner.stats);
                 stats.peer_hits += 1;
                 stats.tenant(opts.tenant).peer_hits += 1;
-                Some(result)
+                return Some(result);
             }
             Err(e) => {
-                eprintln!("roofd: peer fetch from {owner} failed, computing locally: {e}");
-                let mut stats = lock(&self.inner.stats);
-                stats.peer_misses += 1;
-                stats.tenant(opts.tenant).peer_misses += 1;
-                None
+                eprintln!("roofd: peer fetch from {owner} failed: {e}");
+                fleet.mark_failure(&owner);
             }
         }
+        // The replica path: whoever owns the digest once `owner` is
+        // gone is where the owner pushed its replica. Skip when that is
+        // this node (anything we hold would already have been a mem
+        // hit) or the deadline is spent.
+        if let Some(fallback) = fleet
+            .owner_excluding(digest, &owner)
+            .filter(|f| *f != fleet.config().self_addr)
+        {
+            if Instant::now() < deadline {
+                match fleet.fetch(&fallback, req, deadline) {
+                    Ok(result) => {
+                        fleet.mark_success(&fallback);
+                        let mut stats = lock(&self.inner.stats);
+                        stats.peer_hits += 1;
+                        stats.replica_hits += 1;
+                        stats.tenant(opts.tenant).peer_hits += 1;
+                        return Some(result);
+                    }
+                    Err(e) => {
+                        eprintln!("roofd: replica fetch from {fallback} failed: {e}");
+                        fleet.mark_failure(&fallback);
+                    }
+                }
+            }
+        }
+        let mut stats = lock(&self.inner.stats);
+        stats.peer_misses += 1;
+        stats.tenant(opts.tenant).peer_misses += 1;
+        None
     }
 
     /// Runs the request as a single-experiment sweep into a staging
@@ -791,6 +919,13 @@ impl Engine {
 
     /// Snapshot of the counters and gauges.
     pub fn stats(&self) -> StatsSnapshot {
+        let (epoch, peers_live) = match self.inner.fleet.as_ref() {
+            Some(fleet) => {
+                let view = fleet.view();
+                (view.epoch, view.peers.len())
+            }
+            None => (0, 0),
+        };
         let gauges = {
             let st = lock(&self.inner.state);
             Gauges {
@@ -801,6 +936,9 @@ impl Engine {
                 bytes: st.cache.bytes(),
                 quarantined: self.inner.disk.as_ref().map_or(0, DiskStore::quarantined),
                 swept_tmp: self.inner.disk.as_ref().map_or(0, DiskStore::swept_tmp),
+                epoch,
+                peers_live,
+                draining: self.draining(),
             }
         };
         lock(&self.inner.stats).snapshot(gauges)

@@ -1,11 +1,10 @@
 //! Horizontal cache sharing: N roofd nodes agree on one *owner* per
 //! content-address digest and fetch from it before computing locally.
 //!
-//! The fleet is deliberately static and coordination-free: every node is
-//! started with the same peer list and the same seed, and ownership is
-//! decided by **rendezvous (highest-random-weight) hashing** — for a
-//! digest `d`, each peer `p` gets a score `mix(seed, d, p)` and the
-//! highest score owns `d`. That gives, with no shared state at all:
+//! Ownership is decided by **rendezvous (highest-random-weight)
+//! hashing** — for a digest `d`, each peer `p` gets a score
+//! `mix(seed, d, p)` and the highest score owns `d`. That gives, with no
+//! shared state at all:
 //!
 //! * exactly one owner per digest on every node (ties broken by peer
 //!   name, so even a score collision cannot split ownership);
@@ -15,19 +14,49 @@
 //!   node owned move (≈ 1/N of the keyspace), everything else keeps its
 //!   owner — the property the fleet proptests pin.
 //!
+//! Membership itself is **dynamic**: the boot-time peer list seeds a
+//! [`MembershipView`] (an epoch-versioned live peer set behind a lock)
+//! that every ownership decision reads. Two kinds of transitions move
+//! it:
+//!
+//! * **health observations** — a [`HealthProber`] sends authenticated
+//!   `ping`s to every member each probe interval; a member is suspected
+//!   after [`FleetConfig::probe_failures`] *consecutive* failures,
+//!   dropped from the live view (its ≈ 1/N share rendezvous-moves to
+//!   the survivors), and re-admitted by the first successful ping. The
+//!   request path feeds the same counters: a failed peer fetch counts
+//!   as a failure observation, a served one as a success, so a dead
+//!   owner is detected at traffic speed, not just probe speed.
+//! * **administrative `join`/`leave`** — operator commands that edit the
+//!   member list itself. They bump a membership *version* that the
+//!   prober gossips: every authenticated pong carries the responder's
+//!   version + member list, and a node adopts any list with a newer
+//!   version, so a `join` issued to one node propagates fleet-wide
+//!   within a probe round.
+//!
+//! Every live-set change bumps the view's `epoch` deterministically —
+//! two nodes applying the same observation sequence converge on the
+//! same `(epoch, peers)` view, the property the convergence proptests
+//! pin.
+//!
 //! A node that is not the owner of a requested digest does a
 //! **cache-peer fetch**: one `run` request to the owner (marked
 //! `peer:true` so the owner serves it locally even if its own peer list
 //! disagrees — forwarding never chains) through [`crate::client`] with
-//! its retrying policy, falling back to local compute when the owner is
-//! down or slow. Two properties keep the fetch path honest:
+//! its retrying policy. When the owner is down, the fetch falls back to
+//! the digest's **successor** (second-highest rendezvous score — exactly
+//! the node that becomes owner once the death is observed), which holds
+//! a pushed replica of every result the owner computed; only when both
+//! fail does the node compute locally. Two properties keep the fetch
+//! path honest:
 //!
 //! * **membership is proven, not claimed** — every node shares a fleet
 //!   [`FleetConfig::secret`], peer requests carry it as `fleet_token`,
 //!   and the owner only honors the `peer` exemption from quota charging
 //!   when the token matches ([`FleetConfig::accepts_token`]). A hostile
 //!   client writing `"peer":true` into its own requests is charged to
-//!   its session tenant like everyone else.
+//!   its session tenant like everyone else. The same secret gates the
+//!   `join`/`leave`/`drain`/`replicate` admin and replication commands.
 //! * **a fetch costs bounded time** — each attempt is clamped to
 //!   [`FleetConfig::io_timeout`] *and* the requesting client's own
 //!   wall-clock deadline, whichever is shorter, so a dead or wedged
@@ -35,17 +64,25 @@
 //!   request would have timed out anyway.
 
 use crate::cache::{status_from_str, CachedResult};
-use crate::client::{run_with_retries_until, ClientError, RetryPolicy, RunOpts};
+use crate::client::{run_with_retries_until, Client, ClientError, RetryPolicy, RunOpts};
 use crate::engine::Request;
+use crate::sync::lock;
+use roofline_core::json::{Envelope, Json};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Static fleet topology + fetch tuning, carried on
-/// [`crate::engine::EngineConfig`].
+/// Boot-time fleet topology + fetch/probe tuning, carried on
+/// [`crate::engine::EngineConfig`]. The peer list only seeds the
+/// [`MembershipView`]; after boot, membership moves via health
+/// observations and `join`/`leave`.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// This node's own address as it appears in [`FleetConfig::peers`].
     pub self_addr: String,
-    /// Every node of the fleet, this node included. Order is
+    /// Every node of the fleet at boot, this node included. Order is
     /// irrelevant; duplicates are ignored.
     pub peers: Vec<String>,
     /// Shared hash seed; all nodes must agree or ownership splits.
@@ -58,19 +95,25 @@ pub struct FleetConfig {
     pub secret: String,
     /// Retry policy for peer fetches (attempts, seeded backoff).
     pub retry: RetryPolicy,
-    /// Per-attempt connect/read/write bound for peer fetches — a dead
-    /// owner must cost bounded time before the local-compute fallback.
-    /// Clamped further to the requesting client's own deadline at fetch
-    /// time.
+    /// Per-attempt connect/read/write bound for peer fetches and health
+    /// probes — a dead owner must cost bounded time before the
+    /// successor/local-compute fallback. Clamped further to the
+    /// requesting client's own deadline at fetch time.
     pub io_timeout: Duration,
+    /// How often the [`HealthProber`] pings every other member.
+    pub probe_interval: Duration,
+    /// Consecutive failure observations (probe or fetch) after which a
+    /// member is suspected and dropped from the live view. The first
+    /// success re-admits it.
+    pub probe_failures: u32,
 }
 
 impl FleetConfig {
     /// A config with default fetch tuning: one attempt with a 5 s I/O
-    /// bound. A fetch holds a worker slot while it blocks, so the
-    /// default leans toward the cheap local-compute fallback; raise
-    /// `io_timeout` only when the owner's cold compute is genuinely
-    /// worth waiting out.
+    /// bound, probes every second, and suspicion after 3 consecutive
+    /// failures. A fetch holds a worker slot while it blocks, so the
+    /// default leans toward the cheap fallback; raise `io_timeout` only
+    /// when the owner's cold compute is genuinely worth waiting out.
     pub fn new(
         self_addr: impl Into<String>,
         peers: Vec<String>,
@@ -89,6 +132,8 @@ impl FleetConfig {
                 seed,
             },
             io_timeout: Duration::from_secs(5),
+            probe_interval: Duration::from_secs(1),
+            probe_failures: 3,
         }
     }
 
@@ -137,17 +182,87 @@ pub fn owner_of<'a>(peers: &'a [String], seed: u64, digest: &str) -> Option<&'a 
         .map(|(_, p)| p)
 }
 
-/// The runtime side of [`FleetConfig`]: ownership decisions and peer
-/// fetches.
+/// The successor of `digest` among `peers`: second-highest rendezvous
+/// score — exactly the node that becomes owner if the current owner
+/// leaves, which is why the owner replicates its fresh computes there
+/// and why a fetch falls back to it when the owner is down.
+pub fn successor_of<'a>(peers: &'a [String], seed: u64, digest: &str) -> Option<&'a str> {
+    let owner = owner_of(peers, seed, digest)?;
+    peers
+        .iter()
+        .filter(|p| p.as_str() != owner)
+        .map(|p| (rendezvous_score(seed, digest, p), p.as_str()))
+        .max()
+        .map(|(_, p)| p)
+}
+
+/// One frozen view of fleet membership: the live peer set and the epoch
+/// that versions it. The epoch bumps on every live-set transition
+/// (suspicion, re-admission, join, leave, gossip adoption), so two
+/// views are comparable at a glance and two nodes applying the same
+/// observations agree on both fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipView {
+    /// Monotonic live-set transition counter, reported in `stats`.
+    pub epoch: u64,
+    /// The members currently considered alive, sorted by address.
+    pub peers: Vec<String>,
+}
+
+/// The locked membership state behind [`Fleet`]. `members` is the
+/// admin-managed list (versioned for gossip); `failures` holds each
+/// member's consecutive-failure count; the live view derives from both.
+#[derive(Debug)]
+struct ViewState {
+    /// Live-set transition counter — see [`MembershipView::epoch`].
+    epoch: u64,
+    /// Membership-edit counter, bumped only by `join`/`leave`; gossip
+    /// adopts the member list with the higher version.
+    version: u64,
+    /// Every configured member (live or suspect), sorted.
+    members: Vec<String>,
+    /// Consecutive failure observations per member.
+    failures: BTreeMap<String, u32>,
+}
+
+impl ViewState {
+    fn live(&self, threshold: u32) -> Vec<String> {
+        self.members
+            .iter()
+            .filter(|p| self.failures.get(*p).copied().unwrap_or(0) < threshold)
+            .cloned()
+            .collect()
+    }
+}
+
+/// The runtime side of [`FleetConfig`]: the membership view, ownership
+/// decisions, and peer fetches. Shared (`Arc`) between the engine's
+/// request path and the [`HealthProber`].
 #[derive(Debug)]
 pub struct Fleet {
     cfg: FleetConfig,
+    view: Mutex<ViewState>,
 }
 
 impl Fleet {
-    /// Builds the fleet handle.
+    /// Builds the fleet handle; the boot peer list (self included,
+    /// deduplicated, sorted) seeds the membership view at epoch 0.
     pub fn new(cfg: FleetConfig) -> Fleet {
-        Fleet { cfg }
+        let mut members: Vec<String> = cfg.peers.clone();
+        if !members.contains(&cfg.self_addr) {
+            members.push(cfg.self_addr.clone());
+        }
+        members.sort();
+        members.dedup();
+        Fleet {
+            view: Mutex::new(ViewState {
+                epoch: 0,
+                version: 0,
+                members,
+                failures: BTreeMap::new(),
+            }),
+            cfg,
+        }
     }
 
     /// The configuration this fleet was built from.
@@ -155,36 +270,194 @@ impl Fleet {
         &self.cfg
     }
 
-    /// The owner of `digest`, whoever it is.
-    pub fn owner(&self, digest: &str) -> Option<&str> {
-        owner_of(&self.cfg.peers, self.cfg.seed, digest)
+    /// The current live view: epoch + live peers, sorted.
+    pub fn view(&self) -> MembershipView {
+        let st = lock(&self.view);
+        MembershipView {
+            epoch: st.epoch,
+            peers: st.live(self.cfg.probe_failures),
+        }
+    }
+
+    /// The current live-set epoch.
+    pub fn epoch(&self) -> u64 {
+        lock(&self.view).epoch
+    }
+
+    /// The admin-managed member list and its gossip version — what a
+    /// pong advertises so peers can adopt newer membership.
+    pub fn members(&self) -> (u64, Vec<String>) {
+        let st = lock(&self.view);
+        (st.version, st.members.clone())
+    }
+
+    /// The members the prober must ping: everyone but this node,
+    /// suspects included (suspicion is how they get back in).
+    pub fn probe_targets(&self) -> Vec<String> {
+        lock(&self.view)
+            .members
+            .iter()
+            .filter(|p| **p != self.cfg.self_addr)
+            .cloned()
+            .collect()
+    }
+
+    /// Records one failure observation (failed probe or peer fetch)
+    /// against `peer`. Crossing [`FleetConfig::probe_failures`]
+    /// consecutive failures drops the peer from the live view and bumps
+    /// the epoch. Observations about non-members and about this node
+    /// itself are ignored. Returns true when the live view changed.
+    pub fn mark_failure(&self, peer: &str) -> bool {
+        if peer == self.cfg.self_addr {
+            return false;
+        }
+        let mut st = lock(&self.view);
+        if !st.members.iter().any(|p| p == peer) {
+            return false;
+        }
+        let count = st.failures.entry(peer.to_string()).or_insert(0);
+        *count = count.saturating_add(1);
+        if *count == self.cfg.probe_failures {
+            st.epoch += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Records one success observation (pong or served fetch) for
+    /// `peer`, resetting its failure count. A suspect peer is
+    /// re-admitted to the live view, bumping the epoch. Returns true
+    /// when the live view changed.
+    pub fn mark_success(&self, peer: &str) -> bool {
+        let mut st = lock(&self.view);
+        if !st.members.iter().any(|p| p == peer) {
+            return false;
+        }
+        let was_suspect = st.failures.get(peer).copied().unwrap_or(0) >= self.cfg.probe_failures;
+        st.failures.remove(peer);
+        if was_suspect {
+            st.epoch += 1;
+        }
+        was_suspect
+    }
+
+    /// Admits `peer` to the member list (admin `join`), bumping the
+    /// membership version and the epoch. Idempotent: re-joining an
+    /// existing member changes nothing and returns false.
+    pub fn join(&self, peer: &str) -> bool {
+        let mut st = lock(&self.view);
+        if st.members.iter().any(|p| p == peer) {
+            return false;
+        }
+        st.members.push(peer.to_string());
+        st.members.sort();
+        st.version += 1;
+        st.epoch += 1;
+        true
+    }
+
+    /// Removes `peer` from the member list (admin `leave`), bumping the
+    /// membership version — and the epoch when the peer was live.
+    /// Returns false when `peer` was not a member.
+    pub fn leave(&self, peer: &str) -> bool {
+        let mut st = lock(&self.view);
+        let before = st.members.len();
+        let was_live = st.failures.get(peer).copied().unwrap_or(0) < self.cfg.probe_failures;
+        st.members.retain(|p| p != peer);
+        if st.members.len() == before {
+            return false;
+        }
+        st.failures.remove(peer);
+        st.version += 1;
+        if was_live {
+            st.epoch += 1;
+        }
+        true
+    }
+
+    /// Adopts a gossiped member list when its `version` is newer than
+    /// this node's. Failure counts carry over for retained members, so
+    /// adopting a list cannot resurrect a suspect. Returns true when
+    /// the list was adopted.
+    pub fn adopt(&self, version: u64, members: &[String]) -> bool {
+        let mut st = lock(&self.view);
+        if version <= st.version || members.is_empty() {
+            return false;
+        }
+        let mut adopted: Vec<String> = members.to_vec();
+        adopted.sort();
+        adopted.dedup();
+        let live_before = st.live(self.cfg.probe_failures);
+        st.failures.retain(|p, _| adopted.contains(p));
+        st.members = adopted;
+        st.version = version;
+        if st.live(self.cfg.probe_failures) != live_before {
+            st.epoch += 1;
+        }
+        true
+    }
+
+    /// The owner of `digest` in the current live view.
+    pub fn owner(&self, digest: &str) -> Option<String> {
+        let live = self.view().peers;
+        owner_of(&live, self.cfg.seed, digest).map(str::to_string)
     }
 
     /// The owner of `digest` when it is *another* node — `None` means
-    /// this node owns the digest (or the peer list is empty) and must
+    /// this node owns the digest (or the live view is empty) and must
     /// compute locally.
-    pub fn remote_owner(&self, digest: &str) -> Option<&str> {
-        self.owner(digest).filter(|&o| o != self.cfg.self_addr)
+    pub fn remote_owner(&self, digest: &str) -> Option<String> {
+        self.owner(digest).filter(|o| *o != self.cfg.self_addr)
     }
 
-    /// Fetches the result for `req` from the owning peer, spending at
-    /// most the time until `deadline`. The request is marked `peer:true`
-    /// with the shared fleet secret as `fleet_token`, so the owner
-    /// serves it locally (no forwarding chains, no quota charge) — see
-    /// the module docs.
+    /// True when this node owns `digest` in the current live view — the
+    /// gate on pushing a fresh compute to the successor.
+    pub fn is_owner(&self, digest: &str) -> bool {
+        self.owner(digest).as_deref() == Some(self.cfg.self_addr.as_str())
+    }
+
+    /// The successor of `digest` in the current live view: the
+    /// replication target (when this node owns the digest) and the fetch
+    /// fallback (when the owner is down).
+    pub fn successor(&self, digest: &str) -> Option<String> {
+        let live = self.view().peers;
+        successor_of(&live, self.cfg.seed, digest).map(str::to_string)
+    }
+
+    /// The owner of `digest` if `excluded` were gone from the live
+    /// view: the node that inherits the digest once the exclusion is
+    /// observed fleet-wide — identical to [`Fleet::successor`] while
+    /// `excluded` is the live owner, and to the plain owner once the
+    /// view has already dropped it, so the fetch fallback targets the
+    /// same node in both states.
+    pub fn owner_excluding(&self, digest: &str, excluded: &str) -> Option<String> {
+        let live: Vec<String> = self
+            .view()
+            .peers
+            .into_iter()
+            .filter(|p| p != excluded)
+            .collect();
+        owner_of(&live, self.cfg.seed, digest).map(str::to_string)
+    }
+
+    /// Fetches the result for `req` from `from` (the owner, or its
+    /// successor on fallback), spending at most the time until
+    /// `deadline`. The request is marked `peer:true` with the shared
+    /// fleet secret as `fleet_token`, so the remote serves it locally
+    /// (no forwarding chains, no quota charge) — see the module docs.
     ///
     /// # Errors
     ///
     /// Whatever the last fetch attempt failed with; the caller falls
-    /// back to local compute.
+    /// back to the successor or local compute.
     pub fn fetch(
         &self,
-        owner: &str,
+        from: &str,
         req: &Request,
         deadline: Instant,
     ) -> Result<CachedResult, ClientError> {
         let reply = run_with_retries_until(
-            owner,
+            from,
             &RunOpts {
                 experiment: req.experiment,
                 platform: req.platform.clone(),
@@ -210,6 +483,130 @@ impl Fleet {
             compute_ms: None,
             tree: reply.artifacts,
         })
+    }
+
+    /// Pushes a freshly computed result to `to` (the digest's
+    /// successor) via the authenticated `replicate` command, bounded by
+    /// [`FleetConfig::io_timeout`].
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol failure; replication is best-effort and
+    /// the caller only counts the outcome.
+    pub fn replicate(
+        &self,
+        to: &str,
+        req: &Request,
+        result: &CachedResult,
+    ) -> Result<(), ClientError> {
+        let mut client = Client::connect_with(to, Some(self.cfg.io_timeout))?;
+        let mut env = Envelope::new("replicate")
+            .field("fleet_token", Json::str(&self.cfg.secret))
+            .field("experiment", Json::str(req.experiment.id()))
+            .field("platform", Json::str(&req.platform))
+            .field("fidelity", Json::str(req.fidelity.label()))
+            .field("status", Json::str(result.status.as_str()));
+        if let Some(error) = &result.error {
+            env = env.field("error", Json::str(error));
+        }
+        if let Some(detail) = &result.detail {
+            env = env.field("detail", Json::str(detail));
+        }
+        if !result.integrity.is_empty() {
+            env = env.field(
+                "integrity",
+                Json::Arr(result.integrity.iter().map(Json::str).collect()),
+            );
+        }
+        let artifacts = result
+            .tree
+            .iter()
+            .map(|(name, contents)| (name.clone(), Json::str(contents)))
+            .collect();
+        env = env.field("artifacts", Json::Obj(artifacts));
+        client.request(env, "replicated").map(|_| ())
+    }
+}
+
+/// The health prober: a background thread that pings every other member
+/// each [`FleetConfig::probe_interval`] with an authenticated `ping`
+/// (fleet token + this node's epoch and address), feeding the
+/// [`Fleet`]'s failure/success counters and adopting gossiped
+/// membership from the pongs. Dropping the prober stops the thread.
+#[derive(Debug)]
+pub struct HealthProber {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl HealthProber {
+    /// Spawns the prober over `fleet`. A standalone view (no members
+    /// beyond this node at spawn time) still probes — `join` can add
+    /// members later.
+    pub fn spawn(fleet: Arc<Fleet>) -> HealthProber {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            while !flag.load(Ordering::Relaxed) {
+                for peer in fleet.probe_targets() {
+                    if flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    match Self::probe_one(&fleet, &peer) {
+                        Ok((version, members)) => {
+                            fleet.mark_success(&peer);
+                            fleet.adopt(version, &members);
+                        }
+                        Err(_) => {
+                            fleet.mark_failure(&peer);
+                        }
+                    }
+                }
+                // Sleep in short slices so drop() never blocks a full
+                // probe interval.
+                let wake = Instant::now() + fleet.config().probe_interval;
+                while Instant::now() < wake {
+                    if flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        });
+        HealthProber {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn probe_one(fleet: &Fleet, peer: &str) -> Result<(u64, Vec<String>), ClientError> {
+        let cfg = fleet.config();
+        let mut client = Client::connect_with(peer, Some(cfg.io_timeout))?;
+        // The ping carries this node's membership so gossip flows both
+        // ways: the responder adopts a newer list from the request, the
+        // prober adopts a newer one from the pong. A freshly joined node
+        // learns the fleet from the first probe that reaches it.
+        let (version, members) = fleet.members();
+        let pong = client.fleet_ping(&cfg.secret, fleet.epoch(), &cfg.self_addr, version, &members)?;
+        Ok((pong.version, pong.members))
+    }
+
+    /// Signals the probe thread to stop and joins it.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for HealthProber {
+    fn drop(&mut self) {
+        self.halt();
     }
 }
 
@@ -261,6 +658,27 @@ mod tests {
     }
 
     #[test]
+    fn successor_is_the_owner_after_the_owner_leaves() {
+        // The property replication banks on: the fallback target is
+        // exactly the node that inherits the digest once the owner's
+        // death is observed.
+        let list = peers(&["node-a", "node-b", "node-c", "node-d"]);
+        for i in 0..128 {
+            let digest = format!("{i:016x}");
+            let owner = owner_of(&list, 9, &digest).unwrap().to_string();
+            let successor = successor_of(&list, 9, &digest).unwrap().to_string();
+            assert_ne!(owner, successor);
+            let without_owner: Vec<String> =
+                list.iter().filter(|p| **p != owner).cloned().collect();
+            assert_eq!(
+                owner_of(&without_owner, 9, &digest),
+                Some(successor.as_str()),
+                "{digest}"
+            );
+        }
+    }
+
+    #[test]
     fn remote_owner_excludes_self() {
         let cfg = FleetConfig::new("b", peers(&["a", "b", "c"]), 9, "s3cret");
         let fleet = Fleet::new(cfg);
@@ -268,7 +686,7 @@ mod tests {
             let digest = format!("{i:016x}");
             match fleet.remote_owner(&digest) {
                 Some(owner) => assert_ne!(owner, "b"),
-                None => assert_eq!(fleet.owner(&digest), Some("b")),
+                None => assert_eq!(fleet.owner(&digest).as_deref(), Some("b")),
             }
         }
     }
@@ -277,6 +695,7 @@ mod tests {
     fn single_node_fleet_always_computes_locally() {
         let fleet = Fleet::new(FleetConfig::new("only", peers(&["only"]), 3, "s3cret"));
         assert_eq!(fleet.remote_owner("deadbeef"), None);
+        assert_eq!(fleet.successor("deadbeef"), None);
     }
 
     #[test]
@@ -291,5 +710,116 @@ mod tests {
         let open = FleetConfig::new("a", peers(&["a", "b"]), 1, "");
         assert!(!open.accepts_token(""));
         assert!(!open.accepts_token("anything"));
+    }
+
+    #[test]
+    fn consecutive_failures_suspect_then_one_success_readmits() {
+        let fleet = Fleet::new(FleetConfig::new("a", peers(&["a", "b", "c"]), 1, "s"));
+        assert_eq!(fleet.view().epoch, 0);
+        // Two failures: still live (threshold is 3).
+        assert!(!fleet.mark_failure("b"));
+        assert!(!fleet.mark_failure("b"));
+        assert_eq!(fleet.view().peers, peers(&["a", "b", "c"]));
+        // A success in between resets the count: the threshold counts
+        // *consecutive* failures only.
+        assert!(!fleet.mark_success("b"));
+        assert!(!fleet.mark_failure("b"));
+        assert!(!fleet.mark_failure("b"));
+        assert!(fleet.mark_failure("b"), "third consecutive failure suspects");
+        let view = fleet.view();
+        assert_eq!(view.peers, peers(&["a", "c"]), "b suspected after 3");
+        assert_eq!(view.epoch, 1);
+        // Further failures don't bump the epoch again.
+        assert!(!fleet.mark_failure("b"));
+        assert_eq!(fleet.view().epoch, 1);
+        // One success re-admits.
+        assert!(fleet.mark_success("b"));
+        let view = fleet.view();
+        assert_eq!(view.peers, peers(&["a", "b", "c"]));
+        assert_eq!(view.epoch, 2);
+    }
+
+    #[test]
+    fn self_is_never_suspected() {
+        let fleet = Fleet::new(FleetConfig::new("a", peers(&["a", "b"]), 1, "s"));
+        for _ in 0..10 {
+            fleet.mark_failure("a");
+        }
+        assert!(fleet.view().peers.contains(&"a".to_string()));
+        assert_eq!(fleet.view().epoch, 0);
+    }
+
+    #[test]
+    fn join_and_leave_edit_members_and_bump_version_and_epoch() {
+        let fleet = Fleet::new(FleetConfig::new("a", peers(&["a", "b"]), 1, "s"));
+        assert!(fleet.join("c"));
+        assert!(!fleet.join("c"), "join is idempotent");
+        let (version, members) = fleet.members();
+        assert_eq!(version, 1);
+        assert_eq!(members, peers(&["a", "b", "c"]));
+        assert_eq!(fleet.view().epoch, 1);
+        assert!(fleet.leave("b"));
+        assert!(!fleet.leave("b"), "leaving twice is a no-op");
+        let (version, members) = fleet.members();
+        assert_eq!(version, 2);
+        assert_eq!(members, peers(&["a", "c"]));
+        assert_eq!(fleet.view().epoch, 2);
+    }
+
+    #[test]
+    fn leaving_a_suspect_bumps_version_but_not_epoch() {
+        let fleet = Fleet::new(FleetConfig::new("a", peers(&["a", "b"]), 1, "s"));
+        for _ in 0..3 {
+            fleet.mark_failure("b");
+        }
+        let epoch = fleet.view().epoch;
+        assert!(fleet.leave("b"));
+        assert_eq!(
+            fleet.view().epoch,
+            epoch,
+            "removing an already-dead member does not move the live set"
+        );
+        assert_eq!(fleet.members().1, peers(&["a"]));
+    }
+
+    #[test]
+    fn adopt_takes_newer_versions_only_and_keeps_failure_counts() {
+        let fleet = Fleet::new(FleetConfig::new("a", peers(&["a", "b"]), 1, "s"));
+        for _ in 0..3 {
+            fleet.mark_failure("b");
+        }
+        // A stale or equal version is refused.
+        assert!(!fleet.adopt(0, &peers(&["a", "b", "c"])));
+        // A newer version is adopted; the suspect stays suspect.
+        assert!(fleet.adopt(5, &peers(&["a", "b", "c"])));
+        let (version, members) = fleet.members();
+        assert_eq!(version, 5);
+        assert_eq!(members, peers(&["a", "b", "c"]));
+        assert_eq!(fleet.view().peers, peers(&["a", "c"]), "b is still suspect");
+        // Replays of the same version are refused.
+        assert!(!fleet.adopt(5, &peers(&["a"])));
+    }
+
+    #[test]
+    fn suspects_drop_out_of_ownership_and_successor_inherits() {
+        let addrs = peers(&["n1", "n2", "n3"]);
+        let fleet = Fleet::new(FleetConfig::new("n1", addrs.clone(), 42, "s"));
+        // Find a digest owned by a remote node.
+        let (digest, owner) = (0..256)
+            .map(|i| format!("{i:016x}"))
+            .find_map(|d| {
+                let o = fleet.owner(&d)?;
+                (o != "n1").then_some((d, o))
+            })
+            .expect("some digest is remotely owned");
+        let successor = fleet.successor(&digest).expect("successor");
+        for _ in 0..fleet.config().probe_failures {
+            fleet.mark_failure(&owner);
+        }
+        assert_eq!(
+            fleet.owner(&digest),
+            Some(successor.clone()),
+            "the successor inherits the suspect's digests"
+        );
     }
 }

@@ -2,9 +2,10 @@
 //! envelopes out, independent of the TCP plumbing so it can be tested
 //! without sockets.
 //!
-//! Request kinds: `run`, `stats`, `purge`, `ping`, `auth`, `shutdown`.
-//! Response kinds: `result`, `stats`, `purged`, `pong`, `authed`,
-//! `shutting-down`, `busy`, `error`. Every response echoes the request's
+//! Request kinds: `run`, `stats`, `purge`, `ping`, `auth`, `join`,
+//! `leave`, `drain`, `replicate`, `shutdown`. Response kinds: `result`,
+//! `stats`, `purged`, `pong`, `authed`, `joined`, `left`, `draining`,
+//! `replicated`, `shutting-down`, `busy`, `error`. Every response echoes the request's
 //! `seq` so clients can pipeline (the one exception: a connection shed
 //! by the concurrency gate gets a seq-less `busy`, written before any
 //! request was read). A malformed or invalid request produces an `error`
@@ -29,7 +30,18 @@
 //! configured fleet secret ([`crate::fleet::FleetConfig::secret`]).
 //! Anything less is charged to the session tenant like an ordinary
 //! request.
+//!
+//! The same secret gates the fleet-internal and admin surface: a `ping`
+//! carrying a valid `fleet_token` (plus the sender's `epoch` and `from`
+//! address) gets a pong with this node's epoch, membership version, and
+//! member list — the health prober's gossip channel — and doubles as a
+//! liveness observation re-admitting the sender. `join`/`leave` edit
+//! the member list, `drain` stops new admissions ahead of a `leave`,
+//! and `replicate` installs an owner-pushed result into this node's
+//! cache. All four answer `unauthorized` without the secret, counted
+//! against the same [`MAX_FAILED_AUTHS`] budget as bad `auth` tokens.
 
+use crate::cache::{status_from_str, CachedResult};
 use crate::engine::{Done, Engine, Outcome, Request, SubmitOpts};
 use crate::stats::StatsSnapshot;
 use experiments::platforms::Fidelity;
@@ -210,6 +222,12 @@ pub fn stats_envelope(seq: Option<&str>, s: &StatsSnapshot) -> Envelope {
         .field("quota_rejections", Json::num(s.quota_rejections as f64))
         .field("peer_hits", Json::num(s.peer_hits as f64))
         .field("peer_misses", Json::num(s.peer_misses as f64))
+        .field("replica_pushes", Json::num(s.replica_pushes as f64))
+        .field("replica_installs", Json::num(s.replica_installs as f64))
+        .field("replica_hits", Json::num(s.replica_hits as f64))
+        .field("epoch", Json::num(s.epoch as f64))
+        .field("peers_live", Json::num(s.peers_live as f64))
+        .field("draining", Json::Bool(s.draining))
         .field("p50_ms", Json::num(s.p50_ms as f64))
         .field("p90_ms", Json::num(s.p90_ms as f64))
         .field("p99_ms", Json::num(s.p99_ms as f64))
@@ -270,13 +288,64 @@ pub fn dispatch_session(engine: &Engine, session: &mut Session, line: &str) -> D
     let seq = seq.as_deref();
     let mut shutdown = false;
     let mut close = false;
+    // Failed proofs of fleet membership (admin commands, authenticated
+    // pings) share the bad-`auth` brute-force budget: the connection
+    // survives a few, then closes.
+    let fleet_unauthorized = |session: &mut Session, close: &mut bool, what: &str| {
+        session.failed_auths += 1;
+        let detail = if session.failed_auths >= MAX_FAILED_AUTHS {
+            *close = true;
+            format!(
+                "{what} requires the fleet secret; {MAX_FAILED_AUTHS} failed attempts, \
+                 closing the connection"
+            )
+        } else {
+            format!("{what} requires the fleet secret")
+        };
+        error_envelope(seq, error_code::UNAUTHORIZED, detail)
+    };
     let reply = match env.kind.as_str() {
         "ping" => {
             let mut pong = Envelope::new("pong");
             if let Some(seq) = seq {
                 pong = pong.seq(seq);
             }
-            pong
+            match env.get("fleet_token").and_then(Json::as_str) {
+                // A plain ping stays the unauthenticated health check it
+                // always was.
+                None => pong,
+                Some(token) if engine.verify_peer(Some(token)) => {
+                    let fleet = engine.fleet().expect("verify_peer implies a fleet");
+                    // Gossip rides the ping in both directions: adopt the
+                    // sender's member list when it is newer (this is how a
+                    // cold-joined node learns the fleet), and answer with
+                    // ours below so the sender can do the same.
+                    if let (Some(version), Some(members)) = (
+                        env.get("version").and_then(Json::as_u64),
+                        env.get("members").and_then(Json::as_arr),
+                    ) {
+                        let members: Vec<String> = members
+                            .iter()
+                            .filter_map(|m| m.as_str().map(str::to_string))
+                            .collect();
+                        fleet.adopt(version, &members);
+                    }
+                    // The ping itself proves the sender is alive: a
+                    // restarted member is re-admitted by its own probes
+                    // before ours next reach it.
+                    if let Some(from) = env.get("from").and_then(Json::as_str) {
+                        fleet.mark_success(from);
+                    }
+                    let (version, members) = fleet.members();
+                    pong.field("epoch", Json::num(fleet.epoch() as f64))
+                        .field("version", Json::num(version as f64))
+                        .field(
+                            "members",
+                            Json::Arr(members.iter().map(Json::str).collect()),
+                        )
+                }
+                Some(_) => fleet_unauthorized(session, &mut close, "an authenticated ping"),
+            }
         }
         "stats" => stats_envelope(seq, &engine.stats()),
         "purge" => {
@@ -389,11 +458,107 @@ pub fn dispatch_session(engine: &Engine, session: &mut Session, line: &str) -> D
                 }
             }
         },
+        kind @ ("join" | "leave") => match env.get("fleet_token").and_then(Json::as_str) {
+            Some(token) if engine.verify_peer(Some(token)) => {
+                let fleet = engine.fleet().expect("verify_peer implies a fleet");
+                match env.get("peer").and_then(Json::as_str) {
+                    None => error_envelope(
+                        seq,
+                        error_code::BAD_REQUEST,
+                        format!("{kind} request lacks a string `peer` field"),
+                    ),
+                    Some(peer) => {
+                        let changed = if kind == "join" {
+                            fleet.join(peer)
+                        } else {
+                            fleet.leave(peer)
+                        };
+                        let (version, members) = fleet.members();
+                        let mut reply =
+                            Envelope::new(if kind == "join" { "joined" } else { "left" });
+                        if let Some(seq) = seq {
+                            reply = reply.seq(seq);
+                        }
+                        reply
+                            .field("changed", Json::Bool(changed))
+                            .field("epoch", Json::num(fleet.epoch() as f64))
+                            .field("version", Json::num(version as f64))
+                            .field(
+                                "peers",
+                                Json::Arr(members.iter().map(Json::str).collect()),
+                            )
+                    }
+                }
+            }
+            _ => fleet_unauthorized(session, &mut close, "membership editing"),
+        },
+        "drain" => match env.get("fleet_token").and_then(Json::as_str) {
+            Some(token) if engine.verify_peer(Some(token)) => {
+                engine.set_draining(true);
+                let mut reply = Envelope::new("draining");
+                if let Some(seq) = seq {
+                    reply = reply.seq(seq);
+                }
+                reply
+            }
+            _ => fleet_unauthorized(session, &mut close, "drain"),
+        },
+        "replicate" => match env.get("fleet_token").and_then(Json::as_str) {
+            Some(token) if engine.verify_peer(Some(token)) => match parse_run_request(&env) {
+                Err(error) => *error,
+                Ok(req) => {
+                    let status = env.get("status").and_then(Json::as_str).unwrap_or("pass");
+                    match status_from_str(status) {
+                        None => error_envelope(
+                            seq,
+                            error_code::BAD_REQUEST,
+                            format!("replicate request carries unknown status `{status}`"),
+                        ),
+                        Some(status) => {
+                            let owned = |j: &Json| j.as_str().map(str::to_string);
+                            let result = CachedResult {
+                                status,
+                                error: env.get("error").and_then(&owned),
+                                detail: env.get("detail").and_then(&owned),
+                                integrity: env
+                                    .get("integrity")
+                                    .and_then(Json::as_arr)
+                                    .map(|a| a.iter().filter_map(owned).collect())
+                                    .unwrap_or_default(),
+                                // Replicas never carry the owner's compute
+                                // timing: like a disk reload, the copy is
+                                // provenance-stripped.
+                                compute_ms: None,
+                                tree: env
+                                    .get("artifacts")
+                                    .and_then(Json::as_obj)
+                                    .map(|o| {
+                                        o.iter()
+                                            .filter_map(|(k, v)| {
+                                                v.as_str().map(|s| (k.clone(), s.to_string()))
+                                            })
+                                            .collect()
+                                    })
+                                    .unwrap_or_default(),
+                            };
+                            let installed = engine.install_replica(&req, result);
+                            let mut reply = Envelope::new("replicated");
+                            if let Some(seq) = seq {
+                                reply = reply.seq(seq);
+                            }
+                            reply.field("installed", Json::Bool(installed))
+                        }
+                    }
+                }
+            },
+            _ => fleet_unauthorized(session, &mut close, "replicate"),
+        },
         other => error_envelope(
             seq,
             error_code::UNKNOWN_COMMAND,
             format!(
-                "unknown command `{other}` (expected run, stats, purge, ping, auth, or shutdown)"
+                "unknown command `{other}` (expected run, stats, purge, ping, auth, join, \
+                 leave, drain, replicate, or shutdown)"
             ),
         ),
     };
@@ -694,6 +859,200 @@ mod tests {
                 reply.to_line()
             );
         }
+    }
+
+    /// An engine in a three-node fleet (self `here`, peers `b`, `c`)
+    /// whose secret is `s3cret-fleet`.
+    fn three_node_fleet_engine() -> Engine {
+        use crate::fleet::FleetConfig;
+        let cfg = EngineConfig {
+            fleet: Some(FleetConfig::new(
+                "here",
+                vec!["here".to_string(), "b".to_string(), "c".to_string()],
+                1,
+                "s3cret-fleet",
+            )),
+            ..EngineConfig::default()
+        };
+        Engine::with_compute(cfg, |e, platform, fidelity| {
+            let mut out = ExperimentOutput::new(e.id(), e.title());
+            out.finding("cell", format!("{}@{platform}/{}", e.id(), fidelity.label()));
+            out
+        })
+    }
+
+    #[test]
+    fn authenticated_ping_gossips_membership_and_readmits_the_sender() {
+        let engine = three_node_fleet_engine();
+        let fleet = engine.fleet().expect("fleet engine");
+        for _ in 0..fleet.config().probe_failures {
+            fleet.mark_failure("b");
+        }
+        assert_eq!(fleet.view().peers.len(), 2, "b is suspect");
+        let pong = dispatch_line(
+            &engine,
+            r#"{"v":1,"kind":"ping","fleet_token":"s3cret-fleet","from":"b","epoch":7}"#,
+        );
+        assert_eq!(pong.kind, "pong", "{}", pong.to_line());
+        assert_eq!(pong.get("epoch").unwrap().as_u64(), Some(fleet.epoch()));
+        assert!(pong.get("version").unwrap().as_u64().is_some());
+        let members: Vec<&str> = pong
+            .get("members")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert_eq!(members, ["b", "c", "here"], "sorted full member list");
+        assert_eq!(
+            fleet.view().peers.len(),
+            3,
+            "the ping itself re-admits the suspect sender"
+        );
+    }
+
+    #[test]
+    fn plain_ping_needs_no_token_even_on_a_fleet_node() {
+        let engine = three_node_fleet_engine();
+        let pong = dispatch_line(&engine, r#"{"v":1,"kind":"ping"}"#);
+        assert_eq!(pong.kind, "pong");
+        assert!(pong.get("members").is_none(), "no gossip without the secret");
+    }
+
+    #[test]
+    fn join_and_leave_edit_the_member_list_over_the_wire() {
+        let engine = three_node_fleet_engine();
+        let joined = dispatch_line(
+            &engine,
+            r#"{"v":1,"kind":"join","fleet_token":"s3cret-fleet","peer":"d","seq":"j1"}"#,
+        );
+        assert_eq!(joined.kind, "joined", "{}", joined.to_line());
+        assert_eq!(joined.seq.as_deref(), Some("j1"));
+        assert_eq!(joined.get("changed").unwrap().as_bool(), Some(true));
+        let peers: Vec<&str> = joined
+            .get("peers")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert_eq!(peers, ["b", "c", "d", "here"]);
+        // Idempotent: a second join changes nothing.
+        let again = dispatch_line(
+            &engine,
+            r#"{"v":1,"kind":"join","fleet_token":"s3cret-fleet","peer":"d"}"#,
+        );
+        assert_eq!(again.get("changed").unwrap().as_bool(), Some(false));
+        let left = dispatch_line(
+            &engine,
+            r#"{"v":1,"kind":"leave","fleet_token":"s3cret-fleet","peer":"b"}"#,
+        );
+        assert_eq!(left.kind, "left");
+        assert_eq!(left.get("changed").unwrap().as_bool(), Some(true));
+        let peers: Vec<&str> = left
+            .get("peers")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert_eq!(peers, ["c", "d", "here"]);
+        let missing = dispatch_line(
+            &engine,
+            r#"{"v":1,"kind":"join","fleet_token":"s3cret-fleet"}"#,
+        );
+        assert_eq!(
+            missing.get("code").unwrap().as_str(),
+            Some(error_code::BAD_REQUEST)
+        );
+    }
+
+    #[test]
+    fn admin_commands_without_the_secret_are_unauthorized_and_budgeted() {
+        let engine = three_node_fleet_engine();
+        let mut session = Session::default();
+        let lines = [
+            r#"{"v":1,"kind":"ping","fleet_token":"wrong"}"#,
+            r#"{"v":1,"kind":"join","fleet_token":"wrong","peer":"d"}"#,
+            r#"{"v":1,"kind":"drain","fleet_token":"wrong"}"#,
+        ];
+        for (i, line) in lines.iter().enumerate() {
+            let d = dispatch_session(&engine, &mut session, line);
+            assert_eq!(
+                d.reply.get("code").unwrap().as_str(),
+                Some(error_code::UNAUTHORIZED),
+                "{line}"
+            );
+            let last = i as u32 + 1 == MAX_FAILED_AUTHS;
+            assert_eq!(d.close, last, "attempt {} close={}", i + 1, d.close);
+        }
+        // Nothing changed: membership intact, not draining.
+        assert_eq!(engine.fleet().unwrap().view().peers.len(), 3);
+        assert!(!engine.draining());
+        // `replicate` without proof must not install anything either.
+        let d = dispatch_line(
+            &engine,
+            r#"{"v":1,"kind":"replicate","experiment":"E1","status":"pass","artifacts":{"x":"y"}}"#,
+        );
+        assert_eq!(
+            d.get("code").unwrap().as_str(),
+            Some(error_code::UNAUTHORIZED)
+        );
+        assert_eq!(engine.stats().replica_installs, 0);
+    }
+
+    #[test]
+    fn replicate_installs_a_servable_mem_hit() {
+        let engine = three_node_fleet_engine();
+        let line = r#"{"v":1,"kind":"replicate","fleet_token":"s3cret-fleet","experiment":"E1","platform":"snb","fidelity":"quick","status":"pass","artifacts":{"cell":"replicated-bytes"}}"#;
+        let reply = dispatch_line(&engine, line);
+        assert_eq!(reply.kind, "replicated", "{}", reply.to_line());
+        assert_eq!(reply.get("installed").unwrap().as_bool(), Some(true));
+        // The digest now serves from memory without a compute: the
+        // artifact bytes are exactly what the owner pushed.
+        let run = dispatch_line(
+            &engine,
+            r#"{"v":1,"kind":"run","experiment":"E1","platform":"snb","fidelity":"quick"}"#,
+        );
+        assert_eq!(run.kind, "result", "{}", run.to_line());
+        assert_eq!(run.get("source").unwrap().as_str(), Some("mem"));
+        assert_eq!(
+            run.get("artifacts").unwrap().get("cell").unwrap().as_str(),
+            Some("replicated-bytes")
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.replica_installs, 1);
+        assert_eq!(stats.misses, 0, "no compute happened");
+        let bad = dispatch_line(
+            &engine,
+            r#"{"v":1,"kind":"replicate","fleet_token":"s3cret-fleet","experiment":"E1","status":"weird"}"#,
+        );
+        assert_eq!(
+            bad.get("code").unwrap().as_str(),
+            Some(error_code::BAD_REQUEST)
+        );
+    }
+
+    #[test]
+    fn drain_refuses_new_computes_but_keeps_serving_hits() {
+        let engine = three_node_fleet_engine();
+        let warm = r#"{"v":1,"kind":"run","experiment":"E1"}"#;
+        assert_eq!(dispatch_line(&engine, warm).kind, "result");
+        let reply = dispatch_line(
+            &engine,
+            r#"{"v":1,"kind":"drain","fleet_token":"s3cret-fleet","seq":"d1"}"#,
+        );
+        assert_eq!(reply.kind, "draining", "{}", reply.to_line());
+        assert_eq!(reply.seq.as_deref(), Some("d1"));
+        assert!(engine.draining());
+        // Cached results still serve; fresh work is refused retryably.
+        let hit = dispatch_line(&engine, warm);
+        assert_eq!(hit.kind, "result");
+        assert_eq!(hit.get("source").unwrap().as_str(), Some("mem"));
+        let cold = dispatch_line(&engine, r#"{"v":1,"kind":"run","experiment":"E2"}"#);
+        assert_eq!(cold.kind, "busy", "{}", cold.to_line());
+        assert_eq!(engine.stats().busy, 1);
+        assert!(engine.stats().draining);
     }
 
     #[test]

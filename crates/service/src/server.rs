@@ -34,6 +34,7 @@
 
 use crate::engine::Engine;
 use crate::faults::{FaultLottery, ServiceFaults};
+use crate::fleet::HealthProber;
 use crate::protocol::{dispatch_session, error_code, error_envelope, Session};
 use roofline_core::json::{Envelope, Json};
 use std::io::{self, Read, Write};
@@ -176,6 +177,9 @@ impl Server {
         // Non-blocking accept so the loop can observe the shutdown flag
         // without a wedging `accept()` call in the way.
         self.listener.set_nonblocking(true)?;
+        // Fleet nodes probe their peers for as long as they serve; the
+        // prober stops (via Drop) when the accept loop exits.
+        let _prober = self.engine.fleet().map(HealthProber::spawn);
         let active = Arc::new(AtomicUsize::new(0));
         let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
         while !self.shutdown.load(Ordering::SeqCst) {

@@ -41,6 +41,9 @@ pub(crate) struct StatsInner {
     pub quota_rejections: u64,
     pub peer_hits: u64,
     pub peer_misses: u64,
+    pub replica_pushes: u64,
+    pub replica_installs: u64,
+    pub replica_hits: u64,
     pub tenants: BTreeMap<String, TenantCounters>,
     latencies: Vec<u64>,
     next_slot: usize,
@@ -95,6 +98,9 @@ impl StatsInner {
             quota_rejections: self.quota_rejections,
             peer_hits: self.peer_hits,
             peer_misses: self.peer_misses,
+            replica_pushes: self.replica_pushes,
+            replica_installs: self.replica_installs,
+            replica_hits: self.replica_hits,
             tenants: self.tenants.clone(),
             quarantined: gauges.quarantined,
             swept_tmp: gauges.swept_tmp,
@@ -103,6 +109,9 @@ impl StatsInner {
             backlog_ms: gauges.backlog_ms,
             entries: gauges.entries,
             bytes: gauges.bytes,
+            epoch: gauges.epoch,
+            peers_live: gauges.peers_live,
+            draining: gauges.draining,
             p50_ms: pct(50.0),
             p90_ms: pct(90.0),
             p99_ms: pct(99.0),
@@ -121,6 +130,9 @@ pub(crate) struct Gauges {
     pub bytes: usize,
     pub quarantined: u64,
     pub swept_tmp: u64,
+    pub epoch: u64,
+    pub peers_live: usize,
+    pub draining: bool,
 }
 
 /// One frozen view of the service counters — the payload of the `stats`
@@ -162,6 +174,16 @@ pub struct StatsSnapshot {
     /// Peer fetches that failed (owner down, slow, or malformed) and
     /// fell back to local compute.
     pub peer_misses: u64,
+    /// Fresh computes this node, as digest owner, pushed to the
+    /// digest's rendezvous successor via the `replicate` command.
+    pub replica_pushes: u64,
+    /// Replicated results this node installed into its cache on behalf
+    /// of an owner.
+    pub replica_installs: u64,
+    /// Peer fetches answered by the digest's successor after the owner
+    /// failed — the replica path that makes an owner death cost a peer
+    /// hop instead of a recompute.
+    pub replica_hits: u64,
     /// Per-tenant counters, sorted by tenant name.
     pub tenants: BTreeMap<String, TenantCounters>,
     /// Disk-cache entries that failed checksum verification and were
@@ -182,6 +204,15 @@ pub struct StatsSnapshot {
     pub entries: usize,
     /// Bytes held by the memory cache.
     pub bytes: usize,
+    /// The fleet membership view's live-set epoch (0 on a standalone
+    /// node): bumps on every suspicion, re-admission, join, or leave.
+    pub epoch: u64,
+    /// Members currently in the live view, this node included (0 on a
+    /// standalone node).
+    pub peers_live: usize,
+    /// True when this node is draining: new computations are refused
+    /// with `busy` while cache hits and in-flight work still serve.
+    pub draining: bool,
     /// Median end-to-end request latency (ms).
     pub p50_ms: u64,
     /// 90th-percentile latency (ms).

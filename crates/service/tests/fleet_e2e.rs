@@ -1,14 +1,15 @@
-//! End-to-end test of a three-node roofd fleet.
+//! End-to-end tests of a three-node roofd fleet.
 //!
 //! Rendezvous hashing assigns every digest exactly one owner, so the
 //! same request sent to all three nodes must compute exactly once: the
-//! owner runs the experiment, the two non-owners fetch the cached
-//! result from the owner and serve it as a peer hit. Every reply —
-//! owner-computed or peer-fetched — must be byte-identical to the
-//! serial `repro` artifact tree. A second test pins the fair-share
-//! quota behaviour: a tenant that drains its bucket gets retryable
-//! `quota` envelopes while a sibling tenant on the same node keeps
-//! being served.
+//! owner runs the experiment, the non-owners fetch the cached result
+//! from the owner and serve it as a peer hit. Every reply —
+//! owner-computed, replica-served, or peer-fetched — must be
+//! byte-identical to the serial `repro` artifact tree. Further tests
+//! pin the fair-share quota behaviour, owner-death survivability (the
+//! successor's pushed replica serves the digest without a recompute),
+//! and dynamic membership (a cold node joins via one admin command and
+//! ends up taking traffic).
 
 use experiments::platforms::Fidelity;
 use experiments::registry::Experiment;
@@ -16,14 +17,15 @@ use experiments::snapshot::{diff_trees, read_tree};
 use experiments::sweep::run_one;
 use roofline_service::auth::{AuthConfig, QuotaConfig};
 use roofline_service::client::{Client, ClientError};
-use roofline_service::engine::{Engine, EngineConfig};
-use roofline_service::fleet::FleetConfig;
+use roofline_service::engine::{Engine, EngineConfig, Request};
+use roofline_service::fleet::{owner_of, successor_of, FleetConfig};
 use roofline_service::server::{Server, ServerConfig, ShutdownHandle};
 use std::collections::BTreeMap;
 use std::fs;
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// The shared membership secret every node of a spawned fleet agrees on.
 const FLEET_SECRET: &str = "e2e-fleet-secret";
@@ -51,9 +53,35 @@ struct FleetNode {
     thread: JoinHandle<std::io::Result<()>>,
 }
 
+/// Spawns one roofd node on an already-bound listener.
+fn spawn_node(listener: TcpListener, addr: &str, auth: AuthConfig, fleet: Option<FleetConfig>) -> FleetNode {
+    let cfg = EngineConfig {
+        cache_dir: None,
+        workers: 2,
+        auth,
+        fleet,
+        ..EngineConfig::default()
+    };
+    let server = Server::from_listener(listener, Engine::new(cfg), ServerConfig::default());
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.serve());
+    FleetNode {
+        addr: addr.to_string(),
+        shutdown,
+        thread,
+    }
+}
+
 /// Spin up `n` roofd nodes that know about each other via rendezvous
-/// hashing, all sharing one auth configuration.
-fn spawn_fleet(n: usize, auth: AuthConfig, seed: u64) -> Vec<FleetNode> {
+/// hashing, all sharing one auth configuration; `tune` edits each
+/// node's fleet config (probe cadence, suspicion threshold) before it
+/// boots.
+fn spawn_fleet_tuned(
+    n: usize,
+    auth: AuthConfig,
+    seed: u64,
+    tune: impl Fn(&mut FleetConfig),
+) -> Vec<FleetNode> {
     let listeners: Vec<TcpListener> = (0..n)
         .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
         .collect();
@@ -65,24 +93,18 @@ fn spawn_fleet(n: usize, auth: AuthConfig, seed: u64) -> Vec<FleetNode> {
         .into_iter()
         .zip(addrs.iter())
         .map(|(listener, addr)| {
-            let cfg = EngineConfig {
-                cache_dir: None,
-                workers: 2,
-                auth: auth.clone(),
-                fleet: (n > 1)
-                    .then(|| FleetConfig::new(addr.clone(), addrs.clone(), seed, FLEET_SECRET)),
-                ..EngineConfig::default()
-            };
-            let server = Server::from_listener(listener, Engine::new(cfg), ServerConfig::default());
-            let shutdown = server.shutdown_handle();
-            let thread = std::thread::spawn(move || server.serve());
-            FleetNode {
-                addr: addr.clone(),
-                shutdown,
-                thread,
-            }
+            let fleet = (n > 1).then(|| {
+                let mut f = FleetConfig::new(addr.clone(), addrs.clone(), seed, FLEET_SECRET);
+                tune(&mut f);
+                f
+            });
+            spawn_node(listener, addr, auth.clone(), fleet)
         })
         .collect()
+}
+
+fn spawn_fleet(n: usize, auth: AuthConfig, seed: u64) -> Vec<FleetNode> {
+    spawn_fleet_tuned(n, auth, seed, |_| {})
 }
 
 fn stop_fleet(nodes: Vec<FleetNode>) {
@@ -127,12 +149,15 @@ fn fleet_computes_once_serves_peers_and_matches_serial_repro() {
         );
     }
 
-    // The two non-owners each served a peer fetch. The owner's own
-    // reply is "computed" when it was contacted first, or "mem" when a
-    // peer fetch already forced the computation before its turn.
+    // The owner's reply is "computed" when it was contacted first, or
+    // "mem" when a peer fetch already forced the computation before its
+    // turn. The successor answers from the replica the owner pushed
+    // ("mem") when its turn comes after the compute, or via its own
+    // peer fetch when it was contacted first — so between one and two
+    // replies say "peer" depending on the (ephemeral-port) arrangement.
     let sources: Vec<&str> = replies.iter().map(|r| r.source.as_str()).collect();
     let peer_served = sources.iter().filter(|s| **s == "peer").count();
-    assert_eq!(peer_served, 2, "sources: {sources:?}");
+    assert!((1..=2).contains(&peer_served), "sources: {sources:?}");
     assert!(
         sources
             .iter()
@@ -140,16 +165,25 @@ fn fleet_computes_once_serves_peers_and_matches_serial_repro() {
         "sources: {sources:?}"
     );
 
-    // Fleet-wide ledger agrees: one miss, two peer hits, no failed
-    // peer fetches anywhere.
+    // Fleet-wide ledger agrees: one miss, one peer hit per peer-served
+    // reply, no failed peer fetches anywhere, and exactly one replica
+    // pushed by the owner and installed at the successor. Nobody needed
+    // the fallback path, so no replica hits.
     let stats: Vec<BTreeMap<String, u64>> = nodes.iter().map(|n| node_stats(&n.addr)).collect();
     let sum = |key: &str| stats.iter().map(|s| s[key]).sum::<u64>();
     assert_eq!(sum("misses"), 1, "stats: {stats:?}");
-    assert_eq!(sum("peer_hits"), 2, "stats: {stats:?}");
+    assert_eq!(sum("peer_hits"), peer_served as u64, "stats: {stats:?}");
     assert_eq!(sum("peer_misses"), 0, "stats: {stats:?}");
+    assert_eq!(sum("replica_pushes"), 1, "stats: {stats:?}");
+    assert_eq!(sum("replica_installs"), 1, "stats: {stats:?}");
+    assert_eq!(sum("replica_hits"), 0, "stats: {stats:?}");
     assert_eq!(sum("in_flight"), 0);
+    // Every node still sees the whole fleet alive.
+    for s in &stats {
+        assert_eq!(s["peers_live"], 3, "stats: {stats:?}");
+    }
 
-    // The owner served the two peer fetches under the dedicated `fleet`
+    // The owner served the peer fetches under the dedicated `fleet`
     // ledger line, not the anonymous tenant: fleet-internal traffic must
     // never muddy per-tenant fairness observables.
     let fleet_served: u64 = nodes
@@ -164,7 +198,172 @@ fn fleet_computes_once_serves_peers_and_matches_serial_repro() {
                 .unwrap_or(0)
         })
         .sum();
-    assert_eq!(fleet_served, 2, "stats: {stats:?}");
+    assert_eq!(fleet_served, peer_served as u64, "stats: {stats:?}");
+
+    stop_fleet(nodes);
+}
+
+#[test]
+fn owner_death_serves_the_digest_from_the_replica_without_recompute() {
+    // One failed fetch is enough to suspect a peer, and the probe
+    // interval is effectively infinite, so the dead owner's eviction is
+    // driven by the failed fetch itself — deterministic, no timing.
+    let seed = 42;
+    let mut nodes = spawn_fleet_tuned(3, AuthConfig::default(), seed, |f| {
+        f.probe_failures = 1;
+        f.probe_interval = Duration::from_secs(3600);
+    });
+    let addrs: Vec<String> = nodes.iter().map(|n| n.addr.clone()).collect();
+
+    // Placement is a pure function of the member list, so the test can
+    // name the owner, the successor (replica holder), and the bystander
+    // regardless of which ephemeral ports the OS handed out.
+    let digest = Request::new(Experiment::E19, "snb", Fidelity::Quick)
+        .cache_key()
+        .digest();
+    let owner = owner_of(&addrs, seed, &digest).expect("owner").to_string();
+    let successor = successor_of(&addrs, seed, &digest)
+        .expect("successor")
+        .to_string();
+    let bystander = addrs
+        .iter()
+        .find(|a| **a != owner && **a != successor)
+        .expect("third node")
+        .clone();
+
+    // Warm the digest at the owner: it computes and synchronously
+    // pushes the replica to the successor before replying.
+    let mut warm = Client::connect(&owner).expect("connect owner");
+    let reply = warm
+        .run(Experiment::E19, "snb", Fidelity::Quick)
+        .expect("warm run");
+    assert_eq!(reply.status, "pass", "E19 failed: {:?}", reply.detail);
+    assert_eq!(reply.source, "computed");
+    drop(warm);
+    assert_eq!(node_stats(&successor)["replica_installs"], 1);
+
+    // Kill the owner — the only node that ever computed the digest.
+    let idx = nodes.iter().position(|n| n.addr == owner).unwrap();
+    let dead = nodes.remove(idx);
+    dead.shutdown.trigger();
+    dead.thread.join().unwrap().expect("owner server");
+
+    // The bystander still believes the dead node owns the digest: its
+    // fetch fails fast, the single failure evicts the owner from the
+    // live view, and the fallback fetch lands on the successor — which
+    // serves the pushed replica. The reply must be byte-identical to
+    // the serial repro without anyone recomputing.
+    let mut client = Client::connect(&bystander).expect("connect bystander");
+    let reply = client
+        .run(Experiment::E19, "snb", Fidelity::Quick)
+        .expect("post-failure run");
+    assert_eq!(reply.status, "pass", "E19 failed: {:?}", reply.detail);
+    assert_eq!(reply.source, "peer", "expected the replica fallback path");
+    let reference = serial_reference();
+    let diffs = diff_trees("serial repro", &reference, "replica", &reply.artifacts);
+    assert!(
+        diffs.is_empty(),
+        "replica-served response differs from serial repro:\n{}",
+        diffs.join("\n")
+    );
+
+    // Ledger: the bystander recorded the fallback replica hit and never
+    // computed; the successor served from memory and never computed; the
+    // bystander's view dropped to two live peers and bumped its epoch.
+    let by = node_stats(&bystander);
+    assert_eq!(by["replica_hits"], 1, "stats: {by:?}");
+    assert_eq!(by["peer_hits"], 1, "stats: {by:?}");
+    assert_eq!(by["misses"], 0, "stats: {by:?}");
+    assert_eq!(by["peers_live"], 2, "stats: {by:?}");
+    assert!(by["epoch"] >= 1, "stats: {by:?}");
+    let su = node_stats(&successor);
+    assert_eq!(su["misses"], 0, "stats: {su:?}");
+
+    // The fetched result was cached at the bystander, so a repeat is a
+    // local mem hit — the fleet keeps absorbing traffic for the digest.
+    let repeat = client
+        .run(Experiment::E19, "snb", Fidelity::Quick)
+        .expect("repeat run");
+    assert_eq!(repeat.source, "mem");
+    drop(client);
+
+    stop_fleet(nodes);
+}
+
+#[test]
+fn a_cold_node_joins_on_one_admin_command_and_takes_traffic() {
+    // Two warm nodes plus one cold node that knows only itself; fast
+    // probing so gossip spreads the edited member list quickly.
+    let seed = 42;
+    let fast = |f: &mut FleetConfig| f.probe_interval = Duration::from_millis(100);
+    let mut nodes = spawn_fleet_tuned(2, AuthConfig::default(), seed, fast);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind cold");
+    let cold_addr = listener.local_addr().expect("addr").to_string();
+    let mut cold_cfg = FleetConfig::new(
+        cold_addr.clone(),
+        vec![cold_addr.clone()],
+        seed,
+        FLEET_SECRET,
+    );
+    fast(&mut cold_cfg);
+    nodes.push(spawn_node(
+        listener,
+        &cold_addr,
+        AuthConfig::default(),
+        Some(cold_cfg),
+    ));
+
+    // One admin command against one warm node admits the newcomer.
+    let mut admin = Client::connect(&nodes[0].addr).expect("connect admin");
+    let reply = admin.join(FLEET_SECRET, &cold_addr).expect("join");
+    assert!(reply.changed);
+    assert!(reply.version >= 1);
+    assert!(reply.peers.contains(&cold_addr), "peers: {:?}", reply.peers);
+    drop(admin);
+
+    // Gossip rides the health probes: the edited node pushes its view
+    // with every ping, the cold node adopts it on the first ping that
+    // reaches it, and from then on probes everyone itself. Poll until
+    // all three report the full live fleet.
+    let addrs: Vec<String> = nodes.iter().map(|n| n.addr.clone()).collect();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let live: Vec<u64> = addrs.iter().map(|a| node_stats(a)["peers_live"]).collect();
+        if live.iter().all(|l| *l == 3) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fleet never converged on three live peers: {live:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The newcomer owns its share of the keyspace now: find a digest it
+    // owns and send that request to a warm node — it must be fetched
+    // from (and computed by) the newcomer.
+    let owned_by_cold = Experiment::ALL
+        .iter()
+        .find(|e| {
+            let digest = Request::new(**e, "snb", Fidelity::Quick)
+                .cache_key()
+                .digest();
+            owner_of(&addrs, seed, &digest) == Some(cold_addr.as_str())
+        })
+        .copied()
+        .expect("some experiment's digest lands on the newcomer");
+    let mut client = Client::connect(&nodes[0].addr).expect("connect warm");
+    let reply = client
+        .run(owned_by_cold, "snb", Fidelity::Quick)
+        .expect("run owned by newcomer");
+    assert_eq!(reply.status, "pass", "{:?}", reply.detail);
+    assert_eq!(
+        reply.source, "peer",
+        "the warm node must defer to the newcomer for its digests"
+    );
+    drop(client);
+    let cold_stats = node_stats(&cold_addr);
+    assert!(cold_stats["misses"] >= 1, "stats: {cold_stats:?}");
 
     stop_fleet(nodes);
 }

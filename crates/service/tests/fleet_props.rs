@@ -12,7 +12,7 @@
 //!   whose owner survived.
 
 use proptest::prelude::*;
-use roofline_service::fleet::{owner_of, rendezvous_score};
+use roofline_service::fleet::{owner_of, rendezvous_score, successor_of, Fleet, FleetConfig};
 use std::collections::BTreeSet;
 
 /// A distinct peer list derived from a size and a name seed: host:port
@@ -121,6 +121,101 @@ proptest! {
         // healthy hash that share is strictly less than everything.
         prop_assert_eq!(moved, victim_owned);
         prop_assert!(moved < all.len());
+    }
+
+    #[test]
+    fn successor_is_exactly_the_owner_after_the_owner_vanishes(
+        count in 2usize..=8,
+        name_seed in any::<u64>(),
+        seed in any::<u64>(),
+        digest_seed in any::<u64>(),
+    ) {
+        // The replica placement invariant: pushing to the successor puts
+        // the copy on precisely the node that inherits ownership when the
+        // owner dies, for every digest and every fleet shape.
+        let peers = peers_from(count, name_seed);
+        for digest in digests(digest_seed, 64) {
+            let owner = owner_of(&peers, seed, &digest).unwrap().to_string();
+            let survivors: Vec<String> =
+                peers.iter().filter(|p| **p != owner).cloned().collect();
+            prop_assert_eq!(
+                successor_of(&peers, seed, &digest),
+                owner_of(&survivors, seed, &digest),
+                "digest {}'s replica is not on its post-failure owner", digest
+            );
+        }
+    }
+
+    #[test]
+    fn identical_observation_streams_converge_to_identical_views(
+        count in 2usize..=6,
+        name_seed in any::<u64>(),
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u8..4u8, any::<u64>()), 0..64),
+    ) {
+        // Two nodes that witness the same failures, recoveries, and
+        // membership edits (in the same order) must agree on the live
+        // view *and* its epoch — the precondition for coordination-free
+        // ownership to stay consistent across the fleet. The op stream
+        // also targets outsiders, so join/leave of unknown peers and
+        // health reports about non-members are covered.
+        let peers = peers_from(count, name_seed);
+        let outsiders: Vec<String> =
+            (0..3).map(|i| format!("10.99.0.{i}:41000")).collect();
+        let targets: Vec<String> =
+            peers.iter().chain(outsiders.iter()).cloned().collect();
+        let cfg = || FleetConfig::new(peers[0].clone(), peers.clone(), seed, "prop-secret");
+        let a = Fleet::new(cfg());
+        let b = Fleet::new(cfg());
+        for (op, pick) in ops {
+            let target = &targets[(pick % targets.len() as u64) as usize];
+            let (ra, rb) = match op {
+                0 => (a.mark_failure(target), b.mark_failure(target)),
+                1 => (a.mark_success(target), b.mark_success(target)),
+                2 => (a.join(target), b.join(target)),
+                _ => (a.leave(target), b.leave(target)),
+            };
+            prop_assert_eq!(ra, rb, "op {} on {} diverged", op, target);
+            let (va, vb) = (a.view(), b.view());
+            prop_assert_eq!(va.epoch, vb.epoch);
+            prop_assert_eq!(va.peers, vb.peers);
+            // Agreement on the view implies agreement on placement.
+            let digest = format!("{:016x}", pick);
+            prop_assert_eq!(a.owner(&digest), b.owner(&digest));
+            prop_assert_eq!(a.successor(&digest), b.successor(&digest));
+        }
+    }
+
+    #[test]
+    fn gossip_adoption_reaches_the_editor_view(
+        count in 2usize..=6,
+        name_seed in any::<u64>(),
+        seed in any::<u64>(),
+        joins in proptest::collection::vec(any::<u64>(), 1..8),
+    ) {
+        // A node that never saw the join/leave commands directly must
+        // land on the same member list after adopting the editor's
+        // (version, members) gossip, no matter how many edits happened.
+        let peers = peers_from(count, name_seed);
+        let cfg = |me: &str| FleetConfig::new(me, peers.clone(), seed, "prop-secret");
+        let editor = Fleet::new(cfg(&peers[0]));
+        let follower = Fleet::new(cfg(&peers[1]));
+        for j in &joins {
+            let newcomer = format!("10.98.0.{}:42000", j % 16);
+            if j % 3 == 0 {
+                editor.leave(&newcomer);
+            } else {
+                editor.join(&newcomer);
+            }
+        }
+        let (version, members) = editor.members();
+        follower.adopt(version, &members);
+        let (fv, fm) = follower.members();
+        prop_assert_eq!(fv, version);
+        prop_assert_eq!(fm, members);
+        // Stale gossip (an older version) must be refused.
+        prop_assert!(!follower.adopt(version, &peers));
+        prop_assert!(!follower.adopt(version.saturating_sub(1), &peers));
     }
 
     #[test]

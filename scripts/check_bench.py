@@ -4,7 +4,7 @@
 Usage: check_bench.py <baseline.json> <candidate.json>
                       [<baseline2.json> <candidate2.json> ...]
                       [--max-regress PCT] [--max-latency-regress PCT]
-                      [--hit-rate-slack FLOAT]
+                      [--hit-rate-slack FLOAT] [--fleet-subset-ok]
 
 Positional arguments come in (baseline, candidate) pairs; each pair is
 dispatched on the document's `name` field, so one invocation can gate
@@ -31,9 +31,15 @@ the simulator bench and the fleet bench together:
   and `fairness_ratio` are reported for attribution.
 
 Ids present on only one side (benchmarks added since the baseline was
-recorded, retired from the harness, or fleet sizes added/removed)
-produce a warning, never a failure, so baseline files do not need to be
-regenerated in the same commit that adds a benchmark.
+recorded, retired from the harness, or fleet sizes added since) produce
+a warning, never a failure, so baseline files do not need to be
+regenerated in the same commit that adds a benchmark. Fleet sizes the
+candidate *lost* are the exception: a candidate covering fewer fleet
+sizes than its baseline fails, because a silently shrunken run would
+wave through regressions in the missing fleets. Pass
+`--fleet-subset-ok` to downgrade that specific failure to a warning
+when the subset is intentional (e.g. CI reruns only the 3-node fleet
+against a baseline that also carries the 1-node entry).
 
 Exit status: 0 ok, 1 regression, 2 usage/malformed input.
 """
@@ -145,12 +151,23 @@ def check_roofd(baseline, candidate, names, opts) -> list:
     latency_pct = opts["max_latency_regress"]
     hit_slack = opts["hit_rate_slack"]
 
+    failures = []
     for nodes in sorted(cand_fleets.keys() - base_fleets.keys()):
         print(f"warning: new fleet size {nodes} not in baseline; not compared")
-    for nodes in sorted(base_fleets.keys() - cand_fleets.keys()):
-        print(f"warning: fleet size {nodes} removed since baseline; not compared")
-
-    failures = []
+    missing = sorted(base_fleets.keys() - cand_fleets.keys())
+    if missing:
+        sizes = ", ".join(str(n) for n in missing)
+        if opts["fleet_subset_ok"]:
+            print(
+                f"warning: fleet size(s) {sizes} in baseline but not candidate; "
+                f"skipped (--fleet-subset-ok)"
+            )
+        else:
+            failures.append(
+                f"candidate is missing baseline fleet size(s) {sizes}; a "
+                f"shrunken run hides regressions in the absent fleets "
+                f"(pass --fleet-subset-ok if the subset is intentional)"
+            )
     for nodes, cand in sorted(cand_fleets.items()):
         base = base_fleets.get(nodes)
         label = f"fleet[{nodes} node{'s' if nodes != 1 else ''}]"
@@ -218,6 +235,7 @@ def main() -> int:
         "max_regress": 25.0,
         "max_latency_regress": 50.0,
         "hit_rate_slack": 0.10,
+        "fleet_subset_ok": False,
     }
     flags = {
         "--max-regress": "max_regress",
@@ -226,7 +244,9 @@ def main() -> int:
     }
     it = iter(sys.argv[1:])
     for arg in it:
-        if arg in flags:
+        if arg == "--fleet-subset-ok":
+            opts["fleet_subset_ok"] = True
+        elif arg in flags:
             try:
                 opts[flags[arg]] = float(next(it))
             except (StopIteration, ValueError):

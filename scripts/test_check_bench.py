@@ -236,13 +236,34 @@ class CheckRoofdBenchTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("hard errors", err)
 
-    def test_added_and_removed_fleet_sizes_warn_but_pass(self):
-        base = roofd_doc([roofd_fleet(1), roofd_fleet(5)])
+    def test_added_fleet_size_warns_but_passes(self):
+        base = roofd_doc([roofd_fleet(1)])
         cand = roofd_doc([roofd_fleet(1), roofd_fleet(3)])
         code, out, _ = run_on(base, cand)
         self.assertEqual(code, 0)
         self.assertIn("warning: new fleet size 3", out)
-        self.assertIn("warning: fleet size 5 removed", out)
+
+    def test_missing_baseline_fleet_size_fails(self):
+        base = roofd_doc([roofd_fleet(1), roofd_fleet(5)])
+        cand = roofd_doc([roofd_fleet(1), roofd_fleet(3)])
+        code, out, err = run_on(base, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("warning: new fleet size 3", out)
+        self.assertIn("missing baseline fleet size(s) 5", err)
+
+    def test_fleet_subset_ok_downgrades_missing_sizes_to_warning(self):
+        base = roofd_doc([roofd_fleet(1), roofd_fleet(3), roofd_fleet(5)])
+        cand = roofd_doc([roofd_fleet(3)])
+        code, out, _ = run_on(base, cand, "--fleet-subset-ok")
+        self.assertEqual(code, 0)
+        self.assertIn("warning: fleet size(s) 1, 5 in baseline", out)
+
+    def test_fleet_subset_ok_still_gates_the_fleets_that_ran(self):
+        base = roofd_doc([roofd_fleet(1), roofd_fleet(3, p99_ms=100)])
+        cand = roofd_doc([roofd_fleet(3, p99_ms=500)])
+        code, _, err = run_on(base, cand, "--fleet-subset-ok")
+        self.assertEqual(code, 1)
+        self.assertIn("p99 regressed", err)
 
     def test_mismatched_document_names_are_usage_error(self):
         code, _, err = run_on(doc(10000), roofd_doc([roofd_fleet(1)]))
